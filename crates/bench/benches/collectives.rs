@@ -1,0 +1,42 @@
+//! Criterion benchmarks of the virtual-MPI substrate: the all-to-all-v
+//! exchange the distributed engine performs at every part switch, across
+//! rank counts and payload sizes, plus the SPMD harness spawn overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hisvsim_circuit::Complex64;
+use hisvsim_cluster::{run_spmd, NetworkModel};
+
+fn bench_collectives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collectives");
+    group.sample_size(10);
+
+    for &ranks in &[2usize, 4, 8] {
+        for &amps_per_rank in &[1usize << 10, 1usize << 14] {
+            let bytes = (amps_per_rank * ranks * 16) as u64;
+            group.throughput(Throughput::Bytes(bytes));
+            group.bench_with_input(
+                BenchmarkId::new(format!("alltoallv_{ranks}ranks"), amps_per_rank),
+                &(ranks, amps_per_rank),
+                |b, &(ranks, amps)| {
+                    b.iter(|| {
+                        run_spmd::<Complex64, usize, _>(ranks, NetworkModel::ideal(), |mut comm| {
+                            let send: Vec<Vec<Complex64>> = (0..comm.size())
+                                .map(|_| vec![Complex64::ONE; amps / comm.size()])
+                                .collect();
+                            let recv = comm.alltoallv(send, 1);
+                            recv.iter().map(|v| v.len()).sum()
+                        })
+                    })
+                },
+            );
+        }
+    }
+
+    group.bench_function("spmd_spawn_overhead_8ranks", |b| {
+        b.iter(|| run_spmd::<u8, usize, _>(8, NetworkModel::ideal(), |comm| comm.rank()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_collectives);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion end-to-end benchmarks: one representative circuit through the
+//! flat reference, the hierarchical engine (three strategies), the
+//! distributed engine and the IQS-style baseline — the per-engine view behind
+//! the paper's runtime figures, at micro-benchmark scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hisvsim_circuit::generators;
+use hisvsim_core::{
+    BaselineConfig, DistConfig, DistributedSimulator, HierConfig, HierarchicalSimulator,
+    IqsBaseline,
+};
+use hisvsim_dag::CircuitDag;
+use hisvsim_partition::Strategy;
+use hisvsim_statevec::run_circuit;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let qubits = 14usize;
+    let circuit = generators::by_name("ising", qubits);
+    let dag = CircuitDag::from_circuit(&circuit);
+    let limit = qubits / 2;
+
+    let mut group = c.benchmark_group("end_to_end_ising14");
+    group.sample_size(10);
+
+    group.bench_function("flat_reference", |b| b.iter(|| run_circuit(&circuit)));
+
+    for strategy in Strategy::ALL {
+        let partition = strategy.partition(&dag, limit).unwrap();
+        group.bench_function(format!("hier_{}", strategy.name()), |b| {
+            let sim =
+                HierarchicalSimulator::new(HierConfig::new(limit).with_strategy(strategy));
+            b.iter(|| sim.run_with_partition(&circuit, &dag, partition.clone()))
+        });
+    }
+
+    group.bench_function("distributed_dagP_4ranks", |b| {
+        let sim = DistributedSimulator::new(DistConfig::new(4).with_strategy(Strategy::DagP));
+        b.iter(|| sim.run(&circuit).unwrap())
+    });
+
+    group.bench_function("iqs_baseline_4ranks", |b| {
+        let sim = IqsBaseline::new(BaselineConfig::new(4));
+        b.iter(|| sim.run(&circuit))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion micro-benchmarks of the gate-application kernels: the
+//! memory-bound sweep the paper's Sec. III-A analyses (single-qubit dense,
+//! diagonal, controlled, two-qubit and generic three-qubit kernels, at low
+//! and high target-qubit strides, sequential and rayon-parallel).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hisvsim_circuit::{Gate, GateKind};
+use hisvsim_statevec::kernels::{apply_gate_with, ApplyOptions};
+use hisvsim_statevec::StateVector;
+
+fn bench_gate_kernels(c: &mut Criterion) {
+    let qubits = 20usize;
+    let mut group = c.benchmark_group("gate_kernels");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(1u64 << qubits));
+
+    let cases: Vec<(&str, Gate)> = vec![
+        ("h_q0", Gate::new(GateKind::H, vec![0])),
+        ("h_top", Gate::new(GateKind::H, vec![qubits - 1])),
+        ("rz_q0_diagonal", Gate::new(GateKind::Rz(0.3), vec![0])),
+        ("x_q0", Gate::new(GateKind::X, vec![0])),
+        ("cx_low_low", Gate::new(GateKind::Cx, vec![0, 1])),
+        ("cx_low_top", Gate::new(GateKind::Cx, vec![0, qubits - 1])),
+        ("cz_diagonal", Gate::new(GateKind::Cz, vec![0, qubits - 1])),
+        ("swap", Gate::new(GateKind::Swap, vec![2, qubits - 2])),
+        ("rxx_dense_2q", Gate::new(GateKind::Rxx(0.5), vec![3, 11])),
+        ("ccx_generic_3q", Gate::new(GateKind::Ccx, vec![0, 5, 11])),
+    ];
+
+    for (name, gate) in &cases {
+        for (mode, opts) in [
+            ("seq", ApplyOptions::sequential()),
+            ("par", ApplyOptions::default()),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(*name, mode),
+                &(gate, opts),
+                |b, (gate, opts)| {
+                    let mut state = StateVector::zero_state(qubits);
+                    b.iter(|| apply_gate_with(&mut state, gate, opts));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gate_kernels);
+criterion_main!(benches);

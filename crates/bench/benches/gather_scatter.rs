@@ -1,0 +1,47 @@
+//! Criterion micro-benchmarks of the Gather–Execute–Scatter data movement
+//! (paper Algorithm 1): gathering and scattering inner state vectors of
+//! several sizes out of a fixed outer state, for contiguous (low-qubit) and
+//! strided (high-qubit) working sets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hisvsim_statevec::{GatherMap, StateVector};
+
+fn bench_gather_scatter(c: &mut Criterion) {
+    let outer_qubits = 20usize;
+    let outer = StateVector::zero_state(outer_qubits);
+    let mut group = c.benchmark_group("gather_scatter");
+    group.sample_size(10);
+
+    for &inner_qubits in &[4usize, 8, 12] {
+        // Contiguous working set: the lowest qubits (stride-1 gathers).
+        let low: Vec<usize> = (0..inner_qubits).collect();
+        // Strided working set: the highest qubits (large-stride gathers —
+        // the cache-unfriendly pattern of Fig. 1b taken to the extreme).
+        let high: Vec<usize> = (outer_qubits - inner_qubits..outer_qubits).collect();
+        for (label, qubits) in [("low", low), ("high", high)] {
+            let map = GatherMap::new(outer_qubits, &qubits);
+            group.throughput(Throughput::Elements(1u64 << inner_qubits));
+            group.bench_with_input(
+                BenchmarkId::new(format!("gather_{label}"), inner_qubits),
+                &map,
+                |b, map| {
+                    let mut inner = StateVector::uninitialized(inner_qubits);
+                    b.iter(|| map.gather_into(&outer, 0, &mut inner));
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("scatter_{label}"), inner_qubits),
+                &map,
+                |b, map| {
+                    let inner = StateVector::zero_state(inner_qubits);
+                    let mut target = StateVector::uninitialized(outer_qubits);
+                    b.iter(|| map.scatter(&inner, &mut target, 0));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gather_scatter);
+criterion_main!(benches);

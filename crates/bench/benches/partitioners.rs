@@ -1,0 +1,49 @@
+//! Criterion benchmarks of the partitioners themselves — the paper's claim
+//! that all three strategies take negligible time (microseconds to
+//! milliseconds) compared to the simulation, with dagP the most expensive
+//! and the exact reference orders of magnitude slower.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hisvsim_circuit::generators;
+use hisvsim_dag::CircuitDag;
+use hisvsim_partition::{OptimalPartitioner, Strategy};
+
+fn bench_partitioners(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partitioners");
+    group.sample_size(10);
+
+    for family in ["bv", "qft", "qaoa", "qpe"] {
+        let circuit = generators::by_name(family, 16);
+        let dag = CircuitDag::from_circuit(&circuit);
+        let limit = 8usize;
+        for strategy in Strategy::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(strategy.name(), family),
+                &dag,
+                |b, dag| b.iter(|| strategy.partition(dag, limit).unwrap()),
+            );
+        }
+    }
+
+    // DAG construction itself.
+    let big = generators::by_name("qpe", 20);
+    group.bench_function("dag_construction_qpe20", |b| {
+        b.iter(|| CircuitDag::from_circuit(&big))
+    });
+
+    // The exact branch-and-bound reference on a small instance, to document
+    // the gap the paper reports against the ILP.
+    let small = generators::by_name("cc", 7);
+    let small_dag = CircuitDag::from_circuit(&small);
+    group.bench_function("exact_branch_and_bound_cc7", |b| {
+        b.iter(|| {
+            OptimalPartitioner::default()
+                .partition(&small_dag, 4, Some(4))
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioners);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Fig. 10 — single-level vs multi-level HiSVSIM runtime on the circuits
+//! whose two-level partition differs from the single-level one (adder, qaoa,
+//! qft, qnn, qpe in the paper).
+//!
+//! ```text
+//! cargo run --release -p hisvsim-bench --bin fig10
+//! ```
+
+use hisvsim_bench::tables::{fmt_seconds, render_table};
+use hisvsim_bench::{evaluation_suite, rank_sweeps, run_algorithm, Algorithm};
+
+fn main() {
+    let suite = evaluation_suite();
+    let (small_ranks, large_ranks) = rank_sweeps();
+    let families = ["adder", "qaoa", "qft", "qnn", "qpe"];
+
+    println!("Fig. 10 — single-level (dagP) vs multi-level runtime at the largest rank count\n");
+    let mut rows = Vec::new();
+    let mut improvements = Vec::new();
+    for entry in suite.iter().filter(|e| families.contains(&e.family.as_str())) {
+        let ranks = *if entry.large { &large_ranks } else { &small_ranks }
+            .last()
+            .unwrap();
+        let circuit = entry.circuit();
+        eprintln!("running {} at {} ranks", entry.label, ranks);
+        let single = run_algorithm(&circuit, ranks, Algorithm::DagP);
+        let multi = run_algorithm(&circuit, ranks, Algorithm::MultiLevel);
+        let delta = single.total_time_s / multi.total_time_s;
+        improvements.push(delta);
+        rows.push(vec![
+            entry.label.clone(),
+            ranks.to_string(),
+            single.parts.to_string(),
+            fmt_seconds(single.total_time_s),
+            multi.parts.to_string(),
+            fmt_seconds(multi.total_time_s),
+            format!("{delta:.2}x"),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "circuit",
+                "ranks",
+                "parts(single)",
+                "single-level (s)",
+                "parts(multi,L1)",
+                "multi-level (s)",
+                "single/multi",
+            ],
+            &rows
+        )
+    );
+    let avg = improvements.iter().sum::<f64>() / improvements.len().max(1) as f64;
+    println!("average single-level / multi-level ratio: {avg:.2}x");
+    println!("\nPaper shape to reproduce: the multi-level variant is faster on adder/qft/qaoa/qpe");
+    println!("(average 15.8% reduction, up to 1.47x over the best single-level run; qnn is the");
+    println!("one circuit that is marginally slower).");
+}

@@ -1,0 +1,71 @@
+//! Fig. 6 — end-to-end runtime of every circuit for Intel/Nat/DFS/dagP at
+//! each rank count (the strong-scaling runtime panels).
+//!
+//! Reuses the `fig5` sweep records when present (`results/sweep.json`),
+//! otherwise re-runs the sweep.
+//!
+//! ```text
+//! cargo run --release -p hisvsim-bench --bin fig6
+//! ```
+
+use hisvsim_bench::tables::{fmt_seconds, render_table};
+use hisvsim_bench::{
+    evaluation_suite, load_records, rank_sweeps, save_records, sweep_entry, Algorithm,
+    ExperimentRecord,
+};
+
+fn sweep_or_load() -> Vec<ExperimentRecord> {
+    if let Some(records) = load_records("sweep") {
+        eprintln!("(reusing results/sweep.json — delete it to re-measure)");
+        return records;
+    }
+    let suite = evaluation_suite();
+    let (small_ranks, large_ranks) = rank_sweeps();
+    let mut records = Vec::new();
+    for entry in &suite {
+        let ranks = if entry.large { &large_ranks } else { &small_ranks };
+        eprintln!("sweeping {} over ranks {:?}", entry.label, ranks);
+        records.extend(sweep_entry(entry, ranks));
+    }
+    save_records("sweep", &records);
+    records
+}
+
+fn main() {
+    let records = sweep_or_load();
+    let suite = evaluation_suite();
+    println!("Fig. 6 — end-to-end runtime (modelled total = measured compute + modelled comm)\n");
+    for entry in &suite {
+        let mut rank_set: Vec<usize> = records
+            .iter()
+            .filter(|r| r.circuit == entry.label)
+            .map(|r| r.ranks)
+            .collect();
+        rank_set.sort_unstable();
+        rank_set.dedup();
+        if rank_set.is_empty() {
+            continue;
+        }
+        println!("{} ({} qubits, {} gates)", entry.label, entry.qubits, entry.circuit().num_gates());
+        let header: Vec<String> = std::iter::once("algorithm".to_string())
+            .chain(rank_set.iter().map(|r| format!("{r} ranks")))
+            .collect();
+        let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+        let mut rows = Vec::new();
+        for algorithm in Algorithm::FIG5_SET {
+            let mut row = vec![algorithm.name().to_string()];
+            for &ranks in &rank_set {
+                let cell = records
+                    .iter()
+                    .find(|r| r.algorithm == algorithm && r.circuit == entry.label && r.ranks == ranks)
+                    .map(|r| fmt_seconds(r.total_time_s))
+                    .unwrap_or_else(|| "-".to_string());
+                row.push(cell);
+            }
+            rows.push(row);
+        }
+        println!("{}", render_table(&header_refs, &rows));
+    }
+    println!("Paper shape to reproduce: close-to-linear strong scaling for all HiSVSIM");
+    println!("variants, with the Intel baseline slowest on (almost) every circuit.");
+}

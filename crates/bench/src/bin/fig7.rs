@@ -1,0 +1,68 @@
+//! Fig. 7 — average (modelled) communication time of the three HiSVSIM
+//! strategies and the IQS-style baseline, per circuit and rank count.
+//!
+//! ```text
+//! cargo run --release -p hisvsim-bench --bin fig7
+//! ```
+
+use hisvsim_bench::tables::{fmt_seconds, render_table};
+use hisvsim_bench::{
+    evaluation_suite, load_records, rank_sweeps, save_records, sweep_entry, Algorithm,
+    ExperimentRecord,
+};
+
+fn sweep_or_load() -> Vec<ExperimentRecord> {
+    if let Some(records) = load_records("sweep") {
+        eprintln!("(reusing results/sweep.json — delete it to re-measure)");
+        return records;
+    }
+    let suite = evaluation_suite();
+    let (small_ranks, large_ranks) = rank_sweeps();
+    let mut records = Vec::new();
+    for entry in &suite {
+        let ranks = if entry.large { &large_ranks } else { &small_ranks };
+        records.extend(sweep_entry(entry, ranks));
+    }
+    save_records("sweep", &records);
+    records
+}
+
+fn main() {
+    let records = sweep_or_load();
+    let suite = evaluation_suite();
+    println!("Fig. 7 — average communication time per circuit (network-model accounting)\n");
+    for entry in &suite {
+        let mut rank_set: Vec<usize> = records
+            .iter()
+            .filter(|r| r.circuit == entry.label)
+            .map(|r| r.ranks)
+            .collect();
+        rank_set.sort_unstable();
+        rank_set.dedup();
+        if rank_set.is_empty() {
+            continue;
+        }
+        println!("{}", entry.label);
+        let header: Vec<String> = std::iter::once("algorithm".to_string())
+            .chain(rank_set.iter().map(|r| format!("{r} ranks")))
+            .collect();
+        let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+        let mut rows = Vec::new();
+        for algorithm in Algorithm::FIG5_SET {
+            let mut row = vec![algorithm.name().to_string()];
+            for &ranks in &rank_set {
+                let cell = records
+                    .iter()
+                    .find(|r| r.algorithm == algorithm && r.circuit == entry.label && r.ranks == ranks)
+                    .map(|r| format!("{} ({} B)", fmt_seconds(r.comm_time_s), r.bytes_moved))
+                    .unwrap_or_else(|| "-".to_string());
+                row.push(cell);
+            }
+            rows.push(row);
+        }
+        println!("{}", render_table(&header_refs, &rows));
+    }
+    println!("Paper shape to reproduce: dagP has the lowest communication time on (nearly)");
+    println!("every circuit and rank count; the baseline the highest, especially for the");
+    println!("larger-qubit group.");
+}

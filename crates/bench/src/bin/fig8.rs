@@ -1,0 +1,64 @@
+//! Fig. 8 — geometric mean of the average communication *ratio*
+//! (communication time / total time) of the three HiSVSIM variants and the
+//! baseline, per rank count.
+//!
+//! ```text
+//! cargo run --release -p hisvsim-bench --bin fig8
+//! ```
+
+use hisvsim_bench::perfstats::geometric_mean;
+use hisvsim_bench::tables::render_table;
+use hisvsim_bench::{
+    evaluation_suite, load_records, rank_sweeps, save_records, sweep_entry, Algorithm,
+    ExperimentRecord,
+};
+
+fn sweep_or_load() -> Vec<ExperimentRecord> {
+    if let Some(records) = load_records("sweep") {
+        eprintln!("(reusing results/sweep.json — delete it to re-measure)");
+        return records;
+    }
+    let suite = evaluation_suite();
+    let (small_ranks, large_ranks) = rank_sweeps();
+    let mut records = Vec::new();
+    for entry in &suite {
+        let ranks = if entry.large { &large_ranks } else { &small_ranks };
+        records.extend(sweep_entry(entry, ranks));
+    }
+    save_records("sweep", &records);
+    records
+}
+
+fn main() {
+    let records = sweep_or_load();
+    let mut rank_set: Vec<usize> = records.iter().map(|r| r.ranks).collect();
+    rank_set.sort_unstable();
+    rank_set.dedup();
+
+    println!("Fig. 8 — geometric mean of the communication ratio (%) across all circuits\n");
+    let header: Vec<String> = std::iter::once("algorithm".to_string())
+        .chain(rank_set.iter().map(|r| format!("{r} ranks")))
+        .collect();
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut rows = Vec::new();
+    for algorithm in Algorithm::FIG5_SET {
+        let mut row = vec![algorithm.name().to_string()];
+        for &ranks in &rank_set {
+            let ratios: Vec<f64> = records
+                .iter()
+                .filter(|r| r.algorithm == algorithm && r.ranks == ranks && r.comm_ratio > 0.0)
+                .map(|r| r.comm_ratio * 100.0)
+                .collect();
+            if ratios.is_empty() {
+                row.push("-".to_string());
+            } else {
+                row.push(format!("{:.1}", geometric_mean(&ratios)));
+            }
+        }
+        rows.push(row);
+    }
+    println!("{}", render_table(&header_refs, &rows));
+    println!("\nPaper shape to reproduce: dagP has the lowest geometric-mean communication");
+    println!("ratio at every rank count; DFS beats the baseline except at the largest count;");
+    println!("dagP also scales best as ranks grow (paper Fig. 8).");
+}

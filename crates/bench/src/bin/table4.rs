@@ -1,0 +1,95 @@
+//! Table IV — estimated end-to-end time of the hybrid configuration
+//! (HiSVSIM partitioning + communication around a GPU kernel) for the three
+//! strategies, against a HyQuas-style monolithic baseline.
+//!
+//! The baseline is modelled the same way the paper treats it: the same GPU
+//! kernel throughput, but with the per-gate pairwise exchanges of a
+//! non-partitioned distributed execution (one exchange per gate whose target
+//! sits on a remote qubit under a static mapping).
+//!
+//! ```text
+//! cargo run --release -p hisvsim-bench --bin table4 [qubits] [gpus]
+//! ```
+
+use hisvsim_bench::tables::render_table;
+use hisvsim_circuit::generators;
+use hisvsim_cluster::NetworkModel;
+use hisvsim_core::gpu::{estimate_hybrid, GpuModel};
+use hisvsim_dag::CircuitDag;
+use hisvsim_partition::Strategy;
+
+fn main() {
+    let qubits: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(20);
+    let gpus: usize = std::env::args()
+        .nth(2)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(4);
+    let circuit = generators::qaoa(qubits, 2, 0xA0A);
+    let dag = CircuitDag::from_circuit(&circuit);
+    let p = gpus.trailing_zeros() as usize;
+    let local_limit = circuit.num_qubits() - p;
+    let gpu = GpuModel::v100_hyquas();
+    let net = NetworkModel::hdr100();
+
+    println!(
+        "Table IV — estimated QAOA simulation times combining HiSVSIM partitioning with a\n\
+         GPU kernel model ({qubits} qubits, {gpus} single-GPU nodes)\n"
+    );
+
+    let mut rows = Vec::new();
+    for strategy in [Strategy::DagP, Strategy::Dfs, Strategy::Nat] {
+        let partition = strategy.partition(&dag, local_limit).expect("partitioning failed");
+        let est = estimate_hybrid(&circuit, &dag, &partition, strategy.name(), gpu, net, gpus);
+        rows.push(vec![
+            strategy.name().to_string(),
+            est.parts.len().to_string(),
+            format!("{:.3}", est.communication_s),
+            format!("{:.3}", est.computation_s),
+            format!("{:.3}", est.total_s()),
+        ]);
+    }
+
+    // HyQuas-style monolithic baseline: same kernel model over the whole
+    // circuit, plus one pairwise exchange per gate with a remote target under
+    // a static mapping (qubits n-p..n are remote).
+    let remote_start = circuit.num_qubits() - p;
+    let remote_gate_events = circuit
+        .gates()
+        .iter()
+        .filter(|g| {
+            !g.kind.is_diagonal()
+                && g.qubits[g.kind.num_controls()..]
+                    .iter()
+                    .any(|&q| q >= remote_start)
+        })
+        .count();
+    let slice_bytes = 16usize << local_limit;
+    let baseline_comm = if gpus == 1 {
+        0.0
+    } else {
+        remote_gate_events as f64 * net.message_time(slice_bytes)
+    };
+    let baseline_comp = gpu.part_time_s(circuit.num_gates(), local_limit);
+    rows.push(vec![
+        "HyQuas-style".to_string(),
+        "-".to_string(),
+        format!("{baseline_comm:.3}"),
+        format!("{baseline_comp:.3}"),
+        format!("{:.3}", baseline_comm + baseline_comp),
+    ]);
+
+    println!(
+        "{}",
+        render_table(
+            &["strategy", "parts", "communication (s)", "computation (s)", "total (s)"],
+            &rows
+        )
+    );
+    println!("Paper shape to reproduce: hybrid-dagP has the lowest total (0.83 s in the paper),");
+    println!("beating DFS (1.34 s), Nat (2.77 s) and the monolithic HyQuas run (1.47 s); the");
+    println!("computation column is nearly identical across strategies — the difference is");
+    println!("entirely communication.");
+}

@@ -1,0 +1,178 @@
+//! Statistics used by the evaluation figures: geometric means (Fig. 8) and
+//! Dolan–Moré performance profiles (Fig. 9).
+
+use serde::{Deserialize, Serialize};
+
+/// Geometric mean of a set of strictly positive values (0 when empty).
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "geometric mean needs positive values, got {v}");
+            v.ln()
+        })
+        .sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// One curve of a performance profile: for each θ, the fraction ρ of
+/// instances on which the method was within a factor θ of the best method.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProfileCurve {
+    /// Method name.
+    pub method: String,
+    /// Sampled θ values (≥ 1).
+    pub theta: Vec<f64>,
+    /// ρ(θ) values in [0, 1].
+    pub rho: Vec<f64>,
+}
+
+/// Compute Dolan–Moré performance profiles.
+///
+/// `times[m][i]` is method `m`'s metric on instance `i` (lower is better);
+/// `None` marks a method that failed on that instance (treated as infinitely
+/// slow). Curves are sampled at `samples` evenly spaced θ values in
+/// `[1, theta_max]`.
+pub fn performance_profile(
+    methods: &[String],
+    times: &[Vec<Option<f64>>],
+    theta_max: f64,
+    samples: usize,
+) -> Vec<ProfileCurve> {
+    assert_eq!(methods.len(), times.len());
+    assert!(theta_max >= 1.0 && samples >= 2);
+    let num_instances = times.first().map_or(0, |t| t.len());
+    for t in times {
+        assert_eq!(t.len(), num_instances, "ragged instance matrix");
+    }
+    // Best value per instance.
+    let best: Vec<f64> = (0..num_instances)
+        .map(|i| {
+            times
+                .iter()
+                .filter_map(|t| t[i])
+                .fold(f64::INFINITY, f64::min)
+        })
+        .collect();
+
+    let thetas: Vec<f64> = (0..samples)
+        .map(|s| 1.0 + (theta_max - 1.0) * s as f64 / (samples - 1) as f64)
+        .collect();
+
+    methods
+        .iter()
+        .zip(times.iter())
+        .map(|(method, t)| {
+            let ratios: Vec<Option<f64>> = (0..num_instances)
+                .map(|i| t[i].map(|v| v / best[i]))
+                .collect();
+            let rho: Vec<f64> = thetas
+                .iter()
+                .map(|&theta| {
+                    if num_instances == 0 {
+                        return 0.0;
+                    }
+                    ratios
+                        .iter()
+                        .filter(|r| matches!(r, Some(v) if *v <= theta + 1e-12))
+                        .count() as f64
+                        / num_instances as f64
+                })
+                .collect();
+            ProfileCurve {
+                method: method.clone(),
+                theta: thetas.clone(),
+                rho,
+            }
+        })
+        .collect()
+}
+
+/// Render a performance profile as a compact ASCII table (θ columns × method
+/// rows), matching how the paper's Fig. 9 is read.
+pub fn render_profile(curves: &[ProfileCurve], columns: usize) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    if curves.is_empty() {
+        return out;
+    }
+    let total = curves[0].theta.len();
+    let step = (total / columns).max(1);
+    let _ = write!(out, "{:<12}", "theta");
+    for idx in (0..total).step_by(step) {
+        let _ = write!(out, "{:>8.2}", curves[0].theta[idx]);
+    }
+    out.push('\n');
+    for curve in curves {
+        let _ = write!(out, "{:<12}", curve.method);
+        for idx in (0..total).step_by(step) {
+            let _ = write!(out, "{:>8.2}", curve.rho[idx]);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometric_mean_of_equal_values_is_the_value() {
+        assert!((geometric_mean(&[3.0, 3.0, 3.0]) - 3.0).abs() < 1e-12);
+        assert_eq!(geometric_mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn geometric_mean_known_case() {
+        // gm(1, 4) = 2
+        assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geometric_mean_rejects_zero() {
+        let _ = geometric_mean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn profile_fractions_are_monotone_and_bounded() {
+        let methods = vec!["a".to_string(), "b".to_string()];
+        let times = vec![
+            vec![Some(1.0), Some(2.0), Some(3.0)],
+            vec![Some(2.0), Some(2.0), Some(1.0)],
+        ];
+        let curves = performance_profile(&methods, &times, 3.0, 21);
+        for curve in &curves {
+            assert!(curve.rho.windows(2).all(|w| w[1] >= w[0] - 1e-12));
+            assert!(curve.rho.iter().all(|&r| (0.0..=1.0).contains(&r)));
+        }
+        // At θ=1, method "a" is best on instances 0 and 1 (tie), i.e. 2/3.
+        assert!((curves[0].rho[0] - 2.0 / 3.0).abs() < 1e-9);
+        // By θ=3 both methods cover everything.
+        assert!((curves[0].rho.last().unwrap() - 1.0).abs() < 1e-12);
+        assert!((curves[1].rho.last().unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn failed_instances_never_qualify() {
+        let methods = vec!["a".to_string(), "b".to_string()];
+        let times = vec![vec![Some(1.0), None], vec![Some(1.0), Some(5.0)]];
+        let curves = performance_profile(&methods, &times, 10.0, 5);
+        assert!(curves[0].rho.last().unwrap() < &1.0);
+        assert!((curves[1].rho.last().unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_contains_method_names() {
+        let methods = vec!["dagP".to_string()];
+        let times = vec![vec![Some(1.0)]];
+        let curves = performance_profile(&methods, &times, 2.0, 11);
+        let text = render_profile(&curves, 5);
+        assert!(text.contains("dagP"));
+        assert!(text.contains("theta"));
+    }
+}

@@ -1,0 +1,77 @@
+//! Small ASCII-table rendering helpers shared by the table/figure binaries.
+
+/// Render rows of equal-length cells as a fixed-width ASCII table with a
+/// header row and a separator line.
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let columns = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), columns, "ragged table row");
+        for (w, cell) in widths.iter_mut().zip(row.iter()) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: Vec<&str>, widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths.iter())
+            .map(|(c, w)| format!("{c:>width$}", width = w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    out.push_str(&fmt_row(header.to_vec(), &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (columns - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row.iter().map(|s| s.as_str()).collect(), &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Format seconds with a sensible precision for the tables.
+pub fn fmt_seconds(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3}")
+    } else if s >= 1e-3 {
+        format!("{:.3}ms", s * 1e3)
+    } else {
+        format!("{:.1}us", s * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_aligned_and_contains_cells() {
+        let text = render_table(
+            &["circuit", "parts"],
+            &[
+                vec!["bv".to_string(), "3".to_string()],
+                vec!["ising35".to_string(), "12".to_string()],
+            ],
+        );
+        assert!(text.contains("circuit"));
+        assert!(text.contains("ising35"));
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0].len(), lines[2].len());
+    }
+
+    #[test]
+    fn seconds_formatting_switches_units() {
+        assert_eq!(fmt_seconds(2.5), "2.500");
+        assert!(fmt_seconds(0.002).ends_with("ms"));
+        assert!(fmt_seconds(2e-5).ends_with("us"));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_are_rejected() {
+        let _ = render_table(&["a", "b"], &[vec!["x".to_string()]]);
+    }
+}

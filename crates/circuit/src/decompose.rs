@@ -1,0 +1,161 @@
+//! Gate decomposition passes.
+//!
+//! The paper's simulator handles multi-controlled gates "via gate
+//! decomposition to convert it to the single-qubit case with a proper offset"
+//! (Sec. III-A footnote). This module provides the standard textbook
+//! decompositions of three-qubit gates into one- and two-qubit gates so any
+//! engine restricted to arity ≤ 2 can still execute every benchmark circuit,
+//! and so partitioners can be evaluated on pre- and post-decomposition DAGs.
+
+use crate::circuit::Circuit;
+use crate::gate::{Gate, GateKind, Qubit};
+
+/// Decompose a single gate into a sequence of gates of arity ≤ `max_arity`.
+///
+/// Gates already within the arity bound are returned unchanged. `max_arity`
+/// must be 2 or 3; 1 is impossible for entangling gates.
+pub fn decompose_gate(gate: &Gate, max_arity: usize) -> Vec<Gate> {
+    assert!(
+        (2..=3).contains(&max_arity),
+        "max_arity must be 2 or 3, got {max_arity}"
+    );
+    if gate.arity() <= max_arity {
+        return vec![gate.clone()];
+    }
+    match gate.kind {
+        GateKind::Ccx => ccx_to_two_qubit(gate.qubits[0], gate.qubits[1], gate.qubits[2]),
+        GateKind::Cswap => {
+            // Fredkin = CX(b→a') sandwich: cswap(c,a,b) = cx(b,a) ccx(c,a,b) cx(b,a)
+            let (c, a, b) = (gate.qubits[0], gate.qubits[1], gate.qubits[2]);
+            let mut out = vec![Gate::new(GateKind::Cx, vec![b, a])];
+            out.extend(ccx_to_two_qubit(c, a, b));
+            out.push(Gate::new(GateKind::Cx, vec![b, a]));
+            out
+        }
+        ref other => panic!("no decomposition registered for gate {}", other.name()),
+    }
+}
+
+/// The standard 6-CNOT + single-qubit-gate decomposition of the Toffoli gate.
+fn ccx_to_two_qubit(c0: Qubit, c1: Qubit, t: Qubit) -> Vec<Gate> {
+    use GateKind::*;
+    vec![
+        Gate::new(H, vec![t]),
+        Gate::new(Cx, vec![c1, t]),
+        Gate::new(Tdg, vec![t]),
+        Gate::new(Cx, vec![c0, t]),
+        Gate::new(T, vec![t]),
+        Gate::new(Cx, vec![c1, t]),
+        Gate::new(Tdg, vec![t]),
+        Gate::new(Cx, vec![c0, t]),
+        Gate::new(T, vec![c1]),
+        Gate::new(T, vec![t]),
+        Gate::new(H, vec![t]),
+        Gate::new(Cx, vec![c0, c1]),
+        Gate::new(T, vec![c0]),
+        Gate::new(Tdg, vec![c1]),
+        Gate::new(Cx, vec![c0, c1]),
+    ]
+}
+
+/// Decompose every gate of a circuit so no gate exceeds `max_arity` operands.
+pub fn decompose_circuit(circuit: &Circuit, max_arity: usize) -> Circuit {
+    let mut out = Circuit::named(circuit.name.clone(), circuit.num_qubits());
+    for gate in circuit.gates() {
+        for g in decompose_gate(gate, max_arity) {
+            out.push(g);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::math::{Complex64, UnitaryMatrix};
+
+    /// Multiply the full 2^n unitary of a (tiny) circuit by building each
+    /// gate's embedding explicitly — slow but independent of the simulators,
+    /// so it can validate decompositions without a circular test dependency.
+    fn circuit_unitary(circuit: &Circuit) -> UnitaryMatrix {
+        let n = circuit.num_qubits();
+        let dim = 1usize << n;
+        let mut total = UnitaryMatrix::identity(dim);
+        for gate in circuit.gates() {
+            let g = gate.matrix();
+            // Embed the k-qubit gate matrix into the full 2^n space: entry
+            // (row, col) is non-zero only when row and col agree on all
+            // untouched qubits, and equals g(sub_row, sub_col) on the touched
+            // ones (operand j = matrix bit j).
+            let mut embedded = UnitaryMatrix::from_rows(vec![Complex64::ZERO; dim * dim]);
+            for col in 0..dim {
+                let mut sub_col = 0usize;
+                for (j, &q) in gate.qubits.iter().enumerate() {
+                    sub_col |= ((col >> q) & 1) << j;
+                }
+                for sub_row in 0..g.dim() {
+                    let amp = g.get(sub_row, sub_col);
+                    if amp == Complex64::ZERO {
+                        continue;
+                    }
+                    let mut row = col;
+                    for (j, &q) in gate.qubits.iter().enumerate() {
+                        let bit = (sub_row >> j) & 1;
+                        row = (row & !(1 << q)) | (bit << q);
+                    }
+                    *embedded.get_mut(row, col) = amp;
+                }
+            }
+            total = embedded.matmul(&total);
+        }
+        total
+    }
+
+    #[test]
+    fn toffoli_decomposition_matches_unitary() {
+        let mut original = Circuit::new(3);
+        original.ccx(0, 1, 2);
+        let decomposed = decompose_circuit(&original, 2);
+        assert!(decomposed.gates().iter().all(|g| g.arity() <= 2));
+        let u1 = circuit_unitary(&original);
+        let u2 = circuit_unitary(&decomposed);
+        assert!(u1.approx_eq(&u2, 1e-9), "toffoli decomposition is wrong");
+    }
+
+    #[test]
+    fn fredkin_decomposition_matches_unitary() {
+        let mut original = Circuit::new(3);
+        original.add(GateKind::Cswap, &[0, 1, 2]);
+        let decomposed = decompose_circuit(&original, 2);
+        assert!(decomposed.gates().iter().all(|g| g.arity() <= 2));
+        let u1 = circuit_unitary(&original);
+        let u2 = circuit_unitary(&decomposed);
+        assert!(u1.approx_eq(&u2, 1e-9), "fredkin decomposition is wrong");
+    }
+
+    #[test]
+    fn decompose_is_identity_for_small_gates() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let d = decompose_circuit(&c, 2);
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn max_arity_three_keeps_toffolis() {
+        let c = generators::adder(8);
+        let d = decompose_circuit(&c, 3);
+        assert_eq!(c.num_gates(), d.num_gates());
+        let d2 = decompose_circuit(&c, 2);
+        assert!(d2.num_gates() > c.num_gates());
+        assert!(d2.gates().iter().all(|g| g.arity() <= 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "max_arity must be 2 or 3")]
+    fn rejects_bad_max_arity() {
+        let g = Gate::new(GateKind::Ccx, vec![0, 1, 2]);
+        let _ = decompose_gate(&g, 1);
+    }
+}

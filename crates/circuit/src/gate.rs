@@ -1,0 +1,621 @@
+//! Quantum gate definitions: the gate vocabulary understood by the parsers,
+//! generators, partitioners, and simulators.
+//!
+//! Every [`Gate`] carries its operand qubits and a [`GateKind`]; the kind can
+//! always produce the gate's unitary matrix (in the qubit ordering described
+//! on [`GateKind::matrix`]) so that any simulator in the workspace can apply
+//! it without a hand-written kernel, while the common kinds additionally get
+//! specialised fast paths.
+
+use crate::math::{mat2, mat4, Complex64, UnitaryMatrix};
+use serde::{Deserialize, Serialize};
+use std::f64::consts::FRAC_1_SQRT_2;
+use std::fmt;
+
+/// Index of a qubit within a circuit (0-based, little-endian: qubit 0 is the
+/// least-significant bit of a state index).
+pub type Qubit = usize;
+
+/// The kind of a quantum gate, including any continuous parameters.
+///
+/// The set covers everything emitted by the QASMBench-style generators in
+/// [`crate::generators`] plus the OpenQASM 2.0 standard-library gates needed
+/// to parse external circuit files.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum GateKind {
+    /// Identity (no-op placeholder; still occupies a DAG node).
+    I,
+    /// Pauli-X (NOT).
+    X,
+    /// Pauli-Y.
+    Y,
+    /// Pauli-Z.
+    Z,
+    /// Hadamard.
+    H,
+    /// Phase gate S = diag(1, i).
+    S,
+    /// S-dagger.
+    Sdg,
+    /// T = diag(1, e^{iπ/4}).
+    T,
+    /// T-dagger.
+    Tdg,
+    /// Square root of X.
+    Sx,
+    /// Inverse square root of X.
+    Sxdg,
+    /// Rotation about X by theta.
+    Rx(f64),
+    /// Rotation about Y by theta.
+    Ry(f64),
+    /// Rotation about Z by theta.
+    Rz(f64),
+    /// Phase rotation diag(1, e^{iλ}) (OpenQASM `u1`/`p`).
+    P(f64),
+    /// OpenQASM u2(φ, λ).
+    U2(f64, f64),
+    /// OpenQASM u3(θ, φ, λ) — the general single-qubit gate.
+    U3(f64, f64, f64),
+    /// Controlled-X (CNOT); operands are `[control, target]`.
+    Cx,
+    /// Controlled-Y; operands are `[control, target]`.
+    Cy,
+    /// Controlled-Z; operands are `[control, target]`.
+    Cz,
+    /// Controlled-H; operands are `[control, target]`.
+    Ch,
+    /// Controlled phase diag(1,1,1,e^{iλ}); operands are `[control, target]`.
+    Cp(f64),
+    /// Controlled-RX; operands are `[control, target]`.
+    Crx(f64),
+    /// Controlled-RY; operands are `[control, target]`.
+    Cry(f64),
+    /// Controlled-RZ; operands are `[control, target]`.
+    Crz(f64),
+    /// Controlled-U3; operands are `[control, target]`.
+    Cu3(f64, f64, f64),
+    /// Two-qubit ZZ interaction exp(-i θ/2 Z⊗Z); operands `[a, b]`.
+    Rzz(f64),
+    /// Two-qubit XX interaction exp(-i θ/2 X⊗X); operands `[a, b]`.
+    Rxx(f64),
+    /// SWAP; operands `[a, b]`.
+    Swap,
+    /// Toffoli (CCX); operands are `[control, control, target]`.
+    Ccx,
+    /// Controlled-SWAP (Fredkin); operands are `[control, a, b]`.
+    Cswap,
+}
+
+impl GateKind {
+    /// Number of qubit operands the gate expects.
+    pub fn arity(&self) -> usize {
+        use GateKind::*;
+        match self {
+            I | X | Y | Z | H | S | Sdg | T | Tdg | Sx | Sxdg | Rx(_) | Ry(_) | Rz(_) | P(_)
+            | U2(..) | U3(..) => 1,
+            Cx | Cy | Cz | Ch | Cp(_) | Crx(_) | Cry(_) | Crz(_) | Cu3(..) | Rzz(_) | Rxx(_)
+            | Swap => 2,
+            Ccx | Cswap => 3,
+        }
+    }
+
+    /// Canonical lowercase OpenQASM-style mnemonic (without parameters).
+    pub fn name(&self) -> &'static str {
+        use GateKind::*;
+        match self {
+            I => "id",
+            X => "x",
+            Y => "y",
+            Z => "z",
+            H => "h",
+            S => "s",
+            Sdg => "sdg",
+            T => "t",
+            Tdg => "tdg",
+            Sx => "sx",
+            Sxdg => "sxdg",
+            Rx(_) => "rx",
+            Ry(_) => "ry",
+            Rz(_) => "rz",
+            P(_) => "p",
+            U2(..) => "u2",
+            U3(..) => "u3",
+            Cx => "cx",
+            Cy => "cy",
+            Cz => "cz",
+            Ch => "ch",
+            Cp(_) => "cp",
+            Crx(_) => "crx",
+            Cry(_) => "cry",
+            Crz(_) => "crz",
+            Cu3(..) => "cu3",
+            Rzz(_) => "rzz",
+            Rxx(_) => "rxx",
+            Swap => "swap",
+            Ccx => "ccx",
+            Cswap => "cswap",
+        }
+    }
+
+    /// Continuous parameters of the gate, in declaration order.
+    pub fn params(&self) -> Vec<f64> {
+        use GateKind::*;
+        match *self {
+            Rx(a) | Ry(a) | Rz(a) | P(a) | Cp(a) | Crx(a) | Cry(a) | Crz(a) | Rzz(a) | Rxx(a) => {
+                vec![a]
+            }
+            U2(a, b) => vec![a, b],
+            U3(a, b, c) | Cu3(a, b, c) => vec![a, b, c],
+            _ => vec![],
+        }
+    }
+
+    /// True when the gate's matrix is diagonal in the computational basis.
+    ///
+    /// Diagonal gates never mix amplitudes across index pairs, which lets
+    /// simulators use a cheaper elementwise kernel and lets the cache model
+    /// know the access is a pure streaming read-modify-write.
+    pub fn is_diagonal(&self) -> bool {
+        use GateKind::*;
+        matches!(
+            self,
+            I | Z | S | Sdg | T | Tdg | Rz(_) | P(_) | Cz | Cp(_) | Crz(_) | Rzz(_)
+        )
+    }
+
+    /// True for controlled gates whose first operand(s) are pure controls.
+    pub fn num_controls(&self) -> usize {
+        use GateKind::*;
+        match self {
+            Cx | Cy | Cz | Ch | Cp(_) | Crx(_) | Cry(_) | Crz(_) | Cu3(..) => 1,
+            Ccx => 2,
+            Cswap => 1,
+            _ => 0,
+        }
+    }
+
+    /// The unitary matrix of this gate.
+    ///
+    /// Qubit-ordering convention: for a gate on operands `[q_0, q_1, ..,
+    /// q_{k-1}]` the matrix acts on a `2^k` vector whose index bits are
+    /// `b_{k-1} .. b_1 b_0` with `b_j` the value of operand `q_j` — i.e. the
+    /// *first* operand is the least-significant bit of the matrix index. This
+    /// matches how the generic k-qubit kernel in `hisvsim-statevec` assembles
+    /// its gather indices.
+    pub fn matrix(&self) -> UnitaryMatrix {
+        use GateKind::*;
+        let z = Complex64::ZERO;
+        let o = Complex64::ONE;
+        let i = Complex64::I;
+        let h = Complex64::real(FRAC_1_SQRT_2);
+        match *self {
+            I => UnitaryMatrix::identity(2),
+            X => mat2(z, o, o, z),
+            Y => mat2(z, -i, i, z),
+            Z => mat2(o, z, z, -o),
+            H => mat2(h, h, h, -h),
+            S => mat2(o, z, z, i),
+            Sdg => mat2(o, z, z, -i),
+            T => mat2(o, z, z, Complex64::cis(std::f64::consts::FRAC_PI_4)),
+            Tdg => mat2(o, z, z, Complex64::cis(-std::f64::consts::FRAC_PI_4)),
+            Sx => {
+                let p = Complex64::new(0.5, 0.5);
+                let m = Complex64::new(0.5, -0.5);
+                mat2(p, m, m, p)
+            }
+            Sxdg => {
+                let p = Complex64::new(0.5, 0.5);
+                let m = Complex64::new(0.5, -0.5);
+                mat2(m, p, p, m)
+            }
+            Rx(t) => {
+                let c = Complex64::real((t / 2.0).cos());
+                let s = Complex64::imag(-(t / 2.0).sin());
+                mat2(c, s, s, c)
+            }
+            Ry(t) => {
+                let c = Complex64::real((t / 2.0).cos());
+                let s = Complex64::real((t / 2.0).sin());
+                mat2(c, -s, s, c)
+            }
+            Rz(t) => mat2(
+                Complex64::cis(-t / 2.0),
+                z,
+                z,
+                Complex64::cis(t / 2.0),
+            ),
+            P(l) => mat2(o, z, z, Complex64::cis(l)),
+            U2(phi, lam) => {
+                // u2(φ,λ) = 1/√2 [[1, -e^{iλ}], [e^{iφ}, e^{i(φ+λ)}]]
+                mat2(
+                    h,
+                    -Complex64::cis(lam) * h,
+                    Complex64::cis(phi) * h,
+                    Complex64::cis(phi + lam) * h,
+                )
+            }
+            U3(t, phi, lam) => u3_matrix(t, phi, lam),
+            Cx => controlled(&X.matrix()),
+            Cy => controlled(&Y.matrix()),
+            Cz => controlled(&Z.matrix()),
+            Ch => controlled(&H.matrix()),
+            Cp(l) => controlled(&P(l).matrix()),
+            Crx(t) => controlled(&Rx(t).matrix()),
+            Cry(t) => controlled(&Ry(t).matrix()),
+            Crz(t) => controlled(&Rz(t).matrix()),
+            Cu3(t, phi, lam) => controlled(&u3_matrix(t, phi, lam)),
+            Rzz(t) => {
+                let e_m = Complex64::cis(-t / 2.0);
+                let e_p = Complex64::cis(t / 2.0);
+                mat4([
+                    e_m, z, z, z, //
+                    z, e_p, z, z, //
+                    z, z, e_p, z, //
+                    z, z, z, e_m,
+                ])
+            }
+            Rxx(t) => {
+                let c = Complex64::real((t / 2.0).cos());
+                let s = Complex64::imag(-(t / 2.0).sin());
+                mat4([
+                    c, z, z, s, //
+                    z, c, s, z, //
+                    z, s, c, z, //
+                    s, z, z, c,
+                ])
+            }
+            Swap => mat4([
+                o, z, z, z, //
+                z, z, o, z, //
+                z, o, z, z, //
+                z, z, z, o,
+            ]),
+            Ccx => {
+                // 8x8: controls are operands 0 and 1 (matrix bits 0 and 1),
+                // target is operand 2 (matrix bit 2). Flip bit 2 when bits
+                // 0 and 1 are both set.
+                let mut m = UnitaryMatrix::identity(8);
+                for row in [3usize, 7] {
+                    *m.get_mut(row, row) = z;
+                }
+                *m.get_mut(3, 7) = o;
+                *m.get_mut(7, 3) = o;
+                m
+            }
+            Cswap => {
+                // 8x8: control is operand 0 (bit 0); swap operands 1 and 2
+                // (bits 1 and 2) when the control bit is set.
+                let mut m = UnitaryMatrix::identity(8);
+                // states with bit0 = 1: indices 1,3,5,7 ; swap bit1<->bit2
+                // affects indices 3 (011) and 5 (101).
+                *m.get_mut(3, 3) = z;
+                *m.get_mut(5, 5) = z;
+                *m.get_mut(3, 5) = o;
+                *m.get_mut(5, 3) = o;
+                m
+            }
+        }
+    }
+
+    /// The inverse (dagger) of this gate kind, as another gate kind.
+    pub fn inverse(&self) -> GateKind {
+        use GateKind::*;
+        match *self {
+            S => Sdg,
+            Sdg => S,
+            T => Tdg,
+            Tdg => T,
+            Rx(t) => Rx(-t),
+            Ry(t) => Ry(-t),
+            Rz(t) => Rz(-t),
+            P(l) => P(-l),
+            U2(phi, lam) => U3(
+                -std::f64::consts::FRAC_PI_2,
+                -lam,
+                -phi,
+            ),
+            U3(t, phi, lam) => U3(-t, -lam, -phi),
+            Cp(l) => Cp(-l),
+            Crx(t) => Crx(-t),
+            Cry(t) => Cry(-t),
+            Crz(t) => Crz(-t),
+            Cu3(t, phi, lam) => Cu3(-t, -lam, -phi),
+            Rzz(t) => Rzz(-t),
+            Rxx(t) => Rxx(-t),
+            Sx => Sxdg,
+            Sxdg => Sx,
+            other => other, // self-inverse: I, X, Y, Z, H, Cx, Cy, Cz, Ch, Swap, Ccx, Cswap
+        }
+    }
+}
+
+/// Build the general single-qubit u3(θ, φ, λ) matrix.
+fn u3_matrix(theta: f64, phi: f64, lam: f64) -> UnitaryMatrix {
+    let c = (theta / 2.0).cos();
+    let s = (theta / 2.0).sin();
+    mat2(
+        Complex64::real(c),
+        -Complex64::cis(lam) * s,
+        Complex64::cis(phi) * s,
+        Complex64::cis(phi + lam) * c,
+    )
+}
+
+/// Lift a single-qubit matrix `u` to the 4×4 controlled version where matrix
+/// bit 0 is the control and matrix bit 1 the target (matching the
+/// `[control, target]` operand order documented on [`GateKind::matrix`]).
+fn controlled(u: &UnitaryMatrix) -> UnitaryMatrix {
+    assert_eq!(u.dim(), 2);
+    let z = Complex64::ZERO;
+    let o = Complex64::ONE;
+    // Basis order for (b1=target, b0=control): 00, 01, 10, 11.
+    // Control set = indices 1 and 3; on those the target block is `u`.
+    mat4([
+        o,
+        z,
+        z,
+        z,
+        z,
+        u.get(0, 0),
+        z,
+        u.get(0, 1),
+        z,
+        z,
+        o,
+        z,
+        z,
+        u.get(1, 0),
+        z,
+        u.get(1, 1),
+    ])
+}
+
+/// A gate instance inside a circuit: a kind plus the qubits it acts on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Gate {
+    /// What operation this gate performs.
+    pub kind: GateKind,
+    /// Operand qubits, in the order documented on each [`GateKind`] variant.
+    pub qubits: Vec<Qubit>,
+}
+
+impl Gate {
+    /// Create a gate, checking that the operand count matches the kind's
+    /// arity and that no qubit is repeated.
+    pub fn new(kind: GateKind, qubits: Vec<Qubit>) -> Self {
+        assert_eq!(
+            qubits.len(),
+            kind.arity(),
+            "gate {} expects {} qubits, got {}",
+            kind.name(),
+            kind.arity(),
+            qubits.len()
+        );
+        for (i, q) in qubits.iter().enumerate() {
+            for other in &qubits[i + 1..] {
+                assert_ne!(q, other, "gate {} has duplicate qubit {}", kind.name(), q);
+            }
+        }
+        Self { kind, qubits }
+    }
+
+    /// Number of operand qubits.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.qubits.len()
+    }
+
+    /// The gate's unitary matrix (see [`GateKind::matrix`] for ordering).
+    pub fn matrix(&self) -> UnitaryMatrix {
+        self.kind.matrix()
+    }
+
+    /// Remap this gate's qubits through a lookup table (`map[old] = new`).
+    ///
+    /// Used when a part of a partitioned circuit is re-indexed onto a smaller
+    /// inner state vector.
+    pub fn remap(&self, map: &[Option<Qubit>]) -> Gate {
+        let qubits = self
+            .qubits
+            .iter()
+            .map(|&q| map[q].unwrap_or_else(|| panic!("qubit {q} has no mapping")))
+            .collect();
+        Gate {
+            kind: self.kind,
+            qubits,
+        }
+    }
+
+    /// The inverse gate on the same operands.
+    pub fn inverse(&self) -> Gate {
+        Gate {
+            kind: self.kind.inverse(),
+            qubits: self.qubits.clone(),
+        }
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let params = self.kind.params();
+        if params.is_empty() {
+            write!(f, "{}", self.kind.name())?;
+        } else {
+            let p: Vec<String> = params.iter().map(|v| format!("{v:.9}")).collect();
+            write!(f, "{}({})", self.kind.name(), p.join(","))?;
+        }
+        let q: Vec<String> = self.qubits.iter().map(|q| format!("q[{q}]")).collect();
+        write!(f, " {}", q.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn all_kinds() -> Vec<GateKind> {
+        use GateKind::*;
+        vec![
+            I,
+            X,
+            Y,
+            Z,
+            H,
+            S,
+            Sdg,
+            T,
+            Tdg,
+            Sx,
+            Sxdg,
+            Rx(0.3),
+            Ry(1.1),
+            Rz(-0.7),
+            P(0.5),
+            U2(0.1, 0.2),
+            U3(0.3, 0.4, 0.5),
+            Cx,
+            Cy,
+            Cz,
+            Ch,
+            Cp(0.9),
+            Crx(0.4),
+            Cry(-1.2),
+            Crz(2.2),
+            Cu3(0.3, 0.1, -0.4),
+            Rzz(0.8),
+            Rxx(0.8),
+            Swap,
+            Ccx,
+            Cswap,
+        ]
+    }
+
+    #[test]
+    fn every_gate_matrix_is_unitary() {
+        for kind in all_kinds() {
+            let m = kind.matrix();
+            assert!(m.is_unitary(1e-10), "{} is not unitary", kind.name());
+            assert_eq!(m.dim(), 1 << kind.arity(), "{} dim mismatch", kind.name());
+        }
+    }
+
+    #[test]
+    fn inverse_matrix_is_dagger() {
+        for kind in all_kinds() {
+            let m = kind.matrix();
+            let inv = kind.inverse().matrix();
+            assert!(
+                m.matmul(&inv)
+                    .approx_eq(&UnitaryMatrix::identity(m.dim()), 1e-10),
+                "{} inverse is wrong",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn diagonal_flag_matches_matrix_structure() {
+        for kind in all_kinds() {
+            let m = kind.matrix();
+            let mut diag = true;
+            for r in 0..m.dim() {
+                for c in 0..m.dim() {
+                    if r != c && m.get(r, c).norm() > 1e-12 {
+                        diag = false;
+                    }
+                }
+            }
+            assert_eq!(
+                kind.is_diagonal(),
+                diag,
+                "is_diagonal() disagrees with the matrix for {}",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn x_gate_flips_basis_states() {
+        let x = GateKind::X.matrix();
+        assert_eq!(x.get(0, 1), Complex64::ONE);
+        assert_eq!(x.get(1, 0), Complex64::ONE);
+        assert_eq!(x.get(0, 0), Complex64::ZERO);
+    }
+
+    #[test]
+    fn rz_and_p_differ_by_global_phase_only() {
+        let theta = 0.77;
+        let rz = GateKind::Rz(theta).matrix();
+        let p = GateKind::P(theta).matrix();
+        // Rz(θ) = e^{-iθ/2} P(θ)
+        let phase = Complex64::cis(-theta / 2.0);
+        for r in 0..2 {
+            for c in 0..2 {
+                assert!(rz.get(r, c).approx_eq(phase * p.get(r, c), 1e-12));
+            }
+        }
+    }
+
+    #[test]
+    fn cx_matrix_respects_control_target_order() {
+        // operand order [control, target]; control = matrix bit 0.
+        let cx = GateKind::Cx.matrix();
+        // |control=1, target=0> = index 0b01 = 1 maps to |11> = 3.
+        assert_eq!(cx.get(3, 1), Complex64::ONE);
+        assert_eq!(cx.get(1, 3), Complex64::ONE);
+        // |control=0, target=0> stays.
+        assert_eq!(cx.get(0, 0), Complex64::ONE);
+        // |control=0, target=1> = index 2 stays.
+        assert_eq!(cx.get(2, 2), Complex64::ONE);
+    }
+
+    #[test]
+    fn ccx_flips_target_only_when_both_controls_set() {
+        let ccx = GateKind::Ccx.matrix();
+        // controls = bits 0,1; target = bit 2.
+        // index 3 = 0b011 (controls set, target 0) -> 0b111 = 7
+        assert_eq!(ccx.get(7, 3), Complex64::ONE);
+        assert_eq!(ccx.get(3, 7), Complex64::ONE);
+        // index 1 = only one control set: unchanged.
+        assert_eq!(ccx.get(1, 1), Complex64::ONE);
+    }
+
+    #[test]
+    fn u2_equals_u3_with_pi_over_2() {
+        let (phi, lam) = (0.31, -1.2);
+        let u2 = GateKind::U2(phi, lam).matrix();
+        let u3 = GateKind::U3(PI / 2.0, phi, lam).matrix();
+        assert!(u2.approx_eq(&u3, 1e-12));
+    }
+
+    #[test]
+    fn gate_display_format() {
+        let g = Gate::new(GateKind::Cx, vec![2, 5]);
+        assert_eq!(format!("{g}"), "cx q[2],q[5]");
+        let r = Gate::new(GateKind::Rz(0.5), vec![1]);
+        assert!(format!("{r}").starts_with("rz(0.5"));
+    }
+
+    #[test]
+    fn gate_remap_applies_lookup() {
+        let g = Gate::new(GateKind::Cx, vec![3, 7]);
+        let mut map = vec![None; 8];
+        map[3] = Some(0);
+        map[7] = Some(1);
+        assert_eq!(g.remap(&map).qubits, vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects")]
+    fn gate_new_rejects_wrong_arity() {
+        let _ = Gate::new(GateKind::Cx, vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn gate_new_rejects_duplicate_qubits() {
+        let _ = Gate::new(GateKind::Cx, vec![4, 4]);
+    }
+}

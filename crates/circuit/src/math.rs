@@ -1,0 +1,467 @@
+//! Minimal complex-number and small-matrix arithmetic shared by the whole
+//! workspace.
+//!
+//! The state-vector crates re-export [`Complex64`]; keeping the type here (the
+//! lowest crate in the dependency graph) lets gate definitions carry their own
+//! unitary matrices without a circular dependency.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A double-precision complex number (16 bytes), the amplitude type used by
+/// every simulator in the workspace.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex64 {
+    /// Create a complex number from real and imaginary parts.
+    #[inline(always)]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// The additive identity `0 + 0i`.
+    pub const ZERO: Complex64 = Complex64::new(0.0, 0.0);
+    /// The multiplicative identity `1 + 0i`.
+    pub const ONE: Complex64 = Complex64::new(1.0, 0.0);
+    /// The imaginary unit `i`.
+    pub const I: Complex64 = Complex64::new(0.0, 1.0);
+
+    /// Purely real complex number.
+    #[inline(always)]
+    pub const fn real(re: f64) -> Self {
+        Self { re, im: 0.0 }
+    }
+
+    /// Purely imaginary complex number.
+    #[inline(always)]
+    pub const fn imag(im: f64) -> Self {
+        Self { re: 0.0, im }
+    }
+
+    /// `e^{iθ} = cos θ + i sin θ`.
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Self::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// `e^{iθ}` with unit modulus.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Self::from_polar(1.0, theta)
+    }
+
+    /// Complex conjugate.
+    #[inline(always)]
+    pub fn conj(self) -> Self {
+        Self::new(self.re, -self.im)
+    }
+
+    /// Squared modulus `|z|^2` (the measurement probability of an amplitude).
+    #[inline(always)]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus `|z|`.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Argument (phase angle) in radians.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiply-accumulate: `self + a * b`, the inner-loop primitive of every
+    /// gate kernel.
+    #[inline(always)]
+    pub fn mul_add(self, a: Complex64, b: Complex64) -> Self {
+        Self::new(
+            self.re + a.re * b.re - a.im * b.im,
+            self.im + a.re * b.im + a.im * b.re,
+        )
+    }
+
+    /// Scale by a real factor.
+    #[inline(always)]
+    pub fn scale(self, s: f64) -> Self {
+        Self::new(self.re * s, self.im * s)
+    }
+
+    /// True when both components are within `tol` of the other value's.
+    #[inline]
+    pub fn approx_eq(self, other: Complex64, tol: f64) -> bool {
+        (self.re - other.re).abs() <= tol && (self.im - other.im).abs() <= tol
+    }
+
+    /// True when the number is finite in both components.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn add(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex64 {
+    #[inline(always)]
+    fn add_assign(&mut self, rhs: Complex64) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn sub(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl SubAssign for Complex64 {
+    #[inline(always)]
+    fn sub_assign(&mut self, rhs: Complex64) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for Complex64 {
+    #[inline(always)]
+    fn mul_assign(&mut self, rhs: Complex64) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn mul(self, rhs: f64) -> Complex64 {
+        self.scale(rhs)
+    }
+}
+
+impl Div for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn div(self, rhs: Complex64) -> Complex64 {
+        let d = rhs.norm_sqr();
+        Complex64::new(
+            (self.re * rhs.re + self.im * rhs.im) / d,
+            (self.im * rhs.re - self.re * rhs.im) / d,
+        )
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn neg(self) -> Complex64 {
+        Complex64::new(-self.re, -self.im)
+    }
+}
+
+impl fmt::Display for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{:.6}+{:.6}i", self.re, self.im)
+        } else {
+            write!(f, "{:.6}-{:.6}i", self.re, -self.im)
+        }
+    }
+}
+
+/// A dense square complex matrix of dimension `2^k` for a `k`-qubit gate.
+///
+/// Stored row-major. Small (k ≤ 3 in practice) so no effort is spent on
+/// blocking; the simulators unpack 1- and 2-qubit cases into fixed-size
+/// kernels anyway.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UnitaryMatrix {
+    dim: usize,
+    data: Vec<Complex64>,
+}
+
+impl UnitaryMatrix {
+    /// Build a matrix from a row-major slice; `data.len()` must be a perfect
+    /// square with a power-of-two root.
+    pub fn from_rows(data: Vec<Complex64>) -> Self {
+        let dim = (data.len() as f64).sqrt().round() as usize;
+        assert_eq!(dim * dim, data.len(), "matrix data must be square");
+        assert!(dim.is_power_of_two(), "matrix dimension must be 2^k");
+        Self { dim, data }
+    }
+
+    /// Identity matrix of the given dimension.
+    pub fn identity(dim: usize) -> Self {
+        assert!(dim.is_power_of_two());
+        let mut data = vec![Complex64::ZERO; dim * dim];
+        for i in 0..dim {
+            data[i * dim + i] = Complex64::ONE;
+        }
+        Self { dim, data }
+    }
+
+    /// Matrix dimension (2^k for a k-qubit gate).
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of qubits this matrix acts on (log2 of the dimension).
+    #[inline]
+    pub fn num_qubits(&self) -> usize {
+        self.dim.trailing_zeros() as usize
+    }
+
+    /// Element accessor (row, column).
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> Complex64 {
+        self.data[row * self.dim + col]
+    }
+
+    /// Mutable element accessor (row, column).
+    #[inline]
+    pub fn get_mut(&mut self, row: usize, col: usize) -> &mut Complex64 {
+        &mut self.data[row * self.dim + col]
+    }
+
+    /// Raw row-major data.
+    #[inline]
+    pub fn as_slice(&self) -> &[Complex64] {
+        &self.data
+    }
+
+    /// Conjugate transpose `U†`.
+    pub fn dagger(&self) -> Self {
+        let mut out = Self::identity(self.dim);
+        for r in 0..self.dim {
+            for c in 0..self.dim {
+                *out.get_mut(c, r) = self.get(r, c).conj();
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self * rhs`.
+    pub fn matmul(&self, rhs: &Self) -> Self {
+        assert_eq!(self.dim, rhs.dim);
+        let mut out = UnitaryMatrix {
+            dim: self.dim,
+            data: vec![Complex64::ZERO; self.dim * self.dim],
+        };
+        for r in 0..self.dim {
+            for k in 0..self.dim {
+                let a = self.get(r, k);
+                if a == Complex64::ZERO {
+                    continue;
+                }
+                for c in 0..self.dim {
+                    let v = out.get(r, c).mul_add(a, rhs.get(k, c));
+                    *out.get_mut(r, c) = v;
+                }
+            }
+        }
+        out
+    }
+
+    /// Kronecker product `self ⊗ rhs`.
+    pub fn kron(&self, rhs: &Self) -> Self {
+        let dim = self.dim * rhs.dim;
+        let mut data = vec![Complex64::ZERO; dim * dim];
+        for ar in 0..self.dim {
+            for ac in 0..self.dim {
+                let a = self.get(ar, ac);
+                for br in 0..rhs.dim {
+                    for bc in 0..rhs.dim {
+                        data[(ar * rhs.dim + br) * dim + (ac * rhs.dim + bc)] = a * rhs.get(br, bc);
+                    }
+                }
+            }
+        }
+        Self { dim, data }
+    }
+
+    /// Check unitarity: `U U† ≈ I` within `tol` per element.
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        let product = self.matmul(&self.dagger());
+        let identity = Self::identity(self.dim);
+        product
+            .data
+            .iter()
+            .zip(identity.data.iter())
+            .all(|(a, b)| a.approx_eq(*b, tol))
+    }
+
+    /// Elementwise approximate equality.
+    pub fn approx_eq(&self, other: &Self, tol: f64) -> bool {
+        self.dim == other.dim
+            && self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .all(|(a, b)| a.approx_eq(*b, tol))
+    }
+}
+
+/// Convenience constructor for a 2×2 matrix from four entries (row-major).
+pub fn mat2(
+    a: Complex64,
+    b: Complex64,
+    c: Complex64,
+    d: Complex64,
+) -> UnitaryMatrix {
+    UnitaryMatrix::from_rows(vec![a, b, c, d])
+}
+
+/// Convenience constructor for a 4×4 matrix from sixteen entries (row-major).
+pub fn mat4(entries: [Complex64; 16]) -> UnitaryMatrix {
+    UnitaryMatrix::from_rows(entries.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_1_SQRT_2, PI};
+
+    #[test]
+    fn complex_basic_arithmetic() {
+        let a = Complex64::new(1.0, 2.0);
+        let b = Complex64::new(3.0, -1.0);
+        assert_eq!(a + b, Complex64::new(4.0, 1.0));
+        assert_eq!(a - b, Complex64::new(-2.0, 3.0));
+        assert_eq!(a * b, Complex64::new(5.0, 5.0));
+        assert_eq!(-a, Complex64::new(-1.0, -2.0));
+    }
+
+    #[test]
+    fn complex_division_roundtrip() {
+        let a = Complex64::new(1.5, -0.5);
+        let b = Complex64::new(0.25, 2.0);
+        let q = a / b;
+        assert!((q * b).approx_eq(a, 1e-12));
+    }
+
+    #[test]
+    fn complex_conj_and_norm() {
+        let a = Complex64::new(3.0, 4.0);
+        assert_eq!(a.conj(), Complex64::new(3.0, -4.0));
+        assert!((a.norm() - 5.0).abs() < 1e-12);
+        assert!((a.norm_sqr() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn complex_polar_roundtrip() {
+        let z = Complex64::from_polar(2.0, PI / 3.0);
+        assert!((z.norm() - 2.0).abs() < 1e-12);
+        assert!((z.arg() - PI / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn complex_mul_add_matches_expanded_form() {
+        let acc = Complex64::new(0.5, -0.25);
+        let a = Complex64::new(1.0, 2.0);
+        let b = Complex64::new(-0.5, 0.75);
+        assert!(acc.mul_add(a, b).approx_eq(acc + a * b, 1e-15));
+    }
+
+    #[test]
+    fn cis_unit_modulus() {
+        for k in 0..16 {
+            let theta = k as f64 * PI / 8.0;
+            assert!((Complex64::cis(theta).norm() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn matrix_identity_is_unitary() {
+        for dim in [2usize, 4, 8] {
+            assert!(UnitaryMatrix::identity(dim).is_unitary(1e-12));
+        }
+    }
+
+    #[test]
+    fn hadamard_is_unitary_and_self_inverse() {
+        let s = Complex64::real(FRAC_1_SQRT_2);
+        let h = mat2(s, s, s, -s);
+        assert!(h.is_unitary(1e-12));
+        assert!(h.matmul(&h).approx_eq(&UnitaryMatrix::identity(2), 1e-12));
+    }
+
+    #[test]
+    fn dagger_of_dagger_is_original() {
+        let m = mat2(
+            Complex64::new(0.1, 0.2),
+            Complex64::new(0.3, -0.4),
+            Complex64::new(-0.5, 0.6),
+            Complex64::new(0.7, 0.8),
+        );
+        assert!(m.dagger().dagger().approx_eq(&m, 1e-15));
+    }
+
+    #[test]
+    fn kron_dimensions_and_values() {
+        let x = mat2(
+            Complex64::ZERO,
+            Complex64::ONE,
+            Complex64::ONE,
+            Complex64::ZERO,
+        );
+        let i = UnitaryMatrix::identity(2);
+        let xi = x.kron(&i);
+        assert_eq!(xi.dim(), 4);
+        assert_eq!(xi.num_qubits(), 2);
+        // X ⊗ I swaps the upper and lower halves of a 4-vector.
+        assert_eq!(xi.get(0, 2), Complex64::ONE);
+        assert_eq!(xi.get(1, 3), Complex64::ONE);
+        assert_eq!(xi.get(2, 0), Complex64::ONE);
+        assert_eq!(xi.get(3, 1), Complex64::ONE);
+        assert_eq!(xi.get(0, 0), Complex64::ZERO);
+    }
+
+    #[test]
+    fn matmul_with_identity_is_noop() {
+        let m = mat2(
+            Complex64::new(0.0, 1.0),
+            Complex64::new(2.0, 0.0),
+            Complex64::new(0.0, -1.0),
+            Complex64::new(1.0, 1.0),
+        );
+        let i = UnitaryMatrix::identity(2);
+        assert!(m.matmul(&i).approx_eq(&m, 1e-15));
+        assert!(i.matmul(&m).approx_eq(&m, 1e-15));
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn from_rows_rejects_non_square() {
+        let _ = UnitaryMatrix::from_rows(vec![Complex64::ZERO; 3]);
+    }
+}

@@ -1,0 +1,429 @@
+//! The virtual-MPI communicator: ranks are threads, messages are typed
+//! vectors moved through lock-free channels, and every transfer is charged to
+//! the [`NetworkModel`](crate::netmodel::NetworkModel) so engines can report
+//! modelled communication time alongside the real data movement.
+//!
+//! The API mirrors the subset of MPI the paper's simulator needs: tagged
+//! point-to-point send/recv, barrier, all-to-all-v, all-gather and an
+//! all-reduce sum — enough for "a general interface for other simulators to
+//! use as a library" (Sec. III-D).
+
+use crate::netmodel::NetworkModel;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+
+/// Per-rank communication statistics, accumulated across the lifetime of a
+/// [`RankComm`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CommStats {
+    /// Point-to-point messages sent (collectives count their constituent
+    /// messages).
+    pub messages_sent: u64,
+    /// Payload bytes sent.
+    pub bytes_sent: u64,
+    /// Modelled wire time in seconds charged by the network model.
+    pub modeled_time_s: f64,
+    /// Wall-clock seconds this rank spent inside blocking communication
+    /// calls (receive waits, barriers) on the host machine.
+    pub wall_time_s: f64,
+}
+
+impl CommStats {
+    /// Combine two stats records (e.g. across phases).
+    pub fn merged(self, other: CommStats) -> CommStats {
+        CommStats {
+            messages_sent: self.messages_sent + other.messages_sent,
+            bytes_sent: self.bytes_sent + other.bytes_sent,
+            modeled_time_s: self.modeled_time_s + other.modeled_time_s,
+            wall_time_s: self.wall_time_s + other.wall_time_s,
+        }
+    }
+}
+
+struct Envelope<T> {
+    from: usize,
+    tag: u64,
+    payload: Vec<T>,
+}
+
+/// One rank's endpoint of the virtual communicator.
+///
+/// Cloneable senders to every rank plus this rank's receive queue. A rank may
+/// only be driven from one thread at a time (like an MPI rank).
+pub struct RankComm<T: Send + 'static> {
+    rank: usize,
+    size: usize,
+    net: NetworkModel,
+    senders: Vec<Sender<Envelope<T>>>,
+    receiver: Receiver<Envelope<T>>,
+    /// Out-of-order messages waiting for a matching recv.
+    stash: Vec<Envelope<T>>,
+    barrier: Arc<Barrier>,
+    /// Shared across ranks: total modelled time units (nanoseconds) spent by
+    /// the slowest rank is derived by the caller from per-rank stats; this
+    /// counter just feeds global sanity checks in tests.
+    global_bytes: Arc<AtomicU64>,
+    stats: CommStats,
+}
+
+/// Build a communicator world of `size` ranks over the given network model.
+///
+/// Returns one [`RankComm`] per rank; hand each to its own thread (see
+/// [`crate::spmd::run_spmd`] for the scoped-thread harness).
+pub fn world<T: Send + 'static>(size: usize, net: NetworkModel) -> Vec<RankComm<T>> {
+    assert!(size > 0, "a communicator needs at least one rank");
+    let mut senders = Vec::with_capacity(size);
+    let mut receivers = Vec::with_capacity(size);
+    for _ in 0..size {
+        let (s, r) = unbounded();
+        senders.push(s);
+        receivers.push(r);
+    }
+    let barrier = Arc::new(Barrier::new(size));
+    let global_bytes = Arc::new(AtomicU64::new(0));
+    receivers
+        .into_iter()
+        .enumerate()
+        .map(|(rank, receiver)| RankComm {
+            rank,
+            size,
+            net,
+            senders: senders.clone(),
+            receiver,
+            stash: Vec::new(),
+            barrier: Arc::clone(&barrier),
+            global_bytes: Arc::clone(&global_bytes),
+            stats: CommStats::default(),
+        })
+        .collect()
+}
+
+impl<T: Send + 'static> RankComm<T> {
+    /// This rank's id (0-based).
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the world.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The network model used for accounting.
+    #[inline]
+    pub fn network(&self) -> NetworkModel {
+        self.net
+    }
+
+    /// Communication statistics accumulated so far by this rank.
+    #[inline]
+    pub fn stats(&self) -> CommStats {
+        self.stats
+    }
+
+    /// Reset this rank's statistics (e.g. between warm-up and measurement).
+    pub fn reset_stats(&mut self) {
+        self.stats = CommStats::default();
+    }
+
+    /// Total payload bytes sent across *all* ranks of the world so far.
+    pub fn global_bytes_sent(&self) -> u64 {
+        self.global_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Send `payload` to rank `to` with a tag. Sending to self is allowed
+    /// (delivered through the same queue) and charged zero network time.
+    pub fn send(&mut self, to: usize, tag: u64, payload: Vec<T>) {
+        assert!(to < self.size, "destination rank {to} out of range");
+        let bytes = payload.len() * std::mem::size_of::<T>();
+        if to != self.rank {
+            self.stats.messages_sent += 1;
+            self.stats.bytes_sent += bytes as u64;
+            self.stats.modeled_time_s += self.net.message_time(bytes);
+            self.global_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        }
+        self.senders[to]
+            .send(Envelope {
+                from: self.rank,
+                tag,
+                payload,
+            })
+            .expect("receiver side of the communicator was dropped");
+    }
+
+    /// Blocking receive of the next message from `from` with tag `tag`.
+    pub fn recv(&mut self, from: usize, tag: u64) -> Vec<T> {
+        let start = std::time::Instant::now();
+        // Check the stash first.
+        if let Some(pos) = self
+            .stash
+            .iter()
+            .position(|e| e.from == from && e.tag == tag)
+        {
+            let env = self.stash.swap_remove(pos);
+            self.stats.wall_time_s += start.elapsed().as_secs_f64();
+            return env.payload;
+        }
+        loop {
+            let env = self
+                .receiver
+                .recv()
+                .expect("all senders of the communicator were dropped");
+            if env.from == from && env.tag == tag {
+                self.stats.wall_time_s += start.elapsed().as_secs_f64();
+                return env.payload;
+            }
+            self.stash.push(env);
+        }
+    }
+
+    /// Synchronise all ranks.
+    pub fn barrier(&mut self) {
+        let start = std::time::Instant::now();
+        self.barrier.wait();
+        self.stats.wall_time_s += start.elapsed().as_secs_f64();
+    }
+
+    /// All-to-all-v: `send_bufs[i]` goes to rank `i`; returns `recv[i]` =
+    /// the buffer rank `i` sent to this rank. The self slot is moved, not
+    /// copied, and charged no network time.
+    ///
+    /// The modelled time charged to this rank is the serial injection of its
+    /// outgoing messages (see
+    /// [`NetworkModel::alltoallv_time`](crate::netmodel::NetworkModel::alltoallv_time)).
+    pub fn alltoallv(&mut self, send_bufs: Vec<Vec<T>>, tag: u64) -> Vec<Vec<T>> {
+        assert_eq!(
+            send_bufs.len(),
+            self.size,
+            "alltoallv needs one send buffer per rank"
+        );
+        let mut recv: Vec<Option<Vec<T>>> = (0..self.size).map(|_| None).collect();
+        for (to, buf) in send_bufs.into_iter().enumerate() {
+            if to == self.rank {
+                recv[to] = Some(buf);
+            } else {
+                self.send(to, tag, buf);
+            }
+        }
+        for from in 0..self.size {
+            if from == self.rank {
+                continue;
+            }
+            recv[from] = Some(self.recv(from, tag));
+        }
+        recv.into_iter().map(|b| b.unwrap()).collect()
+    }
+
+    /// All-gather: every rank contributes `payload`; returns all
+    /// contributions indexed by rank.
+    pub fn allgather(&mut self, payload: Vec<T>, tag: u64) -> Vec<Vec<T>>
+    where
+        T: Clone,
+    {
+        let bufs: Vec<Vec<T>> = (0..self.size).map(|_| payload.clone()).collect();
+        self.alltoallv(bufs, tag)
+    }
+}
+
+impl RankComm<f64> {
+    /// All-reduce sum of one scalar per rank.
+    pub fn allreduce_sum(&mut self, value: f64, tag: u64) -> f64 {
+        let all = self.allgather(vec![value], tag);
+        all.iter().map(|v| v[0]).sum()
+    }
+}
+
+/// A shared accumulator for collecting per-rank results from SPMD closures
+/// without a channel round-trip (the engines use it to return per-rank
+/// timings).
+#[derive(Debug, Clone, Default)]
+pub struct ResultBoard<R> {
+    inner: Arc<Mutex<Vec<Option<R>>>>,
+}
+
+impl<R> ResultBoard<R> {
+    /// A board with one slot per rank.
+    pub fn new(size: usize) -> Self {
+        let mut v = Vec::with_capacity(size);
+        v.resize_with(size, || None);
+        Self {
+            inner: Arc::new(Mutex::new(v)),
+        }
+    }
+
+    /// Post rank `rank`'s result.
+    pub fn post(&self, rank: usize, value: R) {
+        self.inner.lock()[rank] = Some(value);
+    }
+
+    /// Collect all posted results; panics if any rank never posted.
+    pub fn collect(self) -> Vec<R> {
+        Arc::try_unwrap(self.inner)
+            .unwrap_or_else(|_| panic!("result board still shared"))
+            .into_inner()
+            .into_iter()
+            .enumerate()
+            .map(|(rank, slot)| slot.unwrap_or_else(|| panic!("rank {rank} posted no result")))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn point_to_point_roundtrip() {
+        let mut ranks = world::<u32>(2, NetworkModel::ideal());
+        let mut r1 = ranks.pop().unwrap();
+        let mut r0 = ranks.pop().unwrap();
+        let handle = thread::spawn(move || {
+            r1.send(0, 7, vec![1, 2, 3]);
+            let got = r1.recv(0, 8);
+            assert_eq!(got, vec![9]);
+            r1.stats()
+        });
+        let got = r0.recv(1, 7);
+        assert_eq!(got, vec![1, 2, 3]);
+        r0.send(1, 8, vec![9]);
+        let s1 = handle.join().unwrap();
+        assert_eq!(s1.messages_sent, 1);
+        assert_eq!(s1.bytes_sent, 12);
+    }
+
+    #[test]
+    fn out_of_order_tags_are_stashed() {
+        let mut ranks = world::<u8>(2, NetworkModel::ideal());
+        let mut r1 = ranks.pop().unwrap();
+        let mut r0 = ranks.pop().unwrap();
+        let handle = thread::spawn(move || {
+            // Send tag 2 first, then tag 1.
+            r1.send(0, 2, vec![22]);
+            r1.send(0, 1, vec![11]);
+        });
+        // Receive in the opposite order.
+        assert_eq!(r0.recv(1, 1), vec![11]);
+        assert_eq!(r0.recv(1, 2), vec![22]);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn alltoallv_exchanges_every_pair() {
+        let size = 4;
+        let ranks = world::<usize>(size, NetworkModel::hdr100());
+        let handles: Vec<_> = ranks
+            .into_iter()
+            .map(|mut comm| {
+                thread::spawn(move || {
+                    let me = comm.rank();
+                    let send: Vec<Vec<usize>> =
+                        (0..comm.size()).map(|to| vec![me * 100 + to]).collect();
+                    let recv = comm.alltoallv(send, 0);
+                    for (from, buf) in recv.iter().enumerate() {
+                        assert_eq!(buf, &vec![from * 100 + me]);
+                    }
+                    comm.stats()
+                })
+            })
+            .collect();
+        for h in handles {
+            let stats = h.join().unwrap();
+            assert_eq!(stats.messages_sent, (size - 1) as u64);
+            assert!(stats.modeled_time_s > 0.0);
+        }
+    }
+
+    #[test]
+    fn allreduce_sums_across_ranks() {
+        let size = 3;
+        let ranks = world::<f64>(size, NetworkModel::ideal());
+        let handles: Vec<_> = ranks
+            .into_iter()
+            .map(|mut comm| {
+                thread::spawn(move || comm.allreduce_sum((comm.rank() + 1) as f64, 5))
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 6.0);
+        }
+    }
+
+    #[test]
+    fn barrier_synchronises() {
+        let size = 4;
+        let ranks = world::<u8>(size, NetworkModel::ideal());
+        let counter = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = ranks
+            .into_iter()
+            .map(|mut comm| {
+                let counter = Arc::clone(&counter);
+                thread::spawn(move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                    comm.barrier();
+                    // After the barrier every rank must observe all increments.
+                    assert_eq!(counter.load(Ordering::SeqCst), size as u64);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn self_sends_are_free() {
+        let mut ranks = world::<u64>(1, NetworkModel::hdr100());
+        let mut r0 = ranks.pop().unwrap();
+        r0.send(0, 3, vec![42; 1024]);
+        assert_eq!(r0.recv(0, 3), vec![42; 1024]);
+        assert_eq!(r0.stats().messages_sent, 0);
+        assert_eq!(r0.stats().bytes_sent, 0);
+        assert_eq!(r0.stats().modeled_time_s, 0.0);
+    }
+
+    #[test]
+    fn stats_merge_adds_fields() {
+        let a = CommStats {
+            messages_sent: 2,
+            bytes_sent: 100,
+            modeled_time_s: 0.5,
+            wall_time_s: 0.1,
+        };
+        let b = CommStats {
+            messages_sent: 3,
+            bytes_sent: 50,
+            modeled_time_s: 0.25,
+            wall_time_s: 0.2,
+        };
+        let m = a.merged(b);
+        assert_eq!(m.messages_sent, 5);
+        assert_eq!(m.bytes_sent, 150);
+        assert!((m.modeled_time_s - 0.75).abs() < 1e-15);
+    }
+
+    #[test]
+    fn result_board_collects_per_rank_values() {
+        let board = ResultBoard::<usize>::new(3);
+        let clones: Vec<_> = (0..3).map(|r| (r, board.clone())).collect();
+        let handles: Vec<_> = clones
+            .into_iter()
+            .map(|(r, b)| thread::spawn(move || b.post(r, r * 10)))
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(board.collect(), vec![0, 10, 20]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn empty_world_is_rejected() {
+        let _ = world::<u8>(0, NetworkModel::ideal());
+    }
+}

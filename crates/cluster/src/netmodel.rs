@@ -1,0 +1,124 @@
+//! The network performance model.
+//!
+//! The virtual-MPI substrate moves real data between rank threads through
+//! memory, so the *pattern* and *volume* of communication are exact; what a
+//! single machine cannot reproduce is the wall-clock cost of pushing those
+//! bytes through an actual interconnect. This model charges each message the
+//! classic latency–bandwidth (α–β) cost so the engines can report a
+//! communication time comparable across strategies and rank counts — the
+//! quantity behind the paper's Figs. 7 and 8.
+
+use serde::{Deserialize, Serialize};
+
+/// A latency–bandwidth (α–β) interconnect model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkModel {
+    /// Per-message latency in seconds (α).
+    pub latency_s: f64,
+    /// Sustained point-to-point bandwidth in bytes per second (1/β).
+    pub bandwidth_bytes_per_s: f64,
+    /// Fraction of the node's injection bandwidth a single rank can use when
+    /// several ranks share a NIC (1.0 = full bandwidth per rank).
+    pub injection_share: f64,
+}
+
+impl NetworkModel {
+    /// Constants approximating the Frontera InfiniBand HDR-100 fabric the
+    /// paper runs on: 100 Gb/s ≈ 12.5 GB/s per port, ~1.5 µs MPI latency.
+    pub fn hdr100() -> Self {
+        Self {
+            latency_s: 1.5e-6,
+            bandwidth_bytes_per_s: 12.5e9,
+            injection_share: 1.0,
+        }
+    }
+
+    /// A model with several MPI ranks sharing one HDR-100 port (the paper's
+    /// 2- and 4-rank-per-node configurations for the ≥ 35-qubit circuits).
+    pub fn hdr100_shared(ranks_per_node: usize) -> Self {
+        assert!(ranks_per_node >= 1);
+        Self {
+            injection_share: 1.0 / ranks_per_node as f64,
+            ..Self::hdr100()
+        }
+    }
+
+    /// An idealised zero-cost network, useful in unit tests that only check
+    /// data movement correctness.
+    pub fn ideal() -> Self {
+        Self {
+            latency_s: 0.0,
+            bandwidth_bytes_per_s: f64::INFINITY,
+            injection_share: 1.0,
+        }
+    }
+
+    /// Modelled time to push one `bytes`-sized message to another rank.
+    pub fn message_time(&self, bytes: usize) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
+        self.latency_s + bytes as f64 / (self.bandwidth_bytes_per_s * self.injection_share)
+    }
+
+    /// Modelled time for one rank's side of an all-to-all exchange in which
+    /// it sends `bytes_per_peer[i]` to peer `i` (its own slot ignored):
+    /// messages are injected serially through its NIC share.
+    pub fn alltoallv_time(&self, bytes_per_peer: &[usize], self_rank: usize) -> f64 {
+        bytes_per_peer
+            .iter()
+            .enumerate()
+            .filter(|&(peer, &b)| peer != self_rank && b > 0)
+            .map(|(_, &b)| self.message_time(b))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_time_has_latency_floor() {
+        let net = NetworkModel::hdr100();
+        assert!(net.message_time(1) >= net.latency_s);
+        assert_eq!(net.message_time(0), 0.0);
+    }
+
+    #[test]
+    fn large_messages_are_bandwidth_bound() {
+        let net = NetworkModel::hdr100();
+        let one_gb = net.message_time(1 << 30);
+        // 1 GiB over 12.5 GB/s ≈ 86 ms; latency is negligible.
+        assert!((one_gb - (1u64 << 30) as f64 / 12.5e9).abs() / one_gb < 0.01);
+    }
+
+    #[test]
+    fn shared_injection_slows_each_rank() {
+        let full = NetworkModel::hdr100();
+        let quarter = NetworkModel::hdr100_shared(4);
+        assert!(quarter.message_time(1 << 20) > full.message_time(1 << 20));
+    }
+
+    #[test]
+    fn alltoallv_skips_self_and_empty_slots() {
+        let net = NetworkModel::hdr100();
+        let t = net.alltoallv_time(&[100, 0, 100, 100], 0);
+        // Rank 0 sends to peers 2 and 3 only (slot 0 is self, slot 1 empty).
+        assert!((t - 2.0 * net.message_time(100)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn ideal_network_is_free() {
+        let net = NetworkModel::ideal();
+        assert_eq!(net.message_time(1 << 30), 0.0);
+    }
+
+    #[test]
+    fn doubling_volume_roughly_doubles_time() {
+        let net = NetworkModel::hdr100();
+        let t1 = net.message_time(64 << 20);
+        let t2 = net.message_time(128 << 20);
+        assert!((t2 / t1 - 2.0).abs() < 0.01);
+    }
+}

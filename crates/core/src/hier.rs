@@ -1,0 +1,313 @@
+//! The single-node hierarchical simulator: the Gather–Execute–Scatter engine
+//! of Sec. III-B/C and Algorithm 1.
+//!
+//! The circuit is partitioned into acyclic parts; parts are executed in a
+//! topological order of the quotient graph. For each part, an *inner* state
+//! vector over the part's working-set qubits is created, and for every
+//! assignment of the remaining (free) qubits the corresponding amplitudes are
+//! gathered from the *outer* state vector, the part's gates (remapped onto
+//! the inner register) are applied, and the results are scattered back.
+//!
+//! Because the inner state vector is sized to fit a faster memory level, the
+//! repeated passes over the outer vector are the only DRAM-bound phase; the
+//! gate arithmetic itself runs cache-resident — the locality argument the
+//! paper's Table II quantifies.
+
+use crate::metrics::RunReport;
+use hisvsim_circuit::Circuit;
+use hisvsim_dag::{CircuitDag, Partition};
+use hisvsim_partition::{PartitionBuildError, Strategy};
+use hisvsim_statevec::{ApplyOptions, GatherMap, StateVector};
+use rayon::prelude::*;
+use std::time::Instant;
+
+/// Configuration of the hierarchical engine.
+#[derive(Debug, Clone, Copy)]
+pub struct HierConfig {
+    /// Working-set limit `Lm` (max qubits per part / inner state vector).
+    pub limit: usize,
+    /// Partitioning strategy.
+    pub strategy: Strategy,
+    /// Parallelise the gather–execute–scatter loop over free-qubit
+    /// assignments with rayon (each assignment's inner vector is
+    /// independent).
+    pub parallel: bool,
+}
+
+impl HierConfig {
+    /// A configuration with the given limit, dagP strategy, parallel
+    /// execution.
+    pub fn new(limit: usize) -> Self {
+        Self {
+            limit,
+            strategy: Strategy::DagP,
+            parallel: true,
+        }
+    }
+
+    /// Same configuration with a different strategy.
+    pub fn with_strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Same configuration with parallelism switched on or off.
+    pub fn with_parallel(mut self, parallel: bool) -> Self {
+        self.parallel = parallel;
+        self
+    }
+}
+
+/// Result of a hierarchical run.
+#[derive(Debug, Clone)]
+pub struct HierRun {
+    /// The final state vector.
+    pub state: StateVector,
+    /// Timing and structure metrics.
+    pub report: RunReport,
+    /// The partition that was executed.
+    pub partition: Partition,
+}
+
+/// The single-node hierarchical simulator.
+#[derive(Debug, Clone, Copy)]
+pub struct HierarchicalSimulator {
+    config: HierConfig,
+}
+
+impl HierarchicalSimulator {
+    /// Create a simulator with the given configuration.
+    pub fn new(config: HierConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> HierConfig {
+        self.config
+    }
+
+    /// Partition and run `circuit` from `|0…0⟩`.
+    pub fn run(&self, circuit: &Circuit) -> Result<HierRun, PartitionBuildError> {
+        let dag = CircuitDag::from_circuit(circuit);
+        let partition = self.config.strategy.partition(&dag, self.config.limit)?;
+        Ok(self.run_with_partition(circuit, &dag, partition))
+    }
+
+    /// Run `circuit` with an externally supplied partition (used by the
+    /// benchmark harness to reuse one partition across repetitions).
+    pub fn run_with_partition(
+        &self,
+        circuit: &Circuit,
+        dag: &CircuitDag,
+        partition: Partition,
+    ) -> HierRun {
+        let start = Instant::now();
+        let mut state = StateVector::zero_state(circuit.num_qubits());
+        let order = partition.execution_order(dag);
+        let parts = partition.gates_by_part();
+
+        for &part in &order {
+            execute_part(
+                &mut state,
+                circuit,
+                dag,
+                &parts[part],
+                self.config.parallel,
+            );
+        }
+
+        let elapsed = start.elapsed().as_secs_f64();
+        let mut report = RunReport::single_node(
+            "hier",
+            self.config.strategy.name(),
+            circuit.name.clone(),
+            circuit.num_qubits(),
+            circuit.num_gates(),
+        );
+        report.num_parts = partition.num_parts();
+        report.total_time_s = elapsed;
+        report.compute_time_s = elapsed;
+        HierRun {
+            state,
+            report,
+            partition,
+        }
+    }
+}
+
+/// Execute one part against the outer state via Gather–Execute–Scatter
+/// (Algorithm 1). Exposed for reuse by the distributed engines, which run the
+/// same loop on each rank's local slice.
+pub fn execute_part(
+    outer: &mut StateVector,
+    circuit: &Circuit,
+    dag: &CircuitDag,
+    part_gates: &[usize],
+    parallel: bool,
+) {
+    if part_gates.is_empty() {
+        return;
+    }
+    let working_set: Vec<usize> = dag.working_set_of_gates(part_gates).into_iter().collect();
+    let map = GatherMap::new(outer.num_qubits(), &working_set);
+    let inner_circuit = circuit
+        .subcircuit(part_gates)
+        .remap_qubits(&map.remap_table(), map.inner_qubits());
+    let assignments = 1usize << map.num_free_qubits();
+    let opts = ApplyOptions::sequential();
+
+    if parallel && assignments >= 2 {
+        // Each free-qubit assignment touches a disjoint set of outer indices,
+        // so assignments can run in parallel. The outer vector is shared
+        // through a raw pointer; disjointness is guaranteed by GatherMap.
+        let outer_ptr = OuterPtr(outer.amplitudes_mut().as_mut_ptr());
+        (0..assignments).into_par_iter().for_each(|assignment| {
+            let mut inner = StateVector::uninitialized(map.inner_qubits());
+            let inner_amps_len = inner.len();
+            // Gather.
+            for j in 0..inner_amps_len {
+                let idx = map.outer_index(assignment, j);
+                // SAFETY: outer indices of different assignments are disjoint.
+                inner.amplitudes_mut()[j] = unsafe { outer_ptr.read(idx) };
+            }
+            // Execute.
+            hisvsim_statevec::kernels::apply_circuit_with(&mut inner, &inner_circuit, &opts);
+            // Scatter.
+            for j in 0..inner_amps_len {
+                let idx = map.outer_index(assignment, j);
+                unsafe { outer_ptr.write(idx, inner.amp(j)) };
+            }
+        });
+    } else {
+        let mut inner = StateVector::uninitialized(map.inner_qubits());
+        for assignment in 0..assignments {
+            map.gather_into(outer, assignment, &mut inner);
+            hisvsim_statevec::kernels::apply_circuit_with(&mut inner, &inner_circuit, &opts);
+            map.scatter(&inner, outer, assignment);
+        }
+    }
+}
+
+/// Raw-pointer wrapper so the per-assignment closures can write disjoint
+/// regions of the outer vector in parallel.
+#[derive(Clone, Copy)]
+struct OuterPtr(*mut hisvsim_circuit::Complex64);
+unsafe impl Send for OuterPtr {}
+unsafe impl Sync for OuterPtr {}
+impl OuterPtr {
+    /// # Safety
+    /// `idx` must be in bounds and not concurrently accessed by another
+    /// assignment (GatherMap guarantees disjointness across assignments).
+    unsafe fn read(&self, idx: usize) -> hisvsim_circuit::Complex64 {
+        *self.0.add(idx)
+    }
+    /// # Safety
+    /// See [`OuterPtr::read`].
+    unsafe fn write(&self, idx: usize, v: hisvsim_circuit::Complex64) {
+        *self.0.add(idx) = v;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hisvsim_circuit::generators;
+    use hisvsim_statevec::run_circuit;
+
+    fn check_against_flat(circuit: &Circuit, limit: usize, strategy: Strategy, parallel: bool) {
+        let expected = run_circuit(circuit);
+        let sim = HierarchicalSimulator::new(
+            HierConfig::new(limit)
+                .with_strategy(strategy)
+                .with_parallel(parallel),
+        );
+        let run = sim.run(circuit).unwrap();
+        assert!(
+            run.state.approx_eq(&expected, 1e-9),
+            "{} limit={limit} strategy={} parallel={parallel}: hierarchical result diverges (max diff {})",
+            circuit.name,
+            strategy.name(),
+            run.state.max_abs_diff(&expected)
+        );
+        assert_eq!(run.report.num_parts, run.partition.num_parts());
+        assert!(run.report.total_time_s >= 0.0);
+    }
+
+    #[test]
+    fn hierarchical_matches_flat_on_benchmark_suite() {
+        for name in generators::FAMILY_NAMES {
+            let circuit = generators::by_name(name, 9);
+            for limit in [4usize, 6, 9] {
+                check_against_flat(&circuit, limit, Strategy::DagP, false);
+            }
+        }
+    }
+
+    #[test]
+    fn all_strategies_produce_the_same_state() {
+        for name in ["qft", "grover", "qaoa"] {
+            let circuit = generators::by_name(name, 8);
+            for strategy in Strategy::ALL {
+                check_against_flat(&circuit, 5, strategy, false);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_assignment_loop_matches_sequential() {
+        for name in ["qft", "adder", "ising"] {
+            let circuit = generators::by_name(name, 10);
+            check_against_flat(&circuit, 5, Strategy::DagP, true);
+        }
+    }
+
+    #[test]
+    fn single_part_run_equals_flat_simulation() {
+        let circuit = generators::by_name("bv", 8);
+        let sim = HierarchicalSimulator::new(HierConfig::new(8));
+        let run = sim.run(&circuit).unwrap();
+        assert_eq!(run.report.num_parts, 1);
+        assert!(run.state.approx_eq(&run_circuit(&circuit), 1e-10));
+    }
+
+    #[test]
+    fn random_circuits_match_flat() {
+        for seed in 0..5 {
+            let circuit = generators::random_circuit(8, 80, seed);
+            check_against_flat(&circuit, 4, Strategy::DagP, seed % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn report_carries_circuit_metadata() {
+        let circuit = generators::by_name("cc", 9);
+        let run = HierarchicalSimulator::new(HierConfig::new(5))
+            .run(&circuit)
+            .unwrap();
+        assert_eq!(run.report.circuit, circuit.name);
+        assert_eq!(run.report.num_qubits, 9);
+        assert_eq!(run.report.num_gates, circuit.num_gates());
+        assert_eq!(run.report.engine, "hier");
+        assert_eq!(run.report.strategy, "dagP");
+    }
+
+    #[test]
+    fn limit_below_max_arity_is_an_error() {
+        let circuit = generators::adder(8);
+        let result = HierarchicalSimulator::new(HierConfig::new(2)).run(&circuit);
+        assert!(matches!(
+            result,
+            Err(PartitionBuildError::GateExceedsLimit { .. })
+        ));
+    }
+
+    #[test]
+    fn norm_is_preserved_through_many_parts() {
+        let circuit = generators::by_name("qpe", 10);
+        let run = HierarchicalSimulator::new(HierConfig::new(3))
+            .run(&circuit)
+            .unwrap();
+        assert!((run.state.norm_sqr() - 1.0).abs() < 1e-9);
+        assert!(run.report.num_parts > 1);
+    }
+}

@@ -1,0 +1,50 @@
+//! # hisvsim-core
+//!
+//! The HiSVSIM engines: everything above the gate kernels and below the
+//! benchmark harness in the Rust reproduction of *"Efficient Hierarchical
+//! State Vector Simulation of Quantum Circuits via Acyclic Graph
+//! Partitioning"* (CLUSTER 2022).
+//!
+//! | Module | Paper section | What it provides |
+//! |---|---|---|
+//! | [`hier`] | III-B/C, Alg. 1 | single-node Gather–Execute–Scatter engine |
+//! | [`dist`] | III-D | distributed engine over virtual MPI ranks (process/local qubits, part-switch redistribution) |
+//! | [`multilevel`] | IV, V-D | two-level engine (node-level parts + cache-level parts) |
+//! | [`baseline`] | V (comparison) | IQS-style static-mapping distributed baseline |
+//! | [`gpu`] | VI | GPU-kernel throughput model and hybrid estimates (Tables III/IV) |
+//! | [`profile`] | V-A (Table II) | memory-access trace generation for the cache model |
+//! | [`metrics`] | V | the [`RunReport`](metrics::RunReport) every engine returns |
+//!
+//! Every engine is validated against the flat reference simulator
+//! (`hisvsim_statevec::run_circuit`) — the correctness anchor described in
+//! DESIGN.md.
+//!
+//! ## Example
+//!
+//! ```
+//! use hisvsim_circuit::generators;
+//! use hisvsim_core::hier::{HierConfig, HierarchicalSimulator};
+//! use hisvsim_statevec::run_circuit;
+//!
+//! let circuit = generators::qft(8);
+//! let run = HierarchicalSimulator::new(HierConfig::new(4)).run(&circuit).unwrap();
+//! assert!(run.state.approx_eq(&run_circuit(&circuit), 1e-9));
+//! assert!(run.report.num_parts >= 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod dist;
+pub mod gpu;
+pub mod hier;
+pub mod metrics;
+pub mod multilevel;
+pub mod profile;
+
+pub use baseline::{BaselineConfig, BaselineRun, IqsBaseline};
+pub use dist::{DistConfig, DistRun, DistributedSimulator};
+pub use gpu::{estimate_hybrid, GpuModel, HybridEstimate};
+pub use hier::{HierConfig, HierRun, HierarchicalSimulator};
+pub use metrics::RunReport;
+pub use multilevel::{MultilevelConfig, MultilevelRun, MultilevelSimulator};

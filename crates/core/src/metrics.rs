@@ -1,0 +1,135 @@
+//! Run reports: the timing and communication metrics every engine returns,
+//! in the shape the paper's figures consume (total runtime, computation
+//! time, average communication time, communication ratio, part counts).
+
+use hisvsim_cluster::CommStats;
+use serde::{Deserialize, Serialize};
+
+/// Metrics of one simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Engine name (`"hier"`, `"dist"`, `"multilevel"`, `"iqs-baseline"`, `"flat"`).
+    pub engine: String,
+    /// Partitioning strategy name (`"Nat"`, `"DFS"`, `"dagP"`, or `"-"`).
+    pub strategy: String,
+    /// Circuit name.
+    pub circuit: String,
+    /// Number of qubits simulated.
+    pub num_qubits: usize,
+    /// Number of gates executed.
+    pub num_gates: usize,
+    /// Number of parts the circuit was split into (1 for flat/baseline).
+    pub num_parts: usize,
+    /// Number of virtual ranks (1 for single-node engines).
+    pub num_ranks: usize,
+    /// Wall-clock end-to-end time in seconds (maximum over ranks for
+    /// distributed engines — the paper reports maximum end-to-end time).
+    pub total_time_s: f64,
+    /// Wall-clock computation time in seconds (maximum over ranks).
+    pub compute_time_s: f64,
+    /// Modelled communication time in seconds, averaged over ranks (the
+    /// paper reports the average across ranks since computation and
+    /// communication overlap).
+    pub avg_comm_time_s: f64,
+    /// Modelled communication time of the slowest rank.
+    pub max_comm_time_s: f64,
+    /// Aggregated communication statistics summed over all ranks.
+    pub comm: CommStats,
+    /// Number of state-vector redistribution (part-switch) events.
+    pub num_exchanges: usize,
+}
+
+impl RunReport {
+    /// A report skeleton for a single-node engine.
+    pub fn single_node(
+        engine: impl Into<String>,
+        strategy: impl Into<String>,
+        circuit: impl Into<String>,
+        num_qubits: usize,
+        num_gates: usize,
+    ) -> Self {
+        Self {
+            engine: engine.into(),
+            strategy: strategy.into(),
+            circuit: circuit.into(),
+            num_qubits,
+            num_gates,
+            num_parts: 1,
+            num_ranks: 1,
+            total_time_s: 0.0,
+            compute_time_s: 0.0,
+            avg_comm_time_s: 0.0,
+            max_comm_time_s: 0.0,
+            comm: CommStats::default(),
+            num_exchanges: 0,
+        }
+    }
+
+    /// End-to-end time including modelled communication: computation plus the
+    /// average modelled wire time (computation and communication overlap
+    /// across ranks, so the average — not the sum of maxima — is the paper's
+    /// accounting; see Sec. V-C).
+    pub fn modeled_total_time_s(&self) -> f64 {
+        self.compute_time_s + self.avg_comm_time_s
+    }
+
+    /// Fraction of the modelled end-to-end time spent communicating.
+    pub fn comm_ratio(&self) -> f64 {
+        let total = self.modeled_total_time_s();
+        if total <= 0.0 {
+            0.0
+        } else {
+            self.avg_comm_time_s / total
+        }
+    }
+
+    /// Improvement factor of this run over a baseline run of the same
+    /// circuit: `baseline_total / self_total` (values > 1 mean this run is
+    /// faster), using the modelled end-to-end times.
+    pub fn improvement_over(&self, baseline: &RunReport) -> f64 {
+        baseline.modeled_total_time_s() / self.modeled_total_time_s()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(compute: f64, comm: f64) -> RunReport {
+        let mut r = RunReport::single_node("hier", "dagP", "bv", 10, 100);
+        r.compute_time_s = compute;
+        r.avg_comm_time_s = comm;
+        r.total_time_s = compute + comm;
+        r
+    }
+
+    #[test]
+    fn comm_ratio_is_fraction_of_total() {
+        let r = report(3.0, 1.0);
+        assert!((r.comm_ratio() - 0.25).abs() < 1e-12);
+        assert!((r.modeled_total_time_s() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_time_run_has_zero_ratio() {
+        let r = report(0.0, 0.0);
+        assert_eq!(r.comm_ratio(), 0.0);
+    }
+
+    #[test]
+    fn improvement_factor_is_relative_to_baseline() {
+        let fast = report(1.0, 0.5);
+        let slow = report(2.0, 1.0);
+        assert!((fast.improvement_over(&slow) - 2.0).abs() < 1e-12);
+        assert!((slow.improvement_over(&fast) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serializes_to_json() {
+        let r = report(1.0, 0.2);
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("\"dagP\""));
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.circuit, "bv");
+    }
+}

@@ -1,0 +1,216 @@
+//! Memory-access trace generation for the Table II reproduction.
+//!
+//! The paper profiles the single-node execution of each partitioning
+//! strategy with VTune and reports how memory-bound the resulting access
+//! pattern is. This module produces the equivalent *deterministic* signal:
+//! the sequence of state-vector element indices the hierarchical execution
+//! touches (outer-vector gather/scatter sweeps plus the cache-resident inner
+//! work), which `hisvsim-memmodel` then replays through a modelled cache
+//! hierarchy.
+//!
+//! Strategies with more parts sweep the outer vector more often relative to
+//! the useful inner work, so they show a larger DRAM-served share — the same
+//! mechanism behind the paper's measured DRAM-stall differences.
+
+use hisvsim_circuit::Circuit;
+use hisvsim_dag::{CircuitDag, Partition};
+use hisvsim_statevec::GatherMap;
+
+/// Options controlling trace generation size.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceOptions {
+    /// Maximum number of free-qubit assignments replayed per part (the access
+    /// pattern is periodic in the assignment index, so a sample suffices).
+    pub max_assignments_per_part: usize,
+    /// Hard cap on the total trace length.
+    pub max_accesses: usize,
+}
+
+impl Default for TraceOptions {
+    fn default() -> Self {
+        Self {
+            max_assignments_per_part: 8,
+            max_accesses: 4_000_000,
+        }
+    }
+}
+
+/// Generate the amplitude-index access trace of a hierarchical execution of
+/// `circuit` under `partition`.
+///
+/// Outer state-vector elements occupy indices `[0, 2^n)`; the inner state
+/// vector is modelled as a separate buffer at indices `[2^n, 2^n + 2^w)`
+/// (reused across parts, as the implementation reuses its allocation).
+pub fn hierarchical_access_trace(
+    circuit: &Circuit,
+    dag: &CircuitDag,
+    partition: &Partition,
+    options: TraceOptions,
+) -> Vec<usize> {
+    let n = circuit.num_qubits();
+    let outer_len = 1usize << n;
+    let mut trace = Vec::new();
+    let order = partition.execution_order(dag);
+    let parts = partition.gates_by_part();
+
+    'outer: for &part in &order {
+        let gates = &parts[part];
+        if gates.is_empty() {
+            continue;
+        }
+        let working_set: Vec<usize> = dag.working_set_of_gates(gates).into_iter().collect();
+        let map = GatherMap::new(n, &working_set);
+        let inner_len = 1usize << map.inner_qubits();
+        let assignments = 1usize << map.num_free_qubits();
+        let replayed = assignments.min(options.max_assignments_per_part);
+
+        for assignment in 0..replayed {
+            // Gather: read 2^w outer elements, write 2^w inner elements.
+            for j in 0..inner_len {
+                trace.push(map.outer_index(assignment, j));
+                trace.push(outer_len + j);
+                if trace.len() >= options.max_accesses {
+                    break 'outer;
+                }
+            }
+            // Execute: every gate of the part sweeps the inner vector.
+            for &g in gates {
+                let arity = circuit.gates()[g].arity();
+                // A k-qubit gate touches every inner amplitude once (in
+                // pairs/groups); reads and writes hit the same lines.
+                let _ = arity;
+                for j in 0..inner_len {
+                    trace.push(outer_len + j);
+                    if trace.len() >= options.max_accesses {
+                        break 'outer;
+                    }
+                }
+            }
+            // Scatter: read inner, write outer.
+            for j in 0..inner_len {
+                trace.push(outer_len + j);
+                trace.push(map.outer_index(assignment, j));
+                if trace.len() >= options.max_accesses {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    trace
+}
+
+/// Generate the access trace of a *flat* (non-hierarchical) execution, for
+/// comparison: every gate sweeps the entire outer state vector.
+pub fn flat_access_trace(circuit: &Circuit, options: TraceOptions) -> Vec<usize> {
+    let n = circuit.num_qubits();
+    let outer_len = 1usize << n;
+    let mut trace = Vec::new();
+    'outer: for _gate in circuit.gates() {
+        for i in 0..outer_len {
+            trace.push(i);
+            if trace.len() >= options.max_accesses {
+                break 'outer;
+            }
+        }
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hisvsim_circuit::generators;
+    use hisvsim_memmodel::{replay_amplitude_indices, HierarchyConfig};
+    use hisvsim_partition::Strategy;
+
+    fn trace_for(name: &str, width: usize, strategy: Strategy, limit: usize) -> (usize, Vec<usize>) {
+        let circuit = generators::by_name(name, width);
+        let dag = CircuitDag::from_circuit(&circuit);
+        let partition = strategy.partition(&dag, limit).unwrap();
+        let trace = hierarchical_access_trace(
+            &circuit,
+            &dag,
+            &partition,
+            TraceOptions {
+                max_assignments_per_part: 4,
+                max_accesses: 2_000_000,
+            },
+        );
+        (partition.num_parts(), trace)
+    }
+
+    #[test]
+    fn trace_indices_stay_in_bounds() {
+        let circuit = generators::by_name("qft", 10);
+        let dag = CircuitDag::from_circuit(&circuit);
+        let partition = Strategy::DagP.partition(&dag, 5).unwrap();
+        let trace =
+            hierarchical_access_trace(&circuit, &dag, &partition, TraceOptions::default());
+        let outer = 1usize << 10;
+        let inner_max = outer + (1usize << 5);
+        assert!(!trace.is_empty());
+        assert!(trace.iter().all(|&i| i < inner_max));
+    }
+
+    #[test]
+    fn more_parts_means_more_outer_traffic_per_gate() {
+        // Nat (more parts) should produce a larger share of outer-vector
+        // accesses than dagP (fewer parts) on a partition-sensitive circuit.
+        let (nat_parts, nat_trace) = trace_for("qft", 12, Strategy::Nat, 5);
+        let (dagp_parts, dagp_trace) = trace_for("qft", 12, Strategy::DagP, 5);
+        assert!(dagp_parts <= nat_parts);
+        let outer = 1usize << 12;
+        let outer_share = |t: &[usize]| {
+            t.iter().filter(|&&i| i < outer).count() as f64 / t.len() as f64
+        };
+        assert!(
+            outer_share(&dagp_trace) <= outer_share(&nat_trace) + 1e-9,
+            "dagP outer share {} vs Nat {}",
+            outer_share(&dagp_trace),
+            outer_share(&nat_trace)
+        );
+    }
+
+    #[test]
+    fn hierarchical_trace_is_more_cache_friendly_than_flat() {
+        // The whole point of the paper: the hierarchical execution keeps most
+        // accesses in the small inner vector, so the modelled cache serves a
+        // larger share of them than for the flat execution of the same
+        // circuit (whose working set is the entire outer state).
+        let circuit = generators::by_name("ising", 14);
+        let dag = CircuitDag::from_circuit(&circuit);
+        let partition = Strategy::DagP.partition(&dag, 6).unwrap();
+        let opts = TraceOptions {
+            max_assignments_per_part: 4,
+            max_accesses: 1_000_000,
+        };
+        let hier = hierarchical_access_trace(&circuit, &dag, &partition, opts);
+        let flat = flat_access_trace(&circuit, opts);
+        let cfg = HierarchyConfig::tiny();
+        let hier_stats = replay_amplitude_indices(cfg, hier.iter().copied());
+        let flat_stats = replay_amplitude_indices(cfg, flat.iter().copied());
+        assert!(
+            hier_stats.service_fractions()[3] < flat_stats.service_fractions()[3],
+            "hierarchical DRAM share {} should be below flat {}",
+            hier_stats.service_fractions()[3],
+            flat_stats.service_fractions()[3]
+        );
+    }
+
+    #[test]
+    fn max_accesses_cap_is_respected() {
+        let circuit = generators::by_name("qpe", 12);
+        let dag = CircuitDag::from_circuit(&circuit);
+        let partition = Strategy::DagP.partition(&dag, 6).unwrap();
+        let trace = hierarchical_access_trace(
+            &circuit,
+            &dag,
+            &partition,
+            TraceOptions {
+                max_assignments_per_part: 8,
+                max_accesses: 10_000,
+            },
+        );
+        assert!(trace.len() <= 10_000);
+    }
+}

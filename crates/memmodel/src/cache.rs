@@ -1,0 +1,234 @@
+//! A set-associative, LRU, write-allocate cache model.
+//!
+//! Used by the Table II substitute (`hisvsim-memmodel::hierarchy`) to rank
+//! the locality of the Nat/DFS/dagP execution orders the way VTune's memory
+//! access breakdown does in the paper: by replaying the (sampled) amplitude
+//! address stream of the simulation through a model of the CPU's cache
+//! hierarchy.
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub capacity_bytes: usize,
+    /// Line size in bytes (64 on every CPU the paper targets).
+    pub line_bytes: usize,
+    /// Associativity (ways per set).
+    pub associativity: usize,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    pub fn num_sets(&self) -> usize {
+        self.capacity_bytes / (self.line_bytes * self.associativity)
+    }
+
+    /// Validate that the geometry is internally consistent.
+    pub fn validate(&self) {
+        assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(self.associativity > 0, "associativity must be positive");
+        assert!(
+            self.capacity_bytes % (self.line_bytes * self.associativity) == 0,
+            "capacity must be a whole number of sets"
+        );
+        assert!(self.num_sets().is_power_of_two(), "set count must be a power of two");
+    }
+}
+
+/// A single cache level with LRU replacement.
+///
+/// The model tracks tags only (no data), which is all that is needed to count
+/// hits and misses.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    /// `sets[s]` holds the resident line tags of set `s`, most recently used
+    /// last.
+    sets: Vec<Vec<u64>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Create an empty cache with the given geometry.
+    pub fn new(config: CacheConfig) -> Self {
+        config.validate();
+        Self {
+            sets: vec![Vec::with_capacity(config.associativity); config.num_sets()],
+            config,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Access the byte address `addr`. Returns `true` on a hit. On a miss the
+    /// line is installed (possibly evicting the LRU line of its set).
+    pub fn access(&mut self, addr: u64) -> bool {
+        let line = addr / self.config.line_bytes as u64;
+        let set_index = (line % self.config.num_sets() as u64) as usize;
+        let tag = line / self.config.num_sets() as u64;
+        let set = &mut self.sets[set_index];
+        if let Some(pos) = set.iter().position(|&t| t == tag) {
+            // Hit: move to MRU position.
+            let t = set.remove(pos);
+            set.push(t);
+            self.hits += 1;
+            true
+        } else {
+            if set.len() == self.config.associativity {
+                set.remove(0);
+            }
+            set.push(tag);
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Number of hits recorded so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of misses recorded so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit rate in [0, 1]; zero when no accesses were made.
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses() as f64
+        }
+    }
+
+    /// Forget all resident lines and statistics.
+    pub fn reset(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cache() -> Cache {
+        // 4 sets × 2 ways × 64 B lines = 512 B.
+        Cache::new(CacheConfig {
+            capacity_bytes: 512,
+            line_bytes: 64,
+            associativity: 2,
+        })
+    }
+
+    #[test]
+    fn geometry_is_computed_correctly() {
+        let c = tiny_cache();
+        assert_eq!(c.config().num_sets(), 4);
+    }
+
+    #[test]
+    fn repeated_access_hits_after_first_miss() {
+        let mut c = tiny_cache();
+        assert!(!c.access(0));
+        assert!(c.access(0));
+        assert!(c.access(63)); // same line
+        assert!(!c.access(64)); // next line
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 2);
+    }
+
+    #[test]
+    fn lru_eviction_within_a_set() {
+        let mut c = tiny_cache();
+        // Three distinct lines mapping to the same set (set stride = 4 lines
+        // = 256 bytes).
+        let a = 0u64;
+        let b = 256;
+        let d = 512;
+        c.access(a);
+        c.access(b);
+        c.access(d); // evicts a (LRU)
+        assert!(!c.access(a), "a must have been evicted");
+        assert!(c.access(d), "d is still resident");
+    }
+
+    #[test]
+    fn lru_order_updated_on_hit() {
+        let mut c = tiny_cache();
+        let a = 0u64;
+        let b = 256;
+        let d = 512;
+        c.access(a);
+        c.access(b);
+        c.access(a); // refresh a so b becomes LRU
+        c.access(d); // evicts b
+        assert!(c.access(a));
+        assert!(!c.access(b));
+    }
+
+    #[test]
+    fn sequential_stream_has_per_line_miss_rate() {
+        let mut c = Cache::new(CacheConfig {
+            capacity_bytes: 32 * 1024,
+            line_bytes: 64,
+            associativity: 8,
+        });
+        // 16-byte amplitudes accessed sequentially: 4 per line -> 25% misses.
+        for i in 0..4096u64 {
+            c.access(i * 16);
+        }
+        let miss_rate = 1.0 - c.hit_rate();
+        assert!((miss_rate - 0.25).abs() < 0.01, "miss rate {miss_rate}");
+    }
+
+    #[test]
+    fn working_set_larger_than_capacity_thrashes() {
+        let mut c = tiny_cache(); // 512 B
+        // Stream over 4 KiB repeatedly: nothing survives between passes when
+        // the stride defeats the 2-way sets.
+        for _ in 0..4 {
+            for i in 0..64u64 {
+                c.access(i * 64);
+            }
+        }
+        assert!(c.hit_rate() < 0.01);
+    }
+
+    #[test]
+    fn reset_clears_contents_and_counters() {
+        let mut c = tiny_cache();
+        c.access(0);
+        c.access(0);
+        c.reset();
+        assert_eq!(c.accesses(), 0);
+        assert!(!c.access(0), "contents must be flushed by reset");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn invalid_geometry_is_rejected() {
+        let _ = Cache::new(CacheConfig {
+            capacity_bytes: 500,
+            line_bytes: 48,
+            associativity: 2,
+        });
+    }
+}

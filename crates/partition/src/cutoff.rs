@@ -1,0 +1,134 @@
+//! The shared *topological-order cutoff* procedure used by the `Nat` and
+//! `DFS` strategies (Sec. IV-B.1/2): walk the gates in a topological order,
+//! accumulate the working set, and close the current part just before it
+//! would exceed the limit `Lm`.
+
+use crate::error::PartitionBuildError;
+use hisvsim_dag::{CircuitDag, NodeId, Partition};
+
+/// Partition a DAG by cutting a topological gate order whenever the working
+/// set of the accumulating part would exceed `limit`.
+///
+/// `order` must be a valid topological order of all gate vertices (see
+/// [`CircuitDag::is_valid_gate_order`]); parts are contiguous segments of it,
+/// which guarantees acyclicity of the quotient graph.
+pub fn cutoff_by_order(
+    dag: &CircuitDag,
+    order: &[NodeId],
+    limit: usize,
+) -> Result<Partition, PartitionBuildError> {
+    if limit == 0 {
+        return Err(PartitionBuildError::InvalidLimit(limit));
+    }
+    debug_assert!(dag.is_valid_gate_order(order), "cutoff needs a topological order");
+
+    let mut part_of_gate = vec![0usize; dag.num_gate_nodes()];
+    let mut current_part = 0usize;
+    let mut current_qubits: Vec<bool> = vec![false; dag.num_qubits()];
+    let mut current_count = 0usize;
+
+    for &node in order {
+        let gate_index = dag
+            .gate_index(node)
+            .expect("cutoff order must contain only gate vertices");
+        let qubits = dag.qubits_of(node);
+        if qubits.len() > limit {
+            return Err(PartitionBuildError::GateExceedsLimit {
+                gate: gate_index,
+                arity: qubits.len(),
+                limit,
+            });
+        }
+        let new_qubits = qubits.iter().filter(|&&q| !current_qubits[q]).count();
+        if current_count + new_qubits > limit && current_count > 0 {
+            // Close the current part and start a new one with this gate.
+            current_part += 1;
+            current_qubits.iter_mut().for_each(|b| *b = false);
+            current_count = 0;
+        }
+        for &q in qubits {
+            if !current_qubits[q] {
+                current_qubits[q] = true;
+                current_count += 1;
+            }
+        }
+        part_of_gate[gate_index] = current_part;
+    }
+
+    Ok(Partition::from_gate_assignment(part_of_gate))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hisvsim_circuit::generators;
+    use hisvsim_dag::CircuitDag;
+
+    #[test]
+    fn cutoff_respects_limit_and_is_acyclic() {
+        for name in ["qft", "ising", "adder", "grover", "qaoa"] {
+            let c = generators::by_name(name, 10);
+            let dag = CircuitDag::from_circuit(&c);
+            for limit in [3usize, 5, 8, 10] {
+                let p = cutoff_by_order(&dag, &dag.natural_gate_order(), limit)
+                    .unwrap_or_else(|e| panic!("{name}@{limit}: {e}"));
+                p.validate(&dag, limit)
+                    .unwrap_or_else(|e| panic!("{name}@{limit}: invalid partition: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn whole_circuit_fits_in_one_part_when_limit_is_width() {
+        let c = generators::by_name("bv", 8);
+        let dag = CircuitDag::from_circuit(&c);
+        let p = cutoff_by_order(&dag, &dag.natural_gate_order(), 8).unwrap();
+        assert_eq!(p.num_parts(), 1);
+    }
+
+    #[test]
+    fn limit_below_gate_arity_is_an_error() {
+        let c = generators::by_name("adder", 8); // contains Toffolis (3 qubits)
+        let dag = CircuitDag::from_circuit(&c);
+        match cutoff_by_order(&dag, &dag.natural_gate_order(), 2) {
+            Err(PartitionBuildError::GateExceedsLimit { arity: 3, limit: 2, .. }) => {}
+            other => panic!("expected GateExceedsLimit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_limit_is_rejected() {
+        let c = generators::cat_state(4);
+        let dag = CircuitDag::from_circuit(&c);
+        assert!(matches!(
+            cutoff_by_order(&dag, &dag.natural_gate_order(), 0),
+            Err(PartitionBuildError::InvalidLimit(0))
+        ));
+    }
+
+    #[test]
+    fn cat_state_cutoff_produces_expected_part_count() {
+        // cat_state(8) in natural order: H(0), CX(0,1), ..., CX(6,7).
+        // With limit 4 the first part holds H + CX01 + CX12 + CX23 (4 qubits),
+        // the next part CX34..CX56 … : ceil pattern -> 3 parts.
+        let c = generators::cat_state(8);
+        let dag = CircuitDag::from_circuit(&c);
+        let p = cutoff_by_order(&dag, &dag.natural_gate_order(), 4).unwrap();
+        assert_eq!(p.num_parts(), 3);
+    }
+
+    #[test]
+    fn dfs_orders_can_beat_or_match_natural_order() {
+        // Sanity: any valid topological order still yields a valid partition.
+        let c = generators::by_name("qaoa", 10);
+        let dag = CircuitDag::from_circuit(&c);
+        let nat = cutoff_by_order(&dag, &dag.natural_gate_order(), 5).unwrap();
+        for seed in 0..5 {
+            let order = dag.random_dfs_gate_order(seed);
+            let p = cutoff_by_order(&dag, &order, 5).unwrap();
+            assert!(p.validate(&dag, 5).is_ok());
+            assert!(p.num_parts() >= 1);
+        }
+        assert!(nat.num_parts() >= 1);
+    }
+}

@@ -1,0 +1,39 @@
+//! Errors shared by all partitioning strategies.
+
+use hisvsim_dag::PartitionError;
+
+/// Why a strategy could not produce a partition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionBuildError {
+    /// A single gate touches more qubits than the working-set limit allows,
+    /// so no valid partition exists at this limit.
+    GateExceedsLimit {
+        /// Index of the offending gate in the circuit.
+        gate: usize,
+        /// Its qubit count.
+        arity: usize,
+        /// The requested limit.
+        limit: usize,
+    },
+    /// The limit is zero (or otherwise unusable).
+    InvalidLimit(usize),
+    /// The produced partition failed validation — indicates a bug in the
+    /// strategy rather than bad input, but surfaced as an error so callers
+    /// can fall back.
+    InvalidResult(PartitionError),
+}
+
+impl std::fmt::Display for PartitionBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PartitionBuildError::GateExceedsLimit { gate, arity, limit } => write!(
+                f,
+                "gate {gate} touches {arity} qubits, above the working-set limit {limit}"
+            ),
+            PartitionBuildError::InvalidLimit(l) => write!(f, "invalid working-set limit {l}"),
+            PartitionBuildError::InvalidResult(e) => write!(f, "strategy produced an invalid partition: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PartitionBuildError {}

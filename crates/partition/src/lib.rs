@@ -1,0 +1,49 @@
+//! # hisvsim-partition
+//!
+//! The quantum-circuit partitioning strategies of the HiSVSIM paper
+//! (Sec. IV): given the circuit DAG and a working-set limit `Lm`, produce an
+//! acyclic partition of the gates into the fewest possible parts so each part
+//! fits a smaller (cache- or node-local) state vector.
+//!
+//! * [`nat`] — Natural topological order cutoff (`Nat`),
+//! * [`dfs`] — best-of-k random DFS topological order cutoffs (`DFS`),
+//! * [`dagp`] — the multilevel acyclic partitioner with recursive bisection,
+//!   refinement and the paper's added merge phase (`dagP`),
+//! * [`optimal`] — exact branch-and-bound minimum-part reference (the paper's
+//!   ILP stand-in),
+//! * [`multilevel`] — two-level partitioning for the multi-node + cache
+//!   hierarchy (Sec. V-D),
+//! * [`strategy`] — the [`Strategy`] enum used to sweep all of the above.
+//!
+//! ## Example
+//!
+//! ```
+//! use hisvsim_circuit::generators;
+//! use hisvsim_dag::CircuitDag;
+//! use hisvsim_partition::Strategy;
+//!
+//! let circuit = generators::qft(10);
+//! let dag = CircuitDag::from_circuit(&circuit);
+//! let partition = Strategy::DagP.partition(&dag, 5).unwrap();
+//! assert!(partition.validate(&dag, 5).is_ok());
+//! assert!(partition.num_parts() >= 2); // 10 qubits cannot fit one 5-qubit part
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cutoff;
+pub mod dagp;
+pub mod dfs;
+pub mod error;
+pub mod multilevel;
+pub mod nat;
+pub mod optimal;
+pub mod strategy;
+
+pub use dagp::{DagPConfig, DagPPartitioner};
+pub use dfs::DfsPartitioner;
+pub use error::PartitionBuildError;
+pub use multilevel::{MultilevelPartition, MultilevelPartitioner};
+pub use nat::NatPartitioner;
+pub use optimal::{OptimalPartitioner, OptimalResult};
+pub use strategy::Strategy;

@@ -1,0 +1,76 @@
+//! `Nat` — the Natural Topological Order Cutoff strategy (Sec. IV-B.1).
+//!
+//! Follows the execution order of the gates exactly as written in the
+//! circuit and closes a part whenever the working set would exceed the
+//! limit. Deterministic and essentially free to compute, but short-sighted:
+//! circuits that alternate between disjoint qubit groups force it to open
+//! far more parts than necessary.
+
+use crate::cutoff::cutoff_by_order;
+use crate::error::PartitionBuildError;
+use hisvsim_dag::{CircuitDag, Partition};
+
+/// The natural-order cutoff partitioner.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NatPartitioner;
+
+impl NatPartitioner {
+    /// Partition `dag` under working-set limit `limit`.
+    pub fn partition(
+        &self,
+        dag: &CircuitDag,
+        limit: usize,
+    ) -> Result<Partition, PartitionBuildError> {
+        cutoff_by_order(dag, &dag.natural_gate_order(), limit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hisvsim_circuit::{generators, Circuit};
+
+    #[test]
+    fn natural_cutoff_is_deterministic() {
+        let c = generators::by_name("ising", 10);
+        let dag = CircuitDag::from_circuit(&c);
+        let a = NatPartitioner.partition(&dag, 5).unwrap();
+        let b = NatPartitioner.partition(&dag, 5).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn alternating_circuit_hurts_nat() {
+        // A circuit alternating between two distant qubit pairs: Nat must
+        // split at every alternation when the limit only fits one pair,
+        // mirroring the weakness described in the paper.
+        let mut c = Circuit::new(4);
+        for _ in 0..5 {
+            c.cx(0, 1);
+            c.cx(2, 3);
+        }
+        let dag = CircuitDag::from_circuit(&c);
+        let p = NatPartitioner.partition(&dag, 2).unwrap();
+        assert_eq!(p.num_parts(), 10);
+        // With a limit of 4 the whole thing is one part.
+        let p4 = NatPartitioner.partition(&dag, 4).unwrap();
+        assert_eq!(p4.num_parts(), 1);
+    }
+
+    #[test]
+    fn produced_partitions_validate() {
+        for name in generators::FAMILY_NAMES {
+            let c = generators::by_name(name, 9);
+            let dag = CircuitDag::from_circuit(&c);
+            for limit in [4usize, 6, 9] {
+                match NatPartitioner.partition(&dag, limit) {
+                    Ok(p) => {
+                        p.validate(&dag, limit).unwrap();
+                    }
+                    Err(PartitionBuildError::GateExceedsLimit { .. }) => {}
+                    Err(e) => panic!("{name}@{limit}: {e}"),
+                }
+            }
+        }
+    }
+}

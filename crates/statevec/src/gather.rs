@@ -1,0 +1,278 @@
+//! Gather/scatter primitives between an *outer* state vector and a smaller
+//! *inner* state vector — the data-movement half of the paper's
+//! Gather–Execute–Scatter model (Algorithm 1).
+//!
+//! A part of a partitioned circuit touches a working set of `w` qubits
+//! `S = [S_0, …, S_{w-1}]` (outer qubit indices). For each assignment of the
+//! `t = n - w` *free* qubits, the `2^w` amplitudes addressed by that
+//! assignment are gathered into an inner state vector (inner qubit `j`
+//! corresponds to outer qubit `S_j`), the part's gates are executed on it,
+//! and the results are scattered back to the same outer positions.
+
+use crate::state::StateVector;
+use hisvsim_circuit::Qubit;
+
+/// Precomputed index arithmetic for moving amplitudes between an outer state
+/// of `n` qubits and an inner state over the working-set qubits `S`.
+#[derive(Debug, Clone)]
+pub struct GatherMap {
+    outer_qubits: usize,
+    /// Outer qubit index of each inner qubit position.
+    part_qubits: Vec<Qubit>,
+    /// Outer qubit indices not in the part, ascending.
+    free_qubits: Vec<Qubit>,
+    /// Outer-index offset contributed by each inner index (dense table of
+    /// size `2^w`, built incrementally).
+    inner_offsets: Vec<usize>,
+}
+
+impl GatherMap {
+    /// Build the map for a part whose gates touch `part_qubits` (inner qubit
+    /// `j` = outer qubit `part_qubits[j]`) inside an `outer_qubits`-wide
+    /// state.
+    pub fn new(outer_qubits: usize, part_qubits: &[Qubit]) -> Self {
+        assert!(!part_qubits.is_empty(), "a part must touch at least one qubit");
+        assert!(
+            part_qubits.len() <= outer_qubits,
+            "part touches {} qubits but the outer state has {}",
+            part_qubits.len(),
+            outer_qubits
+        );
+        let mut seen = vec![false; outer_qubits];
+        for &q in part_qubits {
+            assert!(q < outer_qubits, "part qubit {q} out of range");
+            assert!(!seen[q], "part qubit {q} listed twice");
+            seen[q] = true;
+        }
+        let free_qubits: Vec<Qubit> = (0..outer_qubits).filter(|&q| !seen[q]).collect();
+
+        // inner_offsets[j] = Σ_{bit b set in j} 2^{part_qubits[b]}
+        let w = part_qubits.len();
+        let mut inner_offsets = vec![0usize; 1 << w];
+        for j in 1..(1usize << w) {
+            let low_bit = j.trailing_zeros() as usize;
+            inner_offsets[j] = inner_offsets[j & (j - 1)] + (1usize << part_qubits[low_bit]);
+        }
+
+        Self {
+            outer_qubits,
+            part_qubits: part_qubits.to_vec(),
+            free_qubits,
+            inner_offsets,
+        }
+    }
+
+    /// Number of qubits in the part (width of the inner state vector).
+    #[inline]
+    pub fn inner_qubits(&self) -> usize {
+        self.part_qubits.len()
+    }
+
+    /// Number of free (not-in-part) qubits; the gather/execute/scatter loop
+    /// iterates over `2^free_qubits()` assignments.
+    #[inline]
+    pub fn num_free_qubits(&self) -> usize {
+        self.free_qubits.len()
+    }
+
+    /// The outer qubit index backing each inner qubit position.
+    #[inline]
+    pub fn part_qubits(&self) -> &[Qubit] {
+        &self.part_qubits
+    }
+
+    /// The outer qubit indices not covered by the part, ascending.
+    #[inline]
+    pub fn free_qubits(&self) -> &[Qubit] {
+        &self.free_qubits
+    }
+
+    /// The outer base index for a given assignment (bit `k` of `assignment`
+    /// is the value of free qubit `free_qubits[k]`).
+    #[inline]
+    pub fn base_index(&self, assignment: usize) -> usize {
+        debug_assert!(assignment < (1usize << self.free_qubits.len()));
+        let mut base = 0usize;
+        let mut bits = assignment;
+        while bits != 0 {
+            let k = bits.trailing_zeros() as usize;
+            base |= 1usize << self.free_qubits[k];
+            bits &= bits - 1;
+        }
+        base
+    }
+
+    /// The outer index corresponding to inner index `inner` under the given
+    /// free-qubit assignment.
+    #[inline]
+    pub fn outer_index(&self, assignment: usize, inner: usize) -> usize {
+        self.base_index(assignment) + self.inner_offsets[inner]
+    }
+
+    /// Gather the amplitudes for one free-qubit assignment into a fresh inner
+    /// state vector (paper Algorithm 1, the *Gather* loop).
+    pub fn gather(&self, outer: &StateVector, assignment: usize) -> StateVector {
+        assert_eq!(outer.num_qubits(), self.outer_qubits);
+        let base = self.base_index(assignment);
+        let mut inner = StateVector::uninitialized(self.inner_qubits());
+        let outer_amps = outer.amplitudes();
+        let inner_amps = inner.amplitudes_mut();
+        for (j, slot) in inner_amps.iter_mut().enumerate() {
+            *slot = outer_amps[base + self.inner_offsets[j]];
+        }
+        inner
+    }
+
+    /// Gather into an existing inner buffer (avoids reallocating per
+    /// assignment in the hot loop).
+    pub fn gather_into(&self, outer: &StateVector, assignment: usize, inner: &mut StateVector) {
+        assert_eq!(outer.num_qubits(), self.outer_qubits);
+        assert_eq!(inner.num_qubits(), self.inner_qubits());
+        let base = self.base_index(assignment);
+        let outer_amps = outer.amplitudes();
+        let inner_amps = inner.amplitudes_mut();
+        for (j, slot) in inner_amps.iter_mut().enumerate() {
+            *slot = outer_amps[base + self.inner_offsets[j]];
+        }
+    }
+
+    /// Scatter an inner state vector back into the outer state (the *Scatter*
+    /// loop of Algorithm 1).
+    pub fn scatter(&self, inner: &StateVector, outer: &mut StateVector, assignment: usize) {
+        assert_eq!(outer.num_qubits(), self.outer_qubits);
+        assert_eq!(inner.num_qubits(), self.inner_qubits());
+        let base = self.base_index(assignment);
+        let inner_amps = inner.amplitudes();
+        let outer_amps = outer.amplitudes_mut();
+        for (j, &amp) in inner_amps.iter().enumerate() {
+            outer_amps[base + self.inner_offsets[j]] = amp;
+        }
+    }
+
+    /// The qubit remapping table `map[outer_qubit] = Some(inner_qubit)` for
+    /// rewriting a part's gates onto the inner register.
+    pub fn remap_table(&self) -> Vec<Option<Qubit>> {
+        let mut map = vec![None; self.outer_qubits];
+        for (inner, &outer) in self.part_qubits.iter().enumerate() {
+            map[outer] = Some(inner);
+        }
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::{apply_circuit_with, run_circuit, ApplyOptions};
+    use hisvsim_circuit::{generators, Circuit, Complex64};
+
+    #[test]
+    fn gather_map_basic_indexing() {
+        // 4-qubit outer state, part = qubits [1, 3].
+        let map = GatherMap::new(4, &[1, 3]);
+        assert_eq!(map.inner_qubits(), 2);
+        assert_eq!(map.num_free_qubits(), 2);
+        assert_eq!(map.free_qubits(), &[0, 2]);
+        // assignment bits: bit0 -> qubit0, bit1 -> qubit2.
+        assert_eq!(map.base_index(0b00), 0b0000);
+        assert_eq!(map.base_index(0b01), 0b0001);
+        assert_eq!(map.base_index(0b10), 0b0100);
+        assert_eq!(map.base_index(0b11), 0b0101);
+        // inner index bits: bit0 -> qubit1, bit1 -> qubit3.
+        assert_eq!(map.outer_index(0b00, 0b01), 0b0010);
+        assert_eq!(map.outer_index(0b00, 0b10), 0b1000);
+        assert_eq!(map.outer_index(0b11, 0b11), 0b1111);
+    }
+
+    #[test]
+    fn gather_then_scatter_is_identity() {
+        let c = generators::random_circuit(5, 30, 3);
+        let outer = run_circuit(&c);
+        let map = GatherMap::new(5, &[4, 0, 2]);
+        let mut rebuilt = StateVector::uninitialized(5);
+        for assignment in 0..(1 << map.num_free_qubits()) {
+            let inner = map.gather(&outer, assignment);
+            map.scatter(&inner, &mut rebuilt, assignment);
+        }
+        assert!(rebuilt.approx_eq(&outer, 0.0));
+    }
+
+    #[test]
+    fn gather_partitions_are_disjoint_and_exhaustive() {
+        let map = GatherMap::new(6, &[5, 1]);
+        let mut seen = vec![false; 1 << 6];
+        for assignment in 0..(1 << map.num_free_qubits()) {
+            for inner in 0..(1 << map.inner_qubits()) {
+                let idx = map.outer_index(assignment, inner);
+                assert!(!seen[idx], "outer index {idx} covered twice");
+                seen[idx] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "some outer indices never covered");
+    }
+
+    #[test]
+    fn executing_a_part_via_gather_scatter_matches_flat_simulation() {
+        // The core of Algorithm 1 on a single part: a sub-circuit touching
+        // qubits {0, 2} of a 5-qubit state.
+        let mut full = Circuit::new(5);
+        full.h(0).h(1).cx(1, 3).ry(0.4, 2).cx(0, 2).rz(0.3, 2);
+
+        // Flat reference.
+        let expected = run_circuit(&full);
+
+        // Hierarchical: run the first part {h0,h1,cx13} flat, then the part
+        // on {0,2} via gather-execute-scatter.
+        let mut prefix = Circuit::new(5);
+        prefix.h(0).h(1).cx(1, 3);
+        let mut part = Circuit::new(5);
+        part.ry(0.4, 2).cx(0, 2).rz(0.3, 2);
+
+        let mut outer = run_circuit(&prefix);
+        let map = GatherMap::new(5, &[0, 2]);
+        let inner_circuit = part.remap_qubits(&map.remap_table(), map.inner_qubits());
+        let opts = ApplyOptions::sequential();
+        let mut inner = StateVector::uninitialized(map.inner_qubits());
+        for assignment in 0..(1 << map.num_free_qubits()) {
+            map.gather_into(&outer, assignment, &mut inner);
+            apply_circuit_with(&mut inner, &inner_circuit, &opts);
+            map.scatter(&inner, &mut outer, assignment);
+        }
+        assert!(outer.approx_eq(&expected, 1e-10));
+    }
+
+    #[test]
+    fn remap_table_maps_part_qubits_in_order() {
+        let map = GatherMap::new(6, &[4, 1, 5]);
+        let table = map.remap_table();
+        assert_eq!(table[4], Some(0));
+        assert_eq!(table[1], Some(1));
+        assert_eq!(table[5], Some(2));
+        assert_eq!(table[0], None);
+    }
+
+    #[test]
+    fn gather_reads_expected_amplitudes() {
+        // Outer state with amp(i) = i for easy checking.
+        let amps: Vec<Complex64> = (0..16).map(|i| Complex64::real(i as f64)).collect();
+        let outer = StateVector::from_amplitudes(amps);
+        let map = GatherMap::new(4, &[2, 0]); // inner bit0 -> qubit2, bit1 -> qubit0
+        let inner = map.gather(&outer, 0b00);
+        assert_eq!(inner.amp(0b00).re, 0.0);
+        assert_eq!(inner.amp(0b01).re, 4.0); // qubit2 set
+        assert_eq!(inner.amp(0b10).re, 1.0); // qubit0 set
+        assert_eq!(inner.amp(0b11).re, 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "listed twice")]
+    fn duplicate_part_qubits_rejected() {
+        let _ = GatherMap::new(4, &[1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_part_qubit_rejected() {
+        let _ = GatherMap::new(4, &[9]);
+    }
+}

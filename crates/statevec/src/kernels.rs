@@ -1,0 +1,631 @@
+//! Gate-application kernels.
+//!
+//! The paper's Sec. III-A analysis: applying a gate is a sweep of "scoped"
+//! small matrix–vector products over the state vector, with an operational
+//! intensity of 7/16 FLOP/byte — firmly memory bound. The kernels here are
+//! therefore organised around access pattern, not arithmetic:
+//!
+//! * single-qubit gates use a contiguous two-half block sweep (the pattern of
+//!   Fig. 1), parallelised over blocks with rayon;
+//! * diagonal gates use a pure streaming elementwise pass;
+//! * controlled gates only touch the half of the state where the control bit
+//!   is set;
+//! * arbitrary k-qubit gates fall back to a gather/apply/scatter of 2^k
+//!   amplitudes per index group, parallelised over groups.
+//!
+//! All parallel paths partition the amplitude indices into disjoint groups, so
+//! they are data-race free by construction.
+
+use crate::state::StateVector;
+use hisvsim_circuit::{Complex64, Gate, GateKind, Qubit, UnitaryMatrix};
+use rayon::prelude::*;
+
+/// Controls how kernels execute.
+#[derive(Debug, Clone, Copy)]
+pub struct ApplyOptions {
+    /// Use rayon data parallelism when the state is large enough.
+    pub parallel: bool,
+    /// Minimum number of amplitudes before the parallel path is taken;
+    /// below this the sequential loop is faster than the fork/join overhead.
+    pub parallel_threshold: usize,
+}
+
+impl Default for ApplyOptions {
+    fn default() -> Self {
+        Self {
+            parallel: true,
+            parallel_threshold: 1 << 14,
+        }
+    }
+}
+
+impl ApplyOptions {
+    /// Fully sequential execution (used by the per-rank local engines, which
+    /// already parallelise across ranks).
+    pub fn sequential() -> Self {
+        Self {
+            parallel: false,
+            parallel_threshold: usize::MAX,
+        }
+    }
+
+    #[inline]
+    fn go_parallel(&self, len: usize) -> bool {
+        self.parallel && len >= self.parallel_threshold
+    }
+}
+
+/// Apply a gate to a state vector using the default options.
+pub fn apply_gate(state: &mut StateVector, gate: &Gate) {
+    apply_gate_with(state, gate, &ApplyOptions::default());
+}
+
+/// Apply a gate to a state vector with explicit execution options.
+pub fn apply_gate_with(state: &mut StateVector, gate: &Gate, opts: &ApplyOptions) {
+    let n = state.num_qubits();
+    for &q in &gate.qubits {
+        assert!(q < n, "gate touches qubit {q} but the state has {n} qubits");
+    }
+    match (&gate.kind, gate.qubits.as_slice()) {
+        (GateKind::I, _) => {}
+        // Dedicated fast paths for the most common structures.
+        (GateKind::X, &[q]) => apply_x(state, q, opts),
+        (GateKind::Cx, &[c, t]) => apply_cx(state, c, t, opts),
+        (GateKind::Cz, &[c, t]) => apply_cz(state, c, t, opts),
+        (GateKind::Swap, &[a, b]) => apply_swap(state, a, b, opts),
+        (kind, &[q]) if kind.is_diagonal() => {
+            let m = kind.matrix();
+            apply_diagonal_single(state, q, m.get(0, 0), m.get(1, 1), opts);
+        }
+        (kind, &[q]) => {
+            let m = kind.matrix();
+            let mat = [m.get(0, 0), m.get(0, 1), m.get(1, 0), m.get(1, 1)];
+            apply_single(state, q, &mat, opts);
+        }
+        (kind, &[c, t]) if kind.num_controls() == 1 => {
+            // Controlled single-qubit gate: apply the 2x2 block on the target
+            // restricted to the control=1 half.
+            let m = kind.matrix();
+            let mat = [m.get(1, 1), m.get(1, 3), m.get(3, 1), m.get(3, 3)];
+            apply_controlled_single(state, c, t, &mat, opts);
+        }
+        (kind, &[a, b]) if kind.is_diagonal() => {
+            let m = kind.matrix();
+            let diag = [m.get(0, 0), m.get(1, 1), m.get(2, 2), m.get(3, 3)];
+            apply_diagonal_two(state, a, b, &diag, opts);
+        }
+        _ => {
+            let m = gate.matrix();
+            apply_k_qubit(state, &gate.qubits, &m, opts);
+        }
+    }
+}
+
+/// Apply every gate of a circuit to the state, in order.
+pub fn apply_circuit(state: &mut StateVector, circuit: &hisvsim_circuit::Circuit) {
+    apply_circuit_with(state, circuit, &ApplyOptions::default());
+}
+
+/// Apply every gate of a circuit with explicit execution options.
+pub fn apply_circuit_with(
+    state: &mut StateVector,
+    circuit: &hisvsim_circuit::Circuit,
+    opts: &ApplyOptions,
+) {
+    assert!(
+        circuit.num_qubits() <= state.num_qubits(),
+        "circuit needs {} qubits, state has {}",
+        circuit.num_qubits(),
+        state.num_qubits()
+    );
+    for gate in circuit.gates() {
+        apply_gate_with(state, gate, opts);
+    }
+}
+
+/// Run a circuit from `|0…0⟩` and return the resulting state.
+///
+/// This is the *flat* (non-hierarchical) reference simulator every other
+/// engine in the workspace is validated against.
+pub fn run_circuit(circuit: &hisvsim_circuit::Circuit) -> StateVector {
+    run_circuit_with(circuit, &ApplyOptions::default())
+}
+
+/// Run a circuit from `|0…0⟩` with explicit options.
+pub fn run_circuit_with(
+    circuit: &hisvsim_circuit::Circuit,
+    opts: &ApplyOptions,
+) -> StateVector {
+    let mut state = StateVector::zero_state(circuit.num_qubits());
+    apply_circuit_with(&mut state, circuit, opts);
+    state
+}
+
+// ---------------------------------------------------------------------------
+// single-qubit kernels
+// ---------------------------------------------------------------------------
+
+/// Apply a dense 2×2 matrix `[m00, m01, m10, m11]` on qubit `q`.
+pub fn apply_single(state: &mut StateVector, q: Qubit, m: &[Complex64; 4], opts: &ApplyOptions) {
+    let len = state.len();
+    let half = 1usize << q;
+    let block = half << 1;
+    let m = *m;
+    let work = move |chunk: &mut [Complex64]| {
+        let (lo, hi) = chunk.split_at_mut(half);
+        for j in 0..half {
+            let a = lo[j];
+            let b = hi[j];
+            lo[j] = Complex64::ZERO.mul_add(m[0], a).mul_add(m[1], b);
+            hi[j] = Complex64::ZERO.mul_add(m[2], a).mul_add(m[3], b);
+        }
+    };
+    let amps = state.amplitudes_mut();
+    if opts.go_parallel(len) && len / block >= 2 {
+        amps.par_chunks_mut(block).for_each(work);
+    } else if opts.go_parallel(len) {
+        // The gate acts on one of the top qubits: only one block exists, so
+        // parallelise the inner loop instead.
+        let (lo, hi) = amps.split_at_mut(half);
+        lo.par_iter_mut().zip(hi.par_iter_mut()).for_each(|(a, b)| {
+            let x = *a;
+            let y = *b;
+            *a = Complex64::ZERO.mul_add(m[0], x).mul_add(m[1], y);
+            *b = Complex64::ZERO.mul_add(m[2], x).mul_add(m[3], y);
+        });
+    } else {
+        amps.chunks_mut(block).for_each(work);
+    }
+}
+
+/// Apply a diagonal single-qubit gate `diag(d0, d1)` on qubit `q`.
+pub fn apply_diagonal_single(
+    state: &mut StateVector,
+    q: Qubit,
+    d0: Complex64,
+    d1: Complex64,
+    opts: &ApplyOptions,
+) {
+    let len = state.len();
+    let mask = 1usize << q;
+    let amps = state.amplitudes_mut();
+    let update = move |(i, a): (usize, &mut Complex64)| {
+        *a = *a * if i & mask == 0 { d0 } else { d1 };
+    };
+    if opts.go_parallel(len) {
+        amps.par_iter_mut().enumerate().for_each(update);
+    } else {
+        amps.iter_mut().enumerate().for_each(update);
+    }
+}
+
+/// Apply a Pauli-X on qubit `q` (pure swap of the two halves of every block).
+pub fn apply_x(state: &mut StateVector, q: Qubit, opts: &ApplyOptions) {
+    let len = state.len();
+    let half = 1usize << q;
+    let block = half << 1;
+    let work = move |chunk: &mut [Complex64]| {
+        let (lo, hi) = chunk.split_at_mut(half);
+        lo.swap_with_slice(hi);
+    };
+    let amps = state.amplitudes_mut();
+    if opts.go_parallel(len) && len / block >= 2 {
+        amps.par_chunks_mut(block).for_each(work);
+    } else {
+        amps.chunks_mut(block).for_each(work);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// controlled / two-qubit kernels
+// ---------------------------------------------------------------------------
+
+/// Apply a 2×2 matrix on `target`, conditioned on `control` being 1.
+pub fn apply_controlled_single(
+    state: &mut StateVector,
+    control: Qubit,
+    target: Qubit,
+    m: &[Complex64; 4],
+    opts: &ApplyOptions,
+) {
+    let len = state.len();
+    let cmask = 1usize << control;
+    let tmask = 1usize << target;
+    let m = *m;
+    let amps_ptr = SharedAmps::new(state.amplitudes_mut());
+    let groups = len >> 2;
+    let (qa, qb) = (control.min(target), control.max(target));
+    let apply_group = move |k: usize| {
+        // Spread the group index over all non-gate bit positions.
+        let i_base = spread2(k, qa, qb);
+        let i = i_base | cmask; // control bit set, target bit 0
+        let j = i | tmask;
+        // SAFETY: every (i, j) pair is unique across k values because the
+        // gate-qubit bits are fixed and the remaining bits enumerate k.
+        unsafe {
+            let a = amps_ptr.read(i);
+            let b = amps_ptr.read(j);
+            amps_ptr.write(i, Complex64::ZERO.mul_add(m[0], a).mul_add(m[1], b));
+            amps_ptr.write(j, Complex64::ZERO.mul_add(m[2], a).mul_add(m[3], b));
+        }
+    };
+    if opts.go_parallel(len) {
+        (0..groups).into_par_iter().for_each(apply_group);
+    } else {
+        (0..groups).for_each(apply_group);
+    }
+}
+
+/// Apply a CNOT (control, target).
+pub fn apply_cx(state: &mut StateVector, control: Qubit, target: Qubit, opts: &ApplyOptions) {
+    let x = GateKind::X.matrix();
+    let m = [x.get(0, 0), x.get(0, 1), x.get(1, 0), x.get(1, 1)];
+    apply_controlled_single(state, control, target, &m, opts);
+}
+
+/// Apply a CZ (symmetric): flip the sign of amplitudes where both bits are 1.
+pub fn apply_cz(state: &mut StateVector, a: Qubit, b: Qubit, opts: &ApplyOptions) {
+    let len = state.len();
+    let mask = (1usize << a) | (1usize << b);
+    let amps = state.amplitudes_mut();
+    let update = move |(i, amp): (usize, &mut Complex64)| {
+        if i & mask == mask {
+            *amp = -*amp;
+        }
+    };
+    if opts.go_parallel(len) {
+        amps.par_iter_mut().enumerate().for_each(update);
+    } else {
+        amps.iter_mut().enumerate().for_each(update);
+    }
+}
+
+/// Apply a SWAP between qubits `a` and `b`.
+pub fn apply_swap(state: &mut StateVector, a: Qubit, b: Qubit, opts: &ApplyOptions) {
+    let len = state.len();
+    let amask = 1usize << a;
+    let bmask = 1usize << b;
+    let amps_ptr = SharedAmps::new(state.amplitudes_mut());
+    let groups = len >> 2;
+    let (qa, qb) = (a.min(b), a.max(b));
+    let apply_group = move |k: usize| {
+        let base = spread2(k, qa, qb);
+        let i = base | amask; // a=1, b=0
+        let j = base | bmask; // a=0, b=1
+        // SAFETY: disjoint index groups (see apply_controlled_single).
+        unsafe {
+            let x = amps_ptr.read(i);
+            let y = amps_ptr.read(j);
+            amps_ptr.write(i, y);
+            amps_ptr.write(j, x);
+        }
+    };
+    if opts.go_parallel(len) {
+        (0..groups).into_par_iter().for_each(apply_group);
+    } else {
+        (0..groups).for_each(apply_group);
+    }
+}
+
+/// Apply a diagonal two-qubit gate `diag(d00, d01, d10, d11)` where the digit
+/// order is (qubit `b`, qubit `a`) — i.e. `d01` multiplies states with a=1,
+/// b=0, matching the operand-0-is-LSB matrix convention.
+pub fn apply_diagonal_two(
+    state: &mut StateVector,
+    a: Qubit,
+    b: Qubit,
+    diag: &[Complex64; 4],
+    opts: &ApplyOptions,
+) {
+    let len = state.len();
+    let amask = 1usize << a;
+    let bmask = 1usize << b;
+    let diag = *diag;
+    let amps = state.amplitudes_mut();
+    let update = move |(i, amp): (usize, &mut Complex64)| {
+        let idx = ((i & amask != 0) as usize) | (((i & bmask != 0) as usize) << 1);
+        *amp = *amp * diag[idx];
+    };
+    if opts.go_parallel(len) {
+        amps.par_iter_mut().enumerate().for_each(update);
+    } else {
+        amps.iter_mut().enumerate().for_each(update);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// generic k-qubit kernel
+// ---------------------------------------------------------------------------
+
+/// Apply an arbitrary `k`-qubit unitary to the given (distinct) qubits.
+///
+/// Operand `qubits[j]` corresponds to bit `j` of the matrix index, matching
+/// [`GateKind::matrix`]'s convention.
+pub fn apply_k_qubit(
+    state: &mut StateVector,
+    qubits: &[Qubit],
+    matrix: &UnitaryMatrix,
+    opts: &ApplyOptions,
+) {
+    let k = qubits.len();
+    assert_eq!(matrix.dim(), 1 << k, "matrix dimension mismatch");
+    let len = state.len();
+    assert!(len >= 1 << k, "state too small for a {k}-qubit gate");
+    let groups = len >> k;
+
+    // Sorted qubit positions for spreading the group index.
+    let mut sorted: Vec<Qubit> = qubits.to_vec();
+    sorted.sort_unstable();
+
+    // Per-matrix-bit masks in state-index space.
+    let bit_masks: Vec<usize> = qubits.iter().map(|&q| 1usize << q).collect();
+    let dim = 1usize << k;
+
+    let amps_ptr = SharedAmps::new(state.amplitudes_mut());
+    let matrix = matrix.clone();
+    let apply_group = move |g: usize| {
+        // Build the base state index with zeros in all gate-qubit positions.
+        let mut base = g;
+        for &q in &sorted {
+            let low = base & ((1usize << q) - 1);
+            base = ((base >> q) << (q + 1)) | low;
+        }
+        // Gather the 2^k amplitudes of this group.
+        let mut local = vec![Complex64::ZERO; dim];
+        let mut indices = vec![0usize; dim];
+        for (sub, slot) in indices.iter_mut().enumerate() {
+            let mut idx = base;
+            for (bit, mask) in bit_masks.iter().enumerate() {
+                if (sub >> bit) & 1 == 1 {
+                    idx |= mask;
+                }
+            }
+            *slot = idx;
+            // SAFETY: groups are disjoint — all gate-qubit bits are fixed per
+            // sub-index and the base enumerates the remaining bits uniquely.
+            local[sub] = unsafe { amps_ptr.read(idx) };
+        }
+        for (row, &idx) in indices.iter().enumerate() {
+            let mut acc = Complex64::ZERO;
+            for (col, &amp) in local.iter().enumerate() {
+                acc = acc.mul_add(matrix.get(row, col), amp);
+            }
+            unsafe { amps_ptr.write(idx, acc) };
+        }
+    };
+    if opts.go_parallel(len) {
+        (0..groups).into_par_iter().for_each(apply_group);
+    } else {
+        (0..groups).for_each(apply_group);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// helpers
+// ---------------------------------------------------------------------------
+
+/// Insert two zero bits into `k` at positions `qa < qb`, producing a state
+/// index whose bits at `qa` and `qb` are 0 and whose other bits enumerate `k`.
+#[inline(always)]
+fn spread2(k: usize, qa: Qubit, qb: Qubit) -> usize {
+    debug_assert!(qa < qb);
+    let low = k & ((1usize << qa) - 1);
+    let mid = (k >> qa) & ((1usize << (qb - qa - 1)) - 1);
+    let high = k >> (qb - 1);
+    low | (mid << (qa + 1)) | (high << (qb + 1))
+}
+
+/// A `Sync` wrapper around the amplitude buffer for kernels whose write sets
+/// are disjoint per work item but not expressible as slice chunks.
+#[derive(Clone, Copy)]
+struct SharedAmps {
+    ptr: *mut Complex64,
+    len: usize,
+}
+
+unsafe impl Sync for SharedAmps {}
+unsafe impl Send for SharedAmps {}
+
+impl SharedAmps {
+    fn new(slice: &mut [Complex64]) -> Self {
+        Self {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+        }
+    }
+
+    /// # Safety
+    /// Caller must guarantee `idx < len` and that no other thread accesses
+    /// `idx` concurrently.
+    #[inline(always)]
+    unsafe fn read(&self, idx: usize) -> Complex64 {
+        debug_assert!(idx < self.len);
+        *self.ptr.add(idx)
+    }
+
+    /// # Safety
+    /// Caller must guarantee `idx < len` and that no other thread accesses
+    /// `idx` concurrently.
+    #[inline(always)]
+    unsafe fn write(&self, idx: usize, value: Complex64) {
+        debug_assert!(idx < self.len);
+        *self.ptr.add(idx) = value;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hisvsim_circuit::{generators, Circuit};
+
+    const SEQ: ApplyOptions = ApplyOptions {
+        parallel: false,
+        parallel_threshold: usize::MAX,
+    };
+    const PAR: ApplyOptions = ApplyOptions {
+        parallel: true,
+        parallel_threshold: 1,
+    };
+
+    /// Reference: apply a gate through the dense embedded-unitary definition.
+    fn apply_gate_reference(state: &StateVector, gate: &Gate) -> StateVector {
+        let n = state.num_qubits();
+        let dim = 1usize << n;
+        let g = gate.matrix();
+        let mut out = vec![Complex64::ZERO; dim];
+        for col in 0..dim {
+            let amp_in = state.amp(col);
+            if amp_in == Complex64::ZERO {
+                continue;
+            }
+            let mut sub_col = 0usize;
+            for (j, &q) in gate.qubits.iter().enumerate() {
+                sub_col |= ((col >> q) & 1) << j;
+            }
+            for sub_row in 0..g.dim() {
+                let m = g.get(sub_row, sub_col);
+                if m == Complex64::ZERO {
+                    continue;
+                }
+                let mut row = col;
+                for (j, &q) in gate.qubits.iter().enumerate() {
+                    let bit = (sub_row >> j) & 1;
+                    row = (row & !(1 << q)) | (bit << q);
+                }
+                out[row] += m * amp_in;
+            }
+        }
+        StateVector::from_amplitudes(out)
+    }
+
+    fn random_state(n: usize, seed: u64) -> StateVector {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut amps: Vec<Complex64> = (0..1 << n)
+            .map(|_| Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect();
+        let norm: f64 = amps.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt();
+        for a in &mut amps {
+            *a = a.scale(1.0 / norm);
+        }
+        StateVector::from_amplitudes(amps)
+    }
+
+    fn check_gate_against_reference(gate: Gate, n: usize) {
+        let init = random_state(n, 0xFEED + n as u64 + gate.qubits.iter().sum::<usize>() as u64);
+        let expected = apply_gate_reference(&init, &gate);
+        for opts in [SEQ, PAR] {
+            let mut got = init.clone();
+            apply_gate_with(&mut got, &gate, &opts);
+            assert!(
+                got.approx_eq(&expected, 1e-10),
+                "kernel mismatch for {} on {:?} (parallel={})",
+                gate.kind.name(),
+                gate.qubits,
+                opts.parallel
+            );
+        }
+    }
+
+    #[test]
+    fn hadamard_on_zero_state_gives_uniform_superposition() {
+        let mut c = Circuit::new(3);
+        c.h(0).h(1).h(2);
+        let sv = run_circuit(&c);
+        let expect = 1.0 / (8f64).sqrt();
+        for i in 0..8 {
+            assert!((sv.amp(i).re - expect).abs() < 1e-12);
+            assert!(sv.amp(i).im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn bell_state_amplitudes() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let sv = run_circuit(&c);
+        let r = std::f64::consts::FRAC_1_SQRT_2;
+        assert!((sv.amp(0).re - r).abs() < 1e-12);
+        assert!((sv.amp(3).re - r).abs() < 1e-12);
+        assert!(sv.amp(1).norm() < 1e-12);
+        assert!(sv.amp(2).norm() < 1e-12);
+    }
+
+    #[test]
+    fn every_gate_kind_matches_reference_on_random_state() {
+        use GateKind::*;
+        let single = [H, X, Y, Z, S, T, Sx, Rx(0.3), Ry(0.7), Rz(-1.1), P(0.4), U3(0.2, 0.5, 0.9)];
+        for kind in single {
+            for q in [0usize, 2, 4] {
+                check_gate_against_reference(Gate::new(kind, vec![q]), 5);
+            }
+        }
+        let double = [Cx, Cy, Cz, Ch, Cp(0.8), Crz(1.3), Crx(0.6), Swap, Rzz(0.9), Rxx(0.5)];
+        for kind in double {
+            for (a, b) in [(0usize, 1usize), (1, 4), (4, 2), (3, 0)] {
+                check_gate_against_reference(Gate::new(kind, vec![a, b]), 5);
+            }
+        }
+        for (c0, c1, t) in [(0usize, 1usize, 2usize), (4, 2, 0), (1, 3, 4)] {
+            check_gate_against_reference(Gate::new(Ccx, vec![c0, c1, t]), 5);
+            check_gate_against_reference(Gate::new(Cswap, vec![c0, c1, t]), 5);
+        }
+    }
+
+    #[test]
+    fn top_qubit_gate_uses_split_parallel_path() {
+        // Gate on the highest qubit exercises the single-block branch.
+        let gate = Gate::new(GateKind::H, vec![7]);
+        check_gate_against_reference(gate, 8);
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree_on_whole_circuits() {
+        for name in ["qft", "grover", "adder", "qaoa"] {
+            let c = generators::by_name(name, 8);
+            let seq = run_circuit_with(&c, &SEQ);
+            let par = run_circuit_with(&c, &PAR);
+            assert!(
+                seq.approx_eq(&par, 1e-9),
+                "{name}: parallel and sequential runs disagree"
+            );
+        }
+    }
+
+    #[test]
+    fn circuit_followed_by_inverse_is_identity() {
+        let c = generators::random_circuit(6, 60, 11);
+        let mut sv = run_circuit(&c);
+        apply_circuit(&mut sv, &c.inverse());
+        let zero = StateVector::zero_state(6);
+        assert!(sv.approx_eq(&zero, 1e-9));
+    }
+
+    #[test]
+    fn unitarity_preserves_norm() {
+        let c = generators::by_name("qpe", 9);
+        let sv = run_circuit(&c);
+        assert!((sv.norm_sqr() - 1.0).abs() < 1e-9);
+        assert!(sv.is_finite());
+    }
+
+    #[test]
+    fn spread2_produces_disjoint_groups() {
+        let (qa, qb) = (1usize, 3usize);
+        let mut seen = std::collections::HashSet::new();
+        for k in 0..16 {
+            let base = spread2(k, qa, qb);
+            assert_eq!(base & (1 << qa), 0);
+            assert_eq!(base & (1 << qb), 0);
+            assert!(seen.insert(base), "duplicate base {base}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "gate touches qubit")]
+    fn gate_outside_register_panics() {
+        let mut sv = StateVector::zero_state(2);
+        apply_gate(&mut sv, &Gate::new(GateKind::H, vec![5]));
+    }
+}

@@ -1,0 +1,54 @@
+//! # hisvsim-statevec
+//!
+//! Dense state-vector simulation kernels for HiSVSIM-RS.
+//!
+//! This crate provides the *computation* half of the paper's simulator:
+//!
+//! * [`state`] — the [`StateVector`] container (2^n complex amplitudes),
+//! * [`kernels`] — gate application (specialised single-qubit, controlled,
+//!   diagonal, swap and generic k-qubit kernels; sequential and rayon-parallel
+//!   paths) plus the flat reference simulator [`kernels::run_circuit`],
+//! * [`gather`] — the Gather/Scatter index machinery between outer and inner
+//!   state vectors (paper Algorithm 1),
+//! * [`fusion`] — greedy gate fusion into small dense unitaries (the
+//!   kernel-level optimisation the paper calls orthogonal to its partitioning),
+//! * [`measure`] — probabilities, sampling and expectation values.
+//!
+//! The hierarchical, distributed and multi-level engines live in
+//! `hisvsim-core` and are built entirely from these primitives.
+//!
+//! ## Example
+//!
+//! ```
+//! use hisvsim_circuit::Circuit;
+//! use hisvsim_statevec::prelude::*;
+//!
+//! let mut bell = Circuit::new(2);
+//! bell.h(0).cx(0, 1);
+//! let state = run_circuit(&bell);
+//! assert!((state.probability(0b00) - 0.5).abs() < 1e-12);
+//! assert!((state.probability(0b11) - 0.5).abs() < 1e-12);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod fusion;
+pub mod gather;
+pub mod kernels;
+pub mod measure;
+pub mod state;
+
+pub use gather::GatherMap;
+pub use kernels::{apply_circuit, apply_gate, run_circuit, ApplyOptions};
+pub use state::StateVector;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use crate::gather::GatherMap;
+    pub use crate::kernels::{
+        apply_circuit, apply_circuit_with, apply_gate, apply_gate_with, run_circuit,
+        run_circuit_with, ApplyOptions,
+    };
+    pub use crate::measure;
+    pub use crate::state::StateVector;
+}

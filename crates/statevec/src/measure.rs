@@ -1,0 +1,166 @@
+//! Measurement and observable utilities on state vectors.
+//!
+//! The simulators in this workspace evolve the pure unitary part of a circuit
+//! (as the paper's do); these helpers extract classical information from the
+//! final state — marginal probabilities, shot sampling, and Pauli-Z
+//! expectation values — which the examples and tests use to validate circuit
+//! semantics end to end.
+
+use crate::state::StateVector;
+use hisvsim_circuit::Qubit;
+use rand::Rng;
+
+/// Probability that measuring `qubit` yields 1.
+pub fn probability_of_one(state: &StateVector, qubit: Qubit) -> f64 {
+    assert!(qubit < state.num_qubits());
+    let mask = 1usize << qubit;
+    state
+        .amplitudes()
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i & mask != 0)
+        .map(|(_, a)| a.norm_sqr())
+        .sum()
+}
+
+/// Expectation value of Pauli-Z on `qubit`: `P(0) - P(1)`.
+pub fn expectation_z(state: &StateVector, qubit: Qubit) -> f64 {
+    1.0 - 2.0 * probability_of_one(state, qubit)
+}
+
+/// Full probability distribution over computational basis states.
+///
+/// Only sensible for small registers (the vector has `2^n` entries).
+pub fn probabilities(state: &StateVector) -> Vec<f64> {
+    state.amplitudes().iter().map(|a| a.norm_sqr()).collect()
+}
+
+/// The most likely basis state and its probability.
+pub fn most_probable(state: &StateVector) -> (usize, f64) {
+    let mut best = (0usize, f64::MIN);
+    for (i, a) in state.amplitudes().iter().enumerate() {
+        let p = a.norm_sqr();
+        if p > best.1 {
+            best = (i, p);
+        }
+    }
+    best
+}
+
+/// Sample `shots` measurement outcomes (full-register, computational basis).
+pub fn sample_counts<R: Rng>(
+    state: &StateVector,
+    shots: usize,
+    rng: &mut R,
+) -> std::collections::BTreeMap<usize, usize> {
+    // Cumulative distribution sampling; adequate for the register sizes the
+    // examples measure (they sample marginals of ≤ 24-qubit states rarely).
+    let probs = probabilities(state);
+    let mut cumulative = Vec::with_capacity(probs.len());
+    let mut acc = 0.0;
+    for p in &probs {
+        acc += p;
+        cumulative.push(acc);
+    }
+    let total = acc.max(f64::MIN_POSITIVE);
+    let mut counts = std::collections::BTreeMap::new();
+    for _ in 0..shots {
+        let r: f64 = rng.gen_range(0.0..total);
+        let idx = match cumulative.binary_search_by(|c| c.partial_cmp(&r).unwrap()) {
+            Ok(i) => i,
+            Err(i) => i,
+        }
+        .min(probs.len() - 1);
+        *counts.entry(idx).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Collapse the distribution onto a subset of qubits: returns the marginal
+/// probability of each bit pattern over `qubits` (pattern bit `j` = value of
+/// `qubits[j]`).
+pub fn marginal_probabilities(state: &StateVector, qubits: &[Qubit]) -> Vec<f64> {
+    for &q in qubits {
+        assert!(q < state.num_qubits());
+    }
+    let mut out = vec![0.0; 1 << qubits.len()];
+    for (i, a) in state.amplitudes().iter().enumerate() {
+        let mut pattern = 0usize;
+        for (j, &q) in qubits.iter().enumerate() {
+            pattern |= ((i >> q) & 1) << j;
+        }
+        out[pattern] += a.norm_sqr();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::run_circuit;
+    use hisvsim_circuit::{generators, Circuit};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn plus_state_measures_half_half() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        let sv = run_circuit(&c);
+        assert!((probability_of_one(&sv, 0) - 0.5).abs() < 1e-12);
+        assert!(expectation_z(&sv, 0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cat_state_marginals_are_correlated() {
+        let sv = run_circuit(&generators::cat_state(6));
+        let marg = marginal_probabilities(&sv, &[0, 5]);
+        assert!((marg[0b00] - 0.5).abs() < 1e-12);
+        assert!((marg[0b11] - 0.5).abs() < 1e-12);
+        assert!(marg[0b01] < 1e-12);
+        assert!(marg[0b10] < 1e-12);
+    }
+
+    #[test]
+    fn bv_circuit_recovers_secret_deterministically() {
+        // The data register of Bernstein-Vazirani measures exactly the
+        // secret string.
+        let n = 9;
+        let sv = run_circuit(&generators::bv(n, 0xB5));
+        let data_qubits: Vec<usize> = (0..n - 1).collect();
+        let marg = marginal_probabilities(&sv, &data_qubits);
+        let (best, p) = marg
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        assert!(*p > 0.999, "BV output is not deterministic: p = {p}");
+        assert!(best > 0, "the seeded secret should be non-zero");
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let sv = run_circuit(&generators::qft(8));
+        let total: f64 = probabilities(&sv).iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn most_probable_finds_peak() {
+        let sv = StateVector::basis_state(4, 11);
+        assert_eq!(most_probable(&sv), (11, 1.0));
+    }
+
+    #[test]
+    fn sampling_matches_distribution_roughly() {
+        let mut c = Circuit::new(2);
+        c.h(0); // uniform over {00, 01}
+        let sv = run_circuit(&c);
+        let mut rng = StdRng::seed_from_u64(1);
+        let counts = sample_counts(&sv, 4000, &mut rng);
+        let ones = *counts.get(&1).unwrap_or(&0) as f64;
+        let zeros = *counts.get(&0).unwrap_or(&0) as f64;
+        assert_eq!(ones + zeros, 4000.0);
+        assert!((ones / 4000.0 - 0.5).abs() < 0.05);
+    }
+}

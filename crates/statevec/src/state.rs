@@ -1,0 +1,216 @@
+//! The dense state-vector container and basic linear-algebra operations on
+//! quantum states.
+
+use hisvsim_circuit::Complex64;
+use serde::{Deserialize, Serialize};
+
+/// A dense `n`-qubit quantum state: `2^n` complex amplitudes, little-endian
+/// (qubit 0 is the least-significant bit of the amplitude index).
+///
+/// Each amplitude is 16 bytes, so the memory footprint is `2^{n+4}` bytes —
+/// the quantity the paper's Table I reports per benchmark.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StateVector {
+    num_qubits: usize,
+    amps: Vec<Complex64>,
+}
+
+impl StateVector {
+    /// The all-zeros computational basis state `|0…0⟩`.
+    pub fn zero_state(num_qubits: usize) -> Self {
+        assert!(
+            num_qubits < usize::BITS as usize - 4,
+            "state of {num_qubits} qubits cannot be indexed on this platform"
+        );
+        let mut amps = vec![Complex64::ZERO; 1usize << num_qubits];
+        amps[0] = Complex64::ONE;
+        Self { num_qubits, amps }
+    }
+
+    /// A computational basis state `|index⟩`.
+    pub fn basis_state(num_qubits: usize, index: usize) -> Self {
+        let mut sv = Self::zero_state(num_qubits);
+        sv.amps[0] = Complex64::ZERO;
+        sv.amps[index] = Complex64::ONE;
+        sv
+    }
+
+    /// Build a state from raw amplitudes; the length must be a power of two.
+    pub fn from_amplitudes(amps: Vec<Complex64>) -> Self {
+        assert!(amps.len().is_power_of_two(), "length must be a power of two");
+        let num_qubits = amps.len().trailing_zeros() as usize;
+        Self { num_qubits, amps }
+    }
+
+    /// An unnormalised state of all-zero amplitudes, used as a scratch target
+    /// for gather/scatter and distributed exchanges.
+    pub fn uninitialized(num_qubits: usize) -> Self {
+        Self {
+            num_qubits,
+            amps: vec![Complex64::ZERO; 1usize << num_qubits],
+        }
+    }
+
+    /// Number of qubits.
+    #[inline]
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Number of amplitudes (`2^n`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.amps.len()
+    }
+
+    /// Always false — a state vector has at least one amplitude.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Read-only amplitude slice.
+    #[inline]
+    pub fn amplitudes(&self) -> &[Complex64] {
+        &self.amps
+    }
+
+    /// Mutable amplitude slice.
+    #[inline]
+    pub fn amplitudes_mut(&mut self) -> &mut [Complex64] {
+        &mut self.amps
+    }
+
+    /// Consume the state and return its amplitudes.
+    pub fn into_amplitudes(self) -> Vec<Complex64> {
+        self.amps
+    }
+
+    /// Single amplitude accessor.
+    #[inline]
+    pub fn amp(&self, index: usize) -> Complex64 {
+        self.amps[index]
+    }
+
+    /// Total probability mass `Σ |a_i|^2` (1.0 for a normalised state).
+    pub fn norm_sqr(&self) -> f64 {
+        self.amps.iter().map(|a| a.norm_sqr()).sum()
+    }
+
+    /// Normalise the state in place; returns the norm that was divided out.
+    pub fn normalize(&mut self) -> f64 {
+        let norm = self.norm_sqr().sqrt();
+        if norm > 0.0 {
+            let inv = 1.0 / norm;
+            for a in &mut self.amps {
+                *a = a.scale(inv);
+            }
+        }
+        norm
+    }
+
+    /// Inner product `⟨self|other⟩`.
+    pub fn inner_product(&self, other: &StateVector) -> Complex64 {
+        assert_eq!(self.num_qubits, other.num_qubits);
+        self.amps
+            .iter()
+            .zip(other.amps.iter())
+            .fold(Complex64::ZERO, |acc, (a, b)| acc.mul_add(a.conj(), *b))
+    }
+
+    /// Fidelity `|⟨self|other⟩|^2` between two (normalised) states.
+    pub fn fidelity(&self, other: &StateVector) -> f64 {
+        self.inner_product(other).norm_sqr()
+    }
+
+    /// Probability of measuring the computational basis state `index`.
+    #[inline]
+    pub fn probability(&self, index: usize) -> f64 {
+        self.amps[index].norm_sqr()
+    }
+
+    /// Largest absolute per-component difference against another state.
+    pub fn max_abs_diff(&self, other: &StateVector) -> f64 {
+        assert_eq!(self.num_qubits, other.num_qubits);
+        self.amps
+            .iter()
+            .zip(other.amps.iter())
+            .map(|(a, b)| {
+                let d = *a - *b;
+                d.re.abs().max(d.im.abs())
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// True when every amplitude matches `other` within `tol`.
+    pub fn approx_eq(&self, other: &StateVector, tol: f64) -> bool {
+        self.num_qubits == other.num_qubits && self.max_abs_diff(other) <= tol
+    }
+
+    /// True when every amplitude is finite (no NaN/Inf crept in).
+    pub fn is_finite(&self) -> bool {
+        self.amps.iter().all(|a| a.is_finite())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_state_has_unit_amplitude_at_origin() {
+        let sv = StateVector::zero_state(3);
+        assert_eq!(sv.len(), 8);
+        assert_eq!(sv.amp(0), Complex64::ONE);
+        assert!((sv.norm_sqr() - 1.0).abs() < 1e-15);
+        assert!(sv.is_finite());
+    }
+
+    #[test]
+    fn basis_state_places_amplitude() {
+        let sv = StateVector::basis_state(3, 5);
+        assert_eq!(sv.amp(5), Complex64::ONE);
+        assert_eq!(sv.probability(5), 1.0);
+        assert_eq!(sv.probability(0), 0.0);
+    }
+
+    #[test]
+    fn from_amplitudes_infers_width() {
+        let sv = StateVector::from_amplitudes(vec![Complex64::ONE; 16]);
+        assert_eq!(sv.num_qubits(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn from_amplitudes_rejects_bad_length() {
+        let _ = StateVector::from_amplitudes(vec![Complex64::ONE; 3]);
+    }
+
+    #[test]
+    fn normalize_produces_unit_norm() {
+        let mut sv = StateVector::from_amplitudes(vec![Complex64::new(3.0, 0.0); 4]);
+        let norm = sv.normalize();
+        assert!((norm - 6.0).abs() < 1e-12);
+        assert!((sv.norm_sqr() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inner_product_and_fidelity() {
+        let a = StateVector::basis_state(2, 1);
+        let b = StateVector::basis_state(2, 1);
+        let c = StateVector::basis_state(2, 2);
+        assert!(a.inner_product(&b).approx_eq(Complex64::ONE, 1e-15));
+        assert!((a.fidelity(&b) - 1.0).abs() < 1e-15);
+        assert!(a.fidelity(&c) < 1e-15);
+    }
+
+    #[test]
+    fn max_abs_diff_detects_divergence() {
+        let a = StateVector::zero_state(2);
+        let mut b = StateVector::zero_state(2);
+        b.amplitudes_mut()[3] = Complex64::new(0.0, 0.25);
+        assert!((a.max_abs_diff(&b) - 0.25).abs() < 1e-15);
+        assert!(!a.approx_eq(&b, 1e-3));
+        assert!(a.approx_eq(&b, 0.3));
+    }
+}

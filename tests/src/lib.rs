@@ -1,0 +1,30 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use hisvsim_circuit::Circuit;
+use hisvsim_statevec::{run_circuit, StateVector};
+
+/// Tolerance used when comparing engine outputs against the flat reference.
+pub const TOL: f64 = 1e-9;
+
+/// Run the flat reference simulator.
+pub fn reference_state(circuit: &Circuit) -> StateVector {
+    run_circuit(circuit)
+}
+
+/// Assert two states are equal within [`TOL`], with a readable message.
+pub fn assert_states_match(label: &str, got: &StateVector, expected: &StateVector) {
+    assert!(
+        got.approx_eq(expected, TOL),
+        "{label}: states diverge (max |Δ| = {:.3e})",
+        got.max_abs_diff(expected)
+    );
+}
+
+/// The benchmark families small enough to cross-check exhaustively in
+/// integration tests.
+pub fn small_suite(width: usize) -> Vec<Circuit> {
+    hisvsim_circuit::generators::FAMILY_NAMES
+        .iter()
+        .map(|name| hisvsim_circuit::generators::by_name(name, width))
+        .collect()
+}

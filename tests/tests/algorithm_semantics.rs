@@ -1,0 +1,166 @@
+//! End-to-end algorithm-level checks: the benchmark circuits are not just
+//! gate soups — each implements a known quantum algorithm whose output
+//! distribution is predictable. Running them through the *partitioned*
+//! engines and checking the algorithmic answer exercises the full stack
+//! (generator → DAG → partitioner → engine → measurement).
+
+use hisvsim_circuit::generators;
+use hisvsim_core::{DistConfig, DistributedSimulator, HierConfig, HierarchicalSimulator};
+use hisvsim_partition::Strategy;
+use hisvsim_statevec::measure;
+
+#[test]
+fn cat_state_is_maximally_correlated_after_partitioned_execution() {
+    let n = 12;
+    let circuit = generators::cat_state(n);
+    let run = HierarchicalSimulator::new(HierConfig::new(4)).run(&circuit).unwrap();
+    let probs = measure::marginal_probabilities(&run.state, &(0..n).collect::<Vec<_>>());
+    assert!((probs[0] - 0.5).abs() < 1e-9, "P(|0…0⟩) = {}", probs[0]);
+    assert!(
+        (probs[(1 << n) - 1] - 0.5).abs() < 1e-9,
+        "P(|1…1⟩) = {}",
+        probs[(1 << n) - 1]
+    );
+}
+
+#[test]
+fn bernstein_vazirani_recovers_its_secret_through_the_distributed_engine() {
+    let n = 11;
+    let circuit = generators::bv(n, 0xB5);
+    let run = DistributedSimulator::new(DistConfig::new(4).with_strategy(Strategy::DagP))
+        .run(&circuit)
+        .unwrap();
+    let data: Vec<usize> = (0..n - 1).collect();
+    let marg = measure::marginal_probabilities(&run.state, &data);
+    let (_best, p) = marg
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .unwrap();
+    assert!(*p > 0.999, "BV output not deterministic: p = {p}");
+}
+
+#[test]
+fn grover_amplifies_the_marked_state() {
+    let n = 9;
+    let circuit = generators::grover(n, 2, 0x6F);
+    let run = HierarchicalSimulator::new(HierConfig::new(5)).run(&circuit).unwrap();
+    // The search register is the largest s with s + 1 + (s-2) <= n (s = 5
+    // here); after 2 Grover iterations the marked state dominates the
+    // uniform 1/2^s background.
+    let search: Vec<usize> = (0..5).collect();
+    let marg = measure::marginal_probabilities(&run.state, &search);
+    let max = marg.iter().cloned().fold(0.0f64, f64::max);
+    let uniform = 1.0 / 32.0;
+    assert!(
+        max > 5.0 * uniform,
+        "Grover peak {max} not amplified above uniform {uniform}"
+    );
+}
+
+#[test]
+fn qft_implements_the_standard_dft_and_inverse_restores_it() {
+    use hisvsim_circuit::Circuit;
+    use hisvsim_statevec::{run_circuit, StateVector};
+    // QFT|k⟩ must equal the DFT column: amplitudes e^{2πi k m / N} / √N.
+    let n = 5;
+    let k = 11usize;
+    let mut prep = Circuit::new(n);
+    for bit in 0..n {
+        if (k >> bit) & 1 == 1 {
+            prep.x(bit);
+        }
+    }
+    prep.extend(&generators::qft(n));
+    let state = run_circuit(&prep);
+    let dim = 1usize << n;
+    for m in 0..dim {
+        let phase = 2.0 * std::f64::consts::PI * (k * m) as f64 / dim as f64;
+        let expected_re = phase.cos() / (dim as f64).sqrt();
+        let expected_im = phase.sin() / (dim as f64).sqrt();
+        assert!(
+            (state.amp(m).re - expected_re).abs() < 1e-9
+                && (state.amp(m).im - expected_im).abs() < 1e-9,
+            "QFT amplitude at |{m}⟩ is {}, expected {expected_re}+{expected_im}i",
+            state.amp(m)
+        );
+    }
+    // And the generator's inverse QFT undoes it.
+    let mut roundtrip = Circuit::new(n);
+    roundtrip.extend(&generators::qft(n));
+    generators::append_inverse_qft(&mut roundtrip, &(0..n).collect::<Vec<_>>());
+    let back = run_circuit(&roundtrip);
+    assert!(back.approx_eq(&StateVector::zero_state(n), 1e-9));
+}
+
+#[test]
+fn qpe_estimates_the_programmed_phase() {
+    // qpe(n) estimates phase 0.34375 = 0.01011 in binary with n-1 counting
+    // qubits; with ≥ 5 counting qubits the estimate is exact, so the
+    // counting register collapses to a single value.
+    let n = 10;
+    let circuit = generators::qpe(n);
+    let run = HierarchicalSimulator::new(HierConfig::new(5)).run(&circuit).unwrap();
+    let counting: Vec<usize> = (0..n - 1).collect();
+    let marg = measure::marginal_probabilities(&run.state, &counting);
+    let (best, p) = marg
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .unwrap();
+    // The inverse QFT writes the phase bits most-significant-first; account
+    // for the register ordering by checking the estimated phase value.
+    let estimated = best as f64 / (1u64 << (n - 1)) as f64;
+    assert!(*p > 0.99, "QPE not sharp: p = {p}");
+    assert!(
+        (estimated - 0.34375).abs() < 1e-9 || (1.0 - (estimated - 0.34375).abs()) < 1e-9,
+        "estimated phase {estimated} != 0.34375"
+    );
+}
+
+#[test]
+fn adder_produces_a_plus_b_on_computational_inputs() {
+    // The Cuccaro adder circuit prepares A in superposition; instead check
+    // unitarity plus the carry-structure invariant: the output distribution
+    // over (A, B+A) pairs must only contain consistent sums.
+    let n = 10; // k = 4-bit operands
+    let circuit = generators::adder(n);
+    let run = HierarchicalSimulator::new(HierConfig::new(5)).run(&circuit).unwrap();
+    let k = (n - 2) / 2;
+    let a_qubits: Vec<usize> = (0..k).map(|i| 1 + 2 * i).collect();
+    let b_qubits: Vec<usize> = (0..k).map(|i| 2 + 2 * i).collect();
+    let cout = 2 * k + 1;
+    let mut all: Vec<usize> = a_qubits.clone();
+    all.extend(&b_qubits);
+    all.push(cout);
+    let marg = measure::marginal_probabilities(&run.state, &all);
+    // Initial B value set by the generator: bits i with i % 3 == 0.
+    let b_init: usize = (0..k).filter(|i| i % 3 == 0).fold(0, |acc, i| acc | (1 << i));
+    let mut checked = 0usize;
+    for (pattern, p) in marg.iter().enumerate() {
+        if *p < 1e-9 {
+            continue;
+        }
+        let a = pattern & ((1 << k) - 1);
+        let b_out = (pattern >> k) & ((1 << k) - 1);
+        let carry = (pattern >> (2 * k)) & 1;
+        let sum = a + b_init;
+        assert_eq!(
+            (carry << k) | b_out,
+            sum,
+            "inconsistent adder output: a={a}, b_init={b_init}, got {b_out} carry {carry}"
+        );
+        checked += 1;
+    }
+    assert!(checked >= 1 << (k - 1), "too few populated outcomes: {checked}");
+}
+
+#[test]
+fn qaoa_state_is_normalised_and_entangled() {
+    let circuit = generators::qaoa(12, 2, 0xA0A);
+    let run = HierarchicalSimulator::new(HierConfig::new(6)).run(&circuit).unwrap();
+    assert!((run.state.norm_sqr() - 1.0).abs() < 1e-9);
+    // Entanglement proxy: the marginal of qubit 0 is mixed (not 0 or 1).
+    let p1 = measure::probability_of_one(&run.state, 0);
+    assert!(p1 > 0.01 && p1 < 0.99, "qubit 0 marginal suspiciously pure: {p1}");
+}

@@ -1,0 +1,104 @@
+//! The correctness anchor of the whole reproduction: every execution mode
+//! (hierarchical single-node, distributed, multi-level, IQS-style baseline)
+//! must produce the same final state as the flat reference simulator, for
+//! every benchmark family, every partitioning strategy, and a range of rank
+//! counts and working-set limits.
+
+use hisvsim_core::{
+    BaselineConfig, DistConfig, DistributedSimulator, HierConfig, HierarchicalSimulator,
+    IqsBaseline, MultilevelConfig, MultilevelSimulator,
+};
+use hisvsim_dag::CircuitDag;
+use hisvsim_integration_tests::{assert_states_match, reference_state, small_suite};
+use hisvsim_partition::Strategy;
+
+#[test]
+fn hierarchical_engine_matches_reference_for_all_strategies() {
+    for circuit in small_suite(9) {
+        let expected = reference_state(&circuit);
+        let dag = CircuitDag::from_circuit(&circuit);
+        for strategy in Strategy::ALL {
+            for limit in [4usize, 6, 9] {
+                let partition = match strategy.partition(&dag, limit) {
+                    Ok(p) => p,
+                    Err(_) => continue, // limit below a gate's arity
+                };
+                let run = HierarchicalSimulator::new(
+                    HierConfig::new(limit).with_strategy(strategy),
+                )
+                .run_with_partition(&circuit, &dag, partition);
+                assert_states_match(
+                    &format!("{} hier {} limit {limit}", circuit.name, strategy.name()),
+                    &run.state,
+                    &expected,
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn distributed_engine_matches_reference_across_rank_counts() {
+    for circuit in small_suite(8) {
+        let expected = reference_state(&circuit);
+        for ranks in [2usize, 4] {
+            let run = DistributedSimulator::new(
+                DistConfig::new(ranks).with_strategy(Strategy::DagP),
+            )
+            .run(&circuit)
+            .expect("partitioning failed");
+            assert_states_match(
+                &format!("{} dist {ranks} ranks", circuit.name),
+                &run.state,
+                &expected,
+            );
+            assert_eq!(run.report.num_ranks, ranks);
+        }
+    }
+}
+
+#[test]
+fn baseline_engine_matches_reference() {
+    for circuit in small_suite(8) {
+        let expected = reference_state(&circuit);
+        let run = IqsBaseline::new(BaselineConfig::new(4)).run(&circuit);
+        assert_states_match(&format!("{} baseline", circuit.name), &run.state, &expected);
+    }
+}
+
+#[test]
+fn multilevel_engine_matches_reference() {
+    for circuit in small_suite(8) {
+        let expected = reference_state(&circuit);
+        let run = MultilevelSimulator::new(MultilevelConfig::new(4, 3))
+            .run(&circuit)
+            .expect("partitioning failed");
+        assert_states_match(&format!("{} multilevel", circuit.name), &run.state, &expected);
+    }
+}
+
+#[test]
+fn engines_agree_with_each_other_on_a_deep_circuit() {
+    // qpe has the largest gate count of the suite; run it once through every
+    // engine and compare them pairwise.
+    let circuit = hisvsim_circuit::generators::qpe(10);
+    let expected = reference_state(&circuit);
+    let hier = HierarchicalSimulator::new(HierConfig::new(5))
+        .run(&circuit)
+        .unwrap();
+    let dist = DistributedSimulator::new(DistConfig::new(4))
+        .run(&circuit)
+        .unwrap();
+    let multi = MultilevelSimulator::new(MultilevelConfig::new(4, 4))
+        .run(&circuit)
+        .unwrap();
+    let base = IqsBaseline::new(BaselineConfig::new(4)).run(&circuit);
+    for (label, state) in [
+        ("hier", &hier.state),
+        ("dist", &dist.state),
+        ("multilevel", &multi.state),
+        ("baseline", &base.state),
+    ] {
+        assert_states_match(label, state, &expected);
+    }
+}
