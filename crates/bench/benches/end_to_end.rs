@@ -27,8 +27,7 @@ fn bench_end_to_end(c: &mut Criterion) {
     for strategy in Strategy::ALL {
         let partition = strategy.partition(&dag, limit).unwrap();
         group.bench_function(format!("hier_{}", strategy.name()), |b| {
-            let sim =
-                HierarchicalSimulator::new(HierConfig::new(limit).with_strategy(strategy));
+            let sim = HierarchicalSimulator::new(HierConfig::new(limit).with_strategy(strategy));
             b.iter(|| sim.run_with_partition(&circuit, &dag, partition.clone()))
         });
     }

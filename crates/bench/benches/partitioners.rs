@@ -17,11 +17,9 @@ fn bench_partitioners(c: &mut Criterion) {
         let dag = CircuitDag::from_circuit(&circuit);
         let limit = 8usize;
         for strategy in Strategy::ALL {
-            group.bench_with_input(
-                BenchmarkId::new(strategy.name(), family),
-                &dag,
-                |b, dag| b.iter(|| strategy.partition(dag, limit).unwrap()),
-            );
+            group.bench_with_input(BenchmarkId::new(strategy.name(), family), &dag, |b, dag| {
+                b.iter(|| strategy.partition(dag, limit).unwrap())
+            });
         }
     }
 

@@ -1,0 +1,56 @@
+//! Criterion benchmarks of the batch runtime: scheduler overhead, plan-cache
+//! lookup cost, and the cached-vs-uncached templated batch — the quantity the
+//! `batch_service` example demonstrates at full scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hisvsim_circuit::generators;
+use hisvsim_runtime::prelude::*;
+
+fn bench_runtime_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime_batch");
+    group.sample_size(10);
+
+    // Scheduler overhead: a batch of trivial jobs (engine work ≈ 0) measures
+    // queue + selector + post-processing cost per job.
+    group.bench_function("schedule_16_tiny_jobs", |b| {
+        let scheduler =
+            Scheduler::new(SchedulerConfig::default().with_selector(EngineSelector::scaled(6, 10)));
+        b.iter(|| {
+            let jobs: Vec<SimJob> = (0..16).map(|_| SimJob::new(generators::qft(4))).collect();
+            scheduler.run_batch(jobs)
+        })
+    });
+
+    // The cache ablation at bench scale: 8 identical mid-size QFT jobs.
+    for cached in [true, false] {
+        group.bench_with_input(
+            BenchmarkId::new("qft12_x8", if cached { "cached" } else { "uncached" }),
+            &cached,
+            |b, &cached| {
+                b.iter(|| {
+                    let base = SchedulerConfig::default()
+                        .with_selector(EngineSelector::scaled(6, 12))
+                        .with_effort(PlanEffort::Thorough);
+                    let config = if cached { base } else { base.without_cache() };
+                    let scheduler = Scheduler::new(config);
+                    let jobs: Vec<SimJob> =
+                        (0..8).map(|_| SimJob::new(generators::qft(12))).collect();
+                    scheduler.run_batch(jobs)
+                })
+            },
+        );
+    }
+
+    // Warm-cache lookup: the steady-state cost of a repeat submission.
+    group.bench_function("warm_cache_submit_qft10", |b| {
+        let scheduler =
+            Scheduler::new(SchedulerConfig::default().with_selector(EngineSelector::scaled(5, 12)));
+        scheduler.run_batch(vec![SimJob::new(generators::qft(10))]); // warm it
+        b.iter(|| scheduler.run_batch(vec![SimJob::new(generators::qft(10))]))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_runtime_batch);
+criterion_main!(benches);

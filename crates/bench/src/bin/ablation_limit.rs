@@ -43,7 +43,12 @@ fn main() {
                     format!("{:.3}", run.report.total_time_s),
                 ]);
             }
-            Err(e) => rows.push(vec![limit.to_string(), format!("({e})"), "-".into(), "-".into()]),
+            Err(e) => rows.push(vec![
+                limit.to_string(),
+                format!("({e})"),
+                "-".into(),
+                "-".into(),
+            ]),
         }
         limit += if limit < 8 { 1 } else { 2 };
     }

@@ -57,7 +57,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["circuit", "parts(merge)", "parts(no merge)", "bytes(merge)", "bytes(no merge)"],
+            &[
+                "circuit",
+                "parts(merge)",
+                "parts(no merge)",
+                "bytes(merge)",
+                "bytes(no merge)"
+            ],
             &rows
         )
     );

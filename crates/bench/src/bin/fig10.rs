@@ -17,10 +17,17 @@ fn main() {
     println!("Fig. 10 — single-level (dagP) vs multi-level runtime at the largest rank count\n");
     let mut rows = Vec::new();
     let mut improvements = Vec::new();
-    for entry in suite.iter().filter(|e| families.contains(&e.family.as_str())) {
-        let ranks = *if entry.large { &large_ranks } else { &small_ranks }
-            .last()
-            .unwrap();
+    for entry in suite
+        .iter()
+        .filter(|e| families.contains(&e.family.as_str()))
+    {
+        let ranks = *if entry.large {
+            &large_ranks
+        } else {
+            &small_ranks
+        }
+        .last()
+        .unwrap();
         let circuit = entry.circuit();
         eprintln!("running {} at {} ranks", entry.label, ranks);
         let single = run_algorithm(&circuit, ranks, Algorithm::DagP);

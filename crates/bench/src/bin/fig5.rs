@@ -21,13 +21,22 @@ fn main() {
     let (small_ranks, large_ranks) = rank_sweeps();
     let mut records: Vec<ExperimentRecord> = Vec::new();
     for entry in &suite {
-        let ranks = if entry.large { &large_ranks } else { &small_ranks };
-        eprintln!("sweeping {} ({} qubits) over ranks {:?}", entry.label, entry.qubits, ranks);
+        let ranks = if entry.large {
+            &large_ranks
+        } else {
+            &small_ranks
+        };
+        eprintln!(
+            "sweeping {} ({} qubits) over ranks {:?}",
+            entry.label, entry.qubits, ranks
+        );
         records.extend(sweep_entry(entry, ranks));
     }
     let path = save_records("sweep", &records);
 
-    println!("Fig. 5 — improvement factor over the IQS-style baseline (values > 1 favour HiSVSIM)\n");
+    println!(
+        "Fig. 5 — improvement factor over the IQS-style baseline (values > 1 favour HiSVSIM)\n"
+    );
     for algorithm in [Algorithm::Nat, Algorithm::Dfs, Algorithm::DagP] {
         println!("strategy: {}", algorithm.name());
         let mut rank_set: Vec<usize> = records.iter().map(|r| r.ranks).collect();
@@ -46,7 +55,9 @@ fn main() {
             for &ranks in &rank_set {
                 let cell = records
                     .iter()
-                    .find(|r| r.algorithm == algorithm && r.circuit == entry.label && r.ranks == ranks)
+                    .find(|r| {
+                        r.algorithm == algorithm && r.circuit == entry.label && r.ranks == ranks
+                    })
                     .and_then(|r| improvement_factor(r, &records));
                 match cell {
                     Some(f) => {

@@ -23,7 +23,11 @@ fn sweep_or_load() -> Vec<ExperimentRecord> {
     let (small_ranks, large_ranks) = rank_sweeps();
     let mut records = Vec::new();
     for entry in &suite {
-        let ranks = if entry.large { &large_ranks } else { &small_ranks };
+        let ranks = if entry.large {
+            &large_ranks
+        } else {
+            &small_ranks
+        };
         eprintln!("sweeping {} over ranks {:?}", entry.label, ranks);
         records.extend(sweep_entry(entry, ranks));
     }
@@ -46,7 +50,12 @@ fn main() {
         if rank_set.is_empty() {
             continue;
         }
-        println!("{} ({} qubits, {} gates)", entry.label, entry.qubits, entry.circuit().num_gates());
+        println!(
+            "{} ({} qubits, {} gates)",
+            entry.label,
+            entry.qubits,
+            entry.circuit().num_gates()
+        );
         let header: Vec<String> = std::iter::once("algorithm".to_string())
             .chain(rank_set.iter().map(|r| format!("{r} ranks")))
             .collect();
@@ -57,7 +66,9 @@ fn main() {
             for &ranks in &rank_set {
                 let cell = records
                     .iter()
-                    .find(|r| r.algorithm == algorithm && r.circuit == entry.label && r.ranks == ranks)
+                    .find(|r| {
+                        r.algorithm == algorithm && r.circuit == entry.label && r.ranks == ranks
+                    })
                     .map(|r| fmt_seconds(r.total_time_s))
                     .unwrap_or_else(|| "-".to_string());
                 row.push(cell);

@@ -20,7 +20,11 @@ fn sweep_or_load() -> Vec<ExperimentRecord> {
     let (small_ranks, large_ranks) = rank_sweeps();
     let mut records = Vec::new();
     for entry in &suite {
-        let ranks = if entry.large { &large_ranks } else { &small_ranks };
+        let ranks = if entry.large {
+            &large_ranks
+        } else {
+            &small_ranks
+        };
         records.extend(sweep_entry(entry, ranks));
     }
     save_records("sweep", &records);
@@ -53,7 +57,9 @@ fn main() {
             for &ranks in &rank_set {
                 let cell = records
                     .iter()
-                    .find(|r| r.algorithm == algorithm && r.circuit == entry.label && r.ranks == ranks)
+                    .find(|r| {
+                        r.algorithm == algorithm && r.circuit == entry.label && r.ranks == ranks
+                    })
                     .map(|r| format!("{} ({} B)", fmt_seconds(r.comm_time_s), r.bytes_moved))
                     .unwrap_or_else(|| "-".to_string());
                 row.push(cell);

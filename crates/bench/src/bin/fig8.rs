@@ -22,7 +22,11 @@ fn sweep_or_load() -> Vec<ExperimentRecord> {
     let (small_ranks, large_ranks) = rank_sweeps();
     let mut records = Vec::new();
     for entry in &suite {
-        let ranks = if entry.large { &large_ranks } else { &small_ranks };
+        let ranks = if entry.large {
+            &large_ranks
+        } else {
+            &small_ranks
+        };
         records.extend(sweep_entry(entry, ranks));
     }
     save_records("sweep", &records);

@@ -21,7 +21,11 @@ fn sweep_or_load() -> Vec<ExperimentRecord> {
     let (small_ranks, large_ranks) = rank_sweeps();
     let mut records = Vec::new();
     for entry in &suite {
-        let ranks = if entry.large { &large_ranks } else { &small_ranks };
+        let ranks = if entry.large {
+            &large_ranks
+        } else {
+            &small_ranks
+        };
         records.extend(sweep_entry(entry, ranks));
     }
     save_records("sweep", &records);
@@ -67,7 +71,11 @@ fn main() {
     let curves = performance_profile(&names, &matrix, 2.0, 21);
     println!("{}", render_profile(&curves, 10));
     for curve in &curves {
-        println!("  {:<6} best on {:.0}% of instances", curve.method, curve.rho[0] * 100.0);
+        println!(
+            "  {:<6} best on {:.0}% of instances",
+            curve.method,
+            curve.rho[0] * 100.0
+        );
     }
 
     println!("\nFig. 9b — performance profile of average communication time (HiSVSIM variants)\n");
@@ -76,7 +84,11 @@ fn main() {
     let curves = performance_profile(&names, &matrix, 2.0, 21);
     println!("{}", render_profile(&curves, 10));
     for curve in &curves {
-        println!("  {:<6} best on {:.0}% of instances", curve.method, curve.rho[0] * 100.0);
+        println!(
+            "  {:<6} best on {:.0}% of instances",
+            curve.method,
+            curve.rho[0] * 100.0
+        );
     }
 
     println!("\nPaper shape to reproduce: dagP is the best method on the largest share of");

@@ -23,7 +23,11 @@ fn main() {
     let limits = [qubits / 2, qubits / 2 + 1, qubits - 2, qubits - 1];
     let suite = generators::paper_suite();
 
-    println!("Optimality of dagP vs exact branch-and-bound ({} circuits x {} limits)\n", suite.len(), limits.len());
+    println!(
+        "Optimality of dagP vs exact branch-and-bound ({} circuits x {} limits)\n",
+        suite.len(),
+        limits.len()
+    );
     let mut rows = Vec::new();
     let mut optimal_hits = 0usize;
     let mut comparisons = 0usize;
@@ -59,9 +63,7 @@ fn main() {
             };
             if decided {
                 comparisons += 1;
-                let gap = dagp
-                    .num_parts()
-                    .saturating_sub(exact.partition.num_parts());
+                let gap = dagp.num_parts().saturating_sub(exact.partition.num_parts());
                 worst_gap = worst_gap.max(gap);
                 if gap == 0 {
                     optimal_hits += 1;
@@ -70,7 +72,11 @@ fn main() {
                 undecided += 1;
             }
             rows.push(vec![
-                format!("{}{}", cfg.family, if cfg.paper_qubits >= 35 { "(L)" } else { "" }),
+                format!(
+                    "{}{}",
+                    cfg.family,
+                    if cfg.paper_qubits >= 35 { "(L)" } else { "" }
+                ),
                 limit.to_string(),
                 dagp.num_parts().to_string(),
                 optimal_cell,
@@ -82,7 +88,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["circuit", "limit", "dagP parts", "optimal parts", "dagP time", "exact time"],
+            &[
+                "circuit",
+                "limit",
+                "dagP parts",
+                "optimal parts",
+                "dagP time",
+                "exact time"
+            ],
             &rows
         )
     );

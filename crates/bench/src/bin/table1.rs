@@ -41,7 +41,9 @@ fn main() {
             format_bytes(circuit.state_vector_bytes()),
         ]);
     }
-    println!("Table I — benchmark description (paper configuration vs reproduction configuration)\n");
+    println!(
+        "Table I — benchmark description (paper configuration vs reproduction configuration)\n"
+    );
     println!(
         "{}",
         render_table(

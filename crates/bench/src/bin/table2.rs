@@ -39,7 +39,9 @@ fn main() {
                 .expect("partitioning failed");
             // Measured execution time of the hierarchical engine.
             let run = HierarchicalSimulator::new(
-                HierConfig::new(limit).with_strategy(strategy).with_parallel(false),
+                HierConfig::new(limit)
+                    .with_strategy(strategy)
+                    .with_parallel(false),
             )
             .run_with_partition(&circuit, &dag, partition.clone());
 
@@ -53,7 +55,7 @@ fn main() {
                     max_accesses: 3_000_000,
                 },
             );
-            let stats = replay_amplitude_indices(cache, trace.into_iter());
+            let stats = replay_amplitude_indices(cache, trace);
             let breakdown = MemoryBreakdown::from_stats(
                 family,
                 strategy.name(),
@@ -78,8 +80,15 @@ fn main() {
         "{}",
         render_table(
             &[
-                "circuit", "strategy", "parts", "L1 %", "L2 %", "L3 %", "DRAM %",
-                "avg lat (cyc)", "exec time (s)",
+                "circuit",
+                "strategy",
+                "parts",
+                "L1 %",
+                "L2 %",
+                "L3 %",
+                "DRAM %",
+                "avg lat (cyc)",
+                "exec time (s)",
             ],
             &rows
         )

@@ -38,16 +38,26 @@ fn main() {
 
     let mut rows = Vec::new();
     for strategy in [Strategy::DagP, Strategy::Dfs, Strategy::Nat] {
-        let partition = strategy.partition(&dag, local_limit).expect("partitioning failed");
+        let partition = strategy
+            .partition(&dag, local_limit)
+            .expect("partitioning failed");
         let estimate = estimate_hybrid(&circuit, &dag, &partition, strategy.name(), gpu, net, gpus);
         let total_gates: usize = estimate.parts.iter().map(|p| p.gates).sum();
         for (i, part) in estimate.parts.iter().enumerate() {
             rows.push(vec![
-                if i == 0 { strategy.name().to_string() } else { String::new() },
+                if i == 0 {
+                    strategy.name().to_string()
+                } else {
+                    String::new()
+                },
                 format!("P{}", part.part),
                 part.qubits.to_string(),
                 part.gates.to_string(),
-                if i == 0 { format!("= {total_gates}") } else { String::new() },
+                if i == 0 {
+                    format!("= {total_gates}")
+                } else {
+                    String::new()
+                },
                 format!("{:.1}", part.gpu_time_s * 1e3),
                 if i == 0 {
                     format!("{:.1}", estimate.computation_s * 1e3)
@@ -60,7 +70,15 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["strategy", "part", "qubits", "gates", "total gates", "time (ms)", "total (ms)"],
+            &[
+                "strategy",
+                "part",
+                "qubits",
+                "gates",
+                "total gates",
+                "time (ms)",
+                "total (ms)"
+            ],
             &rows
         )
     );

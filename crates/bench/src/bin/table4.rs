@@ -41,7 +41,9 @@ fn main() {
 
     let mut rows = Vec::new();
     for strategy in [Strategy::DagP, Strategy::Dfs, Strategy::Nat] {
-        let partition = strategy.partition(&dag, local_limit).expect("partitioning failed");
+        let partition = strategy
+            .partition(&dag, local_limit)
+            .expect("partitioning failed");
         let est = estimate_hybrid(&circuit, &dag, &partition, strategy.name(), gpu, net, gpus);
         rows.push(vec![
             strategy.name().to_string(),
@@ -84,7 +86,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["strategy", "parts", "communication (s)", "computation (s)", "total (s)"],
+            &[
+                "strategy",
+                "parts",
+                "communication (s)",
+                "computation (s)",
+                "total (s)"
+            ],
             &rows
         )
     );

@@ -19,7 +19,9 @@ fn main() {
         .nth(1)
         .and_then(|a| a.parse().ok())
         .unwrap_or(20);
-    let family = std::env::args().nth(2).unwrap_or_else(|| "ising".to_string());
+    let family = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "ising".to_string());
     let circuit = generators::by_name(&family, qubits);
     let limit = qubits / 2;
     let dag = CircuitDag::from_circuit(&circuit);
@@ -44,7 +46,9 @@ fn main() {
             .build()
             .expect("thread pool");
         let sim = HierarchicalSimulator::new(
-            HierConfig::new(limit).with_strategy(Strategy::DagP).with_parallel(true),
+            HierConfig::new(limit)
+                .with_strategy(Strategy::DagP)
+                .with_parallel(true),
         );
         let start = Instant::now();
         let run = pool.install(|| sim.run_with_partition(&circuit, &dag, partition.clone()));

@@ -81,9 +81,11 @@ pub fn paper_table1() -> Vec<BenchConfig> {
 /// Rank counts for the small-circuit group (paper: 16–256 MPI ranks) and the
 /// large group (paper: 512/1024), scaled to the host.
 pub fn rank_sweeps() -> (Vec<usize>, Vec<usize>) {
+    // Virtual ranks are threads, so oversubscription is harmless; floor the
+    // sweep at 8 ranks so both groups stay non-empty on small hosts.
     let max_ranks = env_usize(
         "HISVSIM_MAX_RANKS",
-        num_cpus::get().next_power_of_two().min(16),
+        num_cpus::get().next_power_of_two().clamp(8, 16),
     );
     let small: Vec<usize> = [2usize, 4, 8, 16, 32]
         .into_iter()

@@ -145,17 +145,18 @@ pub fn run_algorithm(circuit: &Circuit, ranks: usize, algorithm: Algorithm) -> E
             // Second level sized to half the local width (a stand-in for the
             // LLC-sized limit of the paper).
             let second = (l / 2).max(2);
-            let run = MultilevelSimulator::new(
-                MultilevelConfig::new(ranks, second).with_network(net),
-            )
-            .run(circuit)
-            .expect("multilevel partitioning failed");
+            let run =
+                MultilevelSimulator::new(MultilevelConfig::new(ranks, second).with_network(net))
+                    .run(circuit)
+                    .expect("multilevel partitioning failed");
             ExperimentRecord::from_report(algorithm, ranks, &run.report)
         }
         _ => {
             let strategy = algorithm.strategy().unwrap();
             let run = DistributedSimulator::new(
-                DistConfig::new(ranks).with_strategy(strategy).with_network(net),
+                DistConfig::new(ranks)
+                    .with_strategy(strategy)
+                    .with_network(net),
             )
             .run(circuit)
             .expect("partitioning failed");

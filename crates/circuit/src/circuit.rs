@@ -243,6 +243,51 @@ impl Circuit {
         out
     }
 
+    /// A 64-bit *structural* fingerprint of the circuit: two circuits get the
+    /// same fingerprint iff they have the same width and the same gate
+    /// sequence (kinds, parameters bit-for-bit, and operand qubits).
+    ///
+    /// The circuit's [`name`](Circuit::name) is deliberately excluded, so
+    /// templated workloads (the same circuit submitted under different job
+    /// labels) share one fingerprint. This is the cache key the runtime's
+    /// partition-plan cache is built on: everything the partitioners read —
+    /// the DAG and the per-gate working sets — is a pure function of the
+    /// fingerprinted structure.
+    ///
+    /// The hash is FNV-1a with a 64-bit fold of each component; collisions
+    /// are possible in principle (any 64-bit hash has them) but negligibly
+    /// likely across a plan cache's lifetime.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        #[inline]
+        fn mix(h: u64, word: u64) -> u64 {
+            let mut h = h;
+            for byte in word.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+            h
+        }
+        let mut h = mix(OFFSET, self.num_qubits as u64);
+        h = mix(h, self.gates.len() as u64);
+        for g in &self.gates {
+            // The kind name discriminates every `GateKind` variant; the
+            // parameter list pins the rotation angles bit-exactly.
+            for byte in g.kind.name().bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+            for p in g.kind.params() {
+                h = mix(h, p.to_bits());
+            }
+            for &q in &g.qubits {
+                h = mix(h, q as u64);
+            }
+        }
+        h
+    }
+
     /// Per-gate-kind histogram, useful for reporting benchmark composition.
     pub fn gate_histogram(&self) -> Vec<(String, usize)> {
         let mut counts: std::collections::BTreeMap<String, usize> = Default::default();
@@ -344,6 +389,48 @@ mod tests {
         assert_eq!(r.num_qubits(), 2);
         assert_eq!(r.gates()[0].qubits, vec![0, 1]);
         assert_eq!(r.gates()[1].qubits, vec![0]);
+    }
+
+    #[test]
+    fn fingerprint_is_structural_and_name_blind() {
+        let mut a = Circuit::named("first", 3);
+        a.h(0).cx(0, 1).rz(0.25, 2);
+        let mut b = Circuit::named("second", 3);
+        b.h(0).cx(0, 1).rz(0.25, 2);
+        assert_eq!(
+            a.fingerprint(),
+            b.fingerprint(),
+            "name must not affect the fingerprint"
+        );
+
+        // Any structural change must change the fingerprint.
+        let mut wider = Circuit::new(4);
+        wider.h(0).cx(0, 1).rz(0.25, 2);
+        assert_ne!(a.fingerprint(), wider.fingerprint());
+
+        let mut other_angle = Circuit::new(3);
+        other_angle.h(0).cx(0, 1).rz(0.26, 2);
+        assert_ne!(a.fingerprint(), other_angle.fingerprint());
+
+        let mut other_qubit = Circuit::new(3);
+        other_qubit.h(0).cx(1, 0).rz(0.25, 2);
+        assert_ne!(a.fingerprint(), other_qubit.fingerprint());
+
+        let mut shorter = Circuit::new(3);
+        shorter.h(0).cx(0, 1);
+        assert_ne!(a.fingerprint(), shorter.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_is_stable_across_clones_and_roundtrips() {
+        let c = crate::generators::qft(8);
+        assert_eq!(c.fingerprint(), c.clone().fingerprint());
+        // Gate-kind pairs that stringify identically must still hash apart.
+        let mut x = Circuit::new(2);
+        x.p(0.5, 0);
+        let mut y = Circuit::new(2);
+        y.rz(0.5, 0);
+        assert_ne!(x.fingerprint(), y.fingerprint());
     }
 
     #[test]

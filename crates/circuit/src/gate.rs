@@ -219,12 +219,7 @@ impl GateKind {
                 let s = Complex64::real((t / 2.0).sin());
                 mat2(c, -s, s, c)
             }
-            Rz(t) => mat2(
-                Complex64::cis(-t / 2.0),
-                z,
-                z,
-                Complex64::cis(t / 2.0),
-            ),
+            Rz(t) => mat2(Complex64::cis(-t / 2.0), z, z, Complex64::cis(t / 2.0)),
             P(l) => mat2(o, z, z, Complex64::cis(l)),
             U2(phi, lam) => {
                 // u2(φ,λ) = 1/√2 [[1, -e^{iλ}], [e^{iφ}, e^{i(φ+λ)}]]
@@ -310,11 +305,7 @@ impl GateKind {
             Ry(t) => Ry(-t),
             Rz(t) => Rz(-t),
             P(l) => P(-l),
-            U2(phi, lam) => U3(
-                -std::f64::consts::FRAC_PI_2,
-                -lam,
-                -phi,
-            ),
+            U2(phi, lam) => U3(-std::f64::consts::FRAC_PI_2, -lam, -phi),
             U3(t, phi, lam) => U3(-t, -lam, -phi),
             Cp(l) => Cp(-l),
             Crx(t) => Crx(-t),

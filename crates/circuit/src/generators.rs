@@ -438,7 +438,16 @@ pub fn random_circuit(n: usize, num_gates: usize, seed: u64) -> Circuit {
 
 /// The benchmark families evaluated in the paper, by canonical name.
 pub const FAMILY_NAMES: &[&str] = &[
-    "cat_state", "bv", "qaoa", "cc", "ising", "qft", "qnn", "grover", "qpe", "adder",
+    "cat_state",
+    "bv",
+    "qaoa",
+    "cc",
+    "ising",
+    "qft",
+    "qnn",
+    "grover",
+    "qpe",
+    "adder",
 ];
 
 /// Build a benchmark circuit by family name at the requested width.
@@ -482,19 +491,110 @@ pub struct BenchConfig {
 /// by the reproduction harness.
 pub fn paper_suite() -> Vec<BenchConfig> {
     vec![
-        BenchConfig { family: "cat_state", description: "Coherent superposition", paper_qubits: 30, paper_gates: 60, paper_memory: "16 GB", repro_qubits: 20 },
-        BenchConfig { family: "bv", description: "Bernstein-Vazirani algorithm", paper_qubits: 30, paper_gates: 102, paper_memory: "16 GB", repro_qubits: 20 },
-        BenchConfig { family: "qaoa", description: "Quantum approx. optimization", paper_qubits: 30, paper_gates: 1380, paper_memory: "16 GB", repro_qubits: 20 },
-        BenchConfig { family: "cc", description: "Counterfeit coin finding", paper_qubits: 30, paper_gates: 149, paper_memory: "16 GB", repro_qubits: 20 },
-        BenchConfig { family: "ising", description: "Quantum simulation for ising model", paper_qubits: 30, paper_gates: 354, paper_memory: "16 GB", repro_qubits: 20 },
-        BenchConfig { family: "qft", description: "Quantum Fourier transform", paper_qubits: 30, paper_gates: 2235, paper_memory: "16 GB", repro_qubits: 20 },
-        BenchConfig { family: "qnn", description: "Quantum neural network", paper_qubits: 31, paper_gates: 164, paper_memory: "32 GB", repro_qubits: 21 },
-        BenchConfig { family: "grover", description: "Grover's algorithm", paper_qubits: 31, paper_gates: 207, paper_memory: "32 GB", repro_qubits: 21 },
-        BenchConfig { family: "qpe", description: "Quantum phase estimation", paper_qubits: 31, paper_gates: 5731, paper_memory: "32 GB", repro_qubits: 21 },
-        BenchConfig { family: "bv", description: "Bernstein-Vazirani algorithm", paper_qubits: 35, paper_gates: 119, paper_memory: "512 GB", repro_qubits: 23 },
-        BenchConfig { family: "ising", description: "Quantum simulation for ising model", paper_qubits: 35, paper_gates: 414, paper_memory: "512 GB", repro_qubits: 23 },
-        BenchConfig { family: "cc", description: "Counterfeit coin finding", paper_qubits: 36, paper_gates: 106, paper_memory: "1 TB", repro_qubits: 24 },
-        BenchConfig { family: "adder", description: "Quantum Ripple-Carry adder", paper_qubits: 37, paper_gates: 154, paper_memory: "2 TB", repro_qubits: 24 },
+        BenchConfig {
+            family: "cat_state",
+            description: "Coherent superposition",
+            paper_qubits: 30,
+            paper_gates: 60,
+            paper_memory: "16 GB",
+            repro_qubits: 20,
+        },
+        BenchConfig {
+            family: "bv",
+            description: "Bernstein-Vazirani algorithm",
+            paper_qubits: 30,
+            paper_gates: 102,
+            paper_memory: "16 GB",
+            repro_qubits: 20,
+        },
+        BenchConfig {
+            family: "qaoa",
+            description: "Quantum approx. optimization",
+            paper_qubits: 30,
+            paper_gates: 1380,
+            paper_memory: "16 GB",
+            repro_qubits: 20,
+        },
+        BenchConfig {
+            family: "cc",
+            description: "Counterfeit coin finding",
+            paper_qubits: 30,
+            paper_gates: 149,
+            paper_memory: "16 GB",
+            repro_qubits: 20,
+        },
+        BenchConfig {
+            family: "ising",
+            description: "Quantum simulation for ising model",
+            paper_qubits: 30,
+            paper_gates: 354,
+            paper_memory: "16 GB",
+            repro_qubits: 20,
+        },
+        BenchConfig {
+            family: "qft",
+            description: "Quantum Fourier transform",
+            paper_qubits: 30,
+            paper_gates: 2235,
+            paper_memory: "16 GB",
+            repro_qubits: 20,
+        },
+        BenchConfig {
+            family: "qnn",
+            description: "Quantum neural network",
+            paper_qubits: 31,
+            paper_gates: 164,
+            paper_memory: "32 GB",
+            repro_qubits: 21,
+        },
+        BenchConfig {
+            family: "grover",
+            description: "Grover's algorithm",
+            paper_qubits: 31,
+            paper_gates: 207,
+            paper_memory: "32 GB",
+            repro_qubits: 21,
+        },
+        BenchConfig {
+            family: "qpe",
+            description: "Quantum phase estimation",
+            paper_qubits: 31,
+            paper_gates: 5731,
+            paper_memory: "32 GB",
+            repro_qubits: 21,
+        },
+        BenchConfig {
+            family: "bv",
+            description: "Bernstein-Vazirani algorithm",
+            paper_qubits: 35,
+            paper_gates: 119,
+            paper_memory: "512 GB",
+            repro_qubits: 23,
+        },
+        BenchConfig {
+            family: "ising",
+            description: "Quantum simulation for ising model",
+            paper_qubits: 35,
+            paper_gates: 414,
+            paper_memory: "512 GB",
+            repro_qubits: 23,
+        },
+        BenchConfig {
+            family: "cc",
+            description: "Counterfeit coin finding",
+            paper_qubits: 36,
+            paper_gates: 106,
+            paper_memory: "1 TB",
+            repro_qubits: 24,
+        },
+        BenchConfig {
+            family: "adder",
+            description: "Quantum Ripple-Carry adder",
+            paper_qubits: 37,
+            paper_gates: 154,
+            paper_memory: "2 TB",
+            repro_qubits: 24,
+        },
     ]
 }
 
@@ -518,7 +618,7 @@ mod tests {
         assert_eq!(c.num_qubits(), 12);
         let used = c.used_qubits();
         assert!(used.contains(&11)); // ancilla
-        // All data qubits get the two H's even if not part of the secret.
+                                     // All data qubits get the two H's even if not part of the secret.
         assert_eq!(used.len(), 12);
     }
 
@@ -593,7 +693,11 @@ mod tests {
         let c = adder(10); // k = 4
         assert_eq!(c.num_qubits(), 10);
         let hist = c.gate_histogram();
-        let ccx = hist.iter().find(|(n, _)| n == "ccx").map(|(_, c)| *c).unwrap();
+        let ccx = hist
+            .iter()
+            .find(|(n, _)| n == "ccx")
+            .map(|(_, c)| *c)
+            .unwrap();
         assert_eq!(ccx, 8); // 2 per MAJ/UMA pair, k pairs
     }
 

@@ -332,12 +332,7 @@ impl UnitaryMatrix {
 }
 
 /// Convenience constructor for a 2×2 matrix from four entries (row-major).
-pub fn mat2(
-    a: Complex64,
-    b: Complex64,
-    c: Complex64,
-    d: Complex64,
-) -> UnitaryMatrix {
+pub fn mat2(a: Complex64, b: Complex64, c: Complex64, d: Complex64) -> UnitaryMatrix {
     UnitaryMatrix::from_rows(vec![a, b, c, d])
 }
 

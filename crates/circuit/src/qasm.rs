@@ -374,7 +374,10 @@ mod tests {
     #[test]
     fn unknown_register_is_reported() {
         let src = "qreg q[2];\nh r[0];";
-        assert!(matches!(parse_qasm(src), Err(QasmError::UnknownQubit(_, _))));
+        assert!(matches!(
+            parse_qasm(src),
+            Err(QasmError::UnknownQubit(_, _))
+        ));
     }
 
     #[test]

@@ -210,11 +210,10 @@ impl<T: Send + 'static> RankComm<T> {
                 self.send(to, tag, buf);
             }
         }
-        for from in 0..self.size {
-            if from == self.rank {
-                continue;
-            }
-            recv[from] = Some(self.recv(from, tag));
+        let (rank, size) = (self.rank, self.size);
+        for from in (0..size).filter(|&from| from != rank) {
+            let payload = self.recv(from, tag);
+            recv[from] = Some(payload);
         }
         recv.into_iter().map(|b| b.unwrap()).collect()
     }
@@ -345,9 +344,7 @@ mod tests {
         let ranks = world::<f64>(size, NetworkModel::ideal());
         let handles: Vec<_> = ranks
             .into_iter()
-            .map(|mut comm| {
-                thread::spawn(move || comm.allreduce_sum((comm.rank() + 1) as f64, 5))
-            })
+            .map(|mut comm| thread::spawn(move || comm.allreduce_sum((comm.rank() + 1) as f64, 5)))
             .collect();
         for h in handles {
             assert_eq!(h.join().unwrap(), 6.0);

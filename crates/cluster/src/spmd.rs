@@ -66,9 +66,8 @@ mod tests {
     #[test]
     fn closures_can_borrow_shared_read_only_data() {
         let shared = vec![10usize, 20, 30, 40];
-        let results: Vec<usize> = run_spmd::<u8, _, _>(4, NetworkModel::ideal(), |comm| {
-            shared[comm.rank()]
-        });
+        let results: Vec<usize> =
+            run_spmd::<u8, _, _>(4, NetworkModel::ideal(), |comm| shared[comm.rank()]);
         assert_eq!(results, shared);
     }
 

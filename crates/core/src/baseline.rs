@@ -104,8 +104,7 @@ impl IqsBaseline {
             },
         );
         let wall = start.elapsed().as_secs_f64();
-        let (state, report) =
-            aggregate_outcomes("iqs-baseline", "-", circuit, 1, outcomes, wall);
+        let (state, report) = aggregate_outcomes("iqs-baseline", "-", circuit, 1, outcomes, wall);
         BaselineRun { state, report }
     }
 }
@@ -203,7 +202,7 @@ fn apply_diagonal_with_fixed_bits(state: &mut DistState<'_>, gate: &Gate) {
             };
             sub |= value << bit;
         }
-        *amp = *amp * matrix.get(sub, sub);
+        *amp *= matrix.get(sub, sub);
     }
     state.add_compute_time(start.elapsed().as_secs_f64());
 }
@@ -314,11 +313,9 @@ mod tests {
         use hisvsim_partition::Strategy;
         let circuit = generators::by_name("ising", 10);
         let baseline = check(&circuit, 4);
-        let hisvsim = DistributedSimulator::new(
-            DistConfig::new(4).with_strategy(Strategy::DagP),
-        )
-        .run(&circuit)
-        .unwrap();
+        let hisvsim = DistributedSimulator::new(DistConfig::new(4).with_strategy(Strategy::DagP))
+            .run(&circuit)
+            .unwrap();
         assert!(
             hisvsim.report.comm.bytes_sent < baseline.report.comm.bytes_sent,
             "HiSVSIM moved {} bytes, baseline {} bytes",

@@ -138,7 +138,10 @@ impl<'a> DistState<'a> {
             v
         };
         let qubit_at_position = |layout: &[usize], pos: usize| -> usize {
-            layout.iter().position(|&p| p == pos).expect("layout is a permutation")
+            layout
+                .iter()
+                .position(|&p| p == pos)
+                .expect("layout is a permutation")
         };
         let mut free_local: Vec<usize> = (0..self.l)
             .filter(|&pos| !needed[qubit_at_position(&new_layout, pos)])
@@ -226,7 +229,10 @@ impl<'a> DistState<'a> {
         let start = Instant::now();
         let opts = ApplyOptions::sequential();
         for gate in gates {
-            debug_assert!(self.all_local(&gate.qubits), "gate touches a non-local qubit");
+            debug_assert!(
+                self.all_local(&gate.qubits),
+                "gate touches a non-local qubit"
+            );
             let remapped = Gate {
                 kind: gate.kind,
                 qubits: gate.qubits.iter().map(|&q| self.layout[q]).collect(),
@@ -249,9 +255,10 @@ impl<'a> DistState<'a> {
         // First return to the identity layout so slices concatenate in
         // standard order.
         self.redistribute((0..self.n).collect());
-        let slices = self
-            .comm
-            .allgather(self.local.amplitudes().to_vec(), self.exchange_tag + 0x10_000);
+        let slices = self.comm.allgather(
+            self.local.amplitudes().to_vec(),
+            self.exchange_tag + 0x10_000,
+        );
         let mut amps = Vec::with_capacity(1usize << self.n);
         for slice in slices {
             amps.extend(slice);
@@ -391,7 +398,10 @@ impl DistributedSimulator {
     /// Partition and run `circuit` from `|0…0⟩` across the virtual ranks.
     pub fn run(&self, circuit: &Circuit) -> Result<DistRun, PartitionBuildError> {
         let num_ranks = self.config.num_ranks;
-        assert!(num_ranks.is_power_of_two(), "rank count must be a power of two");
+        assert!(
+            num_ranks.is_power_of_two(),
+            "rank count must be a power of two"
+        );
         let p = num_ranks.trailing_zeros() as usize;
         assert!(
             p <= circuit.num_qubits(),
@@ -404,6 +414,13 @@ impl DistributedSimulator {
         let dag = CircuitDag::from_circuit(circuit);
         let partition = self.config.strategy.partition(&dag, limit)?;
         Ok(self.run_with_partition(circuit, &dag, partition))
+    }
+
+    /// Run `circuit` against a precomputed partition *plan* (e.g. one served
+    /// by the runtime's plan cache), rebuilding only the DAG.
+    pub fn run_with_plan(&self, circuit: &Circuit, plan: &Partition) -> DistRun {
+        let dag = CircuitDag::from_circuit(circuit);
+        self.run_with_partition(circuit, &dag, plan.clone())
     }
 
     /// Run with an externally supplied (validated) partition.
@@ -571,10 +588,8 @@ mod tests {
         let circuit = generators::random_circuit(6, 30, 7);
         let expected = run_circuit(&circuit);
         let gates: Vec<Gate> = circuit.gates().to_vec();
-        let outcomes = run_spmd::<Complex64, Vec<Complex64>, _>(
-            4,
-            NetworkModel::ideal(),
-            |mut comm| {
+        let outcomes =
+            run_spmd::<Complex64, Vec<Complex64>, _>(4, NetworkModel::ideal(), |mut comm| {
                 let mut state = DistState::new(&mut comm, 6);
                 // Apply all gates by making each gate's qubits local on demand
                 // (a worst-case per-gate schedule).
@@ -584,8 +599,7 @@ mod tests {
                 }
                 let full = state.assemble_full_state();
                 full.into_amplitudes()
-            },
-        );
+            });
         for amps in outcomes {
             let got = StateVector::from_amplitudes(amps);
             assert!(got.approx_eq(&expected, 1e-9));

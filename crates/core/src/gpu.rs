@@ -153,7 +153,10 @@ mod tests {
         assert!(more_gates > small);
         assert!(more_qubits > small);
         // Doubling qubits doubles the state and hence the amplitude updates.
-        assert!(((more_qubits - gpu.part_overhead_s) / (small - gpu.part_overhead_s) - 2.0).abs() < 1e-9);
+        assert!(
+            ((more_qubits - gpu.part_overhead_s) / (small - gpu.part_overhead_s) - 2.0).abs()
+                < 1e-9
+        );
     }
 
     #[test]
@@ -162,8 +165,14 @@ mod tests {
         let gpu = GpuModel::v100_hyquas();
         let p0 = gpu.part_time_s(747, 22);
         let p1 = gpu.part_time_s(905, 24);
-        assert!(p0 > 0.02 && p0 < 0.30, "P0 estimate {p0}s out of range (paper: 0.146)");
-        assert!(p1 > 0.08 && p1 < 0.60, "P1 estimate {p1}s out of range (paper: 0.184)");
+        assert!(
+            p0 > 0.02 && p0 < 0.30,
+            "P0 estimate {p0}s out of range (paper: 0.146)"
+        );
+        assert!(
+            p1 > 0.08 && p1 < 0.60,
+            "P1 estimate {p1}s out of range (paper: 0.184)"
+        );
         assert!(p1 > p0);
     }
 
@@ -185,7 +194,11 @@ mod tests {
                 circuit.num_gates(),
                 "every gate must be covered"
             );
-            comm.push((strategy.name().to_string(), est.communication_s, est.parts.len()));
+            comm.push((
+                strategy.name().to_string(),
+                est.communication_s,
+                est.parts.len(),
+            ));
         }
         let dagp = comm.iter().find(|(n, _, _)| n == "dagP").unwrap();
         for other in &comm {

@@ -93,6 +93,16 @@ impl HierarchicalSimulator {
         Ok(self.run_with_partition(circuit, &dag, partition))
     }
 
+    /// Run `circuit` against a precomputed partition *plan* (e.g. one served
+    /// by the runtime's plan cache), rebuilding only the DAG — which is cheap
+    /// next to partitioning. The plan must belong to this circuit's
+    /// structure; [`Partition::validate`] is the caller's tool when the plan
+    /// comes from an untrusted source.
+    pub fn run_with_plan(&self, circuit: &Circuit, plan: &Partition) -> HierRun {
+        let dag = CircuitDag::from_circuit(circuit);
+        self.run_with_partition(circuit, &dag, plan.clone())
+    }
+
     /// Run `circuit` with an externally supplied partition (used by the
     /// benchmark harness to reuse one partition across repetitions).
     pub fn run_with_partition(
@@ -107,13 +117,7 @@ impl HierarchicalSimulator {
         let parts = partition.gates_by_part();
 
         for &part in &order {
-            execute_part(
-                &mut state,
-                circuit,
-                dag,
-                &parts[part],
-                self.config.parallel,
-            );
+            execute_part(&mut state, circuit, dag, &parts[part], self.config.parallel);
         }
 
         let elapsed = start.elapsed().as_secs_f64();

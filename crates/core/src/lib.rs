@@ -19,6 +19,17 @@
 //! (`hisvsim_statevec::run_circuit`) — the correctness anchor described in
 //! DESIGN.md.
 //!
+//! ## The layer above: the batch runtime
+//!
+//! Multi-job workloads do not drive these engines directly — the
+//! `hisvsim-runtime` crate layers a concurrent batch scheduler on top:
+//! engine auto-selection per job (`EngineSelector`), partition-plan caching
+//! keyed by `Circuit::fingerprint` (`PlanCache`), and a worker pool with a
+//! bounded number of resident state vectors (`Scheduler`). Each engine
+//! exposes a `run_with_plan` entry point so a cached plan skips DAG
+//! partitioning entirely; `run` remains the single-shot path that plans
+//! internally.
+//!
 //! ## Example
 //!
 //! ```

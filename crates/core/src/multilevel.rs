@@ -89,6 +89,13 @@ impl MultilevelSimulator {
         Ok(self.run_with_partition(circuit, &dag, ml))
     }
 
+    /// Run `circuit` against a precomputed two-level partition *plan* (e.g.
+    /// one served by the runtime's plan cache), rebuilding only the DAG.
+    pub fn run_with_plan(&self, circuit: &Circuit, plan: &MultilevelPartition) -> MultilevelRun {
+        let dag = CircuitDag::from_circuit(circuit);
+        self.run_with_partition(circuit, &dag, plan.clone())
+    }
+
     /// Run with an externally supplied two-level partition.
     pub fn run_with_partition(
         &self,

@@ -123,7 +123,12 @@ mod tests {
     use hisvsim_memmodel::{replay_amplitude_indices, HierarchyConfig};
     use hisvsim_partition::Strategy;
 
-    fn trace_for(name: &str, width: usize, strategy: Strategy, limit: usize) -> (usize, Vec<usize>) {
+    fn trace_for(
+        name: &str,
+        width: usize,
+        strategy: Strategy,
+        limit: usize,
+    ) -> (usize, Vec<usize>) {
         let circuit = generators::by_name(name, width);
         let dag = CircuitDag::from_circuit(&circuit);
         let partition = strategy.partition(&dag, limit).unwrap();
@@ -144,8 +149,7 @@ mod tests {
         let circuit = generators::by_name("qft", 10);
         let dag = CircuitDag::from_circuit(&circuit);
         let partition = Strategy::DagP.partition(&dag, 5).unwrap();
-        let trace =
-            hierarchical_access_trace(&circuit, &dag, &partition, TraceOptions::default());
+        let trace = hierarchical_access_trace(&circuit, &dag, &partition, TraceOptions::default());
         let outer = 1usize << 10;
         let inner_max = outer + (1usize << 5);
         assert!(!trace.is_empty());
@@ -160,9 +164,8 @@ mod tests {
         let (dagp_parts, dagp_trace) = trace_for("qft", 12, Strategy::DagP, 5);
         assert!(dagp_parts <= nat_parts);
         let outer = 1usize << 12;
-        let outer_share = |t: &[usize]| {
-            t.iter().filter(|&&i| i < outer).count() as f64 / t.len() as f64
-        };
+        let outer_share =
+            |t: &[usize]| t.iter().filter(|&&i| i < outer).count() as f64 / t.len() as f64;
         assert!(
             outer_share(&dagp_trace) <= outer_share(&nat_trace) + 1e-9,
             "dagP outer share {} vs Nat {}",

@@ -299,9 +299,8 @@ impl CircuitDag {
         let mut longest = vec![0usize; self.num_nodes()];
         // Process in node-id order is not topological in general; do a
         // Kahn-style pass instead.
-        let mut remaining: Vec<usize> = (0..self.num_nodes())
-            .map(|v| self.preds[v].len())
-            .collect();
+        let mut remaining: Vec<usize> =
+            (0..self.num_nodes()).map(|v| self.preds[v].len()).collect();
         let mut queue: std::collections::VecDeque<NodeId> = (0..self.num_nodes())
             .filter(|&v| remaining[v] == 0)
             .collect();
@@ -392,7 +391,11 @@ mod tests {
                     None => break,
                 }
             }
-            assert_eq!(node, dag.exit_node(q), "qubit {q} path does not end at exit");
+            assert_eq!(
+                node,
+                dag.exit_node(q),
+                "qubit {q} path does not end at exit"
+            );
             let expected = c.gates().iter().filter(|g| g.qubits.contains(&q)).count();
             assert_eq!(gates_on_path, expected, "qubit {q} path misses gates");
         }
@@ -403,8 +406,7 @@ mod tests {
         let c = generators::by_name("qaoa", 8);
         let dag = CircuitDag::from_circuit(&c);
         // Each gate has arity in-edges; each exit has 1 in-edge.
-        let expected: usize =
-            c.gates().iter().map(|g| g.arity()).sum::<usize>() + c.num_qubits();
+        let expected: usize = c.gates().iter().map(|g| g.arity()).sum::<usize>() + c.num_qubits();
         assert_eq!(dag.num_edges(), expected);
     }
 

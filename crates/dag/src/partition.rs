@@ -168,12 +168,13 @@ impl Partition {
             }
         }
         let graph = PartGraph::build(dag, self);
-        graph
-            .topological_order()
-            .ok_or_else(|| graph.find_cycle_pair().map_or(
-                PartitionError::Cyclic(0, 0),
-                |(a, b)| PartitionError::Cyclic(a, b),
-            ))
+        graph.topological_order().ok_or_else(|| {
+            graph
+                .find_cycle_pair()
+                .map_or(PartitionError::Cyclic(0, 0), |(a, b)| {
+                    PartitionError::Cyclic(a, b)
+                })
+        })
     }
 
     /// The parts in execution order, panicking if the partition is cyclic.
@@ -258,9 +259,8 @@ impl PartGraph {
     /// a cycle (i.e. the partition is not acyclic).
     pub fn topological_order(&self) -> Option<Vec<usize>> {
         let mut remaining = self.pred_count.clone();
-        let mut queue: std::collections::VecDeque<usize> = (0..self.num_parts)
-            .filter(|&p| remaining[p] == 0)
-            .collect();
+        let mut queue: std::collections::VecDeque<usize> =
+            (0..self.num_parts).filter(|&p| remaining[p] == 0).collect();
         let mut order = Vec::with_capacity(self.num_parts);
         while let Some(p) = queue.pop_front() {
             order.push(p);
@@ -385,7 +385,11 @@ mod tests {
         let dag = CircuitDag::from_circuit(&c);
         let p = Partition::single_part(c.num_gates());
         match p.validate(&dag, 3) {
-            Err(PartitionError::WorkingSetExceeded { part: 0, size: 6, limit: 3 }) => {}
+            Err(PartitionError::WorkingSetExceeded {
+                part: 0,
+                size: 6,
+                limit: 3,
+            }) => {}
             other => panic!("unexpected: {other:?}"),
         }
     }

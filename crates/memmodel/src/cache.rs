@@ -27,13 +27,20 @@ impl CacheConfig {
 
     /// Validate that the geometry is internally consistent.
     pub fn validate(&self) {
-        assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            self.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(self.associativity > 0, "associativity must be positive");
         assert!(
-            self.capacity_bytes % (self.line_bytes * self.associativity) == 0,
+            self.capacity_bytes
+                .is_multiple_of(self.line_bytes * self.associativity),
             "capacity must be a whole number of sets"
         );
-        assert!(self.num_sets().is_power_of_two(), "set count must be a power of two");
+        assert!(
+            self.num_sets().is_power_of_two(),
+            "set count must be a power of two"
+        );
     }
 }
 
@@ -202,8 +209,8 @@ mod tests {
     #[test]
     fn working_set_larger_than_capacity_thrashes() {
         let mut c = tiny_cache(); // 512 B
-        // Stream over 4 KiB repeatedly: nothing survives between passes when
-        // the stride defeats the 2-way sets.
+                                  // Stream over 4 KiB repeatedly: nothing survives between passes when
+                                  // the stride defeats the 2-way sets.
         for _ in 0..4 {
             for i in 0..64u64 {
                 c.access(i * 64);

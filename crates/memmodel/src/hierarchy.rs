@@ -128,7 +128,10 @@ impl HierarchyStats {
             return 0.0;
         }
         let f = self.service_fractions();
-        f.iter().zip(latency_cycles.iter()).map(|(a, b)| a * b).sum()
+        f.iter()
+            .zip(latency_cycles.iter())
+            .map(|(a, b)| a * b)
+            .sum()
     }
 
     /// Fraction of accesses that had to leave the core-private caches

@@ -20,7 +20,10 @@ pub fn cutoff_by_order(
     if limit == 0 {
         return Err(PartitionBuildError::InvalidLimit(limit));
     }
-    debug_assert!(dag.is_valid_gate_order(order), "cutoff needs a topological order");
+    debug_assert!(
+        dag.is_valid_gate_order(order),
+        "cutoff needs a topological order"
+    );
 
     let mut part_of_gate = vec![0usize; dag.num_gate_nodes()];
     let mut current_part = 0usize;
@@ -91,7 +94,9 @@ mod tests {
         let c = generators::by_name("adder", 8); // contains Toffolis (3 qubits)
         let dag = CircuitDag::from_circuit(&c);
         match cutoff_by_order(&dag, &dag.natural_gate_order(), 2) {
-            Err(PartitionBuildError::GateExceedsLimit { arity: 3, limit: 2, .. }) => {}
+            Err(PartitionBuildError::GateExceedsLimit {
+                arity: 3, limit: 2, ..
+            }) => {}
             other => panic!("expected GateExceedsLimit, got {other:?}"),
         }
     }

@@ -253,12 +253,11 @@ impl DagPPartitioner {
                 .count();
             let distance = prefix_nodes.abs_diff(suffix_nodes);
             let balanced = prefix_nodes <= max_side && suffix_nodes <= max_side;
-            if balanced
-                && best.map_or(true, |(s, d, _)| shared < s || (shared == s && distance < d))
+            if balanced && best.is_none_or(|(s, d, _)| shared < s || (shared == s && distance < d))
             {
                 best = Some((shared, distance, split));
             }
-            if fallback.map_or(true, |(d, _)| distance < d) {
+            if fallback.is_none_or(|(d, _)| distance < d) {
                 fallback = Some((distance, split));
             }
         }
@@ -287,7 +286,11 @@ impl DagPPartitioner {
         let mut early_counts = vec![0usize; nq];
         let mut late_counts = vec![0usize; nq];
         for &n in order {
-            let counts = if side[n] { &mut late_counts } else { &mut early_counts };
+            let counts = if side[n] {
+                &mut late_counts
+            } else {
+                &mut early_counts
+            };
             for &q in dag.qubits_of(n) {
                 counts[q] += 1;
             }
@@ -441,7 +444,7 @@ fn pack_ready_greedy(dag: &CircuitDag, priority: &[NodeId], limit: usize) -> Vec
                 continue;
             }
             let key = (new_qubits, priority_pos[n], idx);
-            if best.map_or(true, |b| (key.0, key.1) < (b.0, b.1)) {
+            if best.is_none_or(|b| (key.0, key.1) < (b.0, b.1)) {
                 best = Some(key);
             }
         }
@@ -487,17 +490,12 @@ fn pack_ready_greedy(dag: &CircuitDag, priority: &[NodeId], limit: usize) -> Vec
 /// The final merge phase: repeatedly merge the pair of parts with the largest
 /// qubit overlap whose merged working set fits within `limit` and whose
 /// merge keeps the quotient graph acyclic.
-fn merge_parts(
-    dag: &CircuitDag,
-    mut parts: Vec<Vec<NodeId>>,
-    limit: usize,
-) -> Vec<Vec<NodeId>> {
+fn merge_parts(dag: &CircuitDag, mut parts: Vec<Vec<NodeId>>, limit: usize) -> Vec<Vec<NodeId>> {
     loop {
         if parts.len() <= 1 {
             return parts;
         }
-        let working_sets: Vec<BTreeSet<usize>> =
-            parts.iter().map(|p| dag.working_set(p)).collect();
+        let working_sets: Vec<BTreeSet<usize>> = parts.iter().map(|p| dag.working_set(p)).collect();
 
         // Quotient adjacency indexed exactly by our `parts` positions (a
         // plain `PartGraph` would renumber parts by first appearance, which
@@ -649,7 +647,11 @@ mod tests {
         }
         let dag = CircuitDag::from_circuit(&c);
         let p = DagPPartitioner::default().partition(&dag, 2).unwrap();
-        assert_eq!(p.num_parts(), 2, "dagP should group the two independent pair-threads");
+        assert_eq!(
+            p.num_parts(),
+            2,
+            "dagP should group the two independent pair-threads"
+        );
     }
 
     #[test]

@@ -31,7 +31,9 @@ impl std::fmt::Display for PartitionBuildError {
                 "gate {gate} touches {arity} qubits, above the working-set limit {limit}"
             ),
             PartitionBuildError::InvalidLimit(l) => write!(f, "invalid working-set limit {l}"),
-            PartitionBuildError::InvalidResult(e) => write!(f, "strategy produced an invalid partition: {e}"),
+            PartitionBuildError::InvalidResult(e) => {
+                write!(f, "strategy produced an invalid partition: {e}")
+            }
         }
     }
 }

@@ -110,18 +110,10 @@ fn sub_circuit_dag(dag: &CircuitDag, gates: &[usize]) -> CircuitDag {
 }
 
 /// The two-level partitioner: dagP at both levels.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct MultilevelPartitioner {
     /// dagP configuration used at both levels.
     pub config: DagPConfig,
-}
-
-impl Default for MultilevelPartitioner {
-    fn default() -> Self {
-        Self {
-            config: DagPConfig::default(),
-        }
-    }
 }
 
 impl MultilevelPartitioner {

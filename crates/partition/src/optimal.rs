@@ -304,7 +304,9 @@ mod tests {
         // sets, but CX(2,3) straddles any such split, so 3 parts is minimal.
         let c = generators::cat_state(6);
         let dag = CircuitDag::from_circuit(&c);
-        let result = OptimalPartitioner::default().partition(&dag, 3, None).unwrap();
+        let result = OptimalPartitioner::default()
+            .partition(&dag, 3, None)
+            .unwrap();
         assert!(result.proven_optimal);
         assert_eq!(result.partition.num_parts(), 3);
     }
@@ -313,7 +315,9 @@ mod tests {
     fn optimal_single_part_when_whole_circuit_fits() {
         let c = generators::by_name("bv", 6);
         let dag = CircuitDag::from_circuit(&c);
-        let result = OptimalPartitioner::default().partition(&dag, 6, None).unwrap();
+        let result = OptimalPartitioner::default()
+            .partition(&dag, 6, None)
+            .unwrap();
         assert_eq!(result.partition.num_parts(), 1);
         assert!(result.proven_optimal);
     }
@@ -398,7 +402,9 @@ mod tests {
     fn empty_circuit_is_trivially_optimal() {
         let c = Circuit::new(2);
         let dag = CircuitDag::from_circuit(&c);
-        let r = OptimalPartitioner::default().partition(&dag, 1, None).unwrap();
+        let r = OptimalPartitioner::default()
+            .partition(&dag, 1, None)
+            .unwrap();
         assert_eq!(r.partition.num_parts(), 0);
         assert!(r.proven_optimal);
     }

@@ -10,7 +10,11 @@ use hisvsim_dag::{CircuitDag, Partition};
 use serde::{Deserialize, Serialize};
 
 /// One of the paper's partitioning strategies.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// `Hash` is derived so strategies can participate in cache keys (the
+/// runtime's plan cache keys plans by circuit fingerprint + limit +
+/// strategy portfolio).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Strategy {
     /// Natural topological order cutoff.
     Nat,
@@ -74,7 +78,9 @@ impl std::str::FromStr for Strategy {
             "nat" => Ok(Strategy::Nat),
             "dfs" => Ok(Strategy::Dfs),
             "dagp" => Ok(Strategy::DagP),
-            other => Err(format!("unknown strategy '{other}' (expected Nat, DFS, or dagP)")),
+            other => Err(format!(
+                "unknown strategy '{other}' (expected Nat, DFS, or dagP)"
+            )),
         }
     }
 }

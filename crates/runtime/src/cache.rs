@@ -1,0 +1,407 @@
+//! The partition-plan cache.
+//!
+//! DAG construction + acyclic partitioning is a pure function of circuit
+//! *structure*, so its result can be memoized across jobs, batches and
+//! tenants. The cache key is the structural
+//! [`Circuit::fingerprint`](hisvsim_circuit::Circuit::fingerprint) plus the
+//! plan's shape parameters (limit, second-level limit, planner effort); the
+//! cached value is the immutable plan behind an `Arc`, shared by every
+//! concurrent execution.
+//!
+//! Two properties matter under a concurrent scheduler:
+//!
+//! * **In-flight deduplication** — when eight identical jobs arrive at once,
+//!   exactly one worker computes the plan while the other seven block on the
+//!   per-key entry lock and then count as hits. Without this, a cold cache
+//!   would plan the same circuit once per worker.
+//! * **Bounded size** — entries are evicted least-recently-used once
+//!   `capacity` is exceeded; pending (in-flight) entries are never evicted.
+
+use hisvsim_dag::Partition;
+use hisvsim_partition::{MultilevelPartition, PartitionBuildError};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Cache key: structural fingerprint plus plan shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// [`Circuit::fingerprint`](hisvsim_circuit::Circuit::fingerprint) of
+    /// the job's circuit.
+    pub fingerprint: u64,
+    /// Working-set limit (first-level limit for two-level plans).
+    pub limit: usize,
+    /// Second-level limit; 0 for single-level plans.
+    pub second_limit: usize,
+    /// Planner effort that produced the plan (plans of different effort are
+    /// different cache entries).
+    pub effort: crate::planner::PlanEffort,
+}
+
+/// A memoized plan.
+#[derive(Debug, Clone)]
+pub enum CachedPlan {
+    /// Single-level partition (hier / dist engines).
+    Single(Arc<Partition>),
+    /// Two-level partition (multilevel engine).
+    Two(Arc<MultilevelPartition>),
+}
+
+impl CachedPlan {
+    /// The single-level partition, panicking on shape mismatch (the key's
+    /// `second_limit` field makes mismatches impossible within the runtime).
+    pub fn expect_single(&self) -> &Arc<Partition> {
+        match self {
+            CachedPlan::Single(p) => p,
+            CachedPlan::Two(_) => panic!("expected a single-level plan"),
+        }
+    }
+
+    /// The two-level partition, panicking on shape mismatch.
+    pub fn expect_two(&self) -> &Arc<MultilevelPartition> {
+        match self {
+            CachedPlan::Two(p) => p,
+            CachedPlan::Single(_) => panic!("expected a two-level plan"),
+        }
+    }
+
+    /// Number of (first-level) parts — the quantity planning minimises.
+    pub fn num_parts(&self) -> usize {
+        match self {
+            CachedPlan::Single(p) => p.num_parts(),
+            CachedPlan::Two(ml) => ml.num_first_level_parts(),
+        }
+    }
+}
+
+/// Hit/miss/eviction counters, surfaced in batch reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from a present (or just-computed-by-another-worker)
+    /// entry.
+    pub hits: u64,
+    /// Lookups that had to compute the plan.
+    pub misses: u64,
+    /// Entries evicted by the LRU bound.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Hits over total lookups (0.0 when the cache was never consulted).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Counter-wise difference (`self - earlier`), for per-batch deltas.
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            evictions: self.evictions - earlier.evictions,
+            entries: self.entries,
+        }
+    }
+}
+
+/// One slot: the plan once computed, plus its LRU stamp.
+struct Slot {
+    value: Mutex<Option<CachedPlan>>,
+    last_used: AtomicU64,
+}
+
+/// The concurrent plan cache. Cheap to share (`Arc<PlanCache>`); all methods
+/// take `&self`.
+#[derive(Default)]
+pub struct PlanCache {
+    map: Mutex<HashMap<PlanKey, Arc<Slot>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    tick: AtomicU64,
+    capacity: usize,
+}
+
+impl PlanCache {
+    /// A cache holding at most `capacity` plans (LRU-evicted beyond that).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            ..Default::default()
+        }
+    }
+
+    /// Look up the plan for `key`, computing (and inserting) it with
+    /// `compute` on a miss. Concurrent callers with the same key block until
+    /// the first finishes and then observe a hit. Failed computations are
+    /// not cached; the error is returned and the slot removed so a later
+    /// submission can retry.
+    pub fn get_or_plan<F>(
+        &self,
+        key: PlanKey,
+        compute: F,
+    ) -> Result<(CachedPlan, bool), PartitionBuildError>
+    where
+        F: FnOnce() -> Result<CachedPlan, PartitionBuildError>,
+    {
+        let stamp = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        let slot = {
+            let mut map = self.map.lock().expect("plan cache poisoned");
+            let slot = Arc::clone(map.entry(key).or_insert_with(|| {
+                Arc::new(Slot {
+                    value: Mutex::new(None),
+                    last_used: AtomicU64::new(stamp),
+                })
+            }));
+            slot.last_used.store(stamp, Ordering::Relaxed);
+            slot
+        };
+
+        // The per-key lock serialises computation for this key only.
+        let mut value = slot.value.lock().expect("plan slot poisoned");
+        if let Some(plan) = value.as_ref() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((plan.clone(), true));
+        }
+        match compute() {
+            Ok(plan) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                *value = Some(plan.clone());
+                drop(value);
+                self.enforce_capacity(&key);
+                Ok((plan, false))
+            }
+            Err(e) => {
+                drop(value);
+                // Forget the failed slot so future submissions retry.
+                self.map.lock().expect("plan cache poisoned").remove(&key);
+                Err(e)
+            }
+        }
+    }
+
+    /// Evict least-recently-used completed entries beyond `capacity`,
+    /// keeping `just_inserted` and all pending entries.
+    fn enforce_capacity(&self, just_inserted: &PlanKey) {
+        let mut map = self.map.lock().expect("plan cache poisoned");
+        while map.len() > self.capacity {
+            let victim = map
+                .iter()
+                .filter(|(k, slot)| {
+                    *k != just_inserted
+                        && slot.value.try_lock().map(|v| v.is_some()).unwrap_or(false)
+                })
+                .min_by_key(|(_, slot)| slot.last_used.load(Ordering::Relaxed))
+                .map(|(k, _)| *k);
+            match victim {
+                Some(k) => {
+                    map.remove(&k);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                None => break, // everything else is pending or protected
+            }
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.map.lock().expect("plan cache poisoned").len(),
+        }
+    }
+
+    /// Drop every entry (counters are kept).
+    pub fn clear(&self) {
+        self.map.lock().expect("plan cache poisoned").clear();
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+impl std::fmt::Debug for PlanCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlanCache")
+            .field("capacity", &self.capacity)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::{PlanEffort, Planner};
+    use hisvsim_circuit::generators;
+    use hisvsim_dag::CircuitDag;
+
+    fn key_of(circuit: &hisvsim_circuit::Circuit, limit: usize) -> PlanKey {
+        PlanKey {
+            fingerprint: circuit.fingerprint(),
+            limit,
+            second_limit: 0,
+            effort: PlanEffort::Fast,
+        }
+    }
+
+    fn plan_for(circuit: &hisvsim_circuit::Circuit, limit: usize) -> CachedPlan {
+        let dag = CircuitDag::from_circuit(circuit);
+        CachedPlan::Single(Arc::new(
+            Planner::default()
+                .plan_single(circuit, &dag, limit)
+                .unwrap(),
+        ))
+    }
+
+    #[test]
+    fn second_identical_submit_is_a_hit_with_the_same_plan() {
+        let cache = PlanCache::new(8);
+        let circuit = generators::qft(10);
+        let key = key_of(&circuit, 5);
+
+        let (first, hit1) = cache
+            .get_or_plan(key, || Ok(plan_for(&circuit, 5)))
+            .unwrap();
+        assert!(!hit1, "cold cache must miss");
+        let (second, hit2) = cache
+            .get_or_plan(key, || panic!("second submit must not recompute"))
+            .unwrap();
+        assert!(hit2, "identical resubmission must hit");
+        // The very same Arc is shared, so the executed plan is identical.
+        assert!(Arc::ptr_eq(first.expect_single(), second.expect_single()));
+
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn different_limits_are_different_entries() {
+        let cache = PlanCache::new(8);
+        let circuit = generators::qft(10);
+        for limit in [4usize, 5, 6] {
+            let (_, hit) = cache
+                .get_or_plan(key_of(&circuit, limit), || Ok(plan_for(&circuit, limit)))
+                .unwrap();
+            assert!(!hit);
+        }
+        assert_eq!(cache.stats().entries, 3);
+    }
+
+    #[test]
+    fn lru_eviction_respects_capacity_and_recency() {
+        let cache = PlanCache::new(2);
+        let a = generators::qft(8);
+        let b = generators::cat_state(8);
+        let c = generators::by_name("bv", 8);
+        cache
+            .get_or_plan(key_of(&a, 4), || Ok(plan_for(&a, 4)))
+            .unwrap();
+        cache
+            .get_or_plan(key_of(&b, 4), || Ok(plan_for(&b, 4)))
+            .unwrap();
+        // Touch `a` so `b` is the LRU victim.
+        cache.get_or_plan(key_of(&a, 4), || unreachable!()).unwrap();
+        cache
+            .get_or_plan(key_of(&c, 4), || Ok(plan_for(&c, 4)))
+            .unwrap();
+
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.evictions, 1);
+        // `a` survived; `b` was evicted and must recompute.
+        let (_, hit_a) = cache.get_or_plan(key_of(&a, 4), || unreachable!()).unwrap();
+        assert!(hit_a);
+        let (_, hit_b) = cache
+            .get_or_plan(key_of(&b, 4), || Ok(plan_for(&b, 4)))
+            .unwrap();
+        assert!(!hit_b);
+    }
+
+    #[test]
+    fn concurrent_identical_submissions_compute_once() {
+        use std::sync::atomic::AtomicUsize;
+        let cache = Arc::new(PlanCache::new(8));
+        let circuit = Arc::new(generators::qft(10));
+        let computations = Arc::new(AtomicUsize::new(0));
+        let key = key_of(&circuit, 5);
+
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let cache = Arc::clone(&cache);
+                let circuit = Arc::clone(&circuit);
+                let computations = Arc::clone(&computations);
+                scope.spawn(move || {
+                    cache
+                        .get_or_plan(key, || {
+                            computations.fetch_add(1, Ordering::SeqCst);
+                            Ok(plan_for(&circuit, 5))
+                        })
+                        .unwrap();
+                });
+            }
+        });
+
+        assert_eq!(
+            computations.load(Ordering::SeqCst),
+            1,
+            "in-flight dedup failed"
+        );
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 7);
+    }
+
+    #[test]
+    fn failed_plans_are_not_cached() {
+        let cache = PlanCache::new(8);
+        let circuit = generators::adder(8); // Toffolis: arity 3
+        let dag = CircuitDag::from_circuit(&circuit);
+        let key = key_of(&circuit, 2);
+        let attempt = cache.get_or_plan(key, || {
+            Planner::default()
+                .plan_single(&circuit, &dag, 2)
+                .map(|p| CachedPlan::Single(Arc::new(p)))
+        });
+        assert!(attempt.is_err());
+        assert_eq!(cache.stats().entries, 0);
+        // A later submission retries (and may succeed at a higher limit).
+        let (_, hit) = cache
+            .get_or_plan(key_of(&circuit, 4), || Ok(plan_for(&circuit, 4)))
+            .unwrap();
+        assert!(!hit);
+    }
+
+    #[test]
+    fn plans_serialize_and_roundtrip() {
+        // The "plans are serializable" contract: a cached plan can be shipped
+        // to another process (future sharded runtime) and reused verbatim.
+        let circuit = generators::qft(9);
+        let dag = CircuitDag::from_circuit(&circuit);
+        let plan = Planner::default().plan_single(&circuit, &dag, 5).unwrap();
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: Partition = serde_json::from_str(&json).unwrap();
+        assert_eq!(plan, back);
+        back.validate(&dag, 5).unwrap();
+
+        let ml = Planner::default().plan_two_level(&dag, 6, 3).unwrap();
+        let json = serde_json::to_string(&ml).unwrap();
+        let back: MultilevelPartition = serde_json::from_str(&json).unwrap();
+        assert_eq!(ml.first, back.first);
+        assert_eq!(
+            ml.total_second_level_parts(),
+            back.total_second_level_parts()
+        );
+    }
+}

@@ -1,0 +1,100 @@
+//! The batch job model: what a caller submits ([`SimJob`]) and what the
+//! scheduler returns ([`JobResult`]).
+
+use crate::selector::EngineKind;
+use hisvsim_circuit::{Circuit, Qubit};
+use hisvsim_core::RunReport;
+use hisvsim_statevec::StateVector;
+use std::collections::BTreeMap;
+
+/// One simulation job: a circuit plus everything the runtime needs to
+/// execute and post-process it.
+#[derive(Debug, Clone)]
+pub struct SimJob {
+    /// The circuit to simulate.
+    pub circuit: Circuit,
+    /// Measurement shots to sample from the final state (0 = none).
+    pub shots: usize,
+    /// Qubits whose Pauli-Z expectation values are reported.
+    pub observables: Vec<Qubit>,
+    /// Engine preference; `None` lets the
+    /// [`EngineSelector`](crate::selector::EngineSelector) decide.
+    pub engine: Option<EngineKind>,
+    /// Working-set limit override; `None` uses the selector's limit.
+    pub limit: Option<usize>,
+    /// Seed for shot sampling (deterministic per job).
+    pub seed: u64,
+}
+
+impl SimJob {
+    /// A job with no shots, no observables, automatic engine selection.
+    pub fn new(circuit: Circuit) -> Self {
+        Self {
+            circuit,
+            shots: 0,
+            observables: Vec::new(),
+            engine: None,
+            limit: None,
+            seed: 0,
+        }
+    }
+
+    /// Sample this many measurement shots from the final state.
+    pub fn with_shots(mut self, shots: usize) -> Self {
+        self.shots = shots;
+        self
+    }
+
+    /// Report Pauli-Z expectations on these qubits.
+    pub fn with_observables(mut self, qubits: Vec<Qubit>) -> Self {
+        self.observables = qubits;
+        self
+    }
+
+    /// Force a specific engine.
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = Some(engine);
+        self
+    }
+
+    /// Force a specific working-set limit.
+    pub fn with_limit(mut self, limit: usize) -> Self {
+        self.limit = Some(limit);
+        self
+    }
+
+    /// Use this sampling seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// The outcome of one job.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// Index of the job in the submitted batch (results are returned in
+    /// submission order regardless of completion order).
+    pub job_index: usize,
+    /// Name of the job's circuit.
+    pub circuit_name: String,
+    /// Engine that executed the job.
+    pub engine: EngineKind,
+    /// The final state vector (`None` when the scheduler was configured to
+    /// release states after post-processing).
+    pub state: Option<StateVector>,
+    /// The engine's own run report (timing, parts, communication).
+    pub report: RunReport,
+    /// Shot histogram over computational basis states (empty when
+    /// `shots == 0`).
+    pub counts: BTreeMap<usize, usize>,
+    /// `(qubit, ⟨Z⟩)` for each requested observable.
+    pub z_expectations: Vec<(Qubit, f64)>,
+    /// Wall-clock seconds for the whole job (planning + execution +
+    /// post-processing), as observed by the worker thread.
+    pub wall_time_s: f64,
+    /// Seconds spent obtaining the plan (≈ 0 on a cache hit).
+    pub plan_time_s: f64,
+    /// Whether the partition plan came from the cache.
+    pub plan_cache_hit: bool,
+}

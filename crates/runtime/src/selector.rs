@@ -1,0 +1,324 @@
+//! Engine auto-selection: given a job's circuit, pick the engine (baseline /
+//! hierarchical / distributed / multi-level) and its structural parameters
+//! (working-set limit, rank count, second-level limit) from the memory- and
+//! network-model cost signals the workspace already has.
+//!
+//! The decision mirrors the paper's own sizing argument:
+//!
+//! * a state vector that fits the last-level cache needs no hierarchy at all
+//!   → run the plain baseline engine on one rank;
+//! * a state vector that fits one node but not the LLC benefits from the
+//!   Gather–Execute–Scatter hierarchy → `hier` with the cache-derived limit;
+//! * anything larger must be distributed; if the per-rank slice itself
+//!   still dwarfs the LLC, the two-level engine additionally reorganises the
+//!   rank-local computation → `multilevel`, otherwise `dist`.
+
+use hisvsim_circuit::Circuit;
+use hisvsim_cluster::NetworkModel;
+use hisvsim_memmodel::HierarchyConfig;
+use serde::{Deserialize, Serialize};
+
+/// Which engine executes a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EngineKind {
+    /// The IQS-style static-mapping engine on one rank — effectively the
+    /// flat simulator, with the same report plumbing as the other engines.
+    Baseline,
+    /// The single-node hierarchical Gather–Execute–Scatter engine.
+    Hier,
+    /// The distributed engine over virtual MPI ranks.
+    Dist,
+    /// The two-level (node + cache) distributed engine.
+    Multilevel,
+}
+
+impl EngineKind {
+    /// All engines, for sweeps and reports.
+    pub const ALL: [EngineKind; 4] = [
+        EngineKind::Baseline,
+        EngineKind::Hier,
+        EngineKind::Dist,
+        EngineKind::Multilevel,
+    ];
+
+    /// Stable lowercase name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EngineKind::Baseline => "baseline",
+            EngineKind::Hier => "hier",
+            EngineKind::Dist => "dist",
+            EngineKind::Multilevel => "multilevel",
+        }
+    }
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The selector's verdict for one job.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EngineDecision {
+    /// Chosen engine.
+    pub engine: EngineKind,
+    /// Working-set limit for partitioning (single-level engines) or the
+    /// first-level limit (multi-level). Always ≥ the circuit's largest gate
+    /// arity, so partitioning cannot fail on arity.
+    pub limit: usize,
+    /// Virtual rank count (1 for single-node engines); a power of two.
+    pub ranks: usize,
+    /// Second-level limit (only meaningful for [`EngineKind::Multilevel`]).
+    pub second_limit: usize,
+    /// Modelled seconds for one full-state redistribution at this size —
+    /// the `netmodel` signal backing the dist/multilevel choice.
+    pub est_exchange_s: f64,
+    /// Human-readable justification, surfaced by the batch report.
+    pub reason: String,
+}
+
+/// Picks an engine per job from qubit count and the cost models.
+///
+/// All thresholds are expressed in qubits (log2 of amplitude count) and are
+/// derived from a [`HierarchyConfig`] at construction; tests and examples can
+/// scale them down with [`EngineSelector::scaled`] so every engine is
+/// exercised on toy circuits.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EngineSelector {
+    /// Qubits whose state vector fits the last-level cache
+    /// (`log2(LLC bytes / 16)`).
+    pub cache_qubits: usize,
+    /// Qubits whose state vector fits one node's memory.
+    pub node_qubits: usize,
+    /// Cap on the virtual rank count (power of two).
+    pub max_ranks: usize,
+    /// Interconnect model used for the communication-cost signal.
+    pub network: NetworkModel,
+}
+
+impl EngineSelector {
+    /// Derive thresholds from a cache hierarchy and a per-node memory budget
+    /// (in bytes).
+    pub fn from_models(
+        hierarchy: &HierarchyConfig,
+        node_memory_bytes: u128,
+        network: NetworkModel,
+    ) -> Self {
+        Self {
+            cache_qubits: qubits_fitting(hierarchy.l3.capacity_bytes as u128),
+            node_qubits: qubits_fitting(node_memory_bytes),
+            max_ranks: 64,
+            network,
+        }
+    }
+
+    /// Explicitly scaled thresholds (used by tests and the examples so the
+    /// full engine spectrum is exercised on small circuits).
+    pub fn scaled(cache_qubits: usize, node_qubits: usize) -> Self {
+        assert!(cache_qubits <= node_qubits);
+        Self {
+            cache_qubits,
+            node_qubits,
+            max_ranks: 16,
+            network: NetworkModel::hdr100(),
+        }
+    }
+
+    /// Choose the engine and parameters for `circuit`, optionally forcing the
+    /// engine kind (the per-job override) while still deriving the
+    /// structural parameters.
+    pub fn decide(&self, circuit: &Circuit, forced: Option<EngineKind>) -> EngineDecision {
+        let n = circuit.num_qubits();
+        // Partitioning rejects limits below the largest gate arity; every
+        // limit the selector emits respects this floor.
+        let arity_floor = circuit.gates().iter().map(|g| g.arity()).max().unwrap_or(1);
+        let cache_limit = self.cache_qubits.clamp(arity_floor, n.max(1));
+
+        let engine = forced.unwrap_or_else(|| self.auto_engine(n));
+
+        // Rank count: one rank per node_qubits-sized slice, capped.
+        let ranks = if matches!(engine, EngineKind::Dist | EngineKind::Multilevel) {
+            let wanted_bits = n.saturating_sub(self.node_qubits).max(1);
+            let cap_bits = self.max_ranks.trailing_zeros() as usize;
+            // Never more rank bits than would leave each rank at least one
+            // local qubit per gate operand.
+            let max_bits = n.saturating_sub(arity_floor.max(1));
+            1usize << wanted_bits.min(cap_bits).min(max_bits)
+        } else {
+            1
+        };
+        let local = n - ranks.trailing_zeros() as usize;
+
+        let (limit, second_limit) = match engine {
+            EngineKind::Baseline => (n.max(1), 0),
+            EngineKind::Hier => (cache_limit, 0),
+            EngineKind::Dist => (local.clamp(arity_floor, n.max(1)), 0),
+            EngineKind::Multilevel => {
+                let first = local.clamp(arity_floor, n.max(1));
+                (first, cache_limit.min(first))
+            }
+        };
+
+        let est_exchange_s = self
+            .network
+            .message_time(((16u128 << n) / ranks.max(1) as u128) as usize);
+
+        let reason = match engine {
+            EngineKind::Baseline => format!(
+                "2^{n} amplitudes fit the {}-qubit LLC budget; no hierarchy needed",
+                self.cache_qubits
+            ),
+            EngineKind::Hier => format!(
+                "2^{n} amplitudes exceed the {}-qubit LLC budget but fit one node \
+                 ({} qubits); gather/execute/scatter at limit {limit}",
+                self.cache_qubits, self.node_qubits
+            ),
+            EngineKind::Dist => format!(
+                "2^{n} amplitudes exceed one node ({} qubits); {ranks} ranks, \
+                 local slice ({local} qubits) is cache-friendly enough \
+                 (~{:.1e} s/exchange)",
+                self.node_qubits, est_exchange_s
+            ),
+            EngineKind::Multilevel => format!(
+                "2^{n} amplitudes exceed one node ({} qubits) and the {local}-qubit \
+                 local slice still dwarfs the {}-qubit LLC budget; two-level \
+                 partitioning (~{:.1e} s/exchange)",
+                self.node_qubits, self.cache_qubits, est_exchange_s
+            ),
+        };
+
+        EngineDecision {
+            engine,
+            limit,
+            ranks,
+            second_limit,
+            est_exchange_s,
+            reason,
+        }
+    }
+
+    fn auto_engine(&self, n: usize) -> EngineKind {
+        if n <= self.cache_qubits {
+            EngineKind::Baseline
+        } else if n <= self.node_qubits {
+            EngineKind::Hier
+        } else {
+            let local = n - n
+                .saturating_sub(self.node_qubits)
+                .min(self.max_ranks.trailing_zeros() as usize);
+            // The second level pays off when the local slice exceeds the LLC
+            // budget by more than one qubit (one gather level of slack).
+            if local > self.cache_qubits + 1 {
+                EngineKind::Multilevel
+            } else {
+                EngineKind::Dist
+            }
+        }
+    }
+}
+
+impl Default for EngineSelector {
+    /// Thresholds of the paper's evaluation machine: Cascade Lake LLC
+    /// (32 MB → 21 cache qubits) and a 16 GB-per-node budget (30 qubits).
+    fn default() -> Self {
+        Self::from_models(
+            &HierarchyConfig::cascade_lake(),
+            16u128 << 30,
+            NetworkModel::hdr100(),
+        )
+    }
+}
+
+/// Largest `n` with `2^n × 16` bytes ≤ `bytes`.
+fn qubits_fitting(bytes: u128) -> usize {
+    let amps = (bytes / 16).max(1);
+    (u128::BITS - 1 - amps.leading_zeros()) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hisvsim_circuit::generators;
+
+    #[test]
+    fn qubit_budgets_match_powers_of_two() {
+        assert_eq!(qubits_fitting(16), 0);
+        assert_eq!(qubits_fitting(32 * 1024 * 1024), 21); // 32 MB LLC
+        assert_eq!(qubits_fitting(16u128 << 30), 30); // 16 GB node
+        assert_eq!(qubits_fitting((16u128 << 30) - 1), 29);
+    }
+
+    #[test]
+    fn default_selector_uses_paper_scale_thresholds() {
+        let s = EngineSelector::default();
+        assert_eq!(s.cache_qubits, 21);
+        assert_eq!(s.node_qubits, 30);
+    }
+
+    #[test]
+    fn scaled_selector_walks_the_engine_ladder() {
+        let s = EngineSelector::scaled(4, 8);
+        assert_eq!(
+            s.decide(&generators::qft(4), None).engine,
+            EngineKind::Baseline
+        );
+        assert_eq!(s.decide(&generators::qft(6), None).engine, EngineKind::Hier);
+        // 9 qubits: 2 ranks → 8 local qubits > cache+1 → multilevel.
+        assert_eq!(
+            s.decide(&generators::qft(9), None).engine,
+            EngineKind::Multilevel
+        );
+        // cache 7, node 8: local slice stays near the cache budget → dist.
+        let s2 = EngineSelector::scaled(7, 8);
+        assert_eq!(
+            s2.decide(&generators::qft(9), None).engine,
+            EngineKind::Dist
+        );
+    }
+
+    #[test]
+    fn forced_engine_is_respected_with_derived_parameters() {
+        let s = EngineSelector::scaled(4, 8);
+        let d = s.decide(&generators::qft(6), Some(EngineKind::Dist));
+        assert_eq!(d.engine, EngineKind::Dist);
+        assert!(d.ranks.is_power_of_two());
+        assert!(d.limit >= 2);
+    }
+
+    #[test]
+    fn limits_never_drop_below_gate_arity() {
+        // The adder family contains Toffolis (arity 3).
+        let s = EngineSelector::scaled(2, 5);
+        let d = s.decide(&generators::adder(10), None);
+        assert!(d.limit >= 3, "limit {} below Toffoli arity", d.limit);
+        if d.engine == EngineKind::Multilevel {
+            assert!(d.second_limit >= 3);
+        }
+    }
+
+    #[test]
+    fn rank_count_is_a_bounded_power_of_two() {
+        let s = EngineSelector::scaled(3, 5);
+        for n in 6..=12 {
+            let d = s.decide(&generators::qft(n), None);
+            assert!(d.ranks.is_power_of_two());
+            assert!(d.ranks <= s.max_ranks);
+            assert!(
+                (d.ranks.trailing_zeros() as usize) < n,
+                "ranks {} for {n} qubits",
+                d.ranks
+            );
+        }
+    }
+
+    #[test]
+    fn decisions_explain_themselves() {
+        let s = EngineSelector::scaled(4, 8);
+        for n in [3usize, 6, 10] {
+            let d = s.decide(&generators::qft(n), None);
+            assert!(!d.reason.is_empty());
+            assert!(d.est_exchange_s >= 0.0);
+        }
+    }
+}

@@ -49,19 +49,20 @@ pub fn fuse_circuit(circuit: &Circuit, max_fused_qubits: usize) -> Vec<FusedGate
     let mut group: Vec<usize> = Vec::new(); // gate indices of the open group
     let mut group_qubits: Vec<Qubit> = Vec::new();
 
-    let flush = |group: &mut Vec<usize>, group_qubits: &mut Vec<Qubit>, fused: &mut Vec<FusedGate>| {
-        if group.is_empty() {
-            return;
-        }
-        let qubits = std::mem::take(group_qubits);
-        let matrix = build_group_matrix(circuit, group, &qubits);
-        fused.push(FusedGate {
-            qubits,
-            matrix,
-            fused_count: group.len(),
-        });
-        group.clear();
-    };
+    let flush =
+        |group: &mut Vec<usize>, group_qubits: &mut Vec<Qubit>, fused: &mut Vec<FusedGate>| {
+            if group.is_empty() {
+                return;
+            }
+            let qubits = std::mem::take(group_qubits);
+            let matrix = build_group_matrix(circuit, group, &qubits);
+            fused.push(FusedGate {
+                qubits,
+                matrix,
+                fused_count: group.len(),
+            });
+            group.clear();
+        };
 
     for (index, gate) in circuit.gates().iter().enumerate() {
         if gate.arity() > max_fused_qubits {
@@ -171,7 +172,11 @@ mod tests {
             circuit.num_gates()
         );
         let total: usize = fused.iter().map(|f| f.fused_count).sum();
-        assert_eq!(total, circuit.num_gates(), "every gate must be fused exactly once");
+        assert_eq!(
+            total,
+            circuit.num_gates(),
+            "every gate must be fused exactly once"
+        );
     }
 
     #[test]
@@ -188,7 +193,9 @@ mod tests {
     fn oversized_gates_pass_through_unfused() {
         let circuit = generators::adder(8); // contains 3-qubit Toffolis
         let fused = fuse_circuit(&circuit, 2);
-        assert!(fused.iter().any(|f| f.qubits.len() == 3 && f.fused_count == 1));
+        assert!(fused
+            .iter()
+            .any(|f| f.qubits.len() == 3 && f.fused_count == 1));
         let expected = run_circuit(&circuit);
         let got = run_fused(&circuit, 2, &ApplyOptions::sequential());
         assert!(got.approx_eq(&expected, 1e-9));

@@ -31,7 +31,10 @@ impl GatherMap {
     /// `j` = outer qubit `part_qubits[j]`) inside an `outer_qubits`-wide
     /// state.
     pub fn new(outer_qubits: usize, part_qubits: &[Qubit]) -> Self {
-        assert!(!part_qubits.is_empty(), "a part must touch at least one qubit");
+        assert!(
+            !part_qubits.is_empty(),
+            "a part must touch at least one qubit"
+        );
         assert!(
             part_qubits.len() <= outer_qubits,
             "part touches {} qubits but the outer state has {}",
@@ -200,7 +203,7 @@ mod tests {
     #[test]
     fn gather_partitions_are_disjoint_and_exhaustive() {
         let map = GatherMap::new(6, &[5, 1]);
-        let mut seen = vec![false; 1 << 6];
+        let mut seen = [false; 1 << 6];
         for assignment in 0..(1 << map.num_free_qubits()) {
             for inner in 0..(1 << map.inner_qubits()) {
                 let idx = map.outer_index(assignment, inner);

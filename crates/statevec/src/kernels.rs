@@ -132,10 +132,7 @@ pub fn run_circuit(circuit: &hisvsim_circuit::Circuit) -> StateVector {
 }
 
 /// Run a circuit from `|0…0⟩` with explicit options.
-pub fn run_circuit_with(
-    circuit: &hisvsim_circuit::Circuit,
-    opts: &ApplyOptions,
-) -> StateVector {
+pub fn run_circuit_with(circuit: &hisvsim_circuit::Circuit, opts: &ApplyOptions) -> StateVector {
     let mut state = StateVector::zero_state(circuit.num_qubits());
     apply_circuit_with(&mut state, circuit, opts);
     state
@@ -190,7 +187,7 @@ pub fn apply_diagonal_single(
     let mask = 1usize << q;
     let amps = state.amplitudes_mut();
     let update = move |(i, a): (usize, &mut Complex64)| {
-        *a = *a * if i & mask == 0 { d0 } else { d1 };
+        *a *= if i & mask == 0 { d0 } else { d1 };
     };
     if opts.go_parallel(len) {
         amps.par_iter_mut().enumerate().for_each(update);
@@ -292,7 +289,7 @@ pub fn apply_swap(state: &mut StateVector, a: Qubit, b: Qubit, opts: &ApplyOptio
         let base = spread2(k, qa, qb);
         let i = base | amask; // a=1, b=0
         let j = base | bmask; // a=0, b=1
-        // SAFETY: disjoint index groups (see apply_controlled_single).
+                              // SAFETY: disjoint index groups (see apply_controlled_single).
         unsafe {
             let x = amps_ptr.read(i);
             let y = amps_ptr.read(j);
@@ -324,7 +321,7 @@ pub fn apply_diagonal_two(
     let amps = state.amplitudes_mut();
     let update = move |(i, amp): (usize, &mut Complex64)| {
         let idx = ((i & amask != 0) as usize) | (((i & bmask != 0) as usize) << 1);
-        *amp = *amp * diag[idx];
+        *amp *= diag[idx];
     };
     if opts.go_parallel(len) {
         amps.par_iter_mut().enumerate().for_each(update);
@@ -513,7 +510,10 @@ mod tests {
     }
 
     fn check_gate_against_reference(gate: Gate, n: usize) {
-        let init = random_state(n, 0xFEED + n as u64 + gate.qubits.iter().sum::<usize>() as u64);
+        let init = random_state(
+            n,
+            0xFEED + n as u64 + gate.qubits.iter().sum::<usize>() as u64,
+        );
         let expected = apply_gate_reference(&init, &gate);
         for opts in [SEQ, PAR] {
             let mut got = init.clone();
@@ -555,13 +555,37 @@ mod tests {
     #[test]
     fn every_gate_kind_matches_reference_on_random_state() {
         use GateKind::*;
-        let single = [H, X, Y, Z, S, T, Sx, Rx(0.3), Ry(0.7), Rz(-1.1), P(0.4), U3(0.2, 0.5, 0.9)];
+        let single = [
+            H,
+            X,
+            Y,
+            Z,
+            S,
+            T,
+            Sx,
+            Rx(0.3),
+            Ry(0.7),
+            Rz(-1.1),
+            P(0.4),
+            U3(0.2, 0.5, 0.9),
+        ];
         for kind in single {
             for q in [0usize, 2, 4] {
                 check_gate_against_reference(Gate::new(kind, vec![q]), 5);
             }
         }
-        let double = [Cx, Cy, Cz, Ch, Cp(0.8), Crz(1.3), Crx(0.6), Swap, Rzz(0.9), Rxx(0.5)];
+        let double = [
+            Cx,
+            Cy,
+            Cz,
+            Ch,
+            Cp(0.8),
+            Crz(1.3),
+            Crx(0.6),
+            Swap,
+            Rzz(0.9),
+            Rxx(0.5),
+        ];
         for kind in double {
             for (a, b) in [(0usize, 1usize), (1, 4), (4, 2), (3, 0)] {
                 check_gate_against_reference(Gate::new(kind, vec![a, b]), 5);

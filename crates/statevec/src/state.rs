@@ -37,7 +37,10 @@ impl StateVector {
 
     /// Build a state from raw amplitudes; the length must be a power of two.
     pub fn from_amplitudes(amps: Vec<Complex64>) -> Self {
-        assert!(amps.len().is_power_of_two(), "length must be a power of two");
+        assert!(
+            amps.len().is_power_of_two(),
+            "length must be a power of two"
+        );
         let num_qubits = amps.len().trailing_zeros() as usize;
         Self { num_qubits, amps }
     }

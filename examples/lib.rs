@@ -7,4 +7,6 @@
 //! * `quickstart` — flat vs hierarchical vs distributed on one circuit,
 //! * `partition_explorer` — Nat/DFS/dagP/optimal part counts across the suite,
 //! * `distributed_scaling` — strong scaling against the IQS-style baseline,
-//! * `qasm_runner` — run an OpenQASM 2.0 file end to end.
+//! * `qasm_runner` — run an OpenQASM 2.0 file end to end,
+//! * `batch_service` — a mixed workload through the concurrent runtime
+//!   (engine auto-selection, plan-cache hit rates, cache ablation).

@@ -21,7 +21,10 @@ fn main() {
     let source = match arg.as_deref() {
         None | Some("--demo") => {
             let circuit = generators::bv(14, 0xB5);
-            println!("(demo mode: generated {} and round-tripping it through OpenQASM)\n", circuit.name);
+            println!(
+                "(demo mode: generated {} and round-tripping it through OpenQASM)\n",
+                circuit.name
+            );
             qasm::to_qasm(&circuit)
         }
         Some(path) => std::fs::read_to_string(path).unwrap_or_else(|e| {

@@ -43,7 +43,9 @@ fn main() {
     let limit = (qubits / 2).max(2);
     let dag = CircuitDag::from_circuit(&circuit);
     for strategy in Strategy::ALL {
-        let partition = strategy.partition(&dag, limit).expect("partitioning failed");
+        let partition = strategy
+            .partition(&dag, limit)
+            .expect("partitioning failed");
         let sim = HierarchicalSimulator::new(HierConfig::new(limit).with_strategy(strategy));
         let run = sim.run_with_partition(&circuit, &dag, partition);
         let ok = run.state.approx_eq(&reference, 1e-9);

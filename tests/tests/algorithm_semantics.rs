@@ -13,7 +13,9 @@ use hisvsim_statevec::measure;
 fn cat_state_is_maximally_correlated_after_partitioned_execution() {
     let n = 12;
     let circuit = generators::cat_state(n);
-    let run = HierarchicalSimulator::new(HierConfig::new(4)).run(&circuit).unwrap();
+    let run = HierarchicalSimulator::new(HierConfig::new(4))
+        .run(&circuit)
+        .unwrap();
     let probs = measure::marginal_probabilities(&run.state, &(0..n).collect::<Vec<_>>());
     assert!((probs[0] - 0.5).abs() < 1e-9, "P(|0…0⟩) = {}", probs[0]);
     assert!(
@@ -44,7 +46,9 @@ fn bernstein_vazirani_recovers_its_secret_through_the_distributed_engine() {
 fn grover_amplifies_the_marked_state() {
     let n = 9;
     let circuit = generators::grover(n, 2, 0x6F);
-    let run = HierarchicalSimulator::new(HierConfig::new(5)).run(&circuit).unwrap();
+    let run = HierarchicalSimulator::new(HierConfig::new(5))
+        .run(&circuit)
+        .unwrap();
     // The search register is the largest s with s + 1 + (s-2) <= n (s = 5
     // here); after 2 Grover iterations the marked state dominates the
     // uniform 1/2^s background.
@@ -100,7 +104,9 @@ fn qpe_estimates_the_programmed_phase() {
     // counting register collapses to a single value.
     let n = 10;
     let circuit = generators::qpe(n);
-    let run = HierarchicalSimulator::new(HierConfig::new(5)).run(&circuit).unwrap();
+    let run = HierarchicalSimulator::new(HierConfig::new(5))
+        .run(&circuit)
+        .unwrap();
     let counting: Vec<usize> = (0..n - 1).collect();
     let marg = measure::marginal_probabilities(&run.state, &counting);
     let (best, p) = marg
@@ -125,7 +131,9 @@ fn adder_produces_a_plus_b_on_computational_inputs() {
     // over (A, B+A) pairs must only contain consistent sums.
     let n = 10; // k = 4-bit operands
     let circuit = generators::adder(n);
-    let run = HierarchicalSimulator::new(HierConfig::new(5)).run(&circuit).unwrap();
+    let run = HierarchicalSimulator::new(HierConfig::new(5))
+        .run(&circuit)
+        .unwrap();
     let k = (n - 2) / 2;
     let a_qubits: Vec<usize> = (0..k).map(|i| 1 + 2 * i).collect();
     let b_qubits: Vec<usize> = (0..k).map(|i| 2 + 2 * i).collect();
@@ -135,7 +143,9 @@ fn adder_produces_a_plus_b_on_computational_inputs() {
     all.push(cout);
     let marg = measure::marginal_probabilities(&run.state, &all);
     // Initial B value set by the generator: bits i with i % 3 == 0.
-    let b_init: usize = (0..k).filter(|i| i % 3 == 0).fold(0, |acc, i| acc | (1 << i));
+    let b_init: usize = (0..k)
+        .filter(|i| i % 3 == 0)
+        .fold(0, |acc, i| acc | (1 << i));
     let mut checked = 0usize;
     for (pattern, p) in marg.iter().enumerate() {
         if *p < 1e-9 {
@@ -152,15 +162,23 @@ fn adder_produces_a_plus_b_on_computational_inputs() {
         );
         checked += 1;
     }
-    assert!(checked >= 1 << (k - 1), "too few populated outcomes: {checked}");
+    assert!(
+        checked >= 1 << (k - 1),
+        "too few populated outcomes: {checked}"
+    );
 }
 
 #[test]
 fn qaoa_state_is_normalised_and_entangled() {
     let circuit = generators::qaoa(12, 2, 0xA0A);
-    let run = HierarchicalSimulator::new(HierConfig::new(6)).run(&circuit).unwrap();
+    let run = HierarchicalSimulator::new(HierConfig::new(6))
+        .run(&circuit)
+        .unwrap();
     assert!((run.state.norm_sqr() - 1.0).abs() < 1e-9);
     // Entanglement proxy: the marginal of qubit 0 is mixed (not 0 or 1).
     let p1 = measure::probability_of_one(&run.state, 0);
-    assert!(p1 > 0.01 && p1 < 0.99, "qubit 0 marginal suspiciously pure: {p1}");
+    assert!(
+        p1 > 0.01 && p1 < 0.99,
+        "qubit 0 marginal suspiciously pure: {p1}"
+    );
 }

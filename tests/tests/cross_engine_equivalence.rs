@@ -23,10 +23,9 @@ fn hierarchical_engine_matches_reference_for_all_strategies() {
                     Ok(p) => p,
                     Err(_) => continue, // limit below a gate's arity
                 };
-                let run = HierarchicalSimulator::new(
-                    HierConfig::new(limit).with_strategy(strategy),
-                )
-                .run_with_partition(&circuit, &dag, partition);
+                let run =
+                    HierarchicalSimulator::new(HierConfig::new(limit).with_strategy(strategy))
+                        .run_with_partition(&circuit, &dag, partition);
                 assert_states_match(
                     &format!("{} hier {} limit {limit}", circuit.name, strategy.name()),
                     &run.state,
@@ -42,11 +41,10 @@ fn distributed_engine_matches_reference_across_rank_counts() {
     for circuit in small_suite(8) {
         let expected = reference_state(&circuit);
         for ranks in [2usize, 4] {
-            let run = DistributedSimulator::new(
-                DistConfig::new(ranks).with_strategy(Strategy::DagP),
-            )
-            .run(&circuit)
-            .expect("partitioning failed");
+            let run =
+                DistributedSimulator::new(DistConfig::new(ranks).with_strategy(Strategy::DagP))
+                    .run(&circuit)
+                    .expect("partitioning failed");
             assert_states_match(
                 &format!("{} dist {ranks} ranks", circuit.name),
                 &run.state,
@@ -73,7 +71,11 @@ fn multilevel_engine_matches_reference() {
         let run = MultilevelSimulator::new(MultilevelConfig::new(4, 3))
             .run(&circuit)
             .expect("partitioning failed");
-        assert_states_match(&format!("{} multilevel", circuit.name), &run.state, &expected);
+        assert_states_match(
+            &format!("{} multilevel", circuit.name),
+            &run.state,
+            &expected,
+        );
     }
 }
 

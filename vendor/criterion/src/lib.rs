@@ -1,0 +1,313 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Same API shape (`criterion_group!`/`criterion_main!`, benchmark groups,
+//! `Bencher::iter`, throughput annotations), much simpler statistics: each
+//! benchmark is warmed up once, then timed over a fixed number of batches,
+//! and the median batch time is printed as a plain table row. Good enough to
+//! compare kernels and track regressions by eye; not a confidence-interval
+//! engine.
+//!
+//! Respects `--test` / `CRITERION_TEST=1` (run every benchmark body exactly
+//! once, no timing), so `cargo test --benches` stays fast.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter as the id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// Drives one benchmark's timing loop.
+pub struct Bencher {
+    /// Measured median batch time, populated by [`Bencher::iter`].
+    median: Duration,
+    /// Iterations per batch.
+    iters_per_batch: u64,
+    test_mode: bool,
+    sample_count: usize,
+}
+
+impl Bencher {
+    /// Time `f`, storing the median batch duration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            self.median = Duration::ZERO;
+            self.iters_per_batch = 1;
+            return;
+        }
+        // Warm-up & batch sizing: aim for batches of at least ~1 ms.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(50));
+        let iters = (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_count);
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            samples.push(start.elapsed());
+        }
+        samples.sort_unstable();
+        self.median = samples[samples.len() / 2];
+        self.iters_per_batch = iters;
+    }
+
+    /// `iter_batched` compatibility: setup is run outside the timed section.
+    pub fn iter_batched<I, O, S: FnMut() -> I, F: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut f: F,
+        _size: BatchSize,
+    ) {
+        let input = setup();
+        if self.test_mode {
+            black_box(f(input));
+            self.median = Duration::ZERO;
+            self.iters_per_batch = 1;
+            return;
+        }
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_count);
+        for _ in 0..self.sample_count {
+            let input = setup();
+            let start = Instant::now();
+            black_box(f(input));
+            samples.push(start.elapsed());
+        }
+        samples.sort_unstable();
+        self.median = samples[samples.len() / 2];
+        self.iters_per_batch = 1;
+    }
+}
+
+/// Batch sizing hint (ignored by the stub).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small input.
+    SmallInput,
+    /// Large input.
+    LargeInput,
+}
+
+/// The top-level benchmark manager.
+pub struct Criterion {
+    test_mode: bool,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let test_mode = args.iter().any(|a| a == "--test")
+            || std::env::var("CRITERION_TEST")
+                .map(|v| v == "1")
+                .unwrap_or(false);
+        Self {
+            test_mode,
+            sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the per-benchmark sample count.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        if !self.test_mode {
+            println!("\n== {name} ==");
+        }
+        BenchmarkGroup {
+            criterion: self,
+            _name: name,
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    /// Benchmark a single function outside a group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let sample_size = self.sample_size;
+        let test_mode = self.test_mode;
+        run_one(id.into(), None, sample_size, test_mode, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing throughput/sample configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    _name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Set the measurement time (accepted, ignored by the stub).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        run_one(
+            id.into(),
+            self.throughput,
+            self.sample_size.unwrap_or(self.criterion.sample_size),
+            self.criterion.test_mode,
+            f,
+        );
+        self
+    }
+
+    /// Benchmark a closure with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    id: BenchmarkId,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    test_mode: bool,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        median: Duration::ZERO,
+        iters_per_batch: 1,
+        test_mode,
+        sample_count: sample_size,
+    };
+    f(&mut bencher);
+    if test_mode {
+        println!("test-mode: {id} ... ok");
+        return;
+    }
+    let per_iter_ns = bencher.median.as_nanos() as f64 / bencher.iters_per_batch as f64;
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!("  ({:.1} Melem/s)", n as f64 / per_iter_ns * 1e3),
+        Throughput::Bytes(n) => format!(
+            "  ({:.1} MiB/s)",
+            n as f64 / per_iter_ns * 1e9 / (1 << 20) as f64
+        ),
+    });
+    println!(
+        "{id:<50} {:>12}{}",
+        format_ns(per_iter_ns),
+        rate.unwrap_or_default()
+    );
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Declare a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,13 @@
+//! Offline stand-in for `num_cpus`.
+
+/// Logical CPU count visible to this process.
+pub fn get() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Physical core count — approximated by the logical count here.
+pub fn get_physical() -> usize {
+    get()
+}

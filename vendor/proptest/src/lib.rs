@@ -1,0 +1,132 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supports the pattern the HiSVSIM integration tests use:
+//!
+//! ```text
+//! proptest! {
+//!     #![proptest_config(ProptestConfig::with_cases(24))]
+//!     #[test]
+//!     fn property((a, b) in my_strategy(), x in 2usize..8) { ... }
+//! }
+//! ```
+//!
+//! Each property becomes a plain `#[test]` that runs `cases` deterministic
+//! iterations, drawing every bound variable from its [`strategy::Strategy`].
+//! There is no shrinking: a failing case panics with the standard assert
+//! message (the deterministic seeding makes failures reproducible).
+
+pub mod strategy;
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 32 }
+    }
+}
+
+/// Deterministic per-property, per-case RNG.
+pub fn case_rng(property_name: &str, case: u64) -> rand::rngs::StdRng {
+    use rand::SeedableRng;
+    // FNV-1a over the property name, mixed with the case index.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in property_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    rand::rngs::StdRng::seed_from_u64(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// A strategy producing values of any [`Arbitrary`] type.
+pub fn any<T: Arbitrary>() -> strategy::AnyStrategy<T> {
+    strategy::AnyStrategy(std::marker::PhantomData)
+}
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draw one arbitrary value.
+    fn arbitrary(rng: &mut rand::rngs::StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut rand::rngs::StdRng) -> Self {
+                use rand::Rng;
+                rng.gen::<u64>() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut rand::rngs::StdRng) -> Self {
+        use rand::Rng;
+        rng.gen::<u64>() & 1 == 1
+    }
+}
+
+/// The commonly imported surface.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{any, prop_assert, prop_assert_eq, proptest, ProptestConfig};
+}
+
+/// Assert inside a property (maps to `assert!`; no shrinking in the stub).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Define properties; each becomes a `#[test]` running `cases` iterations.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $(#[test] fn $name:ident($($pat:pat_param in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for __case in 0..config.cases as u64 {
+                    let mut __rng = $crate::case_rng(stringify!($name), __case);
+                    $(
+                        let $pat = $crate::strategy::Strategy::generate(&$strat, &mut __rng);
+                    )*
+                    $body
+                }
+            }
+        )*
+    };
+}

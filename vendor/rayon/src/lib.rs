@@ -1,0 +1,435 @@
+//! Offline stand-in for `rayon`'s data-parallel API subset.
+//!
+//! Real parallelism, simple machinery: each parallel call splits its input
+//! into one contiguous segment per worker and runs the segments on scoped OS
+//! threads (`std::thread::scope`). There is no work stealing; the callers in
+//! this workspace all have statically balanced loops (block sweeps over the
+//! amplitude array), which contiguous splitting handles well.
+//!
+//! Implemented surface (what the HiSVSIM crates use):
+//! `slice.par_iter_mut()` (+ `.enumerate()`, `.zip()`),
+//! `slice.par_chunks_mut(n)`, `range.into_par_iter()`, `.for_each(...)`,
+//! [`ThreadPoolBuilder`] / [`ThreadPool::install`] and
+//! [`current_num_threads`].
+
+use std::cell::Cell;
+
+/// Everything a caller needs in scope for the `par_*` methods.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+thread_local! {
+    /// Thread-count override installed by [`ThreadPool::install`]; 0 = none.
+    static POOL_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of worker threads parallel calls on this thread will use.
+pub fn current_num_threads() -> usize {
+    let installed = POOL_THREADS.with(|t| t.get());
+    if installed > 0 {
+        installed
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(16)
+    }
+}
+
+/// Split `len` work items into at most `current_num_threads()` contiguous
+/// segments of at least `min_per_worker` items each.
+fn segment_count(len: usize, min_per_worker: usize) -> usize {
+    if len == 0 {
+        return 1;
+    }
+    current_num_threads()
+        .min(len.div_ceil(min_per_worker.max(1)))
+        .max(1)
+}
+
+// ---------------------------------------------------------------------------
+// mutable slice iterators
+// ---------------------------------------------------------------------------
+
+/// Parallel extensions on `&mut [T]`.
+pub trait ParallelSliceMut<T: Send> {
+    /// A parallel iterator over mutable references.
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T>;
+    /// A parallel iterator over mutable chunks of `chunk_size` elements
+    /// (the final chunk may be shorter).
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T> {
+        ParIterMut { slice: self }
+    }
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParChunksMut {
+            slice: self,
+            chunk_size,
+        }
+    }
+}
+
+/// Parallel extensions on `&[T]`.
+pub trait ParallelSlice<T: Sync> {
+    /// A parallel iterator over shared references.
+    fn par_iter(&self) -> ParIter<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { slice: self }
+    }
+}
+
+/// Parallel iterator over `&mut T`.
+pub struct ParIterMut<'a, T: Send> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParIterMut<'a, T> {
+    /// Pair each element with its index.
+    pub fn enumerate(self) -> ParEnumerateMut<'a, T> {
+        ParEnumerateMut { slice: self.slice }
+    }
+
+    /// Lock-step pairing with another mutable slice iterator of equal length.
+    pub fn zip<U: Send>(self, other: ParIterMut<'a, U>) -> ParZipMut<'a, T, U> {
+        assert_eq!(
+            self.slice.len(),
+            other.slice.len(),
+            "zip of unequal lengths"
+        );
+        ParZipMut {
+            a: self.slice,
+            b: other.slice,
+        }
+    }
+
+    /// Apply `f` to every element in parallel.
+    pub fn for_each<F: Fn(&mut T) + Sync>(self, f: F) {
+        let workers = segment_count(self.slice.len(), 1024);
+        if workers <= 1 {
+            self.slice.iter_mut().for_each(f);
+            return;
+        }
+        let per = self.slice.len().div_ceil(workers);
+        let f = &f;
+        std::thread::scope(|scope| {
+            for segment in self.slice.chunks_mut(per) {
+                scope.spawn(move || segment.iter_mut().for_each(f));
+            }
+        });
+    }
+}
+
+/// Parallel iterator over `(index, &mut T)`.
+pub struct ParEnumerateMut<'a, T: Send> {
+    slice: &'a mut [T],
+}
+
+impl<T: Send> ParEnumerateMut<'_, T> {
+    /// Apply `f` to every `(index, element)` pair in parallel.
+    pub fn for_each<F: Fn((usize, &mut T)) + Sync>(self, f: F) {
+        let workers = segment_count(self.slice.len(), 1024);
+        if workers <= 1 {
+            self.slice.iter_mut().enumerate().for_each(f);
+            return;
+        }
+        let per = self.slice.len().div_ceil(workers);
+        let f = &f;
+        std::thread::scope(|scope| {
+            for (seg_index, segment) in self.slice.chunks_mut(per).enumerate() {
+                let base = seg_index * per;
+                scope.spawn(move || {
+                    for (offset, item) in segment.iter_mut().enumerate() {
+                        f((base + offset, item));
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// Parallel iterator over `(&mut T, &mut U)`.
+pub struct ParZipMut<'a, T: Send, U: Send> {
+    a: &'a mut [T],
+    b: &'a mut [U],
+}
+
+impl<T: Send, U: Send> ParZipMut<'_, T, U> {
+    /// Apply `f` to every aligned pair in parallel.
+    pub fn for_each<F: Fn((&mut T, &mut U)) + Sync>(self, f: F) {
+        let workers = segment_count(self.a.len(), 1024);
+        if workers <= 1 {
+            self.a.iter_mut().zip(self.b.iter_mut()).for_each(f);
+            return;
+        }
+        let per = self.a.len().div_ceil(workers);
+        let f = &f;
+        std::thread::scope(|scope| {
+            for (sa, sb) in self.a.chunks_mut(per).zip(self.b.chunks_mut(per)) {
+                scope.spawn(move || sa.iter_mut().zip(sb.iter_mut()).for_each(f));
+            }
+        });
+    }
+}
+
+/// Parallel iterator over mutable chunks.
+pub struct ParChunksMut<'a, T: Send> {
+    slice: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<T: Send> ParChunksMut<'_, T> {
+    /// Apply `f` to every chunk in parallel. Worker segment boundaries are
+    /// aligned to chunk boundaries so no chunk is split.
+    pub fn for_each<F: Fn(&mut [T]) + Sync>(self, f: F) {
+        let num_chunks = self.slice.len().div_ceil(self.chunk_size);
+        let workers = segment_count(num_chunks, 1);
+        if workers <= 1 || self.slice.len() < 2048 {
+            self.slice.chunks_mut(self.chunk_size).for_each(f);
+            return;
+        }
+        let chunks_per_worker = num_chunks.div_ceil(workers);
+        let per = chunks_per_worker * self.chunk_size;
+        let chunk_size = self.chunk_size;
+        let f = &f;
+        std::thread::scope(|scope| {
+            for segment in self.slice.chunks_mut(per) {
+                scope.spawn(move || segment.chunks_mut(chunk_size).for_each(f));
+            }
+        });
+    }
+}
+
+/// Parallel iterator over `&T`.
+pub struct ParIter<'a, T: Sync> {
+    slice: &'a [T],
+}
+
+impl<T: Sync> ParIter<'_, T> {
+    /// Apply `f` to every element in parallel.
+    pub fn for_each<F: Fn(&T) + Sync>(self, f: F) {
+        let workers = segment_count(self.slice.len(), 1024);
+        if workers <= 1 {
+            self.slice.iter().for_each(f);
+            return;
+        }
+        let per = self.slice.len().div_ceil(workers);
+        let f = &f;
+        std::thread::scope(|scope| {
+            for segment in self.slice.chunks(per) {
+                scope.spawn(move || segment.iter().for_each(f));
+            }
+        });
+    }
+
+    /// Map every element and sum the results.
+    pub fn map_sum<O, F>(self, f: F) -> O
+    where
+        O: Send + std::iter::Sum<O>,
+        F: Fn(&T) -> O + Sync,
+    {
+        let workers = segment_count(self.slice.len(), 1024);
+        if workers <= 1 {
+            return self.slice.iter().map(f).sum();
+        }
+        let per = self.slice.len().div_ceil(workers);
+        let f = &f;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .slice
+                .chunks(per)
+                .map(|segment| scope.spawn(move || segment.iter().map(f).sum::<O>()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rayon stub worker panicked"))
+                .sum()
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ranges
+// ---------------------------------------------------------------------------
+
+/// Conversion into a parallel iterator (ranges of `usize` here).
+pub trait IntoParallelIterator {
+    /// The parallel iterator type.
+    type Iter;
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Iter = ParRange;
+    fn into_par_iter(self) -> ParRange {
+        ParRange { range: self }
+    }
+}
+
+/// Parallel iterator over a `usize` range.
+pub struct ParRange {
+    range: std::ops::Range<usize>,
+}
+
+impl ParRange {
+    /// Apply `f` to every index in parallel.
+    pub fn for_each<F: Fn(usize) + Sync>(self, f: F) {
+        let len = self.range.end.saturating_sub(self.range.start);
+        let workers = segment_count(len, 1);
+        if workers <= 1 || len < 2 {
+            self.range.for_each(f);
+            return;
+        }
+        let per = len.div_ceil(workers);
+        let f = &f;
+        std::thread::scope(|scope| {
+            let mut lo = self.range.start;
+            while lo < self.range.end {
+                let hi = (lo + per).min(self.range.end);
+                scope.spawn(move || (lo..hi).for_each(f));
+                lo = hi;
+            }
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// thread pool facade
+// ---------------------------------------------------------------------------
+
+/// Error building a thread pool (the stub never fails).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the worker-thread count (0 = automatic).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A "pool": in the stub, a thread-count override scope. Parallel calls made
+/// inside [`ThreadPool::install`] split their work across this many workers.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `f` with this pool's thread count installed.
+    pub fn install<R, F: FnOnce() -> R>(&self, f: F) -> R {
+        let previous = POOL_THREADS.with(|t| t.replace(self.num_threads));
+        let result = f();
+        POOL_THREADS.with(|t| t.set(previous));
+        result
+    }
+
+    /// The configured thread count (0 = automatic).
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads > 0 {
+            self.num_threads
+        } else {
+            current_num_threads()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn par_iter_mut_touches_every_element() {
+        let mut v = vec![0usize; 100_000];
+        v.par_iter_mut().for_each(|x| *x += 1);
+        assert!(v.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn enumerate_passes_correct_indices() {
+        let mut v = vec![0usize; 50_000];
+        v.par_iter_mut().enumerate().for_each(|(i, x)| *x = i);
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(i, x);
+        }
+    }
+
+    #[test]
+    fn zip_pairs_align() {
+        let mut a = vec![1u64; 40_000];
+        let mut b: Vec<u64> = (0..40_000).collect();
+        a.par_iter_mut()
+            .zip(b.par_iter_mut())
+            .for_each(|(x, y)| *x += *y);
+        for (i, &x) in a.iter().enumerate() {
+            assert_eq!(x, 1 + i as u64);
+        }
+    }
+
+    #[test]
+    fn chunks_are_never_split() {
+        let mut v = vec![0u8; 10_000];
+        v.par_chunks_mut(64).for_each(|chunk| {
+            assert!(chunk.len() == 64 || chunk.len() == 10_000 % 64);
+            let len = chunk.len() as u8;
+            chunk.iter_mut().for_each(|x| *x = len);
+        });
+        assert!(v.iter().all(|&x| x == 64 || x == (10_000 % 64) as u8));
+    }
+
+    #[test]
+    fn range_for_each_covers_all_indices() {
+        let hits: Vec<std::sync::atomic::AtomicU32> = (0..10_000)
+            .map(|_| std::sync::atomic::AtomicU32::new(0))
+            .collect();
+        (0..10_000usize).into_par_iter().for_each(|i| {
+            hits[i].fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        });
+        assert!(hits
+            .iter()
+            .all(|h| h.load(std::sync::atomic::Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn install_overrides_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        pool.install(|| assert_eq!(current_num_threads(), 3));
+        assert_ne!(current_num_threads(), 0);
+    }
+}

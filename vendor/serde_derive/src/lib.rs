@@ -1,0 +1,376 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored serde
+//! subset.
+//!
+//! The build environment has no crates.io access, so `syn`/`quote` are not
+//! available; this macro parses the item declaration directly from the
+//! `proc_macro` token stream. It supports the shapes the HiSVSIM workspace
+//! actually derives on:
+//!
+//! * structs with named fields,
+//! * tuple structs (including newtypes),
+//! * enums whose variants are units or carry unnamed (tuple) payloads.
+//!
+//! Generics, struct variants and `#[serde(...)]` attributes are not
+//! supported and produce a compile-time panic with a clear message.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` (value-tree based; see the `serde` stub crate).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+/// Derive `serde::Deserialize` (value-tree based; see the `serde` stub crate).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+// ---- item model -----------------------------------------------------------
+
+enum Body {
+    /// Struct with named fields.
+    NamedStruct(Vec<String>),
+    /// Tuple struct with `n` fields.
+    TupleStruct(usize),
+    /// Enum: variant name plus number of unnamed payload fields (0 = unit).
+    Enum(Vec<(String, usize)>),
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+// ---- parsing --------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let keyword = expect_ident(&tokens, &mut i);
+    let name = expect_ident(&tokens, &mut i);
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stub derive: generic type `{name}` is not supported");
+    }
+
+    let body = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::TupleStruct(count_top_level_fields(g.stream()))
+            }
+            other => panic!("serde stub derive: unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde stub derive: malformed enum `{name}`: {other:?}"),
+        },
+        other => panic!("serde stub derive: unsupported item kind `{other}`"),
+    };
+
+    Item { name, body }
+}
+
+/// Advance past outer attributes (`#[...]`) and a visibility qualifier.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // '#' and the bracketed group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // pub(crate) etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde stub derive: expected identifier, got {other:?}"),
+    }
+}
+
+/// Parse `name: Type, ...` inside a brace group, returning the field names.
+/// Commas inside angle brackets (generic arguments) are skipped; parenthesised
+/// and bracketed sub-streams arrive as atomic groups and need no handling.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i);
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde stub derive: expected `:` after field `{name}`, got {other:?}"),
+        }
+        skip_type_until_comma(&tokens, &mut i);
+        fields.push(name);
+    }
+    fields
+}
+
+/// Advance past a type, stopping after the comma that terminates it (or at
+/// end of stream). Tracks `<`/`>` depth so commas inside generic arguments
+/// are not mistaken for field separators.
+fn skip_type_until_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0isize;
+    while let Some(tok) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+/// Count top-level comma-separated entries of a tuple-struct body.
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0usize;
+    let mut i = 0usize;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_type_until_comma(&tokens, &mut i);
+        count += 1;
+    }
+    count
+}
+
+/// Parse enum variants: `Name`, `Name(T, ...)`. Explicit discriminants and
+/// struct variants are rejected.
+fn parse_variants(stream: TokenStream) -> Vec<(String, usize)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i);
+        let arity = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_top_level_fields(g.stream());
+                i += 1;
+                n
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                panic!("serde stub derive: struct variant `{name}` is not supported")
+            }
+            _ => 0,
+        };
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                panic!("serde stub derive: explicit discriminant on `{name}` is not supported")
+            }
+            None => {}
+            other => {
+                panic!("serde stub derive: unexpected token after variant `{name}`: {other:?}")
+            }
+        }
+        variants.push((name, arity));
+    }
+    variants
+}
+
+// ---- code generation ------------------------------------------------------
+
+fn generate_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::NamedStruct(fields) => {
+            let mut pushes = String::new();
+            for f in fields {
+                pushes.push_str(&format!(
+                    "__fields.push((::std::string::String::from(\"{f}\"), \
+                     ::serde::Serialize::to_value(&self.{f})));\n"
+                ));
+            }
+            format!(
+                "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n{pushes}::serde::Value::Object(__fields)"
+            )
+        }
+        Body::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Body::TupleStruct(n) => {
+            let mut pushes = String::new();
+            for idx in 0..*n {
+                pushes.push_str(&format!(
+                    "__items.push(::serde::Serialize::to_value(&self.{idx}));\n"
+                ));
+            }
+            format!(
+                "let mut __items: ::std::vec::Vec<::serde::Value> = ::std::vec::Vec::new();\n\
+                 {pushes}::serde::Value::Array(__items)"
+            )
+        }
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for (v, arity) in variants {
+                match arity {
+                    0 => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\")),\n"
+                    )),
+                    1 => arms.push_str(&format!(
+                        "{name}::{v}(__f0) => {{\n\
+                         let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                         ::std::vec::Vec::new();\n\
+                         __fields.push((::std::string::String::from(\"{v}\"), \
+                         ::serde::Serialize::to_value(__f0)));\n\
+                         ::serde::Value::Object(__fields)\n}}\n"
+                    )),
+                    n => {
+                        let binders: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let mut pushes = String::new();
+                        for b in &binders {
+                            pushes.push_str(&format!(
+                                "__items.push(::serde::Serialize::to_value({b}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{v}({binds}) => {{\n\
+                             let mut __items: ::std::vec::Vec<::serde::Value> = \
+                             ::std::vec::Vec::new();\n{pushes}\
+                             let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                             ::std::vec::Vec::new();\n\
+                             __fields.push((::std::string::String::from(\"{v}\"), \
+                             ::serde::Value::Array(__items)));\n\
+                             ::serde::Value::Object(__fields)\n}}\n",
+                            binds = binders.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}"
+    )
+}
+
+fn generate_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::NamedStruct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                inits.push_str(&format!(
+                    "{f}: ::serde::Deserialize::from_value(__v.get_field(\"{f}\")\
+                     .ok_or_else(|| ::serde::Error::missing_field(\"{f}\"))?)?,\n"
+                ));
+            }
+            format!("::std::result::Result::Ok({name} {{\n{inits}}})")
+        }
+        Body::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Body::TupleStruct(n) => {
+            let mut args = String::new();
+            for idx in 0..*n {
+                args.push_str(&format!(
+                    "::serde::Deserialize::from_value(&__items[{idx}])?,\n"
+                ));
+            }
+            format!(
+                "let __items = __v.as_array()\
+                 .ok_or_else(|| ::serde::Error::expected(\"an array\", __v))?;\n\
+                 if __items.len() != {n} {{\n\
+                 return ::std::result::Result::Err(::serde::Error::custom(\
+                 format!(\"expected {n} elements for {name}, got {{}}\", __items.len())));\n}}\n\
+                 ::std::result::Result::Ok({name}({args}))"
+            )
+        }
+        Body::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for (v, arity) in variants {
+                match arity {
+                    0 => unit_arms.push_str(&format!(
+                        "\"{v}\" => return ::std::result::Result::Ok({name}::{v}),\n"
+                    )),
+                    1 => payload_arms.push_str(&format!(
+                        "\"{v}\" => return ::std::result::Result::Ok({name}::{v}(\
+                         ::serde::Deserialize::from_value(__payload)?)),\n"
+                    )),
+                    n => {
+                        let mut args = String::new();
+                        for idx in 0..*n {
+                            args.push_str(&format!(
+                                "::serde::Deserialize::from_value(&__items[{idx}])?,\n"
+                            ));
+                        }
+                        payload_arms.push_str(&format!(
+                            "\"{v}\" => {{\n\
+                             let __items = __payload.as_array()\
+                             .ok_or_else(|| ::serde::Error::expected(\"an array\", __payload))?;\n\
+                             if __items.len() != {n} {{\n\
+                             return ::std::result::Result::Err(::serde::Error::custom(\
+                             format!(\"expected {n} elements for {name}::{v}, got {{}}\", \
+                             __items.len())));\n}}\n\
+                             return ::std::result::Result::Ok({name}::{v}({args}));\n}}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "if let ::serde::Value::Str(__s) = __v {{\n\
+                 match __s.as_str() {{\n{unit_arms}_ => {{}}\n}}\n}}\n\
+                 if let ::serde::Value::Object(__obj) = __v {{\n\
+                 if __obj.len() == 1 {{\n\
+                 let (__variant, __payload) = &__obj[0];\n\
+                 let _ = __payload;\n\
+                 match __variant.as_str() {{\n{payload_arms}_ => {{}}\n}}\n}}\n}}\n\
+                 ::std::result::Result::Err(::serde::Error::custom(\
+                 format!(\"no variant of {name} matches {{:?}}\", __v)))"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n}}\n}}"
+    )
+}
