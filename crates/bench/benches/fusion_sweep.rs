@@ -1,0 +1,64 @@
+//! Criterion sweep of the fused execution pipeline: flat (one pass per gate)
+//! versus [`FusedCircuit`] execution at widths 1–5, on the three circuit
+//! shapes that stress fusion differently — QFT (long diagonal cascades),
+//! random (mixed dense structure) and adder (Toffoli-heavy, oversized gates
+//! pass through unfused).
+//!
+//! The full-size sweep of the acceptance benchmark runs at 20–24 qubits via
+//! `cargo run --release -p hisvsim-bench --bin fusion`; here the default is
+//! 20 qubits so a `cargo bench fusion_sweep` finishes in minutes. Override
+//! with `HISVSIM_FUSION_BENCH_QUBITS`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hisvsim_circuit::{generators, Circuit};
+use hisvsim_statevec::{ApplyOptions, FusedCircuit, StateVector};
+
+fn bench_qubits() -> usize {
+    std::env::var("HISVSIM_FUSION_BENCH_QUBITS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20)
+        .clamp(16, 24)
+}
+
+fn circuits(n: usize) -> Vec<(&'static str, Circuit)> {
+    vec![
+        ("qft", generators::qft(n)),
+        ("random", generators::random_circuit(n, 12 * n, 0x5EED)),
+        ("adder", generators::adder(n)),
+    ]
+}
+
+fn bench_fusion_sweep(c: &mut Criterion) {
+    let n = bench_qubits();
+    let opts = ApplyOptions::default();
+    let mut group = c.benchmark_group("fusion_sweep");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(1u64 << n));
+
+    for (name, circuit) in circuits(n) {
+        group.bench_with_input(BenchmarkId::new(name, "flat"), &circuit, |b, circuit| {
+            let mut state = StateVector::zero_state(n);
+            b.iter(|| {
+                hisvsim_statevec::kernels::apply_circuit_with(&mut state, circuit, &opts);
+            });
+        });
+        for width in 1usize..=5 {
+            // Fusion happens once, outside the measured loop — the steady
+            // state of a warm plan cache.
+            let fused = FusedCircuit::new(&circuit, width);
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("fused_w{width}")),
+                &fused,
+                |b, fused| {
+                    let mut state = StateVector::zero_state(n);
+                    b.iter(|| fused.apply(&mut state, &opts));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fusion_sweep);
+criterion_main!(benches);

@@ -1,0 +1,265 @@
+//! The fused-pipeline acceptance benchmark: measures the end-to-end speedup
+//! of fused over unfused execution on the flat simulator and on the
+//! hierarchical engine, verifies the fused results against the flat
+//! reference, and records everything in `BENCH_fusion.json` so the perf
+//! trajectory of the execution path has data points.
+//!
+//! ```text
+//! cargo run --release -p hisvsim-bench --bin fusion [qubits] [reps]
+//! ```
+//!
+//! Defaults: 24 qubits, 3 repetitions (best-of). A width sweep at a smaller
+//! size maps the fusion-width curve that motivates the auto default.
+
+use hisvsim_circuit::{generators, Circuit};
+use hisvsim_core::{HierConfig, HierarchicalSimulator};
+use hisvsim_dag::CircuitDag;
+use hisvsim_partition::Strategy;
+use hisvsim_statevec::{kernels, ApplyOptions, FusedCircuit, StateVector, DEFAULT_FUSION_WIDTH};
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct FlatResult {
+    circuit: String,
+    qubits: usize,
+    gates: usize,
+    fusion_width: usize,
+    fused_ops: usize,
+    unfused_s: f64,
+    fused_s: f64,
+    speedup: f64,
+    max_abs_diff: f64,
+}
+
+#[derive(Serialize)]
+struct HierResult {
+    circuit: String,
+    qubits: usize,
+    limit: usize,
+    num_parts: usize,
+    fusion_width: usize,
+    unfused_s: f64,
+    fused_s: f64,
+    speedup: f64,
+    max_abs_diff: f64,
+}
+
+#[derive(Serialize)]
+struct SweepPoint {
+    circuit: String,
+    qubits: usize,
+    fusion_width: usize,
+    fused_ops: usize,
+    time_s: f64,
+    speedup_vs_flat: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    qubits: usize,
+    reps: usize,
+    default_fusion_width: usize,
+    flat: Vec<FlatResult>,
+    hier: Vec<HierResult>,
+    width_sweep: Vec<SweepPoint>,
+}
+
+/// Benchmark circuits: the Table-I families plus a dense random circuit.
+fn circuit_by_name(name: &str, n: usize) -> Circuit {
+    match name {
+        "random" => generators::random_circuit(n, 12 * n, 0x5EED),
+        other => generators::by_name(other, n),
+    }
+}
+
+/// Best-of-`reps` wall time of `f`.
+fn time_best<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn flat_case(name: &str, n: usize, reps: usize, width: usize) -> FlatResult {
+    let circuit = circuit_by_name(name, n);
+    let opts = ApplyOptions::default();
+    let fused = FusedCircuit::new(&circuit, width);
+
+    let mut reference = StateVector::zero_state(n);
+    let unfused_s = time_best(reps, || {
+        reference = StateVector::zero_state(n);
+        kernels::apply_circuit_with(&mut reference, &circuit, &opts);
+    });
+    let mut fused_state = StateVector::zero_state(n);
+    let fused_s = time_best(reps, || {
+        fused_state = StateVector::zero_state(n);
+        fused.apply(&mut fused_state, &opts);
+    });
+    let max_abs_diff = fused_state.max_abs_diff(&reference);
+    println!(
+        "flat {name}@{n}: unfused {unfused_s:.3} s, fused(w={width}) {fused_s:.3} s \
+         -> {:.2}x (max diff {max_abs_diff:.2e}, {} ops for {} gates)",
+        unfused_s / fused_s,
+        fused.num_ops(),
+        circuit.num_gates()
+    );
+    FlatResult {
+        circuit: name.to_string(),
+        qubits: n,
+        gates: circuit.num_gates(),
+        fusion_width: width,
+        fused_ops: fused.num_ops(),
+        unfused_s,
+        fused_s,
+        speedup: unfused_s / fused_s,
+        max_abs_diff,
+    }
+}
+
+fn hier_case(name: &str, n: usize, limit: usize, reps: usize, width: usize) -> HierResult {
+    let circuit = circuit_by_name(name, n);
+    let dag = CircuitDag::from_circuit(&circuit);
+    let partition = Strategy::DagP
+        .partition(&dag, limit)
+        .expect("partitioning failed");
+
+    let reference = {
+        let mut state = StateVector::zero_state(n);
+        kernels::apply_circuit_with(&mut state, &circuit, &ApplyOptions::default());
+        state
+    };
+
+    let unfused_sim = HierarchicalSimulator::new(HierConfig::new(limit).with_fusion(0));
+    let fused_sim = HierarchicalSimulator::new(HierConfig::new(limit).with_fusion(width));
+    let mut unfused_state = None;
+    let unfused_s = time_best(reps, || {
+        unfused_state = Some(
+            unfused_sim
+                .run_with_partition(&circuit, &dag, partition.clone())
+                .state,
+        );
+    });
+    let mut fused_state = None;
+    let fused_s = time_best(reps, || {
+        fused_state = Some(
+            fused_sim
+                .run_with_partition(&circuit, &dag, partition.clone())
+                .state,
+        );
+    });
+    let fused_state = fused_state.expect("at least one rep");
+    let max_abs_diff = fused_state.max_abs_diff(&reference).max(
+        unfused_state
+            .expect("at least one rep")
+            .max_abs_diff(&reference),
+    );
+    println!(
+        "hier {name}@{n} (limit {limit}, {} parts): unfused {unfused_s:.3} s, \
+         fused(w={width}) {fused_s:.3} s -> {:.2}x (max diff {max_abs_diff:.2e})",
+        partition.num_parts(),
+        unfused_s / fused_s
+    );
+    HierResult {
+        circuit: name.to_string(),
+        qubits: n,
+        limit,
+        num_parts: partition.num_parts(),
+        fusion_width: width,
+        unfused_s,
+        fused_s,
+        speedup: unfused_s / fused_s,
+        max_abs_diff,
+    }
+}
+
+fn width_sweep(name: &str, n: usize, reps: usize) -> Vec<SweepPoint> {
+    let circuit = circuit_by_name(name, n);
+    let opts = ApplyOptions::default();
+    let flat_s = time_best(reps, || {
+        let mut state = StateVector::zero_state(n);
+        kernels::apply_circuit_with(&mut state, &circuit, &opts);
+    });
+    (1usize..=5)
+        .map(|width| {
+            let fused = FusedCircuit::new(&circuit, width);
+            let time_s = time_best(reps, || {
+                let mut state = StateVector::zero_state(n);
+                fused.apply(&mut state, &opts);
+            });
+            println!(
+                "sweep {name}@{n} w={width}: {time_s:.3} s ({:.2}x vs flat, {} ops)",
+                flat_s / time_s,
+                fused.num_ops()
+            );
+            SweepPoint {
+                circuit: name.to_string(),
+                qubits: n,
+                fusion_width: width,
+                fused_ops: fused.num_ops(),
+                time_s,
+                speedup_vs_flat: flat_s / time_s,
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let qubits: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(24);
+    let reps: usize = std::env::args()
+        .nth(2)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(3);
+    let width = DEFAULT_FUSION_WIDTH;
+    let sweep_qubits = qubits.saturating_sub(2).max(16);
+
+    println!("fused-pipeline benchmark: {qubits} qubits, best of {reps}\n");
+    let flat = vec![
+        flat_case("qft", qubits, reps, width),
+        flat_case("random", qubits, reps, width),
+    ];
+    let hier = vec![
+        hier_case("qft", qubits, qubits.saturating_sub(4).max(4), reps, width),
+        hier_case(
+            "random",
+            qubits,
+            qubits.saturating_sub(4).max(4),
+            reps,
+            width,
+        ),
+    ];
+    let sweep = width_sweep("qft", sweep_qubits, reps);
+
+    let report = Report {
+        qubits,
+        reps,
+        default_fusion_width: width,
+        flat,
+        hier,
+        width_sweep: sweep,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write("BENCH_fusion.json", &json).expect("write BENCH_fusion.json");
+    println!("\nwrote BENCH_fusion.json");
+
+    for result in &report.flat {
+        assert!(
+            result.max_abs_diff < 1e-9,
+            "{}: fused flat result diverged",
+            result.circuit
+        );
+    }
+    for result in &report.hier {
+        assert!(
+            result.max_abs_diff < 1e-9,
+            "{}: fused hier result diverged",
+            result.circuit
+        );
+    }
+}

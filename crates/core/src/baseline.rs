@@ -14,11 +14,11 @@
 //! communication is accounted by the same network model as HiSVSIM's and the
 //! comparison isolates the effect of the execution schedule.
 
-use crate::dist::{aggregate_outcomes, DistState, RankOutcome};
+use crate::dist::{aggregate_outcomes, DistState, PreparedGate, RankOutcome};
 use crate::metrics::RunReport;
 use hisvsim_circuit::{Circuit, Complex64, Gate, GateKind};
 use hisvsim_cluster::{run_spmd, NetworkModel};
-use hisvsim_statevec::StateVector;
+use hisvsim_statevec::{FusedCircuit, StateVector, DEFAULT_FUSION_WIDTH};
 use std::time::Instant;
 
 /// Configuration of the IQS-style baseline.
@@ -28,14 +28,21 @@ pub struct BaselineConfig {
     pub num_ranks: usize,
     /// Interconnect model for communication-time accounting.
     pub network: NetworkModel,
+    /// Gate-fusion width for runs of communication-free local gates
+    /// (0 disables fusion). Fusion only reorganises rank-local computation;
+    /// the communication schedule — the quantity the baseline exists to
+    /// model — is untouched.
+    pub fusion: usize,
 }
 
 impl BaselineConfig {
-    /// A baseline over `num_ranks` ranks with the HDR-100 network model.
+    /// A baseline over `num_ranks` ranks with the HDR-100 network model and
+    /// the default fusion width.
     pub fn new(num_ranks: usize) -> Self {
         Self {
             num_ranks,
             network: NetworkModel::hdr100(),
+            fusion: DEFAULT_FUSION_WIDTH,
         }
     }
 
@@ -44,6 +51,48 @@ impl BaselineConfig {
         self.network = network;
         self
     }
+
+    /// Use a different fusion width (0 = unfused).
+    pub fn with_fusion(mut self, fusion: usize) -> Self {
+        self.fusion = fusion;
+        self
+    }
+}
+
+/// One step of the baseline's precomputed schedule, shared by all ranks.
+enum BaselineStep {
+    /// A maximal run of gates that are purely local under the static
+    /// (identity) layout, fused into one pipeline.
+    LocalFused(FusedCircuit),
+    /// A gate needing the distributed special cases (remote diagonal, remote
+    /// control, or a paid exchange), with its matrix prepared once.
+    Distributed(PreparedGate),
+}
+
+/// Split the circuit into fused local segments and per-gate distributed
+/// steps. Under the baseline's static mapping, qubits `0..l` are local on
+/// every rank and the layout is the identity at every step boundary, so the
+/// split is a pure function of the circuit — computed once, shared by all
+/// ranks.
+fn plan_baseline_steps(circuit: &Circuit, local_qubits: usize, fusion: usize) -> Vec<BaselineStep> {
+    let mut steps = Vec::new();
+    let mut segment = Circuit::new(circuit.num_qubits());
+    let flush = |segment: &mut Circuit, steps: &mut Vec<BaselineStep>| {
+        if !segment.is_empty() {
+            let gates = std::mem::replace(segment, Circuit::new(circuit.num_qubits()));
+            steps.push(BaselineStep::LocalFused(FusedCircuit::new(&gates, fusion)));
+        }
+    };
+    for gate in circuit.gates() {
+        if fusion > 0 && gate.qubits.iter().all(|&q| q < local_qubits) {
+            segment.push(gate.clone());
+        } else {
+            flush(&mut segment, &mut steps);
+            steps.push(BaselineStep::Distributed(PreparedGate::new(gate)));
+        }
+    }
+    flush(&mut segment, &mut steps);
+    steps
 }
 
 /// Result of a baseline run.
@@ -67,40 +116,33 @@ impl IqsBaseline {
         Self { config }
     }
 
-    /// Run `circuit` from `|0…0⟩` gate by gate across the virtual ranks.
+    /// Run `circuit` from `|0…0⟩` across the virtual ranks: fused pipelines
+    /// for the communication-free runs, the per-gate distributed special
+    /// cases everywhere else. The schedule (with its fused matrices) is
+    /// computed once and shared by every rank.
     pub fn run(&self, circuit: &Circuit) -> BaselineRun {
         assert!(
             self.config.num_ranks.is_power_of_two(),
             "rank count must be a power of two"
         );
-        let gates: Vec<Gate> = circuit.gates().to_vec();
+        let p = self.config.num_ranks.trailing_zeros() as usize;
+        let local_qubits = circuit.num_qubits().saturating_sub(p);
+        let steps = plan_baseline_steps(circuit, local_qubits, self.config.fusion);
         let start = Instant::now();
         let outcomes = run_spmd::<Complex64, RankOutcome, _>(
             self.config.num_ranks,
             self.config.network,
             |mut comm| {
-                let rank = comm.rank();
                 let mut state = DistState::new(&mut comm, circuit.num_qubits());
-                for gate in &gates {
-                    apply_gate_distributed(&mut state, gate);
+                for step in &steps {
+                    match step {
+                        BaselineStep::LocalFused(fused) => state.apply_fused_local(fused),
+                        BaselineStep::Distributed(gate) => {
+                            apply_prepared_gate_distributed(&mut state, gate)
+                        }
+                    }
                 }
-                // Snapshot the metrics before assembling the full state:
-                // the assembly gather is a validation/result-extraction step,
-                // not part of the simulated execution the paper times.
-                let compute_time_s = state.compute_time_s;
-                let exchanges = state.exchanges;
-                let comm_stats = state.comm_stats();
-                let full = state.assemble_full_state();
-                drop(state);
-                let slice_len = full.len() / comm.size();
-                let local = full.amplitudes()[rank * slice_len..(rank + 1) * slice_len].to_vec();
-                RankOutcome {
-                    rank,
-                    compute_time_s,
-                    comm: comm_stats,
-                    exchanges,
-                    local,
-                }
+                state.finish_rank()
             },
         );
         let wall = start.elapsed().as_secs_f64();
@@ -113,15 +155,22 @@ impl IqsBaseline {
 /// special cases a tuned static-mapping simulator applies, and falling back
 /// to a qubit remap (global exchange) otherwise.
 pub fn apply_gate_distributed(state: &mut DistState<'_>, gate: &Gate) {
+    apply_prepared_gate_distributed(state, &PreparedGate::new(gate));
+}
+
+/// [`apply_gate_distributed`] with the gate's matrix prepared once by the
+/// caller (shared across ranks).
+fn apply_prepared_gate_distributed(state: &mut DistState<'_>, prepared: &PreparedGate) {
+    let gate = &prepared.gate;
     // Case 1: everything local — apply in place.
     if state.all_local(&gate.qubits) {
-        state.apply_gates_local(std::slice::from_ref(gate));
+        state.apply_prepared_local(std::slice::from_ref(prepared));
         return;
     }
     // Case 2: diagonal gates never mix amplitudes across ranks; the values of
     // remote qubits are fixed per rank, so the phase can be applied locally.
     if gate.kind.is_diagonal() {
-        apply_diagonal_with_fixed_bits(state, gate);
+        apply_diagonal_with_fixed_bits(state, prepared);
         return;
     }
     // Case 3: gates whose only remote operands are controls — the control
@@ -163,16 +212,25 @@ pub fn apply_gate_distributed(state: &mut DistState<'_>, gate: &Gate) {
     // the mapping does not improve over time, exactly like a static mapping.
     let identity: Vec<usize> = (0..state.num_qubits()).collect();
     state.ensure_local(&gate.qubits);
-    state.apply_gates_local(std::slice::from_ref(gate));
+    state.apply_prepared_local(std::slice::from_ref(prepared));
     state.redistribute(identity);
 }
 
 /// Apply a diagonal gate whose operands may include remote qubits: the phase
 /// factor of each local amplitude is determined by its local bits plus this
 /// rank's fixed bits.
-fn apply_diagonal_with_fixed_bits(state: &mut DistState<'_>, gate: &Gate) {
+fn apply_diagonal_with_fixed_bits(state: &mut DistState<'_>, prepared: &PreparedGate) {
     let start = Instant::now();
-    let matrix = gate.matrix();
+    let gate = &prepared.gate;
+    // CZ (a matrix-free fast-path kind) is not prepared; compute on demand.
+    let owned;
+    let matrix = match prepared.matrix() {
+        Some(m) => m,
+        None => {
+            owned = gate.matrix();
+            &owned
+        }
+    };
     let l = state.local_qubits();
     // For each operand, either the local position of the qubit or the fixed
     // bit value contributed by the rank id.
@@ -328,6 +386,27 @@ mod tests {
             hisvsim.report.avg_comm_time_s,
             baseline.report.avg_comm_time_s
         );
+    }
+
+    #[test]
+    fn fusion_never_changes_the_baseline_communication_schedule() {
+        // The baseline exists to model a static-mapping simulator's
+        // communication; fused local segments must leave every comm counter
+        // untouched while still matching the flat reference.
+        for name in ["ising", "qft", "adder"] {
+            let circuit = generators::by_name(name, 9);
+            let expected = run_circuit(&circuit);
+            let unfused = IqsBaseline::new(BaselineConfig::new(4).with_fusion(0)).run(&circuit);
+            let fused = IqsBaseline::new(BaselineConfig::new(4)).run(&circuit);
+            assert!(unfused.state.approx_eq(&expected, 1e-9));
+            assert!(fused.state.approx_eq(&expected, 1e-9));
+            assert_eq!(fused.report.num_exchanges, unfused.report.num_exchanges);
+            assert_eq!(fused.report.comm.bytes_sent, unfused.report.comm.bytes_sent);
+            assert_eq!(
+                fused.report.comm.messages_sent,
+                unfused.report.comm.messages_sent
+            );
+        }
     }
 
     #[test]

@@ -12,13 +12,45 @@
 //! The same [`DistState`] machinery backs the IQS-style baseline
 //! ([`crate::baseline`]) and the multi-level engine ([`crate::multilevel`]).
 
+use crate::fusedplan::{FusedPart, FusedSinglePlan};
 use crate::metrics::RunReport;
-use hisvsim_circuit::{Circuit, Complex64, Gate};
+use hisvsim_circuit::{Circuit, Complex64, Gate, UnitaryMatrix};
 use hisvsim_cluster::{run_spmd, CommStats, NetworkModel, RankComm};
 use hisvsim_dag::{CircuitDag, Partition};
 use hisvsim_partition::{PartitionBuildError, Strategy};
-use hisvsim_statevec::{ApplyOptions, StateVector};
+use hisvsim_statevec::kernels::{apply_gate_with_matrix, uses_dense_matrix};
+use hisvsim_statevec::{ApplyOptions, StateVector, DEFAULT_FUSION_WIDTH};
 use std::time::Instant;
+
+/// A gate bundled with its precomputed dense matrix (when its kernel path
+/// consumes one), so repeated applications — one per virtual rank, each with
+/// a remapped qubit list — share a single `gate.matrix()` evaluation.
+#[derive(Debug, Clone)]
+pub struct PreparedGate {
+    /// The gate as written (global qubit ids).
+    pub gate: Gate,
+    matrix: Option<UnitaryMatrix>,
+}
+
+impl PreparedGate {
+    /// Precompute the matrix for `gate` if its kernel dispatch needs one.
+    pub fn new(gate: &Gate) -> Self {
+        Self {
+            gate: gate.clone(),
+            matrix: uses_dense_matrix(gate).then(|| gate.matrix()),
+        }
+    }
+
+    /// The precomputed dense matrix (None for matrix-free fast-path kinds).
+    pub fn matrix(&self) -> Option<&UnitaryMatrix> {
+        self.matrix.as_ref()
+    }
+}
+
+/// Prepare a gate list once so every rank can apply it matrix-free.
+pub fn prepare_gates(gates: &[Gate]) -> Vec<PreparedGate> {
+    gates.iter().map(PreparedGate::new).collect()
+}
 
 /// Message tag namespace for state redistributions.
 const TAG_EXCHANGE: u64 = 0x5100;
@@ -224,11 +256,22 @@ impl<'a> DistState<'a> {
     }
 
     /// Apply a list of gates whose qubits are all local, remapping qubit
-    /// indices to their local positions.
+    /// indices to their local positions. The dense matrix of each gate is
+    /// computed once from the original gate — never from the remapped copy —
+    /// so callers that share a prepared list across ranks (see
+    /// [`prepare_gates`]) pay for each matrix exactly once overall.
     pub fn apply_gates_local(&mut self, gates: &[Gate]) {
+        let prepared = prepare_gates(gates);
+        self.apply_prepared_local(&prepared);
+    }
+
+    /// Apply a prepared gate list (see [`prepare_gates`]) whose qubits are
+    /// all local. The precomputed matrices are shared by every rank.
+    pub fn apply_prepared_local(&mut self, gates: &[PreparedGate]) {
         let start = Instant::now();
         let opts = ApplyOptions::sequential();
-        for gate in gates {
+        for prepared in gates {
+            let gate = &prepared.gate;
             debug_assert!(
                 self.all_local(&gate.qubits),
                 "gate touches a non-local qubit"
@@ -237,8 +280,38 @@ impl<'a> DistState<'a> {
                 kind: gate.kind,
                 qubits: gate.qubits.iter().map(|&q| self.layout[q]).collect(),
             };
-            hisvsim_statevec::kernels::apply_gate_with(&mut self.local, &remapped, &opts);
+            apply_gate_with_matrix(&mut self.local, &remapped, prepared.matrix(), &opts);
         }
+        self.compute_time_s += start.elapsed().as_secs_f64();
+    }
+
+    /// Apply a fused circuit expressed in *global qubit ids* to the local
+    /// slice, translating each qubit through the current layout. Every qubit
+    /// the circuit touches must be local. Used by the IQS-style baseline for
+    /// its communication-free segments.
+    pub fn apply_fused_local(&mut self, fused: &hisvsim_statevec::FusedCircuit) {
+        let start = Instant::now();
+        fused.apply_mapped(&mut self.local, &self.layout, &ApplyOptions::sequential());
+        self.compute_time_s += start.elapsed().as_secs_f64();
+    }
+
+    /// Apply one prefused part to the local slice: fused qubit `j` is aimed
+    /// at `layout[working_set[j]]`, so the shared fused matrices run against
+    /// this rank's current layout without any re-fusion. Every working-set
+    /// qubit must already be local (see [`DistState::ensure_local`]).
+    pub fn apply_fused_part(&mut self, part: &FusedPart) {
+        let start = Instant::now();
+        let map: Vec<usize> = part
+            .working_set
+            .iter()
+            .map(|&q| {
+                let pos = self.layout[q];
+                debug_assert!(pos < self.l, "fused part touches a non-local qubit");
+                pos
+            })
+            .collect();
+        part.inner
+            .apply_mapped(&mut self.local, &map, &ApplyOptions::sequential());
         self.compute_time_s += start.elapsed().as_secs_f64();
     }
 
@@ -246,6 +319,29 @@ impl<'a> DistState<'a> {
     /// that drive the local slice directly, e.g. the multi-level engine).
     pub fn add_compute_time(&mut self, seconds: f64) {
         self.compute_time_s += seconds;
+    }
+
+    /// Finish a rank's execution: snapshot the metrics *before* assembling
+    /// the full state (the assembly gather is a validation/result-extraction
+    /// step, not part of the simulated execution the paper times), then
+    /// assemble and return this rank's identity-layout slice as a
+    /// [`RankOutcome`]. The single epilogue shared by every SPMD engine.
+    pub fn finish_rank(mut self) -> RankOutcome {
+        let rank = self.comm.rank();
+        let size = self.comm.size();
+        let compute_time_s = self.compute_time_s;
+        let exchanges = self.exchanges;
+        let comm_stats = self.comm_stats();
+        let full = self.assemble_full_state();
+        let slice_len = full.len() / size;
+        let local = full.amplitudes()[rank * slice_len..(rank + 1) * slice_len].to_vec();
+        RankOutcome {
+            rank,
+            compute_time_s,
+            comm: comm_stats,
+            exchanges,
+            local,
+        }
     }
 
     /// Gather the full state onto every rank (in standard qubit order) and
@@ -340,16 +436,20 @@ pub struct DistConfig {
     pub limit: Option<usize>,
     /// Interconnect model for communication-time accounting.
     pub network: NetworkModel,
+    /// Gate-fusion width for each part's inner circuit (0 disables fusion).
+    pub fusion: usize,
 }
 
 impl DistConfig {
-    /// A configuration with dagP partitioning and the HDR-100 network model.
+    /// A configuration with dagP partitioning, the HDR-100 network model and
+    /// the default fusion width.
     pub fn new(num_ranks: usize) -> Self {
         Self {
             num_ranks,
             strategy: Strategy::DagP,
             limit: None,
             network: NetworkModel::hdr100(),
+            fusion: DEFAULT_FUSION_WIDTH,
         }
     }
 
@@ -368,6 +468,12 @@ impl DistConfig {
     /// Use a different network model.
     pub fn with_network(mut self, network: NetworkModel) -> Self {
         self.network = network;
+        self
+    }
+
+    /// Use a different fusion width (0 = unfused).
+    pub fn with_fusion(mut self, fusion: usize) -> Self {
+        self.fusion = fusion;
         self
     }
 }
@@ -423,23 +529,30 @@ impl DistributedSimulator {
         self.run_with_partition(circuit, &dag, plan.clone())
     }
 
-    /// Run with an externally supplied (validated) partition.
+    /// Run with an externally supplied (validated) partition. Fuses each
+    /// part's inner circuit once — shared by every virtual rank — unless
+    /// `config.fusion` is 0.
     pub fn run_with_partition(
         &self,
         circuit: &Circuit,
         dag: &CircuitDag,
         partition: Partition,
     ) -> DistRun {
+        if self.config.fusion > 0 {
+            let plan = FusedSinglePlan::build(circuit, dag, partition, self.config.fusion);
+            return self.run_with_fused_plan(circuit, &plan);
+        }
         let order = partition.execution_order(dag);
         let parts = partition.gates_by_part();
-        // Pre-compute the per-part gate lists and working sets once; every
-        // rank executes the same schedule.
-        let schedule: Vec<(Vec<Gate>, Vec<usize>)> = order
+        // Pre-compute the per-part gate lists (with their dense matrices) and
+        // working sets once; every rank executes the same schedule, so each
+        // gate's matrix is evaluated once overall instead of once per rank.
+        let schedule: Vec<(Vec<PreparedGate>, Vec<usize>)> = order
             .iter()
             .map(|&part| {
-                let gates: Vec<Gate> = parts[part]
+                let gates: Vec<PreparedGate> = parts[part]
                     .iter()
-                    .map(|&g| circuit.gates()[g].clone())
+                    .map(|&g| PreparedGate::new(&circuit.gates()[g]))
                     .collect();
                 let ws: Vec<usize> = dag.working_set_of_gates(&parts[part]).into_iter().collect();
                 (gates, ws)
@@ -451,29 +564,12 @@ impl DistributedSimulator {
             self.config.num_ranks,
             self.config.network,
             |mut comm| {
-                let rank = comm.rank();
                 let mut state = DistState::new(&mut comm, circuit.num_qubits());
                 for (gates, working_set) in &schedule {
                     state.ensure_local(working_set);
-                    state.apply_gates_local(gates);
+                    state.apply_prepared_local(gates);
                 }
-                // Snapshot the metrics before assembling the full state:
-                // the assembly gather is a validation/result-extraction step,
-                // not part of the simulated execution the paper times.
-                let compute_time_s = state.compute_time_s;
-                let exchanges = state.exchanges;
-                let comm_stats = state.comm_stats();
-                let full = state.assemble_full_state();
-                drop(state);
-                let slice_len = full.len() / comm.size();
-                let local = full.amplitudes()[rank * slice_len..(rank + 1) * slice_len].to_vec();
-                RankOutcome {
-                    rank,
-                    compute_time_s,
-                    comm: comm_stats,
-                    exchanges,
-                    local,
-                }
+                state.finish_rank()
             },
         );
         let wall = start.elapsed().as_secs_f64();
@@ -489,6 +585,38 @@ impl DistributedSimulator {
             state,
             report,
             partition,
+        }
+    }
+
+    /// Run against a prefused plan: each part's fused inner circuit was built
+    /// once (at plan time) and is shared read-only by every virtual rank.
+    pub fn run_with_fused_plan(&self, circuit: &Circuit, plan: &FusedSinglePlan) -> DistRun {
+        let start = Instant::now();
+        let outcomes = run_spmd::<Complex64, RankOutcome, _>(
+            self.config.num_ranks,
+            self.config.network,
+            |mut comm| {
+                let mut state = DistState::new(&mut comm, circuit.num_qubits());
+                for part in &plan.parts {
+                    state.ensure_local(&part.working_set);
+                    state.apply_fused_part(part);
+                }
+                state.finish_rank()
+            },
+        );
+        let wall = start.elapsed().as_secs_f64();
+        let (state, report) = aggregate_outcomes(
+            "dist",
+            self.config.strategy.name(),
+            circuit,
+            plan.partition.num_parts(),
+            outcomes,
+            wall,
+        );
+        DistRun {
+            state,
+            report,
+            partition: plan.partition.clone(),
         }
     }
 }
@@ -577,6 +705,25 @@ mod tests {
         for seed in 0..3 {
             let circuit = generators::random_circuit(9, 60, seed);
             check(&circuit, 4, Strategy::DagP);
+        }
+    }
+
+    #[test]
+    fn fused_and_unfused_distributed_runs_agree() {
+        for name in ["qft", "ising"] {
+            let circuit = generators::by_name(name, 9);
+            let expected = run_circuit(&circuit);
+            let unfused = DistributedSimulator::new(DistConfig::new(4).with_fusion(0))
+                .run(&circuit)
+                .unwrap();
+            let fused = DistributedSimulator::new(DistConfig::new(4).with_fusion(4))
+                .run(&circuit)
+                .unwrap();
+            assert!(unfused.state.approx_eq(&expected, 1e-9));
+            assert!(fused.state.approx_eq(&expected, 1e-9));
+            // Fusion reorganises rank-local compute only: identical schedule.
+            assert_eq!(fused.report.num_exchanges, unfused.report.num_exchanges);
+            assert_eq!(fused.report.comm.bytes_sent, unfused.report.comm.bytes_sent);
         }
     }
 

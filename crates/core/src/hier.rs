@@ -13,11 +13,12 @@
 //! gate arithmetic itself runs cache-resident — the locality argument the
 //! paper's Table II quantifies.
 
+use crate::fusedplan::{FusedPart, FusedSinglePlan};
 use crate::metrics::RunReport;
 use hisvsim_circuit::Circuit;
 use hisvsim_dag::{CircuitDag, Partition};
 use hisvsim_partition::{PartitionBuildError, Strategy};
-use hisvsim_statevec::{ApplyOptions, GatherMap, StateVector};
+use hisvsim_statevec::{ApplyOptions, FusedCircuit, GatherMap, StateVector, DEFAULT_FUSION_WIDTH};
 use rayon::prelude::*;
 use std::time::Instant;
 
@@ -32,16 +33,20 @@ pub struct HierConfig {
     /// assignments with rayon (each assignment's inner vector is
     /// independent).
     pub parallel: bool,
+    /// Gate-fusion width for the inner circuits (0 disables fusion and
+    /// restores the one-pass-per-gate execution of the unfused engine).
+    pub fusion: usize,
 }
 
 impl HierConfig {
     /// A configuration with the given limit, dagP strategy, parallel
-    /// execution.
+    /// execution, default fusion width.
     pub fn new(limit: usize) -> Self {
         Self {
             limit,
             strategy: Strategy::DagP,
             parallel: true,
+            fusion: DEFAULT_FUSION_WIDTH,
         }
     }
 
@@ -54,6 +59,12 @@ impl HierConfig {
     /// Same configuration with parallelism switched on or off.
     pub fn with_parallel(mut self, parallel: bool) -> Self {
         self.parallel = parallel;
+        self
+    }
+
+    /// Same configuration with a different fusion width (0 = unfused).
+    pub fn with_fusion(mut self, fusion: usize) -> Self {
+        self.fusion = fusion;
         self
     }
 }
@@ -104,13 +115,18 @@ impl HierarchicalSimulator {
     }
 
     /// Run `circuit` with an externally supplied partition (used by the
-    /// benchmark harness to reuse one partition across repetitions).
+    /// benchmark harness to reuse one partition across repetitions). Fuses
+    /// each part's inner circuit first unless `config.fusion` is 0.
     pub fn run_with_partition(
         &self,
         circuit: &Circuit,
         dag: &CircuitDag,
         partition: Partition,
     ) -> HierRun {
+        if self.config.fusion > 0 {
+            let plan = FusedSinglePlan::build(circuit, dag, partition, self.config.fusion);
+            return self.run_with_fused_plan(circuit, &plan);
+        }
         let start = Instant::now();
         let mut state = StateVector::zero_state(circuit.num_qubits());
         let order = partition.execution_order(dag);
@@ -121,6 +137,33 @@ impl HierarchicalSimulator {
         }
 
         let elapsed = start.elapsed().as_secs_f64();
+        let report = self.make_report(circuit, partition.num_parts(), elapsed);
+        HierRun {
+            state,
+            report,
+            partition,
+        }
+    }
+
+    /// Run `circuit` against a prefused plan (e.g. one served by the
+    /// runtime's plan cache): no DAG rebuild, no partitioning, no fusion —
+    /// only the gather–execute–scatter sweeps remain.
+    pub fn run_with_fused_plan(&self, circuit: &Circuit, plan: &FusedSinglePlan) -> HierRun {
+        let start = Instant::now();
+        let mut state = StateVector::zero_state(circuit.num_qubits());
+        for part in &plan.parts {
+            execute_part_fused(&mut state, part, self.config.parallel);
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        let report = self.make_report(circuit, plan.partition.num_parts(), elapsed);
+        HierRun {
+            state,
+            report,
+            partition: plan.partition.clone(),
+        }
+    }
+
+    fn make_report(&self, circuit: &Circuit, num_parts: usize, elapsed: f64) -> RunReport {
         let mut report = RunReport::single_node(
             "hier",
             self.config.strategy.name(),
@@ -128,14 +171,10 @@ impl HierarchicalSimulator {
             circuit.num_qubits(),
             circuit.num_gates(),
         );
-        report.num_parts = partition.num_parts();
+        report.num_parts = num_parts;
         report.total_time_s = elapsed;
         report.compute_time_s = elapsed;
-        HierRun {
-            state,
-            report,
-            partition,
-        }
+        report
     }
 }
 
@@ -157,36 +196,70 @@ pub fn execute_part(
     let inner_circuit = circuit
         .subcircuit(part_gates)
         .remap_qubits(&map.remap_table(), map.inner_qubits());
-    let assignments = 1usize << map.num_free_qubits();
     let opts = ApplyOptions::sequential();
+    sweep_assignments(outer, &map, parallel, |inner| {
+        hisvsim_statevec::kernels::apply_circuit_with(inner, &inner_circuit, &opts);
+    });
+}
 
+/// Execute one prefused part via Gather–Execute–Scatter: the same sweep as
+/// [`execute_part`], but the inner circuit is already fused (one pass per
+/// fused op instead of per gate) and the parallel path reuses one inner
+/// buffer per chunk of assignments instead of allocating per assignment.
+pub fn execute_part_fused(outer: &mut StateVector, part: &FusedPart, parallel: bool) {
+    let map = GatherMap::new(outer.num_qubits(), &part.working_set);
+    let inner_circuit: &FusedCircuit = &part.inner;
+    let opts = ApplyOptions::sequential();
+    sweep_assignments(outer, &map, parallel, |inner| {
+        inner_circuit.apply(inner, &opts);
+    });
+}
+
+/// The Gather–Execute–Scatter sweep shared by the fused and unfused part
+/// executors: run `execute` against the inner vector of every free-qubit
+/// assignment of `map`.
+///
+/// Each assignment touches a disjoint set of outer indices (guaranteed by
+/// [`GatherMap`]), so the parallel path shares the outer vector through a
+/// raw pointer and splits assignments into chunks — several per thread, so
+/// parts with few assignments still use every core, while each chunk reuses
+/// one inner scratch buffer (the gather overwrites every inner amplitude,
+/// making reuse safe).
+fn sweep_assignments<F>(outer: &mut StateVector, map: &GatherMap, parallel: bool, execute: F)
+where
+    F: Fn(&mut StateVector) + Sync,
+{
+    let assignments = 1usize << map.num_free_qubits();
     if parallel && assignments >= 2 {
-        // Each free-qubit assignment touches a disjoint set of outer indices,
-        // so assignments can run in parallel. The outer vector is shared
-        // through a raw pointer; disjointness is guaranteed by GatherMap.
+        let threads = rayon::current_num_threads().max(1);
+        let per_chunk = (assignments / (threads * 4)).clamp(1, 8);
         let outer_ptr = OuterPtr(outer.amplitudes_mut().as_mut_ptr());
-        (0..assignments).into_par_iter().for_each(|assignment| {
+        let chunks = assignments.div_ceil(per_chunk);
+        (0..chunks).into_par_iter().for_each(|chunk| {
             let mut inner = StateVector::uninitialized(map.inner_qubits());
-            let inner_amps_len = inner.len();
-            // Gather.
-            for j in 0..inner_amps_len {
-                let idx = map.outer_index(assignment, j);
-                // SAFETY: outer indices of different assignments are disjoint.
-                inner.amplitudes_mut()[j] = unsafe { outer_ptr.read(idx) };
-            }
-            // Execute.
-            hisvsim_statevec::kernels::apply_circuit_with(&mut inner, &inner_circuit, &opts);
-            // Scatter.
-            for j in 0..inner_amps_len {
-                let idx = map.outer_index(assignment, j);
-                unsafe { outer_ptr.write(idx, inner.amp(j)) };
+            let inner_len = inner.len();
+            let first = chunk * per_chunk;
+            for assignment in first..(first + per_chunk).min(assignments) {
+                // Gather.
+                for j in 0..inner_len {
+                    let idx = map.outer_index(assignment, j);
+                    // SAFETY: outer indices of different assignments are
+                    // disjoint.
+                    inner.amplitudes_mut()[j] = unsafe { outer_ptr.read(idx) };
+                }
+                execute(&mut inner);
+                // Scatter.
+                for j in 0..inner_len {
+                    let idx = map.outer_index(assignment, j);
+                    unsafe { outer_ptr.write(idx, inner.amp(j)) };
+                }
             }
         });
     } else {
         let mut inner = StateVector::uninitialized(map.inner_qubits());
         for assignment in 0..assignments {
             map.gather_into(outer, assignment, &mut inner);
-            hisvsim_statevec::kernels::apply_circuit_with(&mut inner, &inner_circuit, &opts);
+            execute(&mut inner);
             map.scatter(&inner, outer, assignment);
         }
     }
@@ -303,6 +376,39 @@ mod tests {
             result,
             Err(PartitionBuildError::GateExceedsLimit { .. })
         ));
+    }
+
+    #[test]
+    fn fused_and_unfused_execution_agree() {
+        for name in ["qft", "adder", "ising", "qaoa"] {
+            let circuit = generators::by_name(name, 9);
+            let expected = run_circuit(&circuit);
+            let unfused = HierarchicalSimulator::new(HierConfig::new(5).with_fusion(0))
+                .run(&circuit)
+                .unwrap();
+            for width in [1usize, 3, 5] {
+                let fused = HierarchicalSimulator::new(HierConfig::new(5).with_fusion(width))
+                    .run(&circuit)
+                    .unwrap();
+                assert!(fused.state.approx_eq(&expected, 1e-9));
+                assert!(fused.state.approx_eq(&unfused.state, 1e-9));
+                assert_eq!(fused.report.num_parts, unfused.report.num_parts);
+            }
+        }
+    }
+
+    #[test]
+    fn prefused_plan_execution_matches_planning_inline() {
+        use crate::fusedplan::FusedSinglePlan;
+        let circuit = generators::by_name("grover", 9);
+        let sim = HierarchicalSimulator::new(HierConfig::new(5));
+        let dag = CircuitDag::from_circuit(&circuit);
+        let partition = sim.config().strategy.partition(&dag, 5).unwrap();
+        let plan = FusedSinglePlan::build(&circuit, &dag, partition, sim.config().fusion);
+        let via_plan = sim.run_with_fused_plan(&circuit, &plan);
+        let inline = sim.run(&circuit).unwrap();
+        // Same partition, same fused ops, same execution order: bit-identical.
+        assert_eq!(via_plan.state, inline.state);
     }
 
     #[test]

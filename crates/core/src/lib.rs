@@ -47,6 +47,7 @@
 
 pub mod baseline;
 pub mod dist;
+pub mod fusedplan;
 pub mod gpu;
 pub mod hier;
 pub mod metrics;
@@ -54,7 +55,8 @@ pub mod multilevel;
 pub mod profile;
 
 pub use baseline::{BaselineConfig, BaselineRun, IqsBaseline};
-pub use dist::{DistConfig, DistRun, DistributedSimulator};
+pub use dist::{prepare_gates, DistConfig, DistRun, DistributedSimulator, PreparedGate};
+pub use fusedplan::{FusedMlPart, FusedPart, FusedSecondPart, FusedSinglePlan, FusedTwoLevelPlan};
 pub use gpu::{estimate_hybrid, GpuModel, HybridEstimate};
 pub use hier::{HierConfig, HierRun, HierarchicalSimulator};
 pub use metrics::RunReport;

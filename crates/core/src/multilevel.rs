@@ -10,12 +10,13 @@
 //! against the rank's local slice instead of the whole state.
 
 use crate::dist::{aggregate_outcomes, DistState, RankOutcome};
+use crate::fusedplan::{FusedSecondPart, FusedTwoLevelPlan};
 use crate::metrics::RunReport;
 use hisvsim_circuit::{Circuit, Complex64, Gate};
 use hisvsim_cluster::{run_spmd, NetworkModel};
 use hisvsim_dag::CircuitDag;
 use hisvsim_partition::{MultilevelPartition, MultilevelPartitioner, PartitionBuildError};
-use hisvsim_statevec::{ApplyOptions, GatherMap, StateVector};
+use hisvsim_statevec::{ApplyOptions, GatherMap, StateVector, DEFAULT_FUSION_WIDTH};
 use std::time::Instant;
 
 /// Configuration of the multi-level engine.
@@ -30,21 +31,32 @@ pub struct MultilevelConfig {
     pub second_limit: usize,
     /// Interconnect model for communication-time accounting.
     pub network: NetworkModel,
+    /// Gate-fusion width for the second-level inner circuits (0 disables
+    /// fusion).
+    pub fusion: usize,
 }
 
 impl MultilevelConfig {
-    /// A configuration with the HDR-100 network model.
+    /// A configuration with the HDR-100 network model and the default fusion
+    /// width.
     pub fn new(num_ranks: usize, second_limit: usize) -> Self {
         Self {
             num_ranks,
             second_limit,
             network: NetworkModel::hdr100(),
+            fusion: DEFAULT_FUSION_WIDTH,
         }
     }
 
     /// Use a different network model.
     pub fn with_network(mut self, network: NetworkModel) -> Self {
         self.network = network;
+        self
+    }
+
+    /// Use a different fusion width (0 = unfused).
+    pub fn with_fusion(mut self, fusion: usize) -> Self {
+        self.fusion = fusion;
         self
     }
 }
@@ -96,13 +108,19 @@ impl MultilevelSimulator {
         self.run_with_partition(circuit, &dag, plan.clone())
     }
 
-    /// Run with an externally supplied two-level partition.
+    /// Run with an externally supplied two-level partition. Fuses each
+    /// second-level part once — shared by every virtual rank and every
+    /// gather assignment — unless `config.fusion` is 0.
     pub fn run_with_partition(
         &self,
         circuit: &Circuit,
         dag: &CircuitDag,
         ml: MultilevelPartition,
     ) -> MultilevelRun {
+        if self.config.fusion > 0 {
+            let plan = FusedTwoLevelPlan::build(circuit, dag, ml, self.config.fusion);
+            return self.run_with_fused_plan(circuit, &plan);
+        }
         // Build the per-first-level-part schedule: the first-level execution
         // order and, within each part, the second-level gate lists in their
         // own topological order.
@@ -128,29 +146,12 @@ impl MultilevelSimulator {
             self.config.num_ranks,
             self.config.network,
             |mut comm| {
-                let rank = comm.rank();
                 let mut state = DistState::new(&mut comm, circuit.num_qubits());
                 for (working_set, second_lists) in &schedule {
                     state.ensure_local(working_set);
                     execute_second_level(&mut state, second_lists);
                 }
-                // Snapshot the metrics before assembling the full state:
-                // the assembly gather is a validation/result-extraction step,
-                // not part of the simulated execution the paper times.
-                let compute_time_s = state.compute_time_s;
-                let exchanges = state.exchanges;
-                let comm_stats = state.comm_stats();
-                let full = state.assemble_full_state();
-                drop(state);
-                let slice_len = full.len() / comm.size();
-                let local = full.amplitudes()[rank * slice_len..(rank + 1) * slice_len].to_vec();
-                RankOutcome {
-                    rank,
-                    compute_time_s,
-                    comm: comm_stats,
-                    exchanges,
-                    local,
-                }
+                state.finish_rank()
             },
         );
         let wall = start.elapsed().as_secs_f64();
@@ -168,6 +169,74 @@ impl MultilevelSimulator {
             partition: ml,
         }
     }
+}
+
+impl MultilevelSimulator {
+    /// Run against a prefused two-level plan: the second-level inner circuits
+    /// were fused once at plan time and are shared read-only by every rank
+    /// and every gather assignment.
+    pub fn run_with_fused_plan(
+        &self,
+        circuit: &Circuit,
+        plan: &FusedTwoLevelPlan,
+    ) -> MultilevelRun {
+        let start = Instant::now();
+        let outcomes = run_spmd::<Complex64, RankOutcome, _>(
+            self.config.num_ranks,
+            self.config.network,
+            |mut comm| {
+                let mut state = DistState::new(&mut comm, circuit.num_qubits());
+                for part in &plan.parts {
+                    state.ensure_local(&part.working_set);
+                    execute_second_level_fused(&mut state, &part.second);
+                }
+                state.finish_rank()
+            },
+        );
+        let wall = start.elapsed().as_secs_f64();
+        let (state, report) = aggregate_outcomes(
+            "multilevel",
+            "dagP",
+            circuit,
+            plan.ml.num_first_level_parts(),
+            outcomes,
+            wall,
+        );
+        MultilevelRun {
+            state,
+            report,
+            partition: plan.ml.clone(),
+        }
+    }
+}
+
+/// Execute prefused second-level parts against the rank's local slice: for
+/// each part, translate its global working set to local positions under the
+/// current layout, then Gather–Execute–Scatter with the shared fused inner
+/// circuit (fused qubit `j` of the plan is inner qubit `j` of the gather by
+/// construction).
+fn execute_second_level_fused(state: &mut DistState<'_>, second: &[FusedSecondPart]) {
+    let start = Instant::now();
+    let l = state.local_qubits();
+    let opts = ApplyOptions::sequential();
+    let mut working_positions: Vec<usize> = Vec::new();
+    for part in second {
+        working_positions.clear();
+        working_positions.extend(part.working_set.iter().map(|&q| {
+            let pos = state.position(q);
+            debug_assert!(pos < l, "second-level part touches a non-local qubit");
+            pos
+        }));
+        let map = GatherMap::new(l, &working_positions);
+        let mut inner = StateVector::uninitialized(map.inner_qubits());
+        let local = state.local_state_mut();
+        for assignment in 0..(1usize << map.num_free_qubits()) {
+            map.gather_into(local, assignment, &mut inner);
+            part.inner.apply(&mut inner, &opts);
+            map.scatter(&inner, local, assignment);
+        }
+    }
+    state.add_compute_time(start.elapsed().as_secs_f64());
 }
 
 /// Execute the second-level parts of one first-level part against the rank's

@@ -1,12 +1,15 @@
 //! The partition-plan cache.
 //!
 //! DAG construction + acyclic partitioning is a pure function of circuit
-//! *structure*, so its result can be memoized across jobs, batches and
-//! tenants. The cache key is the structural
+//! *structure*, and so is gate fusion — which is why the cache stores the
+//! plan in its *fused* form ([`FusedSinglePlan`] / [`FusedTwoLevelPlan`]):
+//! a warm hit skips partitioning *and* fusion (the greedy scan plus every
+//! fused-group matrix product), leaving only the state-vector sweeps. The
+//! cache key is the structural
 //! [`Circuit::fingerprint`](hisvsim_circuit::Circuit::fingerprint) plus the
-//! plan's shape parameters (limit, second-level limit, planner effort); the
-//! cached value is the immutable plan behind an `Arc`, shared by every
-//! concurrent execution.
+//! plan's shape parameters (limit, second-level limit, fusion width, planner
+//! effort); the cached value is the immutable fused plan behind an `Arc`,
+//! shared by every concurrent execution.
 //!
 //! Two properties matter under a concurrent scheduler:
 //!
@@ -17,8 +20,8 @@
 //! * **Bounded size** — entries are evicted least-recently-used once
 //!   `capacity` is exceeded; pending (in-flight) entries are never evicted.
 
-use hisvsim_dag::Partition;
-use hisvsim_partition::{MultilevelPartition, PartitionBuildError};
+use hisvsim_core::{FusedSinglePlan, FusedTwoLevelPlan};
+use hisvsim_partition::PartitionBuildError;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -33,32 +36,35 @@ pub struct PlanKey {
     pub limit: usize,
     /// Second-level limit; 0 for single-level plans.
     pub second_limit: usize,
+    /// Gate-fusion width the plan's inner circuits were fused at.
+    pub fusion: usize,
     /// Planner effort that produced the plan (plans of different effort are
     /// different cache entries).
     pub effort: crate::planner::PlanEffort,
 }
 
-/// A memoized plan.
+/// A memoized plan, stored prefused so warm hits skip partitioning and
+/// fusion alike.
 #[derive(Debug, Clone)]
 pub enum CachedPlan {
-    /// Single-level partition (hier / dist engines).
-    Single(Arc<Partition>),
-    /// Two-level partition (multilevel engine).
-    Two(Arc<MultilevelPartition>),
+    /// Single-level fused plan (hier / dist engines).
+    Single(Arc<FusedSinglePlan>),
+    /// Two-level fused plan (multilevel engine).
+    Two(Arc<FusedTwoLevelPlan>),
 }
 
 impl CachedPlan {
-    /// The single-level partition, panicking on shape mismatch (the key's
+    /// The single-level plan, panicking on shape mismatch (the key's
     /// `second_limit` field makes mismatches impossible within the runtime).
-    pub fn expect_single(&self) -> &Arc<Partition> {
+    pub fn expect_single(&self) -> &Arc<FusedSinglePlan> {
         match self {
             CachedPlan::Single(p) => p,
             CachedPlan::Two(_) => panic!("expected a single-level plan"),
         }
     }
 
-    /// The two-level partition, panicking on shape mismatch.
-    pub fn expect_two(&self) -> &Arc<MultilevelPartition> {
+    /// The two-level plan, panicking on shape mismatch.
+    pub fn expect_two(&self) -> &Arc<FusedTwoLevelPlan> {
         match self {
             CachedPlan::Two(p) => p,
             CachedPlan::Single(_) => panic!("expected a two-level plan"),
@@ -68,8 +74,8 @@ impl CachedPlan {
     /// Number of (first-level) parts — the quantity planning minimises.
     pub fn num_parts(&self) -> usize {
         match self {
-            CachedPlan::Single(p) => p.num_parts(),
-            CachedPlan::Two(ml) => ml.num_first_level_parts(),
+            CachedPlan::Single(p) => p.partition.num_parts(),
+            CachedPlan::Two(plan) => plan.ml.num_first_level_parts(),
         }
     }
 }
@@ -251,6 +257,7 @@ mod tests {
             fingerprint: circuit.fingerprint(),
             limit,
             second_limit: 0,
+            fusion: 3,
             effort: PlanEffort::Fast,
         }
     }
@@ -259,7 +266,7 @@ mod tests {
         let dag = CircuitDag::from_circuit(circuit);
         CachedPlan::Single(Arc::new(
             Planner::default()
-                .plan_single(circuit, &dag, limit)
+                .plan_single_fused(circuit, &dag, limit, 3)
                 .unwrap(),
         ))
     }
@@ -371,7 +378,7 @@ mod tests {
         let key = key_of(&circuit, 2);
         let attempt = cache.get_or_plan(key, || {
             Planner::default()
-                .plan_single(&circuit, &dag, 2)
+                .plan_single_fused(&circuit, &dag, 2, 3)
                 .map(|p| CachedPlan::Single(Arc::new(p)))
         });
         assert!(attempt.is_err());
@@ -385,8 +392,11 @@ mod tests {
 
     #[test]
     fn plans_serialize_and_roundtrip() {
-        // The "plans are serializable" contract: a cached plan can be shipped
-        // to another process (future sharded runtime) and reused verbatim.
+        // The "plans are serializable" contract: the partition inside a
+        // cached plan can be shipped to another process (future sharded
+        // runtime) and reused verbatim — the receiver re-fuses locally.
+        use hisvsim_dag::Partition;
+        use hisvsim_partition::MultilevelPartition;
         let circuit = generators::qft(9);
         let dag = CircuitDag::from_circuit(&circuit);
         let plan = Planner::default().plan_single(&circuit, &dag, 5).unwrap();

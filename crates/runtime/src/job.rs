@@ -22,6 +22,11 @@ pub struct SimJob {
     pub engine: Option<EngineKind>,
     /// Working-set limit override; `None` uses the selector's limit.
     pub limit: Option<usize>,
+    /// Gate-fusion width override (≥ 1); `None` uses the runtime's auto
+    /// default ([`hisvsim_statevec::DEFAULT_FUSION_WIDTH`]). Width 1 still
+    /// merges runs of same-wire gates and collapses diagonal runs; 3–4 is
+    /// the CPU sweet spot.
+    pub fusion: Option<usize>,
     /// Seed for shot sampling (deterministic per job).
     pub seed: u64,
 }
@@ -35,6 +40,7 @@ impl SimJob {
             observables: Vec::new(),
             engine: None,
             limit: None,
+            fusion: None,
             seed: 0,
         }
     }
@@ -60,6 +66,13 @@ impl SimJob {
     /// Force a specific working-set limit.
     pub fn with_limit(mut self, limit: usize) -> Self {
         self.limit = Some(limit);
+        self
+    }
+
+    /// Force a specific gate-fusion width (≥ 1).
+    pub fn with_fusion(mut self, fusion: usize) -> Self {
+        assert!(fusion >= 1, "fusion width must be at least 1");
+        self.fusion = Some(fusion);
         self
     }
 

@@ -21,6 +21,7 @@
 
 use hisvsim_circuit::Circuit;
 use hisvsim_core::profile::{hierarchical_access_trace, TraceOptions};
+use hisvsim_core::{FusedSinglePlan, FusedTwoLevelPlan};
 use hisvsim_dag::{CircuitDag, PartGraph, Partition};
 use hisvsim_memmodel::{replay_amplitude_indices, HierarchyConfig};
 use hisvsim_partition::{
@@ -152,6 +153,45 @@ impl Planner {
                 Ok(best)
             }
         }
+    }
+
+    /// Plan a single-level partition and fuse every part's inner circuit at
+    /// `fusion_width` — the form the runtime caches, so repeat submissions
+    /// amortise fusion (the greedy scan and every fused-matrix product)
+    /// exactly like they amortise partitioning.
+    pub fn plan_single_fused(
+        &self,
+        circuit: &Circuit,
+        dag: &CircuitDag,
+        limit: usize,
+        fusion_width: usize,
+    ) -> Result<FusedSinglePlan, PartitionBuildError> {
+        let partition = self.plan_single(circuit, dag, limit)?;
+        Ok(FusedSinglePlan::build(
+            circuit,
+            dag,
+            partition,
+            fusion_width.max(1),
+        ))
+    }
+
+    /// Plan a two-level partition and fuse every second-level part at
+    /// `fusion_width` (see [`Planner::plan_single_fused`]).
+    pub fn plan_two_level_fused(
+        &self,
+        circuit: &Circuit,
+        dag: &CircuitDag,
+        first_limit: usize,
+        second_limit: usize,
+        fusion_width: usize,
+    ) -> Result<FusedTwoLevelPlan, PartitionBuildError> {
+        let ml = self.plan_two_level(dag, first_limit, second_limit)?;
+        Ok(FusedTwoLevelPlan::build(
+            circuit,
+            dag,
+            ml,
+            fusion_width.max(1),
+        ))
     }
 
     /// Plan a two-level partition (first-level `first_limit`, second-level

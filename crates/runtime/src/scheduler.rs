@@ -27,7 +27,7 @@ use hisvsim_core::{
 };
 use hisvsim_dag::CircuitDag;
 use hisvsim_partition::Strategy;
-use hisvsim_statevec::{measure, StateVector};
+use hisvsim_statevec::{measure, StateVector, DEFAULT_FUSION_WIDTH};
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
@@ -269,15 +269,16 @@ impl Scheduler {
             decision.limit = decision.limit.min(local.max(1));
             decision.second_limit = decision.second_limit.min(decision.limit);
         }
+        let fusion = job.fusion.unwrap_or(DEFAULT_FUSION_WIDTH).max(1);
 
         let plan_start = Instant::now();
-        let (plan, cache_hit) = self.obtain_plan(&job.circuit, &decision);
+        let (plan, cache_hit) = self.obtain_plan(&job.circuit, &decision, fusion);
         let plan_time_s = plan_start.elapsed().as_secs_f64();
 
         // The permit covers the simulation (allocation of the outer state
         // vector) through post-processing.
         let _permit = residency.acquire();
-        let (state, report) = self.simulate(&job.circuit, &decision, plan.as_ref());
+        let (state, report) = self.simulate(&job.circuit, &decision, fusion, plan.as_ref());
 
         // Post-processing: shot sampling and Z expectations reuse the
         // statevec measurement utilities on the engine's final state. The
@@ -312,12 +313,14 @@ impl Scheduler {
         }
     }
 
-    /// Obtain the partition plan for a decision: from the cache when
-    /// enabled, else planned directly. Baseline runs unpartitioned.
+    /// Obtain the fused partition plan for a decision: from the cache when
+    /// enabled, else planned directly. Baseline runs unpartitioned (its
+    /// fused segments are derived inside the engine).
     fn obtain_plan(
         &self,
         circuit: &Circuit,
         decision: &EngineDecision,
+        fusion: usize,
     ) -> (Option<CachedPlan>, bool) {
         if decision.engine == EngineKind::Baseline {
             return (None, false);
@@ -328,11 +331,17 @@ impl Scheduler {
             let dag = CircuitDag::from_circuit(circuit);
             if two_level {
                 planner
-                    .plan_two_level(&dag, decision.limit, decision.second_limit)
+                    .plan_two_level_fused(
+                        circuit,
+                        &dag,
+                        decision.limit,
+                        decision.second_limit,
+                        fusion,
+                    )
                     .map(|ml| CachedPlan::Two(Arc::new(ml)))
             } else {
                 planner
-                    .plan_single(circuit, &dag, decision.limit)
+                    .plan_single_fused(circuit, &dag, decision.limit, fusion)
                     .map(|p| CachedPlan::Single(Arc::new(p)))
             }
         };
@@ -344,6 +353,7 @@ impl Scheduler {
                 fingerprint: circuit.fingerprint(),
                 limit: decision.limit,
                 second_limit: if two_level { decision.second_limit } else { 0 },
+                fusion,
                 effort: self.config.effort,
             };
             self.cache.get_or_plan(key, compute)
@@ -357,19 +367,23 @@ impl Scheduler {
         }
     }
 
-    /// Run the chosen engine against the precomputed plan.
+    /// Run the chosen engine against the precomputed fused plan.
     fn simulate(
         &self,
         circuit: &Circuit,
         decision: &EngineDecision,
+        fusion: usize,
         plan: Option<&CachedPlan>,
     ) -> (StateVector, RunReport) {
         let network = self.config.selector.network;
         match decision.engine {
             EngineKind::Baseline => {
-                let run =
-                    IqsBaseline::new(BaselineConfig::new(decision.ranks).with_network(network))
-                        .run(circuit);
+                let run = IqsBaseline::new(
+                    BaselineConfig::new(decision.ranks)
+                        .with_network(network)
+                        .with_fusion(fusion),
+                )
+                .run(circuit);
                 (run.state, run.report)
             }
             EngineKind::Hier => {
@@ -377,7 +391,7 @@ impl Scheduler {
                 let sim = HierarchicalSimulator::new(
                     HierConfig::new(decision.limit).with_strategy(Strategy::DagP),
                 );
-                let run = sim.run_with_plan(circuit, plan);
+                let run = sim.run_with_fused_plan(circuit, plan);
                 (run.state, run.report)
             }
             EngineKind::Dist => {
@@ -387,7 +401,7 @@ impl Scheduler {
                         .with_limit(decision.limit)
                         .with_network(network),
                 );
-                let run = sim.run_with_plan(circuit, plan);
+                let run = sim.run_with_fused_plan(circuit, plan);
                 (run.state, run.report)
             }
             EngineKind::Multilevel => {
@@ -396,7 +410,7 @@ impl Scheduler {
                     MultilevelConfig::new(decision.ranks, decision.second_limit)
                         .with_network(network),
                 );
-                let run = sim.run_with_plan(circuit, plan);
+                let run = sim.run_with_fused_plan(circuit, plan);
                 (run.state, run.report)
             }
         }

@@ -8,14 +8,31 @@
 //! reduces the number of passes over the (inner or outer) state vector, the
 //! partitioner reduces the size of the vector each pass touches.
 //!
-//! The fusion strategy is the standard greedy one: scan the circuit in order,
-//! accumulate consecutive gates into the current *fusion group* while the
-//! union of their qubits stays within `max_fused_qubits`, and emit the
-//! group's product matrix when the next gate does not fit.
+//! Two fusion forms live here:
+//!
+//! * [`FusedCircuit`] — the engine-facing pipeline: commutation-aware
+//!   grouping into cost-model-gated dense groups, width-unlimited diagonal
+//!   runs executed as one blocked streaming pass, and solo fast-path gates,
+//!   with per-op kernel data (sparse rows, block classification) derived
+//!   once at build time. Every engine executes circuits through this form.
+//! * [`fuse_circuit`] — the minimal adjacent-only greedy scanner, kept as a
+//!   simple reference implementation and test oracle (dense groups only, no
+//!   reordering, no specialisation).
 
-use crate::kernels::{apply_k_qubit, ApplyOptions};
+use crate::kernels::{
+    apply_k_qubit, apply_k_qubit_prepared, apply_single, apply_two_qubit_dense, ApplyOptions,
+    SparseRows, MAX_STACK_KERNEL_QUBITS,
+};
 use crate::state::StateVector;
-use hisvsim_circuit::{Circuit, Complex64, Qubit, UnitaryMatrix};
+use hisvsim_circuit::{Circuit, Complex64, Gate, Qubit, UnitaryMatrix};
+use rayon::prelude::*;
+
+/// The default fusion width engines use when the caller does not pick one.
+///
+/// Wider groups cut the number of state-vector sweeps but pay `2^k`
+/// multiply-adds per gathered amplitude, so the CPU sweet spot sits at 3–4;
+/// 3 is the conservative default (the `fusion_sweep` bench maps the curve).
+pub const DEFAULT_FUSION_WIDTH: usize = 3;
 
 /// One fused operation: a dense unitary over a small set of qubits.
 #[derive(Debug, Clone)]
@@ -139,6 +156,727 @@ pub fn run_fused(circuit: &Circuit, max_fused_qubits: usize, opts: &ApplyOptions
     state
 }
 
+// ---------------------------------------------------------------------------
+// the fused execution pipeline
+// ---------------------------------------------------------------------------
+
+/// One diagonal factor of a [`FusedOp::Diagonal`] run: a small diagonal table
+/// over a few qubits (bit `b` of the table index is `qubits[b]`).
+#[derive(Debug, Clone)]
+pub struct DiagonalFactor {
+    /// The qubits the factor depends on.
+    pub qubits: Vec<Qubit>,
+    /// `2^qubits.len()` diagonal entries.
+    pub diag: Vec<Complex64>,
+}
+
+impl DiagonalFactor {
+    /// The diagonal of a single diagonal gate.
+    fn from_gate(qubits: &[Qubit], matrix: &UnitaryMatrix) -> Self {
+        Self {
+            qubits: qubits.to_vec(),
+            diag: (0..matrix.dim()).map(|i| matrix.get(i, i)).collect(),
+        }
+    }
+
+    /// Fold another diagonal gate into this factor; the gate's qubits must
+    /// already be accounted for in the (possibly grown) `qubits` list.
+    fn absorb(&mut self, gate_qubits: &[Qubit], matrix: &UnitaryMatrix) {
+        let old_len = self.qubits.len();
+        let mut grown = false;
+        for &q in gate_qubits {
+            if !self.qubits.contains(&q) {
+                self.qubits.push(q);
+                grown = true;
+            }
+        }
+        if grown {
+            // Expand the table: old qubits keep the low bit positions.
+            let dim = 1usize << self.qubits.len();
+            let old_mask = (1usize << old_len) - 1;
+            let old = std::mem::replace(&mut self.diag, vec![Complex64::ONE; dim]);
+            for (i, slot) in self.diag.iter_mut().enumerate() {
+                *slot = old[i & old_mask];
+            }
+        }
+        for (i, slot) in self.diag.iter_mut().enumerate() {
+            let mut sub = 0usize;
+            for (j, &q) in gate_qubits.iter().enumerate() {
+                let p = self.qubits.iter().position(|&g| g == q).unwrap();
+                sub |= ((i >> p) & 1) << j;
+            }
+            *slot *= matrix.get(sub, sub);
+        }
+    }
+}
+
+/// One operation of a [`FusedCircuit`].
+#[derive(Debug, Clone)]
+pub enum FusedOp {
+    /// A dense fused unitary (≥ 2 source gates), dispatched to the
+    /// width-specialised kernels.
+    Dense(FusedGate),
+    /// A gate that stayed alone in its group (nothing adjacent fit): applied
+    /// through the full [`crate::kernels::apply_gate_with_matrix`] dispatch,
+    /// so X/CX/SWAP/controlled gates keep their matrix-free fast paths. The
+    /// matrix is precomputed when that dispatch consumes one.
+    Solo(Gate, Option<UnitaryMatrix>),
+    /// A run of diagonal gates, applied in one streaming pass regardless of
+    /// how many qubits the run touches (diagonals never mix amplitudes, so
+    /// the run has no width limit).
+    Diagonal {
+        /// The diagonal factors, each covering a few qubits.
+        factors: Vec<DiagonalFactor>,
+        /// How many original gates the run absorbed.
+        fused_count: usize,
+    },
+}
+
+/// Per-op data derived from the fused form once at build time (sparse rows
+/// of dense matrices, block classification of diagonal runs), so the
+/// per-assignment hot loops of the hierarchical engines never re-derive it.
+#[derive(Debug, Clone)]
+enum PreparedOp {
+    Dense(Option<SparseRows>),
+    Diagonal(PreparedDiagonal),
+    Solo,
+}
+
+fn prepare_op(op: &FusedOp) -> PreparedOp {
+    match op {
+        FusedOp::Dense(g) => PreparedOp::Dense(SparseRows::build(&g.matrix)),
+        FusedOp::Diagonal { factors, .. } => PreparedOp::Diagonal(prepare_diagonal(factors, None)),
+        FusedOp::Solo(..) => PreparedOp::Solo,
+    }
+}
+
+impl FusedOp {
+    /// Apply this op to a state vector.
+    pub fn apply(&self, state: &mut StateVector, opts: &ApplyOptions) {
+        self.apply_inner(state, &prepare_op(self), None, opts);
+    }
+
+    /// How many original gates this op absorbed.
+    pub fn fused_count(&self) -> usize {
+        match self {
+            FusedOp::Dense(g) => g.fused_count,
+            FusedOp::Solo(..) => 1,
+            FusedOp::Diagonal { fused_count, .. } => *fused_count,
+        }
+    }
+
+    /// Apply this op with an optional qubit translation (`map[q]` = target
+    /// qubit). The distributed engines use the map to aim one shared fused
+    /// circuit at each rank's layout without re-fusing; the prepared data
+    /// (matrix-shaped, so translation-invariant for dense ops) is shared.
+    fn apply_inner(
+        &self,
+        state: &mut StateVector,
+        prep: &PreparedOp,
+        map: Option<&[Qubit]>,
+        opts: &ApplyOptions,
+    ) {
+        let translate = |qs: &[Qubit]| -> Vec<Qubit> {
+            match map {
+                Some(map) => qs.iter().map(|&q| map[q]).collect(),
+                None => qs.to_vec(),
+            }
+        };
+        match (self, prep) {
+            (FusedOp::Dense(op), PreparedOp::Dense(sparse)) => {
+                match (map, op.qubits.as_slice()) {
+                    (None, &[q]) => apply_dense_one(state, q, &op.matrix, opts),
+                    (None, &[a, b]) => apply_two_qubit_dense(state, a, b, &op.matrix, opts),
+                    (None, qs) => {
+                        apply_k_qubit_prepared(state, qs, &op.matrix, sparse.as_ref(), opts)
+                    }
+                    (Some(map), &[q]) => apply_dense_one(state, map[q], &op.matrix, opts),
+                    (Some(map), &[a, b]) => {
+                        apply_two_qubit_dense(state, map[a], map[b], &op.matrix, opts)
+                    }
+                    // The sparse rows depend only on the matrix, never on the
+                    // qubit targets, so the translated application shares them.
+                    (Some(_), qs) => apply_k_qubit_prepared(
+                        state,
+                        &translate(qs),
+                        &op.matrix,
+                        sparse.as_ref(),
+                        opts,
+                    ),
+                }
+            }
+            (FusedOp::Solo(gate, matrix), _) => match map {
+                None => crate::kernels::apply_gate_with_matrix(state, gate, matrix.as_ref(), opts),
+                Some(_) => {
+                    let remapped = Gate {
+                        kind: gate.kind,
+                        qubits: translate(&gate.qubits),
+                    };
+                    crate::kernels::apply_gate_with_matrix(state, &remapped, matrix.as_ref(), opts)
+                }
+            },
+            (FusedOp::Diagonal { factors, .. }, prep) => {
+                if state.len() < DIAG_BLOCK {
+                    apply_diagonal_small(state, factors, map, opts);
+                    return;
+                }
+                match (map, prep) {
+                    (None, PreparedOp::Diagonal(prepared)) => {
+                        run_prepared_diagonal(state, prepared, opts)
+                    }
+                    // The classification depends on qubit positions, so the
+                    // translated path re-derives it (once per rank per part —
+                    // outside the per-assignment hot loops).
+                    _ => run_prepared_diagonal(state, &prepare_diagonal(factors, map), opts),
+                }
+            }
+            (FusedOp::Dense(_), _) => {
+                // Mismatched prepared data (never produced by FusedCircuit):
+                // derive it and retry through the matched dispatch.
+                self.apply_inner(state, &prepare_op(self), map, opts)
+            }
+        }
+    }
+}
+
+/// Single-qubit dense dispatch helper.
+fn apply_dense_one(state: &mut StateVector, q: Qubit, m: &UnitaryMatrix, opts: &ApplyOptions) {
+    let mat = [m.get(0, 0), m.get(0, 1), m.get(1, 0), m.get(1, 1)];
+    apply_single(state, q, &mat, opts);
+}
+
+/// Block size of the diagonal streaming pass: factors whose qubits all sit
+/// at or above this bit are constant across a block and cost one table
+/// lookup per 64 amplitudes instead of one per amplitude.
+const DIAG_BLOCK_BITS: usize = 6;
+const DIAG_BLOCK: usize = 1 << DIAG_BLOCK_BITS;
+/// Blocks per parallel work item (scratch reuse granularity).
+const DIAG_BLOCKS_PER_CHUNK: usize = 64;
+
+/// High-qubit bit extraction shared by both block-factor kinds.
+#[inline(always)]
+fn hi_sub(hi_bits: &[(usize, usize)], base: usize) -> usize {
+    let mut sub = 0usize;
+    for &(q, b) in hi_bits {
+        sub |= ((base >> q) & 1) << b;
+    }
+    sub
+}
+
+/// A factor whose qubits all sit at or above [`DIAG_BLOCK_BITS`]: constant
+/// across a block — one lookup per 64 amplitudes.
+#[derive(Debug, Clone)]
+struct ConstFactor {
+    diag: Vec<Complex64>,
+    hi_bits: Vec<(usize, usize)>,
+}
+
+/// A factor touching low qubits: per-amplitude lookup through a 64-entry
+/// low-bit table built once per classification.
+#[derive(Debug, Clone)]
+struct VarFactor {
+    diag: Vec<Complex64>,
+    hi_bits: Vec<(usize, usize)>,
+    lo_map: Box<[u32; DIAG_BLOCK]>,
+}
+
+/// A diagonal run classified for the block sweep. Built once per
+/// [`FusedCircuit`] (so the per-assignment hot loops of the hierarchical
+/// engines never re-derive it), or per rank translation in the mapped path.
+#[derive(Debug, Clone)]
+struct PreparedDiagonal {
+    constant: Vec<ConstFactor>,
+    varying: Vec<VarFactor>,
+}
+
+/// Classify a diagonal run's factors for the block sweep, optionally
+/// translating qubits through `map` first (the per-rank path).
+fn prepare_diagonal(factors: &[DiagonalFactor], map: Option<&[Qubit]>) -> PreparedDiagonal {
+    let mut prepared = PreparedDiagonal {
+        constant: Vec::new(),
+        varying: Vec::new(),
+    };
+    for factor in factors {
+        let mut hi_bits = Vec::new();
+        let mut lo_map: Option<Box<[u32; DIAG_BLOCK]>> = None;
+        for (b, &q) in factor.qubits.iter().enumerate() {
+            let q = map.map_or(q, |m| m[q]);
+            if q < DIAG_BLOCK_BITS {
+                let map = lo_map.get_or_insert_with(|| Box::new([0u32; DIAG_BLOCK]));
+                for (j, slot) in map.iter_mut().enumerate() {
+                    *slot |= (((j >> q) & 1) as u32) << b;
+                }
+            } else {
+                hi_bits.push((q, b));
+            }
+        }
+        match lo_map {
+            Some(lo_map) => prepared.varying.push(VarFactor {
+                diag: factor.diag.clone(),
+                hi_bits,
+                lo_map,
+            }),
+            None => prepared.constant.push(ConstFactor {
+                diag: factor.diag.clone(),
+                hi_bits,
+            }),
+        }
+    }
+    prepared
+}
+
+/// Apply a run of diagonal factors in one streaming pass: every amplitude is
+/// read and written exactly once, multiplied by the product of its factors.
+///
+/// The per-amplitude work is kept minimal by splitting factors per block of
+/// 64 contiguous amplitudes: factors on high qubits collapse to a single
+/// per-block phase, and the remaining factors index their tables through a
+/// precomputed low-bit lookup (no per-amplitude bit scanning).
+fn run_prepared_diagonal(
+    state: &mut StateVector,
+    prepared: &PreparedDiagonal,
+    opts: &ApplyOptions,
+) {
+    let len = state.len();
+    debug_assert!(len >= DIAG_BLOCK);
+    let constant = &prepared.constant;
+    let varying = &prepared.varying;
+
+    let blocks = len >> DIAG_BLOCK_BITS;
+    let amps_ptr = SharedAmpsSlice::new(state.amplitudes_mut());
+    let run_chunk = |first: usize, last: usize| {
+        let mut hi_subs = vec![0usize; varying.len()];
+        for block in first..last {
+            let base = block << DIAG_BLOCK_BITS;
+            let mut block_phase = Complex64::ONE;
+            for factor in constant {
+                block_phase *= factor.diag[hi_sub(&factor.hi_bits, base)];
+            }
+            for (slot, factor) in hi_subs.iter_mut().zip(varying) {
+                *slot = hi_sub(&factor.hi_bits, base);
+            }
+            // SAFETY: blocks are disjoint contiguous ranges.
+            let amps = unsafe { amps_ptr.slice_mut(base, DIAG_BLOCK) };
+            if varying.is_empty() {
+                for amp in amps {
+                    *amp *= block_phase;
+                }
+            } else {
+                for (j, amp) in amps.iter_mut().enumerate() {
+                    let mut phase = block_phase;
+                    for (factor, &hi) in varying.iter().zip(hi_subs.iter()) {
+                        phase *= factor.diag[hi | factor.lo_map[j] as usize];
+                    }
+                    *amp *= phase;
+                }
+            }
+        }
+    };
+    if opts.parallel && len >= opts.parallel_threshold {
+        let chunks = blocks.div_ceil(DIAG_BLOCKS_PER_CHUNK);
+        (0..chunks).into_par_iter().for_each(|c| {
+            let first = c * DIAG_BLOCKS_PER_CHUNK;
+            run_chunk(first, (first + DIAG_BLOCKS_PER_CHUNK).min(blocks));
+        });
+    } else {
+        run_chunk(0, blocks);
+    }
+}
+
+/// Streaming pass over states too small for the block sweep, with an
+/// optional qubit translation.
+fn apply_diagonal_small(
+    state: &mut StateVector,
+    factors: &[DiagonalFactor],
+    map: Option<&[Qubit]>,
+    opts: &ApplyOptions,
+) {
+    let _ = opts;
+    let amps = state.amplitudes_mut();
+    for (i, amp) in amps.iter_mut().enumerate() {
+        let mut phase = Complex64::ONE;
+        for factor in factors {
+            let mut sub = 0usize;
+            for (b, &q) in factor.qubits.iter().enumerate() {
+                let q = map.map_or(q, |m| m[q]);
+                sub |= ((i >> q) & 1) << b;
+            }
+            phase *= factor.diag[sub];
+        }
+        *amp *= phase;
+    }
+}
+
+/// A `Sync` wrapper handing out disjoint mutable sub-slices of the amplitude
+/// buffer to parallel block workers.
+#[derive(Clone, Copy)]
+struct SharedAmpsSlice {
+    ptr: *mut Complex64,
+    len: usize,
+}
+
+unsafe impl Sync for SharedAmpsSlice {}
+unsafe impl Send for SharedAmpsSlice {}
+
+impl SharedAmpsSlice {
+    fn new(slice: &mut [Complex64]) -> Self {
+        Self {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+        }
+    }
+
+    /// # Safety
+    /// Ranges handed out concurrently must be disjoint and in bounds.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn slice_mut(&self, start: usize, len: usize) -> &mut [Complex64] {
+        debug_assert!(start + len <= self.len);
+        std::slice::from_raw_parts_mut(self.ptr.add(start), len)
+    }
+}
+
+/// A circuit compiled for fused execution: the first-class form every engine
+/// executes. Construction pays the fusion cost once (greedy grouping plus the
+/// small matrix products); `apply` then sweeps the state once per op with the
+/// width-specialised, allocation-free kernels.
+#[derive(Debug, Clone)]
+pub struct FusedCircuit {
+    num_qubits: usize,
+    ops: Vec<FusedOp>,
+    /// Per-op derived data (sparse rows, diagonal classification), index-
+    /// aligned with `ops`; built once so `apply` never re-derives it.
+    prepared: Vec<PreparedOp>,
+    fusion_width: usize,
+    source_gates: usize,
+}
+
+impl FusedCircuit {
+    /// Fuse `circuit` at the given width (≥ 1). Dense groups are capped at
+    /// `max_fused_qubits`; runs of diagonal gates collapse into single
+    /// streaming passes with no width limit. Grouping is commutation-aware:
+    /// a gate may join an earlier open group when it commutes with every
+    /// group in between (disjoint qubits, or diagonal-past-diagonal), so
+    /// interleaved circuits fuse as well as layered ones.
+    pub fn new(circuit: &Circuit, max_fused_qubits: usize) -> Self {
+        assert!(max_fused_qubits >= 1, "fusion width must be at least 1");
+        let mut builder = Builder {
+            circuit,
+            width: max_fused_qubits,
+            ops: Vec::new(),
+            pending: Vec::new(),
+        };
+        for (index, gate) in circuit.gates().iter().enumerate() {
+            builder.push(index, gate);
+        }
+        builder.flush_all();
+        let prepared = builder.ops.iter().map(prepare_op).collect();
+        Self {
+            num_qubits: circuit.num_qubits(),
+            ops: builder.ops,
+            prepared,
+            fusion_width: max_fused_qubits,
+            source_gates: circuit.num_gates(),
+        }
+    }
+
+    /// Number of qubits of the source circuit.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The fused operations, in execution order.
+    pub fn ops(&self) -> &[FusedOp] {
+        &self.ops
+    }
+
+    /// Number of fused operations (state-vector sweeps).
+    pub fn num_ops(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Number of gates of the source circuit.
+    pub fn source_gates(&self) -> usize {
+        self.source_gates
+    }
+
+    /// The width this circuit was fused at.
+    pub fn fusion_width(&self) -> usize {
+        self.fusion_width
+    }
+
+    /// Apply the fused circuit to a state vector.
+    pub fn apply(&self, state: &mut StateVector, opts: &ApplyOptions) {
+        assert!(
+            self.num_qubits <= state.num_qubits(),
+            "fused circuit needs {} qubits, state has {}",
+            self.num_qubits,
+            state.num_qubits()
+        );
+        for (op, prep) in self.ops.iter().zip(&self.prepared) {
+            op.apply_inner(state, prep, None, opts);
+        }
+    }
+
+    /// Apply with a qubit translation: fused qubit `q` acts on state qubit
+    /// `map[q]`. Lets the distributed engines share one fused circuit across
+    /// every rank and layout: the fused matrices and their sparse rows are
+    /// never recomputed — only qubit references are translated (diagonal
+    /// runs additionally re-classify their small tables per call, since the
+    /// block split depends on the translated positions).
+    pub fn apply_mapped(&self, state: &mut StateVector, map: &[Qubit], opts: &ApplyOptions) {
+        assert!(
+            map.len() >= self.num_qubits,
+            "qubit map covers {} qubits, fused circuit has {}",
+            map.len(),
+            self.num_qubits
+        );
+        for (op, prep) in self.ops.iter().zip(&self.prepared) {
+            op.apply_inner(state, prep, Some(map), opts);
+        }
+    }
+
+    /// Run from `|0…0⟩` and return the resulting state.
+    pub fn run(&self, opts: &ApplyOptions) -> StateVector {
+        let mut state = StateVector::zero_state(self.num_qubits);
+        self.apply(&mut state, opts);
+        state
+    }
+}
+
+/// Per-amplitude cost (in complex multiply-add units) of applying a gate
+/// through its standalone specialised kernel, including an estimated sweep
+/// (memory-traffic) term. Only relative magnitudes matter: the fusion
+/// builder compares this against the arithmetic a wider dense group adds.
+fn solo_cost(gate: &Gate) -> f64 {
+    /// Estimated cost of streaming the state through the cache hierarchy
+    /// once, relative to one complex multiply-add per amplitude.
+    const PASS: f64 = 2.0;
+    use hisvsim_circuit::GateKind::*;
+    match (&gate.kind, gate.arity()) {
+        (I, _) => 0.0,
+        (X, 1) => PASS,
+        (Cx, 2) | (Swap, 2) => 0.5 * PASS + 0.5,
+        (Cz, 2) => PASS + 0.5,
+        (kind, 1) if kind.is_diagonal() => PASS + 1.0,
+        (_, 1) => PASS + 2.0,
+        (kind, 2) if kind.num_controls() == 1 => 0.5 * PASS + 1.0,
+        (kind, 2) if kind.is_diagonal() => PASS + 1.0,
+        (_, 2) => PASS + 4.0,
+        (_, k) => PASS + (1u64 << k) as f64,
+    }
+}
+
+/// How many groups stay open at once. Bounds the commutation scan and the
+/// reordering distance; flushed oldest-first beyond this.
+const MAX_PENDING: usize = 8;
+
+/// One open (still absorbing) group of the fusion scan.
+enum Pending {
+    /// A dense group: source gate indices and the qubit union.
+    Dense {
+        indices: Vec<usize>,
+        qubits: Vec<Qubit>,
+    },
+    /// A diagonal run: coalesced factors, absorbed-gate count, qubit union.
+    Diag {
+        factors: Vec<DiagonalFactor>,
+        count: usize,
+        qubits: Vec<Qubit>,
+    },
+}
+
+impl Pending {
+    fn qubits(&self) -> &[Qubit] {
+        match self {
+            Pending::Dense { qubits, .. } => qubits,
+            Pending::Diag { qubits, .. } => qubits,
+        }
+    }
+}
+
+/// Scan state for [`FusedCircuit::new`]: an ordered list of open groups.
+/// A gate may join any group it can reach by commuting past every younger
+/// group (checked at join time; see `commutes_past`), which lets interleaved
+/// circuits build long diagonal runs and full dense groups.
+struct Builder<'a> {
+    circuit: &'a Circuit,
+    width: usize,
+    ops: Vec<FusedOp>,
+    pending: Vec<Pending>,
+}
+
+impl Builder<'_> {
+    fn push(&mut self, index: usize, gate: &Gate) {
+        let diagonal = gate.kind.is_diagonal();
+        // Width only limits dense groups; diagonal runs are width-free, so a
+        // wide diagonal gate still joins (or opens) a run.
+        let oversized = !diagonal && gate.arity() > self.width;
+
+        // Scan open groups young-to-old for one this gate can join; stop at
+        // the first group it cannot commute past.
+        if !oversized {
+            let mut target = None;
+            for i in (0..self.pending.len()).rev() {
+                if self.can_join(&self.pending[i], gate, diagonal) {
+                    target = Some(i);
+                    break;
+                }
+                if !commutes_past(&self.pending[i], gate, diagonal) {
+                    break;
+                }
+            }
+            if let Some(i) = target {
+                self.join(i, index, gate, diagonal);
+                return;
+            }
+        }
+
+        // No reachable group: open a new one (always order-correct at the
+        // end of the list).
+        let group = if diagonal {
+            Pending::Diag {
+                factors: vec![DiagonalFactor::from_gate(&gate.qubits, &gate.matrix())],
+                count: 1,
+                qubits: gate.qubits.clone(),
+            }
+        } else {
+            Pending::Dense {
+                indices: vec![index],
+                qubits: gate.qubits.clone(),
+            }
+        };
+        self.pending.push(group);
+        if self.pending.len() > MAX_PENDING {
+            let oldest = self.pending.remove(0);
+            self.emit(oldest);
+        }
+    }
+
+    /// Whether `gate` may be absorbed by group `p`.
+    fn can_join(&self, p: &Pending, gate: &Gate, diagonal: bool) -> bool {
+        match p {
+            // Diagonal runs absorb any diagonal gate (no width limit).
+            Pending::Diag { .. } => diagonal,
+            Pending::Dense { indices, qubits } => {
+                if diagonal {
+                    // Absorbing a diagonal into a dense group is free only
+                    // when it adds no qubits (the matrix product keeps its
+                    // dimension); otherwise the streaming run is cheaper.
+                    return gate.qubits.iter().all(|q| qubits.contains(q));
+                }
+                let extra = gate.qubits.iter().filter(|q| !qubits.contains(q)).count();
+                let union = qubits.len() + extra;
+                if union > self.width {
+                    return false;
+                }
+                // Widening multiplies the dense kernel's per-amplitude
+                // arithmetic by 2 per added qubit; only pay that when it
+                // undercuts the gate's standalone sweep (a CX — nearly free
+                // on its own — never inflates a group, dense rotations fuse
+                // eagerly).
+                let widen_cost = ((1u64 << union) - (1u64 << qubits.len())) as f64;
+                !indices.is_empty() && widen_cost <= solo_cost(gate)
+            }
+        }
+    }
+
+    /// Absorb `gate` into group `i`.
+    fn join(&mut self, i: usize, index: usize, gate: &Gate, diagonal: bool) {
+        match &mut self.pending[i] {
+            Pending::Dense { indices, qubits } => {
+                for &q in &gate.qubits {
+                    if !qubits.contains(&q) {
+                        qubits.push(q);
+                    }
+                }
+                indices.push(index);
+            }
+            Pending::Diag {
+                factors,
+                count,
+                qubits,
+            } => {
+                debug_assert!(diagonal);
+                let matrix = gate.matrix();
+                // Coalesce into the youngest factor while its qubit union
+                // stays small (bounded arithmetic per amplitude).
+                let cap = MAX_STACK_KERNEL_QUBITS.max(gate.arity());
+                let coalesced = match factors.last_mut() {
+                    Some(last) => {
+                        let extra = gate
+                            .qubits
+                            .iter()
+                            .filter(|q| !last.qubits.contains(q))
+                            .count();
+                        if last.qubits.len() + extra <= cap {
+                            last.absorb(&gate.qubits, &matrix);
+                            true
+                        } else {
+                            false
+                        }
+                    }
+                    None => false,
+                };
+                if !coalesced {
+                    factors.push(DiagonalFactor::from_gate(&gate.qubits, &matrix));
+                }
+                *count += 1;
+                for &q in &gate.qubits {
+                    if !qubits.contains(&q) {
+                        qubits.push(q);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Emit a closed group as a fused op.
+    fn emit(&mut self, group: Pending) {
+        match group {
+            Pending::Dense { indices, qubits } => {
+                if indices.len() == 1 {
+                    // A lone gate gains nothing from the dense-matrix form
+                    // and would lose its fast path (SWAP/CX/controlled);
+                    // keep it as written.
+                    let gate = &self.circuit.gates()[indices[0]];
+                    let matrix = crate::kernels::uses_dense_matrix(gate).then(|| gate.matrix());
+                    self.ops.push(FusedOp::Solo(gate.clone(), matrix));
+                    return;
+                }
+                let matrix = build_group_matrix(self.circuit, &indices, &qubits);
+                self.ops.push(FusedOp::Dense(FusedGate {
+                    qubits,
+                    matrix,
+                    fused_count: indices.len(),
+                }));
+            }
+            Pending::Diag { factors, count, .. } => {
+                self.ops.push(FusedOp::Diagonal {
+                    factors,
+                    fused_count: count,
+                });
+            }
+        }
+    }
+
+    /// Close every open group in order.
+    fn flush_all(&mut self) {
+        for group in std::mem::take(&mut self.pending) {
+            self.emit(group);
+        }
+    }
+}
+
+/// Whether `gate` commutes with every gate of group `p` (so it may be
+/// reordered before the whole group): disjoint qubits always commute, and
+/// diagonal gates commute with diagonal runs regardless of overlap.
+fn commutes_past(p: &Pending, gate: &Gate, diagonal: bool) -> bool {
+    if diagonal && matches!(p, Pending::Diag { .. }) {
+        return true;
+    }
+    gate.qubits.iter().all(|q| !p.qubits().contains(q))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -219,5 +957,135 @@ mod tests {
     fn zero_width_is_rejected() {
         let circuit = generators::cat_state(4);
         let _ = fuse_circuit(&circuit, 0);
+    }
+
+    // -- FusedCircuit (the engine-facing pipeline) --------------------------
+
+    #[test]
+    fn fused_circuit_matches_unfused_across_suite_and_widths() {
+        for name in generators::FAMILY_NAMES {
+            let circuit = generators::by_name(name, 8);
+            let expected = run_circuit(&circuit);
+            for width in [1usize, 2, 3, 4, 5] {
+                let fused = FusedCircuit::new(&circuit, width);
+                for opts in [ApplyOptions::sequential(), ApplyOptions::default()] {
+                    let got = fused.run(&opts);
+                    assert!(
+                        got.approx_eq(&expected, 1e-9),
+                        "{name} fused-circuit at width {width} (parallel={}) diverges (max diff {})",
+                        opts.parallel,
+                        got.max_abs_diff(&expected)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_circuit_accounts_for_every_gate_once() {
+        for name in ["qft", "adder", "qaoa"] {
+            let circuit = generators::by_name(name, 9);
+            let fused = FusedCircuit::new(&circuit, 3);
+            let total: usize = fused.ops().iter().map(|op| op.fused_count()).sum();
+            assert_eq!(total, circuit.num_gates(), "{name}: gates lost in fusion");
+            assert_eq!(fused.source_gates(), circuit.num_gates());
+        }
+    }
+
+    #[test]
+    fn diagonal_runs_collapse_into_streaming_passes() {
+        // The QFT is mostly controlled-phase cascades (diagonal); the fused
+        // form must execute far fewer sweeps than it has gates, and the
+        // diagonal runs must absorb multi-gate cascades wider than the
+        // fusion width.
+        let circuit = generators::by_name("qft", 10);
+        let fused = FusedCircuit::new(&circuit, 2);
+        assert!(
+            fused.num_ops() < circuit.num_gates() / 2,
+            "{} ops for {} gates",
+            fused.num_ops(),
+            circuit.num_gates()
+        );
+        let wide_run = fused.ops().iter().any(|op| match op {
+            FusedOp::Diagonal {
+                factors,
+                fused_count,
+            } => {
+                *fused_count > 2
+                    && factors
+                        .iter()
+                        .flat_map(|f| f.qubits.iter())
+                        .collect::<std::collections::HashSet<_>>()
+                        .len()
+                        > 2
+            }
+            _ => false,
+        });
+        assert!(wide_run, "no width-unlimited diagonal run found in the QFT");
+    }
+
+    #[test]
+    fn pure_diagonal_circuit_is_a_single_pass() {
+        // An H layer puts the register in superposition (so the diagonal
+        // phases are observable), then a run of diagonal gates of assorted
+        // widths must collapse to exactly one streaming op.
+        let mut prefix = hisvsim_circuit::Circuit::new(6);
+        for q in 0..6 {
+            prefix.h(q);
+        }
+        let mut diagonals = hisvsim_circuit::Circuit::new(6);
+        diagonals
+            .rz(0.3, 0)
+            .cz(0, 5)
+            .cp(0.7, 2, 4)
+            .t(3)
+            .rzz(0.2, 1, 5)
+            .s(2);
+        let fused = FusedCircuit::new(&diagonals, 3);
+        assert_eq!(fused.num_ops(), 1, "diagonal run must be one streaming op");
+
+        let mut full = prefix.clone();
+        full.extend(&diagonals);
+        let expected = run_circuit(&full);
+        let mut state = run_circuit(&prefix);
+        fused.apply(&mut state, &ApplyOptions::sequential());
+        assert!(state.approx_eq(&expected, 1e-10));
+    }
+
+    #[test]
+    fn apply_mapped_translates_qubits() {
+        // Fuse a 3-qubit circuit, then run it on qubits (4, 1, 3) of a
+        // 5-qubit register and compare against the remapped original.
+        let mut small = hisvsim_circuit::Circuit::new(3);
+        small.h(0).cx(0, 1).t(2).cp(0.4, 2, 0).ry(0.7, 1);
+        let fused = FusedCircuit::new(&small, 2);
+        let map = [4usize, 1, 3];
+
+        let mut big = hisvsim_circuit::Circuit::new(5);
+        for gate in small.gates() {
+            let qubits: Vec<usize> = gate.qubits.iter().map(|&q| map[q]).collect();
+            big.push(hisvsim_circuit::Gate::new(gate.kind, qubits));
+        }
+        let expected = run_circuit(&big);
+
+        let mut state = StateVector::zero_state(5);
+        fused.apply_mapped(&mut state, &map, &ApplyOptions::sequential());
+        assert!(state.approx_eq(&expected, 1e-10));
+    }
+
+    #[test]
+    fn fused_circuit_random_circuits_match() {
+        for seed in 0..6 {
+            let circuit = generators::random_circuit(7, 70, seed);
+            let expected = run_circuit(&circuit);
+            for width in [2usize, 4] {
+                let got = FusedCircuit::new(&circuit, width).run(&ApplyOptions::sequential());
+                assert!(
+                    got.approx_eq(&expected, 1e-9),
+                    "seed {seed} width {width}: max diff {}",
+                    got.max_abs_diff(&expected)
+                );
+            }
+        }
     }
 }

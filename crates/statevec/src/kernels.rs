@@ -62,10 +62,53 @@ pub fn apply_gate(state: &mut StateVector, gate: &Gate) {
 
 /// Apply a gate to a state vector with explicit execution options.
 pub fn apply_gate_with(state: &mut StateVector, gate: &Gate, opts: &ApplyOptions) {
+    apply_gate_with_matrix(state, gate, None, opts);
+}
+
+/// True when [`apply_gate_with`]'s dispatch consumes the gate's dense matrix
+/// (as opposed to a matrix-free fast path like X/CX/CZ/SWAP). Callers that
+/// apply the same gate many times (e.g. once per virtual rank) use this to
+/// decide whether precomputing the matrix is worthwhile.
+pub fn uses_dense_matrix(gate: &Gate) -> bool {
+    !matches!(
+        (&gate.kind, gate.qubits.len()),
+        (GateKind::I, _)
+            | (GateKind::X, 1)
+            | (GateKind::Cx, 2)
+            | (GateKind::Cz, 2)
+            | (GateKind::Swap, 2)
+    )
+}
+
+/// Apply a gate, optionally supplying its precomputed dense matrix so hot
+/// loops (per-rank remapped copies, fused pipelines) do not recompute
+/// `gate.matrix()` on every application. `matrix`, when given, must equal
+/// `gate.kind.matrix()`; the gate's qubit list is still what selects the
+/// state indices, so a remapped gate can share the original's matrix.
+pub fn apply_gate_with_matrix(
+    state: &mut StateVector,
+    gate: &Gate,
+    matrix: Option<&UnitaryMatrix>,
+    opts: &ApplyOptions,
+) {
     let n = state.num_qubits();
     for &q in &gate.qubits {
         assert!(q < n, "gate touches qubit {q} but the state has {n} qubits");
     }
+    // Resolve the dense matrix once up front when this gate's dispatch arm
+    // consumes one; matrix-free fast paths skip the computation entirely.
+    let computed;
+    let m: Option<&UnitaryMatrix> = if uses_dense_matrix(gate) {
+        Some(match matrix {
+            Some(m) => m,
+            None => {
+                computed = gate.kind.matrix();
+                &computed
+            }
+        })
+    } else {
+        None
+    };
     match (&gate.kind, gate.qubits.as_slice()) {
         (GateKind::I, _) => {}
         // Dedicated fast paths for the most common structures.
@@ -74,29 +117,33 @@ pub fn apply_gate_with(state: &mut StateVector, gate: &Gate, opts: &ApplyOptions
         (GateKind::Cz, &[c, t]) => apply_cz(state, c, t, opts),
         (GateKind::Swap, &[a, b]) => apply_swap(state, a, b, opts),
         (kind, &[q]) if kind.is_diagonal() => {
-            let m = kind.matrix();
+            let m = m.expect("diagonal gate uses a matrix");
             apply_diagonal_single(state, q, m.get(0, 0), m.get(1, 1), opts);
         }
-        (kind, &[q]) => {
-            let m = kind.matrix();
+        (_, &[q]) => {
+            let m = m.expect("dense single-qubit gate uses a matrix");
             let mat = [m.get(0, 0), m.get(0, 1), m.get(1, 0), m.get(1, 1)];
             apply_single(state, q, &mat, opts);
         }
         (kind, &[c, t]) if kind.num_controls() == 1 => {
             // Controlled single-qubit gate: apply the 2x2 block on the target
             // restricted to the control=1 half.
-            let m = kind.matrix();
+            let m = m.expect("controlled gate uses a matrix");
             let mat = [m.get(1, 1), m.get(1, 3), m.get(3, 1), m.get(3, 3)];
             apply_controlled_single(state, c, t, &mat, opts);
         }
         (kind, &[a, b]) if kind.is_diagonal() => {
-            let m = kind.matrix();
+            let m = m.expect("diagonal two-qubit gate uses a matrix");
             let diag = [m.get(0, 0), m.get(1, 1), m.get(2, 2), m.get(3, 3)];
             apply_diagonal_two(state, a, b, &diag, opts);
         }
+        (_, &[a, b]) => {
+            let m = m.expect("dense two-qubit gate uses a matrix");
+            apply_two_qubit_dense(state, a, b, m, opts);
+        }
         _ => {
-            let m = gate.matrix();
-            apply_k_qubit(state, &gate.qubits, &m, opts);
+            let m = m.expect("generic k-qubit gate uses a matrix");
+            apply_k_qubit(state, &gate.qubits, m, opts);
         }
     }
 }
@@ -304,6 +351,56 @@ pub fn apply_swap(state: &mut StateVector, a: Qubit, b: Qubit, opts: &ApplyOptio
     }
 }
 
+/// Apply a dense 4×4 unitary on qubits `(a, b)` where operand `a` is matrix
+/// bit 0 and operand `b` is matrix bit 1 (the [`GateKind::matrix`]
+/// convention). Indexes with [`spread2`] — the same closed-form bit spread
+/// the swap/controlled kernels use — instead of the generic gather/scatter,
+/// and keeps the 4-amplitude group on the stack.
+pub fn apply_two_qubit_dense(
+    state: &mut StateVector,
+    a: Qubit,
+    b: Qubit,
+    matrix: &UnitaryMatrix,
+    opts: &ApplyOptions,
+) {
+    assert_eq!(matrix.dim(), 4, "two-qubit kernel needs a 4x4 matrix");
+    assert_ne!(a, b, "two-qubit gate operands must be distinct");
+    let len = state.len();
+    let amask = 1usize << a;
+    let bmask = 1usize << b;
+    let mut m = [Complex64::ZERO; 16];
+    m.copy_from_slice(matrix.as_slice());
+    let amps_ptr = SharedAmps::new(state.amplitudes_mut());
+    let groups = len >> 2;
+    let (qa, qb) = (a.min(b), a.max(b));
+    let apply_group = move |k: usize| {
+        let base = spread2(k, qa, qb);
+        // Sub-index `sub` has bit 0 = qubit `a`, bit 1 = qubit `b`.
+        let idx = [base, base | amask, base | bmask, base | amask | bmask];
+        // SAFETY: disjoint index groups (see apply_controlled_single).
+        unsafe {
+            let local = [
+                amps_ptr.read(idx[0]),
+                amps_ptr.read(idx[1]),
+                amps_ptr.read(idx[2]),
+                amps_ptr.read(idx[3]),
+            ];
+            for row in 0..4 {
+                let mut acc = Complex64::ZERO;
+                for (col, &amp) in local.iter().enumerate() {
+                    acc = acc.mul_add(m[row * 4 + col], amp);
+                }
+                amps_ptr.write(idx[row], acc);
+            }
+        }
+    };
+    if opts.go_parallel(len) {
+        (0..groups).into_par_iter().for_each(apply_group);
+    } else {
+        (0..groups).for_each(apply_group);
+    }
+}
+
 /// Apply a diagonal two-qubit gate `diag(d00, d01, d10, d11)` where the digit
 /// order is (qubit `b`, qubit `a`) — i.e. `d01` multiplies states with a=1,
 /// b=0, matching the operand-0-is-LSB matrix convention.
@@ -334,10 +431,48 @@ pub fn apply_diagonal_two(
 // generic k-qubit kernel
 // ---------------------------------------------------------------------------
 
+/// Widest gate the stack-buffer kernel handles without heap allocation. Fused
+/// groups are kept at or below this width, so the fused execution pipeline
+/// never allocates inside the sweep.
+pub const MAX_STACK_KERNEL_QUBITS: usize = 5;
+const STACK_DIM: usize = 1 << MAX_STACK_KERNEL_QUBITS;
+
+/// Groups per work item in the heap-fallback parallel path, so scratch
+/// buffers are reused across many groups instead of reallocated per group.
+const GROUPS_PER_CHUNK: usize = 64;
+
+/// Insert zero bits at every (ascending) position in `sorted`, producing a
+/// state index whose gate-qubit bits are 0 and whose other bits enumerate `g`.
+#[inline(always)]
+fn spread_sorted(g: usize, sorted: &[Qubit]) -> usize {
+    let mut base = g;
+    for &q in sorted {
+        let low = base & ((1usize << q) - 1);
+        base = ((base >> q) << (q + 1)) | low;
+    }
+    base
+}
+
+/// Build the sub-index offset table `offsets[sub] = Σ_{bit b set in sub}
+/// 2^{qubits[b]}` so the group loop indexes with a single OR instead of
+/// re-spreading bits per amplitude. Hoisted out of the group loop — computed
+/// once per gate application.
+#[inline]
+fn sub_offset_table(qubits: &[Qubit], offsets: &mut [usize]) {
+    offsets[0] = 0;
+    for sub in 1..offsets.len() {
+        let low_bit = sub.trailing_zeros() as usize;
+        offsets[sub] = offsets[sub & (sub - 1)] | (1usize << qubits[low_bit]);
+    }
+}
+
 /// Apply an arbitrary `k`-qubit unitary to the given (distinct) qubits.
 ///
 /// Operand `qubits[j]` corresponds to bit `j` of the matrix index, matching
-/// [`GateKind::matrix`]'s convention.
+/// [`GateKind::matrix`]'s convention. The matrix is taken by reference and
+/// never cloned; for `k ≤ 5` the per-group scratch lives on the stack, and
+/// the heap fallback for wider gates reuses one scratch buffer per chunk of
+/// groups rather than allocating per group.
 pub fn apply_k_qubit(
     state: &mut StateVector,
     qubits: &[Qubit],
@@ -348,52 +483,194 @@ pub fn apply_k_qubit(
     assert_eq!(matrix.dim(), 1 << k, "matrix dimension mismatch");
     let len = state.len();
     assert!(len >= 1 << k, "state too small for a {k}-qubit gate");
-    let groups = len >> k;
+    let sparse = SparseRows::build(matrix);
+    apply_k_qubit_prepared(state, qubits, matrix, sparse.as_ref(), opts);
+}
 
-    // Sorted qubit positions for spreading the group index.
-    let mut sorted: Vec<Qubit> = qubits.to_vec();
-    sorted.sort_unstable();
+/// [`apply_k_qubit`] with the sparse-row table supplied by the caller, so
+/// fused pipelines that apply the same matrix once per gather assignment
+/// build it once instead of per application. `sparse` must be
+/// `SparseRows::build(matrix)`'s result (None means dense iteration).
+pub(crate) fn apply_k_qubit_prepared(
+    state: &mut StateVector,
+    qubits: &[Qubit],
+    matrix: &UnitaryMatrix,
+    sparse: Option<&SparseRows>,
+    opts: &ApplyOptions,
+) {
+    let k = qubits.len();
+    assert_eq!(matrix.dim(), 1 << k, "matrix dimension mismatch");
+    let len = state.len();
+    assert!(len >= 1 << k, "state too small for a {k}-qubit gate");
+    if k <= MAX_STACK_KERNEL_QUBITS {
+        apply_k_qubit_stack(state, qubits, matrix, sparse, opts);
+    } else {
+        apply_k_qubit_heap(state, qubits, matrix, sparse, opts);
+    }
+}
 
-    // Per-matrix-bit masks in state-index space.
-    let bit_masks: Vec<usize> = qubits.iter().map(|&q| 1usize << q).collect();
-    let dim = 1usize << k;
+/// Compressed sparse rows of a gate matrix, built once per application
+/// (outside the group loop). Fused group matrices are usually far from
+/// dense — controlled factors and permutation structure leave most entries
+/// zero — so skipping zeros cuts the per-amplitude arithmetic directly.
+#[derive(Debug, Clone)]
+pub(crate) struct SparseRows {
+    row_ptr: Vec<u32>,
+    entries: Vec<(u32, Complex64)>,
+}
 
-    let amps_ptr = SharedAmps::new(state.amplitudes_mut());
-    let matrix = matrix.clone();
-    let apply_group = move |g: usize| {
-        // Build the base state index with zeros in all gate-qubit positions.
-        let mut base = g;
-        for &q in &sorted {
-            let low = base & ((1usize << q) - 1);
-            base = ((base >> q) << (q + 1)) | low;
+impl SparseRows {
+    /// Build when the fill ratio makes sparse iteration worthwhile (below
+    /// 3/4); a near-dense matrix iterates faster as a contiguous slice.
+    pub(crate) fn build(matrix: &UnitaryMatrix) -> Option<Self> {
+        let dim = matrix.dim();
+        let rows = matrix.as_slice();
+        let nnz = rows.iter().filter(|v| **v != Complex64::ZERO).count();
+        if nnz * 4 > dim * dim * 3 {
+            return None;
         }
-        // Gather the 2^k amplitudes of this group.
-        let mut local = vec![Complex64::ZERO; dim];
-        let mut indices = vec![0usize; dim];
-        for (sub, slot) in indices.iter_mut().enumerate() {
-            let mut idx = base;
-            for (bit, mask) in bit_masks.iter().enumerate() {
-                if (sub >> bit) & 1 == 1 {
-                    idx |= mask;
+        let mut row_ptr = Vec::with_capacity(dim + 1);
+        let mut entries = Vec::with_capacity(nnz);
+        row_ptr.push(0u32);
+        for row in 0..dim {
+            for col in 0..dim {
+                let v = rows[row * dim + col];
+                if v != Complex64::ZERO {
+                    entries.push((col as u32, v));
                 }
             }
-            *slot = idx;
+            row_ptr.push(entries.len() as u32);
+        }
+        Some(Self { row_ptr, entries })
+    }
+
+    #[inline(always)]
+    fn row(&self, row: usize) -> &[(u32, Complex64)] {
+        &self.entries[self.row_ptr[row] as usize..self.row_ptr[row + 1] as usize]
+    }
+}
+
+/// The allocation-free `k ≤ 5` kernel: stack scratch, hoisted offset table,
+/// sparse-row iteration when the matrix has enough zeros, contiguous dense
+/// rows otherwise.
+fn apply_k_qubit_stack(
+    state: &mut StateVector,
+    qubits: &[Qubit],
+    matrix: &UnitaryMatrix,
+    sparse: Option<&SparseRows>,
+    opts: &ApplyOptions,
+) {
+    let k = qubits.len();
+    let dim = 1usize << k;
+    let len = state.len();
+    let groups = len >> k;
+
+    let mut sorted: [Qubit; MAX_STACK_KERNEL_QUBITS] = [0; MAX_STACK_KERNEL_QUBITS];
+    sorted[..k].copy_from_slice(qubits);
+    sorted[..k].sort_unstable();
+
+    let mut offsets = [0usize; STACK_DIM];
+    sub_offset_table(qubits, &mut offsets[..dim]);
+
+    let amps_ptr = SharedAmps::new(state.amplitudes_mut());
+    let rows = matrix.as_slice();
+    let apply_group = |g: usize| {
+        let base = spread_sorted(g, &sorted[..k]);
+        let mut local = [Complex64::ZERO; STACK_DIM];
+        for (sub, slot) in local[..dim].iter_mut().enumerate() {
             // SAFETY: groups are disjoint — all gate-qubit bits are fixed per
             // sub-index and the base enumerates the remaining bits uniquely.
-            local[sub] = unsafe { amps_ptr.read(idx) };
+            *slot = unsafe { amps_ptr.read(base | offsets[sub]) };
         }
-        for (row, &idx) in indices.iter().enumerate() {
-            let mut acc = Complex64::ZERO;
-            for (col, &amp) in local.iter().enumerate() {
-                acc = acc.mul_add(matrix.get(row, col), amp);
+        match sparse {
+            Some(sparse) => {
+                for (row, &off) in offsets[..dim].iter().enumerate() {
+                    let mut acc = Complex64::ZERO;
+                    for &(col, v) in sparse.row(row) {
+                        acc = acc.mul_add(v, local[col as usize]);
+                    }
+                    unsafe { amps_ptr.write(base | off, acc) };
+                }
             }
-            unsafe { amps_ptr.write(idx, acc) };
+            None => {
+                for row in 0..dim {
+                    let mut acc = Complex64::ZERO;
+                    for (col, &amp) in local[..dim].iter().enumerate() {
+                        acc = acc.mul_add(rows[row * dim + col], amp);
+                    }
+                    unsafe { amps_ptr.write(base | offsets[row], acc) };
+                }
+            }
         }
     };
     if opts.go_parallel(len) {
         (0..groups).into_par_iter().for_each(apply_group);
     } else {
         (0..groups).for_each(apply_group);
+    }
+}
+
+/// Heap fallback for `k > 5`: one scratch buffer per chunk of groups (and per
+/// gate application in the sequential path), never one per group.
+fn apply_k_qubit_heap(
+    state: &mut StateVector,
+    qubits: &[Qubit],
+    matrix: &UnitaryMatrix,
+    sparse: Option<&SparseRows>,
+    opts: &ApplyOptions,
+) {
+    let k = qubits.len();
+    let dim = 1usize << k;
+    let len = state.len();
+    let groups = len >> k;
+
+    let mut sorted: Vec<Qubit> = qubits.to_vec();
+    sorted.sort_unstable();
+    let mut offsets = vec![0usize; dim];
+    sub_offset_table(qubits, &mut offsets);
+    let sorted = &sorted;
+    let offsets = &offsets;
+
+    let amps_ptr = SharedAmps::new(state.amplitudes_mut());
+    let rows = matrix.as_slice();
+    let run_chunk = |first: usize, last: usize| {
+        let mut local = vec![Complex64::ZERO; dim];
+        for g in first..last {
+            let base = spread_sorted(g, sorted);
+            for (sub, slot) in local.iter_mut().enumerate() {
+                // SAFETY: disjoint groups (see the stack kernel).
+                *slot = unsafe { amps_ptr.read(base | offsets[sub]) };
+            }
+            match sparse {
+                Some(sparse) => {
+                    for (row, &off) in offsets.iter().enumerate() {
+                        let mut acc = Complex64::ZERO;
+                        for &(col, v) in sparse.row(row) {
+                            acc = acc.mul_add(v, local[col as usize]);
+                        }
+                        unsafe { amps_ptr.write(base | off, acc) };
+                    }
+                }
+                None => {
+                    for row in 0..dim {
+                        let mut acc = Complex64::ZERO;
+                        for (col, &amp) in local.iter().enumerate() {
+                            acc = acc.mul_add(rows[row * dim + col], amp);
+                        }
+                        unsafe { amps_ptr.write(base | offsets[row], acc) };
+                    }
+                }
+            }
+        }
+    };
+    if opts.go_parallel(len) {
+        let chunks = groups.div_ceil(GROUPS_PER_CHUNK);
+        (0..chunks).into_par_iter().for_each(|c| {
+            let first = c * GROUPS_PER_CHUNK;
+            run_chunk(first, (first + GROUPS_PER_CHUNK).min(groups));
+        });
+    } else {
+        run_chunk(0, groups);
     }
 }
 

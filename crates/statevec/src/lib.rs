@@ -38,16 +38,18 @@ pub mod kernels;
 pub mod measure;
 pub mod state;
 
+pub use fusion::{FusedCircuit, FusedOp, DEFAULT_FUSION_WIDTH};
 pub use gather::GatherMap;
 pub use kernels::{apply_circuit, apply_gate, run_circuit, ApplyOptions};
 pub use state::StateVector;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
+    pub use crate::fusion::{FusedCircuit, FusedOp, DEFAULT_FUSION_WIDTH};
     pub use crate::gather::GatherMap;
     pub use crate::kernels::{
-        apply_circuit, apply_circuit_with, apply_gate, apply_gate_with, run_circuit,
-        run_circuit_with, ApplyOptions,
+        apply_circuit, apply_circuit_with, apply_gate, apply_gate_with, apply_gate_with_matrix,
+        run_circuit, run_circuit_with, ApplyOptions,
     };
     pub use crate::measure;
     pub use crate::state::StateVector;
