@@ -1,0 +1,93 @@
+//! Criterion benchmarks of the job service: sustained mixed-priority
+//! submit→wait throughput, the non-blocking submit overhead itself, and a
+//! cancellation storm (half the batch abandoned mid-flight) — the service
+//! counterpart of the `runtime_batch` scheduler benchmarks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hisvsim_circuit::generators;
+use hisvsim_runtime::{EngineKind, EngineSelector, SchedulerConfig, SimJob};
+use hisvsim_service::prelude::*;
+
+fn scaled_service(workers: usize) -> SimService {
+    SimService::start(
+        ServiceConfig::new().with_scheduler(
+            SchedulerConfig::default()
+                .with_workers(workers)
+                .with_selector(EngineSelector::scaled(6, 10)),
+        ),
+    )
+}
+
+fn bench_service_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service");
+    group.sample_size(10);
+
+    // Sustained throughput: a long-lived service digesting waves of
+    // mixed-priority, mixed-width jobs (templated → plan-cache amortised).
+    group.bench_function("mixed_priority_wave_12_jobs", |b| {
+        let service = scaled_service(4);
+        b.iter(|| {
+            let handles: Vec<_> = (0..12)
+                .map(|i| {
+                    let (width, priority) = match i % 3 {
+                        0 => (10usize, JobPriority::Low),
+                        1 => (8, JobPriority::Normal),
+                        _ => (9, JobPriority::High),
+                    };
+                    service.submit_with_priority(
+                        SimJob::new(generators::qft(width)).with_shots(16),
+                        priority,
+                    )
+                })
+                .collect();
+            for handle in handles {
+                handle.wait().expect("job succeeded");
+            }
+        })
+    });
+
+    // Submission latency: what the caller pays before the handle returns.
+    group.bench_function("submit_overhead", |b| {
+        let service = scaled_service(2);
+        let mut pending = Vec::new();
+        b.iter(|| {
+            pending.push(service.submit(SimJob::new(generators::qft(6))));
+        });
+        for handle in pending {
+            let _ = handle.wait();
+        }
+    });
+
+    // Cancellation storm: half the wave is abandoned mid-flight; measures
+    // drain time with cooperative checkpoints (and would hang forever if a
+    // cancelled job pinned its residency slot).
+    group.bench_function("cancel_half_of_8_jobs", |b| {
+        let service = scaled_service(2);
+        b.iter(|| {
+            let handles: Vec<_> = (0..8)
+                .map(|i| {
+                    if i % 2 == 0 {
+                        service.submit(
+                            SimJob::new(generators::qft(12))
+                                .with_engine(EngineKind::Hier)
+                                .with_limit(5),
+                        )
+                    } else {
+                        service.submit(SimJob::new(generators::qft(8)))
+                    }
+                })
+                .collect();
+            for handle in handles.iter().step_by(2) {
+                handle.cancel();
+            }
+            for handle in handles {
+                let _ = handle.wait();
+            }
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_service_throughput);
+criterion_main!(benches);

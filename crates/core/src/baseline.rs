@@ -15,10 +15,11 @@
 //! comparison isolates the effect of the execution schedule.
 
 use crate::dist::{aggregate_outcomes, DistState, PreparedGate, RankOutcome};
+use crate::exec::{ExecControl, StepGate};
 use crate::metrics::RunReport;
 use hisvsim_circuit::{Circuit, Complex64, Gate, GateKind};
 use hisvsim_cluster::{run_spmd, NetworkModel};
-use hisvsim_statevec::{FusedCircuit, StateVector, DEFAULT_FUSION_WIDTH};
+use hisvsim_statevec::{Cancelled, FusedCircuit, StateVector, DEFAULT_FUSION_WIDTH};
 use std::time::Instant;
 
 /// Configuration of the IQS-style baseline.
@@ -121,6 +122,20 @@ impl IqsBaseline {
     /// cases everywhere else. The schedule (with its fused matrices) is
     /// computed once and shared by every rank.
     pub fn run(&self, circuit: &Circuit) -> BaselineRun {
+        self.run_controlled(circuit, &ExecControl::default())
+            .expect("an inert control cannot cancel")
+    }
+
+    /// [`IqsBaseline::run`] under an [`ExecControl`]: a [`StepGate`] keeps
+    /// the per-rank cancel/continue decisions consistent before every
+    /// schedule step (fused local segment or distributed gate — the
+    /// latter's exchanges are the collective boundary), so a cancelled run
+    /// drains without deadlock; rank 0 reports gate-level progress.
+    pub fn run_controlled(
+        &self,
+        circuit: &Circuit,
+        control: &ExecControl,
+    ) -> Result<BaselineRun, Cancelled> {
         assert!(
             self.config.num_ranks.is_power_of_two(),
             "rank count must be a power of two"
@@ -128,26 +143,49 @@ impl IqsBaseline {
         let p = self.config.num_ranks.trailing_zeros() as usize;
         let local_qubits = circuit.num_qubits().saturating_sub(p);
         let steps = plan_baseline_steps(circuit, local_qubits, self.config.fusion);
+        let total_gates: u64 = steps
+            .iter()
+            .map(|s| match s {
+                BaselineStep::LocalFused(fused) => fused.source_gates() as u64,
+                BaselineStep::Distributed(_) => 1,
+            })
+            .sum();
+        let step_gate = StepGate::new(control.cancel.clone());
         let start = Instant::now();
-        let outcomes = run_spmd::<Complex64, RankOutcome, _>(
+        let outcomes = run_spmd::<Complex64, Option<RankOutcome>, _>(
             self.config.num_ranks,
             self.config.network,
             |mut comm| {
                 let mut state = DistState::new(&mut comm, circuit.num_qubits());
-                for step in &steps {
+                let mut gates_done = 0u64;
+                for (index, step) in steps.iter().enumerate() {
+                    if step_gate.cancelled_at(index) {
+                        return None;
+                    }
                     match step {
-                        BaselineStep::LocalFused(fused) => state.apply_fused_local(fused),
+                        BaselineStep::LocalFused(fused) => {
+                            state.apply_fused_local(fused);
+                            gates_done += fused.source_gates() as u64;
+                        }
                         BaselineStep::Distributed(gate) => {
-                            apply_prepared_gate_distributed(&mut state, gate)
+                            apply_prepared_gate_distributed(&mut state, gate);
+                            gates_done += 1;
                         }
                     }
+                    if state.rank() == 0 {
+                        control.report_progress(gates_done, total_gates);
+                    }
                 }
-                state.finish_rank()
+                Some(state.finish_rank())
             },
         );
+        let outcomes: Option<Vec<RankOutcome>> = outcomes.into_iter().collect();
+        let Some(outcomes) = outcomes else {
+            return Err(Cancelled);
+        };
         let wall = start.elapsed().as_secs_f64();
         let (state, report) = aggregate_outcomes("iqs-baseline", "-", circuit, 1, outcomes, wall);
-        BaselineRun { state, report }
+        Ok(BaselineRun { state, report })
     }
 }
 

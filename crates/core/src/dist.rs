@@ -12,6 +12,7 @@
 //! The same [`DistState`] machinery backs the IQS-style baseline
 //! ([`crate::baseline`]) and the multi-level engine ([`crate::multilevel`]).
 
+use crate::exec::{ExecControl, StepGate};
 use crate::fusedplan::{FusedPart, FusedSinglePlan};
 use crate::metrics::RunReport;
 use hisvsim_circuit::{Circuit, Complex64, Gate, UnitaryMatrix};
@@ -19,7 +20,7 @@ use hisvsim_cluster::{run_spmd, CommStats, NetworkModel, RankComm};
 use hisvsim_dag::{CircuitDag, Partition};
 use hisvsim_partition::{PartitionBuildError, Strategy};
 use hisvsim_statevec::kernels::{apply_gate_with_matrix, uses_dense_matrix};
-use hisvsim_statevec::{ApplyOptions, StateVector, DEFAULT_FUSION_WIDTH};
+use hisvsim_statevec::{ApplyOptions, Cancelled, StateVector, DEFAULT_FUSION_WIDTH};
 use std::time::Instant;
 
 /// A gate bundled with its precomputed dense matrix (when its kernel path
@@ -104,6 +105,11 @@ impl<'a> DistState<'a> {
     /// Number of local (per-rank) qubits.
     pub fn local_qubits(&self) -> usize {
         self.l
+    }
+
+    /// This rank's id within the virtual world.
+    pub fn rank(&self) -> usize {
+        self.comm.rank()
     }
 
     /// Number of qubits of the full state.
@@ -591,19 +597,53 @@ impl DistributedSimulator {
     /// Run against a prefused plan: each part's fused inner circuit was built
     /// once (at plan time) and is shared read-only by every virtual rank.
     pub fn run_with_fused_plan(&self, circuit: &Circuit, plan: &FusedSinglePlan) -> DistRun {
+        self.run_with_fused_plan_controlled(circuit, plan, &ExecControl::default())
+            .expect("an inert control cannot cancel")
+    }
+
+    /// [`DistributedSimulator::run_with_fused_plan`] under an
+    /// [`ExecControl`]: a [`StepGate`] lets every virtual rank observe the
+    /// same cancel/continue decision before each part switch (the engine's
+    /// collective boundary), so a cancelled run drains without deadlock;
+    /// rank 0 reports `(gates_done, gates_total)` after each part.
+    pub fn run_with_fused_plan_controlled(
+        &self,
+        circuit: &Circuit,
+        plan: &FusedSinglePlan,
+        control: &ExecControl,
+    ) -> Result<DistRun, Cancelled> {
         let start = Instant::now();
-        let outcomes = run_spmd::<Complex64, RankOutcome, _>(
+        let total_gates: u64 = plan
+            .parts
+            .iter()
+            .map(|p| p.inner.source_gates() as u64)
+            .sum();
+        let step_gate = StepGate::new(control.cancel.clone());
+        let outcomes = run_spmd::<Complex64, Option<RankOutcome>, _>(
             self.config.num_ranks,
             self.config.network,
             |mut comm| {
                 let mut state = DistState::new(&mut comm, circuit.num_qubits());
-                for part in &plan.parts {
+                let mut gates_done = 0u64;
+                for (step, part) in plan.parts.iter().enumerate() {
+                    if step_gate.cancelled_at(step) {
+                        return None;
+                    }
                     state.ensure_local(&part.working_set);
                     state.apply_fused_part(part);
+                    gates_done += part.inner.source_gates() as u64;
+                    if state.rank() == 0 {
+                        control.report_progress(gates_done, total_gates);
+                    }
                 }
-                state.finish_rank()
+                Some(state.finish_rank())
             },
         );
+        // The StepGate guarantees agreement: all ranks completed, or none.
+        let outcomes: Option<Vec<RankOutcome>> = outcomes.into_iter().collect();
+        let Some(outcomes) = outcomes else {
+            return Err(Cancelled);
+        };
         let wall = start.elapsed().as_secs_f64();
         let (state, report) = aggregate_outcomes(
             "dist",
@@ -613,11 +653,11 @@ impl DistributedSimulator {
             outcomes,
             wall,
         );
-        DistRun {
+        Ok(DistRun {
             state,
             report,
             partition: plan.partition.clone(),
-        }
+        })
     }
 }
 

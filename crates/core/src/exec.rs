@@ -1,0 +1,191 @@
+//! Execution control for long-running engine loops: cooperative
+//! cancellation and progress reporting.
+//!
+//! Every engine's fused execution path has a `*_controlled` entry point
+//! taking an [`ExecControl`]. The control carries a
+//! [`CancelToken`](hisvsim_statevec::CancelToken) the loops poll at their
+//! checkpoints (part switches, gather assignments, baseline schedule steps)
+//! and an optional progress sink invoked with `(gates_done, gates_total)`
+//! after each completed part — the signal the service layer turns into
+//! `Executing { gates_done / total }` events.
+//!
+//! ## Cancelling an SPMD engine without deadlocking it
+//!
+//! The distributed engines run one thread per virtual rank, and the ranks
+//! meet in collectives (`ensure_local` redistributions, the final
+//! assembly). A naive per-rank poll of the token deadlocks: rank A may
+//! observe the cancellation *before* part `i` and return, while rank B
+//! polled an instant earlier, saw nothing, and is now blocked in part `i`'s
+//! all-to-all waiting for A. [`StepGate`] solves this without extra
+//! communication by memoizing one decision per schedule step: the first
+//! rank to reach step `i` samples the token, and every other rank reuses
+//! that decision — so either every rank enters step `i` or none does. The
+//! ranks share an address space (they are threads), which is what makes the
+//! shared memoization table a legal "broadcast".
+
+use hisvsim_statevec::{CancelToken, Cancelled};
+use std::sync::Arc;
+use std::sync::Mutex;
+
+/// Progress callback: `(gates_done, gates_total)`.
+pub type ProgressFn = dyn Fn(u64, u64) + Send + Sync;
+
+/// Cancellation + progress plumbing for one engine run.
+///
+/// The default control is inert (never cancelled, no progress sink), and
+/// the uncontrolled engine entry points use exactly that — so their
+/// behaviour, results and communication schedules are bit-identical to the
+/// pre-control code.
+#[derive(Clone, Default)]
+pub struct ExecControl {
+    /// The cooperative cancellation flag the loops poll.
+    pub cancel: CancelToken,
+    progress: Option<Arc<ProgressFn>>,
+}
+
+impl ExecControl {
+    /// An inert control (never cancelled, no progress sink).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A control polling the given token.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
+    /// Attach a progress sink called with `(gates_done, gates_total)` after
+    /// each completed part / schedule step.
+    pub fn with_progress<F>(mut self, progress: F) -> Self
+    where
+        F: Fn(u64, u64) + Send + Sync + 'static,
+    {
+        self.progress = Some(Arc::new(progress));
+        self
+    }
+
+    /// Report progress to the sink, if any.
+    pub fn report_progress(&self, gates_done: u64, gates_total: u64) {
+        if let Some(sink) = &self.progress {
+            sink(gates_done, gates_total);
+        }
+    }
+
+    /// Checkpoint: `Err(Cancelled)` once cancellation was requested.
+    pub fn check(&self) -> Result<(), Cancelled> {
+        self.cancel.check()
+    }
+}
+
+impl std::fmt::Debug for ExecControl {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecControl")
+            .field("cancelled", &self.cancel.is_cancelled())
+            .field("has_progress_sink", &self.progress.is_some())
+            .finish()
+    }
+}
+
+/// A per-step cancellation agreement for SPMD execution (see the module
+/// docs): all ranks observe the *same* cancel/continue decision at every
+/// schedule step, so a cancelled run never strands a rank inside a
+/// collective.
+pub struct StepGate {
+    token: CancelToken,
+    decisions: Mutex<Vec<Option<bool>>>,
+}
+
+impl StepGate {
+    /// A gate polling `token`.
+    pub fn new(token: CancelToken) -> Self {
+        Self {
+            token,
+            decisions: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Should execution stop before schedule step `step`? The first caller
+    /// per step samples the token; later callers (other ranks) reuse that
+    /// decision. Every rank must query steps in the same ascending order.
+    pub fn cancelled_at(&self, step: usize) -> bool {
+        let mut decisions = self.decisions.lock().expect("step gate poisoned");
+        if decisions.len() <= step {
+            decisions.resize(step + 1, None);
+        }
+        *decisions[step].get_or_insert_with(|| self.token.is_cancelled())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inert_control_never_cancels_and_swallows_progress() {
+        let ctrl = ExecControl::new();
+        assert!(ctrl.check().is_ok());
+        ctrl.report_progress(1, 2); // no sink: must be a no-op
+    }
+
+    #[test]
+    fn progress_sink_receives_reports() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let seen = Arc::new(AtomicU64::new(0));
+        let seen2 = Arc::clone(&seen);
+        let ctrl =
+            ExecControl::new().with_progress(move |done, _| seen2.store(done, Ordering::SeqCst));
+        ctrl.report_progress(17, 100);
+        assert_eq!(seen.load(Ordering::SeqCst), 17);
+    }
+
+    #[test]
+    fn step_gate_decisions_are_memoized_and_consistent() {
+        let token = CancelToken::new();
+        let gate = StepGate::new(token.clone());
+        assert!(!gate.cancelled_at(0));
+        token.cancel();
+        // Step 0 was decided before the cancellation: still false for every
+        // later "rank" asking about step 0.
+        assert!(!gate.cancelled_at(0));
+        // A new step observes the cancellation, for everyone.
+        assert!(gate.cancelled_at(1));
+        assert!(gate.cancelled_at(1));
+    }
+
+    #[test]
+    fn step_gate_agrees_across_racing_threads() {
+        // 8 threads walk 64 steps; the token is cancelled mid-walk. All
+        // threads must stop at the same step.
+        let token = CancelToken::new();
+        let gate = StepGate::new(token.clone());
+        let stops: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let gate = &gate;
+                let token = &token;
+                let stops = &stops;
+                scope.spawn(move || {
+                    for step in 0..64 {
+                        if t == 0 && step == 20 {
+                            token.cancel();
+                        }
+                        if gate.cancelled_at(step) {
+                            stops.lock().unwrap().push(step);
+                            return;
+                        }
+                        std::thread::yield_now();
+                    }
+                    stops.lock().unwrap().push(64);
+                });
+            }
+        });
+        let stops = stops.into_inner().unwrap();
+        assert_eq!(stops.len(), 8);
+        assert!(
+            stops.iter().all(|&s| s == stops[0]),
+            "ranks stopped at different steps: {stops:?}"
+        );
+        assert!(stops[0] <= 64);
+    }
+}

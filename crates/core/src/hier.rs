@@ -13,12 +13,16 @@
 //! gate arithmetic itself runs cache-resident — the locality argument the
 //! paper's Table II quantifies.
 
+use crate::exec::ExecControl;
 use crate::fusedplan::{FusedPart, FusedSinglePlan};
 use crate::metrics::RunReport;
 use hisvsim_circuit::Circuit;
 use hisvsim_dag::{CircuitDag, Partition};
 use hisvsim_partition::{PartitionBuildError, Strategy};
-use hisvsim_statevec::{ApplyOptions, FusedCircuit, GatherMap, StateVector, DEFAULT_FUSION_WIDTH};
+use hisvsim_statevec::{
+    ApplyOptions, CancelToken, Cancelled, FusedCircuit, GatherMap, StateVector,
+    DEFAULT_FUSION_WIDTH,
+};
 use rayon::prelude::*;
 use std::time::Instant;
 
@@ -149,18 +153,57 @@ impl HierarchicalSimulator {
     /// runtime's plan cache): no DAG rebuild, no partitioning, no fusion —
     /// only the gather–execute–scatter sweeps remain.
     pub fn run_with_fused_plan(&self, circuit: &Circuit, plan: &FusedSinglePlan) -> HierRun {
+        self.run_with_fused_plan_controlled(circuit, plan, &ExecControl::default())
+            .expect("an inert control cannot cancel")
+    }
+
+    /// [`HierarchicalSimulator::run_with_fused_plan`] under an
+    /// [`ExecControl`]: the sweep polls the control's cancel token between
+    /// parts *and* between gather assignments (so even a single-part run of
+    /// a wide circuit stops within one assignment), and reports
+    /// `(gates_done, gates_total)` after each completed part plus — for
+    /// long parts — at sub-part granularity, interpolated from the
+    /// fraction of gather assignments swept.
+    pub fn run_with_fused_plan_controlled(
+        &self,
+        circuit: &Circuit,
+        plan: &FusedSinglePlan,
+        control: &ExecControl,
+    ) -> Result<HierRun, Cancelled> {
         let start = Instant::now();
+        let total_gates: u64 = plan
+            .parts
+            .iter()
+            .map(|p| p.inner.source_gates() as u64)
+            .sum();
         let mut state = StateVector::zero_state(circuit.num_qubits());
+        let mut gates_done = 0u64;
         for part in &plan.parts {
-            execute_part_fused(&mut state, part, self.config.parallel);
+            control.check()?;
+            let part_gates = part.inner.source_gates() as u64;
+            let before = gates_done;
+            let on_assignments = |done: u64, total: u64| {
+                control.report_progress(before + part_gates * done / total.max(1), total_gates);
+            };
+            execute_part_fused_controlled(
+                &mut state,
+                part,
+                self.config.parallel,
+                Some(&SweepControl {
+                    cancel: &control.cancel,
+                    on_assignments: Some(&on_assignments),
+                }),
+            )?;
+            gates_done += part_gates;
+            control.report_progress(gates_done, total_gates);
         }
         let elapsed = start.elapsed().as_secs_f64();
         let report = self.make_report(circuit, plan.partition.num_parts(), elapsed);
-        HierRun {
+        Ok(HierRun {
             state,
             report,
             partition: plan.partition.clone(),
-        }
+        })
     }
 
     fn make_report(&self, circuit: &Circuit, num_parts: usize, elapsed: f64) -> RunReport {
@@ -197,9 +240,10 @@ pub fn execute_part(
         .subcircuit(part_gates)
         .remap_qubits(&map.remap_table(), map.inner_qubits());
     let opts = ApplyOptions::sequential();
-    sweep_assignments(outer, &map, parallel, |inner| {
+    sweep_assignments(outer, &map, parallel, None, |inner| {
         hisvsim_statevec::kernels::apply_circuit_with(inner, &inner_circuit, &opts);
-    });
+    })
+    .expect("uncancellable sweep cannot abort");
 }
 
 /// Execute one prefused part via Gather–Execute–Scatter: the same sweep as
@@ -207,12 +251,37 @@ pub fn execute_part(
 /// fused op instead of per gate) and the parallel path reuses one inner
 /// buffer per chunk of assignments instead of allocating per assignment.
 pub fn execute_part_fused(outer: &mut StateVector, part: &FusedPart, parallel: bool) {
+    execute_part_fused_controlled(outer, part, parallel, None)
+        .expect("uncancellable sweep cannot abort");
+}
+
+/// Per-sweep control plumbing: the cancel token polled between gather
+/// assignments, plus an optional throttled assignment-progress callback
+/// called with `(assignments_done, assignments_total)` — at most ~32 times
+/// per sweep, so a wide single-part job still streams progress.
+pub struct SweepControl<'a> {
+    /// Polled between assignments (sequential) / chunks (parallel).
+    pub cancel: &'a CancelToken,
+    /// Throttled sub-part progress sink.
+    pub on_assignments: Option<&'a (dyn Fn(u64, u64) + Sync)>,
+}
+
+/// [`execute_part_fused`] with an optional [`SweepControl`]: the cancel
+/// token is polled between gather assignments and assignment progress is
+/// reported through the control. On cancellation the outer vector is left
+/// partially updated — the caller abandons it.
+pub fn execute_part_fused_controlled(
+    outer: &mut StateVector,
+    part: &FusedPart,
+    parallel: bool,
+    control: Option<&SweepControl<'_>>,
+) -> Result<(), Cancelled> {
     let map = GatherMap::new(outer.num_qubits(), &part.working_set);
     let inner_circuit: &FusedCircuit = &part.inner;
     let opts = ApplyOptions::sequential();
-    sweep_assignments(outer, &map, parallel, |inner| {
+    sweep_assignments(outer, &map, parallel, control, |inner| {
         inner_circuit.apply(inner, &opts);
-    });
+    })
 }
 
 /// The Gather–Execute–Scatter sweep shared by the fused and unfused part
@@ -225,21 +294,44 @@ pub fn execute_part_fused(outer: &mut StateVector, part: &FusedPart, parallel: b
 /// parts with few assignments still use every core, while each chunk reuses
 /// one inner scratch buffer (the gather overwrites every inner amplitude,
 /// making reuse safe).
-fn sweep_assignments<F>(outer: &mut StateVector, map: &GatherMap, parallel: bool, execute: F)
+fn sweep_assignments<F>(
+    outer: &mut StateVector,
+    map: &GatherMap,
+    parallel: bool,
+    control: Option<&SweepControl<'_>>,
+    execute: F,
+) -> Result<(), Cancelled>
 where
     F: Fn(&mut StateVector) + Sync,
 {
     let assignments = 1usize << map.num_free_qubits();
+    let cancel = control.map(|c| c.cancel);
+    // Throttle sub-part progress to ~32 reports per sweep.
+    let progress_step = (assignments as u64 / 32).max(1);
+    let report = |done: u64| {
+        if let Some(on) = control.and_then(|c| c.on_assignments) {
+            if done.is_multiple_of(progress_step) {
+                on(done, assignments as u64);
+            }
+        }
+    };
     if parallel && assignments >= 2 {
         let threads = rayon::current_num_threads().max(1);
         let per_chunk = (assignments / (threads * 4)).clamp(1, 8);
         let outer_ptr = OuterPtr(outer.amplitudes_mut().as_mut_ptr());
         let chunks = assignments.div_ceil(per_chunk);
+        let done = std::sync::atomic::AtomicU64::new(0);
         (0..chunks).into_par_iter().for_each(|chunk| {
+            // A cancelled sweep skips remaining chunks (rayon offers no
+            // early exit); the partial outer state is abandoned anyway.
+            if cancel.is_some_and(|c| c.is_cancelled()) {
+                return;
+            }
             let mut inner = StateVector::uninitialized(map.inner_qubits());
             let inner_len = inner.len();
             let first = chunk * per_chunk;
-            for assignment in first..(first + per_chunk).min(assignments) {
+            let last = (first + per_chunk).min(assignments);
+            for assignment in first..last {
                 // Gather.
                 for j in 0..inner_len {
                     let idx = map.outer_index(assignment, j);
@@ -253,15 +345,25 @@ where
                     let idx = map.outer_index(assignment, j);
                     unsafe { outer_ptr.write(idx, inner.amp(j)) };
                 }
+                let completed = done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+                report(completed);
             }
         });
     } else {
         let mut inner = StateVector::uninitialized(map.inner_qubits());
         for assignment in 0..assignments {
+            if let Some(cancel) = cancel {
+                cancel.check()?;
+            }
             map.gather_into(outer, assignment, &mut inner);
             execute(&mut inner);
             map.scatter(&inner, outer, assignment);
+            report(assignment as u64 + 1);
         }
+    }
+    match cancel {
+        Some(cancel) => cancel.check(),
+        None => Ok(()),
     }
 }
 

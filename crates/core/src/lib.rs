@@ -47,6 +47,7 @@
 
 pub mod baseline;
 pub mod dist;
+pub mod exec;
 pub mod fusedplan;
 pub mod gpu;
 pub mod hier;
@@ -56,8 +57,10 @@ pub mod profile;
 
 pub use baseline::{BaselineConfig, BaselineRun, IqsBaseline};
 pub use dist::{prepare_gates, DistConfig, DistRun, DistributedSimulator, PreparedGate};
+pub use exec::{ExecControl, StepGate};
 pub use fusedplan::{FusedMlPart, FusedPart, FusedSecondPart, FusedSinglePlan, FusedTwoLevelPlan};
 pub use gpu::{estimate_hybrid, GpuModel, HybridEstimate};
-pub use hier::{HierConfig, HierRun, HierarchicalSimulator};
+pub use hier::{HierConfig, HierRun, HierarchicalSimulator, SweepControl};
+pub use hisvsim_statevec::{CancelToken, Cancelled};
 pub use metrics::RunReport;
 pub use multilevel::{MultilevelConfig, MultilevelRun, MultilevelSimulator};

@@ -10,13 +10,14 @@
 //! against the rank's local slice instead of the whole state.
 
 use crate::dist::{aggregate_outcomes, DistState, RankOutcome};
+use crate::exec::{ExecControl, StepGate};
 use crate::fusedplan::{FusedSecondPart, FusedTwoLevelPlan};
 use crate::metrics::RunReport;
 use hisvsim_circuit::{Circuit, Complex64, Gate};
 use hisvsim_cluster::{run_spmd, NetworkModel};
 use hisvsim_dag::CircuitDag;
 use hisvsim_partition::{MultilevelPartition, MultilevelPartitioner, PartitionBuildError};
-use hisvsim_statevec::{ApplyOptions, GatherMap, StateVector, DEFAULT_FUSION_WIDTH};
+use hisvsim_statevec::{ApplyOptions, Cancelled, GatherMap, StateVector, DEFAULT_FUSION_WIDTH};
 use std::time::Instant;
 
 /// Configuration of the multi-level engine.
@@ -180,19 +181,66 @@ impl MultilevelSimulator {
         circuit: &Circuit,
         plan: &FusedTwoLevelPlan,
     ) -> MultilevelRun {
+        self.run_with_fused_plan_controlled(circuit, plan, &ExecControl::default())
+            .expect("an inert control cannot cancel")
+    }
+
+    /// [`MultilevelSimulator::run_with_fused_plan`] under an
+    /// [`ExecControl`]: a [`StepGate`] keeps every virtual rank's
+    /// cancel/continue decisions consistent at *every* checkpoint — before
+    /// each first-level part switch (the collective boundary) and between
+    /// rank-local second-level parts — so a cancelled run drains without
+    /// deadlock. Rank 0 reports `(gates_done, gates_total)` per
+    /// second-level part.
+    pub fn run_with_fused_plan_controlled(
+        &self,
+        circuit: &Circuit,
+        plan: &FusedTwoLevelPlan,
+        control: &ExecControl,
+    ) -> Result<MultilevelRun, Cancelled> {
         let start = Instant::now();
-        let outcomes = run_spmd::<Complex64, RankOutcome, _>(
+        let total_gates: u64 = plan
+            .parts
+            .iter()
+            .flat_map(|p| p.second.iter())
+            .map(|s| s.inner.source_gates() as u64)
+            .sum();
+        let step_gate = StepGate::new(control.cancel.clone());
+        let outcomes = run_spmd::<Complex64, Option<RankOutcome>, _>(
             self.config.num_ranks,
             self.config.network,
             |mut comm| {
                 let mut state = DistState::new(&mut comm, circuit.num_qubits());
+                // Checkpoint numbering walked identically by every rank:
+                // one step per first-level part switch, one per
+                // second-level part.
+                let mut step = 0usize;
+                let mut gates_done = 0u64;
                 for part in &plan.parts {
+                    if step_gate.cancelled_at(step) {
+                        return None;
+                    }
+                    step += 1;
                     state.ensure_local(&part.working_set);
-                    execute_second_level_fused(&mut state, &part.second);
+                    for second in &part.second {
+                        if step_gate.cancelled_at(step) {
+                            return None;
+                        }
+                        step += 1;
+                        execute_second_level_fused(&mut state, std::slice::from_ref(second));
+                        gates_done += second.inner.source_gates() as u64;
+                        if state.rank() == 0 {
+                            control.report_progress(gates_done, total_gates);
+                        }
+                    }
                 }
-                state.finish_rank()
+                Some(state.finish_rank())
             },
         );
+        let outcomes: Option<Vec<RankOutcome>> = outcomes.into_iter().collect();
+        let Some(outcomes) = outcomes else {
+            return Err(Cancelled);
+        };
         let wall = start.elapsed().as_secs_f64();
         let (state, report) = aggregate_outcomes(
             "multilevel",
@@ -202,11 +250,11 @@ impl MultilevelSimulator {
             outcomes,
             wall,
         );
-        MultilevelRun {
+        Ok(MultilevelRun {
             state,
             report,
             partition: plan.ml.clone(),
-        }
+        })
     }
 }
 

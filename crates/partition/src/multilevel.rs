@@ -53,6 +53,46 @@ impl MultilevelPartition {
         self.second.iter().all(|(_, p)| p.num_parts() <= 1)
     }
 
+    /// Validate the whole two-level structure against `dag`: the first
+    /// level must be a valid acyclic partition under `first_limit`, the
+    /// second-level table must cover exactly each first-level part's gates,
+    /// and every non-trivial second-level partition must itself validate
+    /// (acyclic, working sets within `second_limit`) on the part's sub-DAG.
+    /// The guard for two-level plans from untrusted sources (e.g. a
+    /// disk-persisted plan cache).
+    pub fn validate(&self, dag: &CircuitDag, first_limit: usize) -> Result<(), String> {
+        self.first
+            .validate(dag, first_limit)
+            .map_err(|e| format!("first level: {e}"))?;
+        let by_part = self.first.gates_by_part();
+        if self.second.len() != by_part.len() {
+            return Err(format!(
+                "second-level table has {} entries for {} first-level parts",
+                self.second.len(),
+                by_part.len()
+            ));
+        }
+        for (p, (gates, partition)) in self.second.iter().enumerate() {
+            let mut expected = by_part[p].clone();
+            expected.sort_unstable();
+            let mut got = gates.clone();
+            got.sort_unstable();
+            if expected != got {
+                return Err(format!(
+                    "second level of part {p} does not cover exactly the part's gates"
+                ));
+            }
+            if partition.num_parts() <= 1 {
+                continue; // identity second level: nothing more to check
+            }
+            let sub = sub_circuit_dag(dag, gates);
+            partition
+                .validate(&sub, self.second_limit)
+                .map_err(|e| format!("second level of part {p}: {e}"))?;
+        }
+        Ok(())
+    }
+
     /// The second-level parts of first-level part `p`, as lists of original
     /// circuit gate indices in execution (topological) order.
     pub fn second_level_gate_lists(&self, dag: &CircuitDag, p: usize) -> Vec<Vec<usize>> {

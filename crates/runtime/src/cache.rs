@@ -21,13 +21,16 @@
 //!   `capacity` is exceeded; pending (in-flight) entries are never evicted.
 
 use hisvsim_core::{FusedSinglePlan, FusedTwoLevelPlan};
-use hisvsim_partition::PartitionBuildError;
+use hisvsim_dag::Partition;
+use hisvsim_partition::{MultilevelPartition, PartitionBuildError};
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Cache key: structural fingerprint plus plan shape.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct PlanKey {
     /// [`Circuit::fingerprint`](hisvsim_circuit::Circuit::fingerprint) of
     /// the job's circuit.
@@ -80,13 +83,48 @@ impl CachedPlan {
     }
 }
 
+/// The partition skeleton of a cached plan in its disk-persistable form:
+/// partitioning is the expensive pure function worth keeping across process
+/// restarts, while fused matrices are cheap to rebuild and are therefore
+/// re-derived ("re-fused") from the partition on first use after a reload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum PersistedPlan {
+    /// A single-level partition (hier / dist engines).
+    Single(Partition),
+    /// A two-level partition (multilevel engine).
+    Two(MultilevelPartition),
+}
+
+/// Where a served plan came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanSource {
+    /// Found fused in memory (or computed by a concurrent worker while this
+    /// one waited on the per-key lock).
+    Memory,
+    /// Rebuilt from a disk-persisted partition: partitioning skipped, only
+    /// re-fusion paid.
+    Warm,
+    /// Planned from scratch.
+    Planned,
+}
+
+impl PlanSource {
+    /// True unless the plan was computed from scratch.
+    pub fn is_hit(self) -> bool {
+        !matches!(self, PlanSource::Planned)
+    }
+}
+
 /// Hit/miss/eviction counters, surfaced in batch reports.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookups served from a present (or just-computed-by-another-worker)
     /// entry.
     pub hits: u64,
-    /// Lookups that had to compute the plan.
+    /// Lookups served by re-fusing a disk-persisted partition (no
+    /// partitioning work, only re-fusion).
+    pub warm_hits: u64,
+    /// Lookups that had to compute the plan from scratch.
     pub misses: u64,
     /// Entries evicted by the LRU bound.
     pub evictions: u64,
@@ -95,13 +133,14 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
-    /// Hits over total lookups (0.0 when the cache was never consulted).
+    /// Hits (in-memory + warm) over total lookups (0.0 when the cache was
+    /// never consulted).
     pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses;
+        let total = self.hits + self.warm_hits + self.misses;
         if total == 0 {
             0.0
         } else {
-            self.hits as f64 / total as f64
+            (self.hits + self.warm_hits) as f64 / total as f64
         }
     }
 
@@ -109,6 +148,7 @@ impl CacheStats {
     pub fn since(&self, earlier: &CacheStats) -> CacheStats {
         CacheStats {
             hits: self.hits - earlier.hits,
+            warm_hits: self.warm_hits - earlier.warm_hits,
             misses: self.misses - earlier.misses,
             evictions: self.evictions - earlier.evictions,
             entries: self.entries,
@@ -127,7 +167,11 @@ struct Slot {
 #[derive(Default)]
 pub struct PlanCache {
     map: Mutex<HashMap<PlanKey, Arc<Slot>>>,
+    /// Disk-loaded partitions awaiting their first use (each is promoted —
+    /// re-fused — into `map` on first lookup, then removed from here).
+    warm: Mutex<HashMap<PlanKey, PersistedPlan>>,
     hits: AtomicU64,
+    warm_hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
     tick: AtomicU64,
@@ -156,6 +200,23 @@ impl PlanCache {
     where
         F: FnOnce() -> Result<CachedPlan, PartitionBuildError>,
     {
+        self.get_or_plan_tracked(key, || compute().map(|plan| (plan, PlanSource::Planned)))
+            .map(|(plan, source)| (plan, source.is_hit()))
+    }
+
+    /// [`PlanCache::get_or_plan`] with provenance: `compute` reports whether
+    /// it planned from scratch ([`PlanSource::Planned`]) or rebuilt a
+    /// disk-persisted partition ([`PlanSource::Warm`], see
+    /// [`PlanCache::take_warm`]), and the counters attribute the lookup
+    /// accordingly.
+    pub fn get_or_plan_tracked<F>(
+        &self,
+        key: PlanKey,
+        compute: F,
+    ) -> Result<(CachedPlan, PlanSource), PartitionBuildError>
+    where
+        F: FnOnce() -> Result<(CachedPlan, PlanSource), PartitionBuildError>,
+    {
         let stamp = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
         let slot = {
             let mut map = self.map.lock().expect("plan cache poisoned");
@@ -173,15 +234,18 @@ impl PlanCache {
         let mut value = slot.value.lock().expect("plan slot poisoned");
         if let Some(plan) = value.as_ref() {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok((plan.clone(), true));
+            return Ok((plan.clone(), PlanSource::Memory));
         }
         match compute() {
-            Ok(plan) => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+            Ok((plan, source)) => {
+                match source {
+                    PlanSource::Warm => self.warm_hits.fetch_add(1, Ordering::Relaxed),
+                    _ => self.misses.fetch_add(1, Ordering::Relaxed),
+                };
                 *value = Some(plan.clone());
                 drop(value);
                 self.enforce_capacity(&key);
-                Ok((plan, false))
+                Ok((plan, source))
             }
             Err(e) => {
                 drop(value);
@@ -190,6 +254,80 @@ impl PlanCache {
                 Err(e)
             }
         }
+    }
+
+    /// Remove and return the disk-persisted partition for `key`, if one was
+    /// loaded. Called from inside a `compute` closure: the caller re-fuses
+    /// the partition against its circuit and returns the rebuilt plan with
+    /// [`PlanSource::Warm`], so the entry graduates into the in-memory map.
+    pub fn take_warm(&self, key: &PlanKey) -> Option<PersistedPlan> {
+        self.warm.lock().expect("warm store poisoned").remove(key)
+    }
+
+    /// Number of disk-loaded partitions not yet promoted into memory.
+    pub fn warm_len(&self) -> usize {
+        self.warm.lock().expect("warm store poisoned").len()
+    }
+
+    /// Load a snapshot written by [`PlanCache::save_snapshot`] into the warm
+    /// store (merging over whatever is already there). Returns the number of
+    /// entries loaded.
+    pub fn load_snapshot(&self, path: impl AsRef<Path>) -> std::io::Result<usize> {
+        let text = std::fs::read_to_string(path)?;
+        let entries: Vec<(PlanKey, PersistedPlan)> = serde_json::from_str(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        let count = entries.len();
+        let mut warm = self.warm.lock().expect("warm store poisoned");
+        for (key, plan) in entries {
+            warm.insert(key, plan);
+        }
+        Ok(count)
+    }
+
+    /// Persist every completed entry's partition (plus any still-unpromoted
+    /// warm entries) to `path` as JSON, so the next process starts warm.
+    /// Fused matrices are intentionally not persisted — receivers re-fuse on
+    /// first use, keeping the snapshot small and the fused form
+    /// process-local. Returns the number of entries written.
+    pub fn save_snapshot(&self, path: impl AsRef<Path>) -> std::io::Result<usize> {
+        let mut entries: Vec<(PlanKey, PersistedPlan)> = {
+            let warm = self.warm.lock().expect("warm store poisoned");
+            warm.iter().map(|(k, v)| (*k, v.clone())).collect()
+        };
+        {
+            let map = self.map.lock().expect("plan cache poisoned");
+            for (key, slot) in map.iter() {
+                let Ok(value) = slot.value.try_lock() else {
+                    continue; // in-flight: nothing completed to persist
+                };
+                match value.as_ref() {
+                    Some(CachedPlan::Single(plan)) => {
+                        entries.push((*key, PersistedPlan::Single(plan.partition.clone())));
+                    }
+                    Some(CachedPlan::Two(plan)) => {
+                        entries.push((*key, PersistedPlan::Two(plan.ml.clone())));
+                    }
+                    None => {}
+                }
+            }
+        }
+        // Deterministic order keeps snapshots diffable (the full key sorts,
+        // so identical keys are adjacent for the dedup below).
+        entries.sort_by_key(|(k, _)| {
+            (
+                k.fingerprint,
+                k.limit,
+                k.second_limit,
+                k.fusion,
+                k.effort.name(),
+            )
+        });
+        entries.dedup_by_key(|(k, _)| *k);
+        let json = serde_json::to_string(&entries)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        let count = entries.len();
+        std::fs::write(path, json)?;
+        Ok(count)
     }
 
     /// Evict least-recently-used completed entries beyond `capacity`,
@@ -219,6 +357,7 @@ impl PlanCache {
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
+            warm_hits: self.warm_hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             entries: self.map.lock().expect("plan cache poisoned").len(),
@@ -388,6 +527,99 @@ mod tests {
             .get_or_plan(key_of(&circuit, 4), || Ok(plan_for(&circuit, 4)))
             .unwrap();
         assert!(!hit);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_promotes_warm_entries_without_replanning() {
+        let dir = std::env::temp_dir().join(format!("hisvsim-cache-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("plans.json");
+
+        // First process: plan once, persist.
+        let circuit = generators::qft(10);
+        let key = key_of(&circuit, 5);
+        let first_cache = PlanCache::new(8);
+        let (original, _) = first_cache
+            .get_or_plan(key, || Ok(plan_for(&circuit, 5)))
+            .unwrap();
+        assert_eq!(first_cache.save_snapshot(&path).unwrap(), 1);
+
+        // "Restarted" process: load, then serve the same key by re-fusing
+        // the persisted partition — zero partitioning calls.
+        let second_cache = PlanCache::new(8);
+        assert_eq!(second_cache.load_snapshot(&path).unwrap(), 1);
+        assert_eq!(second_cache.warm_len(), 1);
+        let (rebuilt, source) = second_cache
+            .get_or_plan_tracked(key, || {
+                let persisted = second_cache
+                    .take_warm(&key)
+                    .expect("warm entry must be present");
+                let PersistedPlan::Single(partition) = persisted else {
+                    panic!("expected a single-level persisted plan");
+                };
+                let dag = CircuitDag::from_circuit(&circuit);
+                let plan = hisvsim_core::FusedSinglePlan::build(&circuit, &dag, partition, 3);
+                Ok((CachedPlan::Single(Arc::new(plan)), PlanSource::Warm))
+            })
+            .unwrap();
+        assert_eq!(source, PlanSource::Warm);
+        assert_eq!(second_cache.warm_len(), 0, "warm entry must be promoted");
+        // The re-fused plan executes the identical partition.
+        assert_eq!(
+            original.expect_single().partition,
+            rebuilt.expect_single().partition
+        );
+        let stats = second_cache.stats();
+        assert_eq!(
+            (stats.warm_hits, stats.misses, stats.hits),
+            (1, 0, 0),
+            "warm promotion must not count as a planning miss"
+        );
+        // The promoted entry now serves from memory.
+        let (_, source) = second_cache
+            .get_or_plan_tracked(key, || panic!("promoted entry must hit"))
+            .unwrap();
+        assert_eq!(source, PlanSource::Memory);
+        assert!(second_cache.stats().hit_rate() > 0.9);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn snapshot_of_two_level_plans_roundtrips() {
+        let dir = std::env::temp_dir().join(format!("hisvsim-cache2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("plans.json");
+        let circuit = generators::by_name("qaoa", 9);
+        let dag = CircuitDag::from_circuit(&circuit);
+        let ml = Planner::default().plan_two_level(&dag, 6, 3).unwrap();
+        let cache = PlanCache::new(4);
+        let key = PlanKey {
+            fingerprint: circuit.fingerprint(),
+            limit: 6,
+            second_limit: 3,
+            fusion: 3,
+            effort: PlanEffort::Fast,
+        };
+        cache
+            .get_or_plan(key, || {
+                let plan = hisvsim_core::FusedTwoLevelPlan::build(&circuit, &dag, ml.clone(), 3);
+                Ok(CachedPlan::Two(Arc::new(plan)))
+            })
+            .unwrap();
+        assert_eq!(cache.save_snapshot(&path).unwrap(), 1);
+        let reloaded = PlanCache::new(4);
+        reloaded.load_snapshot(&path).unwrap();
+        match reloaded.take_warm(&key) {
+            Some(PersistedPlan::Two(back)) => {
+                assert_eq!(back.first, ml.first);
+                assert_eq!(
+                    back.total_second_level_parts(),
+                    ml.total_second_level_parts()
+                );
+            }
+            other => panic!("expected a two-level persisted plan, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

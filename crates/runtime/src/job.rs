@@ -3,6 +3,7 @@
 
 use crate::selector::EngineKind;
 use hisvsim_circuit::{Circuit, Qubit};
+use hisvsim_cluster::CommStats;
 use hisvsim_core::RunReport;
 use hisvsim_statevec::StateVector;
 use std::collections::BTreeMap;
@@ -108,6 +109,28 @@ pub struct JobResult {
     pub wall_time_s: f64,
     /// Seconds spent obtaining the plan (≈ 0 on a cache hit).
     pub plan_time_s: f64,
-    /// Whether the partition plan came from the cache.
+    /// Whether the partition plan came from the cache (in-memory hit or a
+    /// disk-persisted warm entry) instead of being planned from scratch.
     pub plan_cache_hit: bool,
+}
+
+impl JobResult {
+    /// The engine's aggregated communication statistics (bytes, messages,
+    /// modelled wire time over all virtual ranks) — so service clients see
+    /// the modelled communication behaviour per job, not just wall time.
+    pub fn comm_stats(&self) -> &CommStats {
+        &self.report.comm
+    }
+
+    /// Modelled communication time in seconds, averaged over ranks (zero
+    /// for single-node engines).
+    pub fn modeled_comm_time_s(&self) -> f64 {
+        self.report.avg_comm_time_s
+    }
+
+    /// Fraction of the modelled end-to-end time spent communicating
+    /// (see [`RunReport::comm_ratio`]).
+    pub fn comm_ratio(&self) -> f64 {
+        self.report.comm_ratio()
+    }
 }

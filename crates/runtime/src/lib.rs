@@ -10,7 +10,8 @@
 //! | [`job`] | the [`SimJob`](job::SimJob) / [`JobResult`](job::JobResult) batch model (circuit + shots + observables + engine preference) |
 //! | [`selector`] | [`EngineSelector`](selector::EngineSelector): picks baseline/hier/dist/multilevel per job from qubit count and the `memmodel`/`netmodel` cost signals |
 //! | [`planner`] | [`Planner`](planner::Planner): configurable-effort partition planning (single `dagP` call → full strategy portfolio) |
-//! | [`cache`] | [`PlanCache`](cache::PlanCache): memoizes plans by [`Circuit::fingerprint`](hisvsim_circuit::Circuit::fingerprint), with in-flight deduplication and hit/miss accounting |
+//! | [`cache`] | [`PlanCache`](cache::PlanCache): memoizes plans by [`Circuit::fingerprint`](hisvsim_circuit::Circuit::fingerprint), with in-flight deduplication, hit/miss accounting and disk snapshots for warm restarts |
+//! | [`pool`] | [`JobRunner`](pool::JobRunner): the reusable plan–execute worker-pool core (residency [`Semaphore`](pool::Semaphore), per-job [`JobControl`](pool::JobControl) cancellation + phase callbacks) |
 //! | [`scheduler`] | [`Scheduler`](scheduler::Scheduler): a worker pool executing a batch on OS threads with a bounded number of resident state vectors |
 //!
 //! The expensive pure-function part of every HiSVSIM run — DAG construction
@@ -49,12 +50,14 @@
 pub mod cache;
 pub mod job;
 pub mod planner;
+pub mod pool;
 pub mod scheduler;
 pub mod selector;
 
-pub use cache::{CacheStats, CachedPlan, PlanCache, PlanKey};
+pub use cache::{CacheStats, CachedPlan, PersistedPlan, PlanCache, PlanKey, PlanSource};
 pub use job::{JobResult, SimJob};
 pub use planner::{PlanEffort, Planner};
+pub use pool::{JobControl, JobError, JobRunner, Semaphore};
 pub use scheduler::{BatchReport, BatchStats, Scheduler, SchedulerConfig};
 pub use selector::{EngineDecision, EngineKind, EngineSelector};
 

@@ -1,0 +1,551 @@
+//! The reusable worker-pool core shared by [`Scheduler::run_batch`] and the
+//! `hisvsim-service` job service.
+//!
+//! [`Scheduler`](crate::scheduler::Scheduler) used to own the whole
+//! plan–execute pipeline privately; a long-lived service needs exactly the
+//! same pipeline but driven job-by-job from its own queue, with
+//! cancellation and phase callbacks threaded through. This module is that
+//! pipeline, factored out:
+//!
+//! * [`Semaphore`] — the counting semaphore bounding resident state
+//!   vectors (the memory bound `K`);
+//! * [`JobControl`] — per-job cancellation token plus phase/progress
+//!   callbacks (planning → plan ready → executing);
+//! * [`JobRunner`] — the plan-through-postprocess executor: engine
+//!   decision, plan-cache lookup (with disk-warm rebuild), controlled
+//!   engine execution, shot sampling and observables.
+//!
+//! `run_batch` drives a [`JobRunner`] with inert controls — its results
+//! are bit-identical to the pre-refactor scheduler.
+
+use crate::cache::{CachedPlan, PersistedPlan, PlanCache, PlanKey, PlanSource};
+use crate::job::{JobResult, SimJob};
+use crate::planner::Planner;
+use crate::scheduler::SchedulerConfig;
+use crate::selector::{EngineDecision, EngineKind};
+use hisvsim_circuit::Circuit;
+use hisvsim_core::{
+    BaselineConfig, DistConfig, DistributedSimulator, ExecControl, FusedSinglePlan,
+    FusedTwoLevelPlan, HierConfig, HierarchicalSimulator, IqsBaseline, MultilevelConfig,
+    MultilevelSimulator, RunReport,
+};
+use hisvsim_dag::CircuitDag;
+use hisvsim_partition::{PartitionBuildError, Strategy};
+use hisvsim_statevec::{measure, CancelToken, StateVector, DEFAULT_FUSION_WIDTH};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// A plain counting semaphore (std has none until `Semaphore` stabilises).
+/// Bounds the number of jobs holding live simulation state: acquire before
+/// allocating the outer state vector, release (by dropping the permit) when
+/// the result is extracted — including when the job is cancelled mid-run,
+/// which is what keeps an abandoned 30-qubit job from pinning its slot.
+pub struct Semaphore {
+    permits: Mutex<usize>,
+    available: Condvar,
+}
+
+/// An acquired permit; releases its slot on drop.
+pub struct Permit<'a> {
+    semaphore: &'a Semaphore,
+}
+
+impl Semaphore {
+    /// A semaphore with `permits` slots.
+    pub fn new(permits: usize) -> Self {
+        Self {
+            permits: Mutex::new(permits),
+            available: Condvar::new(),
+        }
+    }
+
+    /// Block until a slot is free and claim it.
+    pub fn acquire(&self) -> Permit<'_> {
+        let mut permits = self.permits.lock().expect("semaphore poisoned");
+        while *permits == 0 {
+            permits = self.available.wait(permits).expect("semaphore poisoned");
+        }
+        *permits -= 1;
+        Permit { semaphore: self }
+    }
+
+    /// [`Semaphore::acquire`] that also gives up when `cancel` fires, so a
+    /// job cancelled while queued for a slot unblocks its worker promptly
+    /// instead of waiting out whoever holds the permit. The token has no
+    /// waker of its own, so the parked wait polls it on a short timeout.
+    pub fn acquire_cancellable(
+        &self,
+        cancel: &hisvsim_statevec::CancelToken,
+    ) -> Result<Permit<'_>, hisvsim_statevec::Cancelled> {
+        let mut permits = self.permits.lock().expect("semaphore poisoned");
+        loop {
+            cancel.check()?;
+            if *permits > 0 {
+                *permits -= 1;
+                return Ok(Permit { semaphore: self });
+            }
+            let (guard, _timeout) = self
+                .available
+                .wait_timeout(permits, std::time::Duration::from_millis(20))
+                .expect("semaphore poisoned");
+            permits = guard;
+        }
+    }
+
+    /// Slots currently free (advisory — may change immediately).
+    pub fn available(&self) -> usize {
+        *self.permits.lock().expect("semaphore poisoned")
+    }
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        let mut permits = self.semaphore.permits.lock().expect("semaphore poisoned");
+        *permits += 1;
+        drop(permits);
+        self.semaphore.available.notify_one();
+    }
+}
+
+/// Per-job control plumbing: a cancel token the pipeline polls at its
+/// checkpoints, plus optional callbacks fired at phase transitions. The
+/// default control is inert; `run_batch` uses exactly that.
+#[derive(Clone, Default)]
+pub struct JobControl {
+    /// Cooperative cancellation flag (checked before planning, after
+    /// acquiring the residency slot, and inside the engines' fused loops).
+    pub cancel: CancelToken,
+    /// Fired when planning starts.
+    pub on_planning: Option<Arc<dyn Fn() + Send + Sync>>,
+    /// Fired when the plan is ready; the argument is "was a cache hit"
+    /// (in-memory or disk-warm).
+    pub on_plan_ready: Option<Arc<dyn Fn(bool) + Send + Sync>>,
+    /// Fired when execution starts and after each completed part, with
+    /// `(gates_done, gates_total)`.
+    pub on_executing: Option<Arc<dyn Fn(u64, u64) + Send + Sync>>,
+}
+
+impl JobControl {
+    /// An inert control (never cancelled, no callbacks).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn notify_planning(&self) {
+        if let Some(f) = &self.on_planning {
+            f();
+        }
+    }
+
+    fn notify_plan_ready(&self, cache_hit: bool) {
+        if let Some(f) = &self.on_plan_ready {
+            f(cache_hit);
+        }
+    }
+
+    fn notify_executing(&self, done: u64, total: u64) {
+        if let Some(f) = &self.on_executing {
+            f(done, total);
+        }
+    }
+}
+
+impl std::fmt::Debug for JobControl {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobControl")
+            .field("cancelled", &self.cancel.is_cancelled())
+            .finish()
+    }
+}
+
+/// Why a job produced no [`JobResult`].
+#[derive(Debug)]
+pub enum JobError {
+    /// The job's cancel token fired at a cooperative checkpoint; the
+    /// partial state was discarded and the residency slot released.
+    Cancelled,
+    /// Partition planning failed (e.g. an explicit limit below the
+    /// circuit's gate arity).
+    PlanFailed {
+        /// Name of the job's circuit.
+        circuit: String,
+        /// The engine the plan was for.
+        engine: EngineKind,
+        /// The working-set limit planning was attempted at.
+        limit: usize,
+        /// The underlying planning error.
+        error: PartitionBuildError,
+    },
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Cancelled => f.write_str("job cancelled"),
+            JobError::PlanFailed {
+                circuit,
+                engine,
+                limit,
+                error,
+            } => write!(
+                f,
+                "planning failed for '{circuit}' (engine {engine}, limit {limit}): {error}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// The plan-through-postprocess job executor: everything
+/// [`Scheduler::run_batch`](crate::scheduler::Scheduler::run_batch) does to
+/// one job, as a long-lived, shareable core. The plan cache inside persists
+/// across batches (and, snapshotted, across processes).
+pub struct JobRunner {
+    config: SchedulerConfig,
+    cache: PlanCache,
+}
+
+impl JobRunner {
+    /// A runner with a fresh plan cache sized by the configuration.
+    pub fn new(config: SchedulerConfig) -> Self {
+        let cache = PlanCache::new(config.cache_capacity.max(1));
+        Self { config, cache }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SchedulerConfig {
+        &self.config
+    }
+
+    /// The persistent plan cache.
+    pub fn cache(&self) -> &PlanCache {
+        &self.cache
+    }
+
+    /// Plan (through the cache when enabled) and execute one job under
+    /// `control`. The residency permit is acquired only for the simulation +
+    /// post-processing phase — planning holds no simulation state, so
+    /// cache-miss planning of one job overlaps the (memory-bounded)
+    /// simulation of others. A cancelled job releases its permit on the way
+    /// out (RAII), so the slot is immediately reusable.
+    pub fn execute_job(
+        &self,
+        job_index: usize,
+        job: SimJob,
+        residency: &Semaphore,
+        control: &JobControl,
+    ) -> Result<JobResult, JobError> {
+        let start = Instant::now();
+        if control.cancel.is_cancelled() {
+            return Err(JobError::Cancelled);
+        }
+        let mut decision = self.config.selector.decide(&job.circuit, job.engine);
+        if let Some(limit) = job.limit {
+            decision.limit = limit;
+            if decision.engine == EngineKind::Multilevel {
+                decision.second_limit = decision.second_limit.min(limit);
+            }
+        }
+        // A distributed plan must fit each rank's local slice; mirror the
+        // clamp `DistributedSimulator::run` applies so an explicit per-job
+        // limit override cannot push a working set past the local width.
+        if matches!(decision.engine, EngineKind::Dist | EngineKind::Multilevel) {
+            let local = job.circuit.num_qubits() - decision.ranks.trailing_zeros() as usize;
+            decision.limit = decision.limit.min(local.max(1));
+            decision.second_limit = decision.second_limit.min(decision.limit);
+        }
+        let fusion = job.fusion.unwrap_or(DEFAULT_FUSION_WIDTH).max(1);
+
+        control.notify_planning();
+        let plan_start = Instant::now();
+        let (plan, source) =
+            self.obtain_plan(&job.circuit, &decision, fusion)
+                .map_err(|error| JobError::PlanFailed {
+                    circuit: job.circuit.name.clone(),
+                    engine: decision.engine,
+                    limit: decision.limit,
+                    error,
+                })?;
+        let plan_time_s = plan_start.elapsed().as_secs_f64();
+        control.notify_plan_ready(source.is_hit());
+
+        // The permit covers the simulation (allocation of the outer state
+        // vector) through post-processing. A job cancelled while queued for
+        // a slot unblocks promptly and never allocates at all.
+        let _permit = residency
+            .acquire_cancellable(&control.cancel)
+            .map_err(|_| JobError::Cancelled)?;
+        control.notify_executing(0, job.circuit.num_gates() as u64);
+        let exec = {
+            let mut exec = ExecControl::new().with_cancel(control.cancel.clone());
+            if let Some(on_executing) = control.on_executing.clone() {
+                exec = exec.with_progress(move |done, total| on_executing(done, total));
+            }
+            exec
+        };
+        let (state, report) = self
+            .simulate(&job.circuit, &decision, fusion, plan.as_ref(), &exec)
+            .map_err(|_| JobError::Cancelled)?;
+
+        // Post-processing: shot sampling and Z expectations reuse the
+        // statevec measurement utilities on the engine's final state. The
+        // parallel counter-based sampler keeps shots deterministic per seed
+        // regardless of worker/thread count.
+        let counts = if job.shots > 0 {
+            let mut counts = std::collections::BTreeMap::new();
+            for outcome in measure::sample_shots(&state, job.shots, job.seed) {
+                *counts.entry(outcome).or_insert(0) += 1;
+            }
+            counts
+        } else {
+            Default::default()
+        };
+        let z_expectations = job
+            .observables
+            .iter()
+            .map(|&q| (q, measure::expectation_z(&state, q)))
+            .collect();
+
+        Ok(JobResult {
+            job_index,
+            circuit_name: job.circuit.name.clone(),
+            engine: decision.engine,
+            state: self.config.retain_states.then_some(state),
+            report,
+            counts,
+            z_expectations,
+            wall_time_s: start.elapsed().as_secs_f64(),
+            plan_time_s,
+            plan_cache_hit: source.is_hit(),
+        })
+    }
+
+    /// Obtain the fused partition plan for a decision: from the in-memory
+    /// cache when enabled, by re-fusing a disk-persisted partition on a warm
+    /// start, or planned from scratch. Baseline runs unpartitioned (its
+    /// fused segments are derived inside the engine).
+    fn obtain_plan(
+        &self,
+        circuit: &Circuit,
+        decision: &EngineDecision,
+        fusion: usize,
+    ) -> Result<(Option<CachedPlan>, PlanSource), PartitionBuildError> {
+        if decision.engine == EngineKind::Baseline {
+            return Ok((None, PlanSource::Planned));
+        }
+        let planner = Planner::new(self.config.effort);
+        let two_level = decision.engine == EngineKind::Multilevel;
+        let plan_fresh = |dag: &CircuitDag| {
+            if two_level {
+                planner
+                    .plan_two_level_fused(
+                        circuit,
+                        dag,
+                        decision.limit,
+                        decision.second_limit,
+                        fusion,
+                    )
+                    .map(|ml| CachedPlan::Two(Arc::new(ml)))
+            } else {
+                planner
+                    .plan_single_fused(circuit, dag, decision.limit, fusion)
+                    .map(|p| CachedPlan::Single(Arc::new(p)))
+            }
+        };
+
+        if self.config.cache_capacity == 0 {
+            let dag = CircuitDag::from_circuit(circuit);
+            return plan_fresh(&dag).map(|plan| (Some(plan), PlanSource::Planned));
+        }
+
+        let key = PlanKey {
+            fingerprint: circuit.fingerprint(),
+            limit: decision.limit,
+            second_limit: if two_level { decision.second_limit } else { 0 },
+            fusion,
+            effort: self.config.effort,
+        };
+        let outcome = self.cache.get_or_plan_tracked(key, || {
+            let dag = CircuitDag::from_circuit(circuit);
+            // Warm start: a persisted partition for this key skips the
+            // expensive partitioning — only re-fusion (cheap, and
+            // necessarily process-local) remains. Untrusted snapshots are
+            // validated against the circuit's DAG before use.
+            if let Some(persisted) = self.cache.take_warm(&key) {
+                match persisted {
+                    PersistedPlan::Single(partition)
+                        if !two_level && partition.validate(&dag, decision.limit).is_ok() =>
+                    {
+                        let plan = FusedSinglePlan::build(circuit, &dag, partition, fusion);
+                        return Ok((CachedPlan::Single(Arc::new(plan)), PlanSource::Warm));
+                    }
+                    PersistedPlan::Two(ml)
+                        if two_level && ml.validate(&dag, decision.limit).is_ok() =>
+                    {
+                        let plan = FusedTwoLevelPlan::build(circuit, &dag, ml, fusion);
+                        return Ok((CachedPlan::Two(Arc::new(plan)), PlanSource::Warm));
+                    }
+                    // Shape mismatch or a stale/invalid snapshot entry:
+                    // fall through to planning from scratch.
+                    _ => {}
+                }
+            }
+            plan_fresh(&dag).map(|plan| (plan, PlanSource::Planned))
+        });
+        outcome.map(|(plan, source)| (Some(plan), source))
+    }
+
+    /// Run the chosen engine against the precomputed fused plan, under the
+    /// given execution control.
+    fn simulate(
+        &self,
+        circuit: &Circuit,
+        decision: &EngineDecision,
+        fusion: usize,
+        plan: Option<&CachedPlan>,
+        exec: &ExecControl,
+    ) -> Result<(StateVector, RunReport), hisvsim_statevec::Cancelled> {
+        let network = self.config.selector.network;
+        match decision.engine {
+            EngineKind::Baseline => IqsBaseline::new(
+                BaselineConfig::new(decision.ranks)
+                    .with_network(network)
+                    .with_fusion(fusion),
+            )
+            .run_controlled(circuit, exec)
+            .map(|run| (run.state, run.report)),
+            EngineKind::Hier => {
+                let plan = plan.expect("hier engine needs a plan").expect_single();
+                let sim = HierarchicalSimulator::new(
+                    HierConfig::new(decision.limit).with_strategy(Strategy::DagP),
+                );
+                sim.run_with_fused_plan_controlled(circuit, plan, exec)
+                    .map(|run| (run.state, run.report))
+            }
+            EngineKind::Dist => {
+                let plan = plan.expect("dist engine needs a plan").expect_single();
+                let sim = DistributedSimulator::new(
+                    DistConfig::new(decision.ranks)
+                        .with_limit(decision.limit)
+                        .with_network(network),
+                );
+                sim.run_with_fused_plan_controlled(circuit, plan, exec)
+                    .map(|run| (run.state, run.report))
+            }
+            EngineKind::Multilevel => {
+                let plan = plan.expect("multilevel engine needs a plan").expect_two();
+                let sim = MultilevelSimulator::new(
+                    MultilevelConfig::new(decision.ranks, decision.second_limit)
+                        .with_network(network),
+                );
+                sim.run_with_fused_plan_controlled(circuit, plan, exec)
+                    .map(|run| (run.state, run.report))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::selector::EngineSelector;
+    use hisvsim_circuit::generators;
+    use hisvsim_statevec::run_circuit;
+
+    fn runner() -> JobRunner {
+        JobRunner::new(SchedulerConfig::default().with_selector(EngineSelector::scaled(4, 8)))
+    }
+
+    #[test]
+    fn inert_control_executes_like_the_scheduler() {
+        let runner = runner();
+        let residency = Semaphore::new(2);
+        let circuit = generators::qft(7);
+        let expected = run_circuit(&circuit);
+        let result = runner
+            .execute_job(0, SimJob::new(circuit), &residency, &JobControl::new())
+            .unwrap();
+        assert!(result.state.as_ref().unwrap().approx_eq(&expected, 1e-9));
+        assert_eq!(residency.available(), 2, "permit must be released");
+    }
+
+    #[test]
+    fn pre_cancelled_job_never_takes_a_residency_slot() {
+        let runner = runner();
+        let residency = Semaphore::new(1);
+        let control = JobControl::new();
+        control.cancel.cancel();
+        let err = runner
+            .execute_job(0, SimJob::new(generators::qft(7)), &residency, &control)
+            .unwrap_err();
+        assert!(matches!(err, JobError::Cancelled));
+        assert_eq!(residency.available(), 1);
+    }
+
+    #[test]
+    fn cancellation_unblocks_a_job_waiting_for_a_residency_slot() {
+        // The only permit is held elsewhere for the whole test: a job
+        // cancelled while parked in acquire must return promptly instead
+        // of waiting for the holder.
+        let runner = runner();
+        let residency = Semaphore::new(1);
+        let _held = residency.acquire();
+        let control = JobControl::new();
+        std::thread::scope(|scope| {
+            let waiter = scope.spawn(|| {
+                runner.execute_job(0, SimJob::new(generators::qft(7)), &residency, &control)
+            });
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            control.cancel.cancel();
+            let err = waiter.join().unwrap().unwrap_err();
+            assert!(matches!(err, JobError::Cancelled));
+        });
+        // No phantom permit was minted or leaked.
+        assert_eq!(residency.available(), 0);
+    }
+
+    #[test]
+    fn phase_callbacks_fire_in_order() {
+        use std::sync::atomic::{AtomicU8, Ordering};
+        let runner = runner();
+        let residency = Semaphore::new(1);
+        let phase = Arc::new(AtomicU8::new(0));
+        let (p1, p2, p3) = (Arc::clone(&phase), Arc::clone(&phase), Arc::clone(&phase));
+        let control = JobControl {
+            cancel: CancelToken::new(),
+            on_planning: Some(Arc::new(move || {
+                p1.compare_exchange(0, 1, Ordering::SeqCst, Ordering::SeqCst)
+                    .expect("planning must be the first phase");
+            })),
+            on_plan_ready: Some(Arc::new(move |_hit| {
+                p2.compare_exchange(1, 2, Ordering::SeqCst, Ordering::SeqCst)
+                    .expect("plan-ready must follow planning");
+            })),
+            on_executing: Some(Arc::new(move |_done, _total| {
+                p3.store(3, Ordering::SeqCst);
+            })),
+        };
+        runner
+            .execute_job(0, SimJob::new(generators::qft(7)), &residency, &control)
+            .unwrap();
+        assert_eq!(phase.load(Ordering::SeqCst), 3, "executing never reported");
+    }
+
+    #[test]
+    fn plan_failure_is_an_error_not_a_panic() {
+        let runner = runner();
+        let residency = Semaphore::new(1);
+        // Toffoli arity 3 with an explicit limit of 2: unplannable.
+        let job = SimJob::new(generators::adder(8))
+            .with_engine(EngineKind::Hier)
+            .with_limit(2);
+        let err = runner
+            .execute_job(0, job, &residency, &JobControl::new())
+            .unwrap_err();
+        match err {
+            JobError::PlanFailed { limit, .. } => assert_eq!(limit, 2),
+            other => panic!("expected PlanFailed, got {other}"),
+        }
+    }
+}

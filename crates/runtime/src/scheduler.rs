@@ -13,23 +13,20 @@
 //! * **Plans** — partitioning goes through the shared [`PlanCache`], so
 //!   structurally identical jobs plan once (with in-flight deduplication).
 //!
-//! Results are returned in submission order with per-job and per-batch
-//! accounting (engine choice, plan time, cache hit rate).
+//! The plan–execute pipeline itself lives in [`crate::pool::JobRunner`] —
+//! the scheduler drives it with inert [`JobControl`]s, and the long-lived
+//! `hisvsim-service` drives the very same core with real cancellation
+//! tokens and progress callbacks. Results are returned in submission order
+//! with per-job and per-batch accounting (engine choice, plan time, cache
+//! hit rate).
 
-use crate::cache::{CacheStats, CachedPlan, PlanCache, PlanKey};
+use crate::cache::{CacheStats, PlanCache};
 use crate::job::{JobResult, SimJob};
-use crate::planner::{PlanEffort, Planner};
-use crate::selector::{EngineDecision, EngineKind, EngineSelector};
-use hisvsim_circuit::Circuit;
-use hisvsim_core::{
-    BaselineConfig, DistConfig, DistributedSimulator, HierConfig, HierarchicalSimulator,
-    IqsBaseline, MultilevelConfig, MultilevelSimulator, RunReport,
-};
-use hisvsim_dag::CircuitDag;
-use hisvsim_partition::Strategy;
-use hisvsim_statevec::{measure, StateVector, DEFAULT_FUSION_WIDTH};
+use crate::planner::PlanEffort;
+use crate::pool::{JobControl, JobError, JobRunner, Semaphore};
+use crate::selector::{EngineKind, EngineSelector};
 use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Scheduler configuration.
@@ -103,7 +100,8 @@ impl SchedulerConfig {
     }
 }
 
-/// Per-batch aggregate statistics ([`RunReport`]-style, one level up).
+/// Per-batch aggregate statistics ([`RunReport`](hisvsim_core::RunReport)-
+/// style, one level up).
 #[derive(Debug, Clone)]
 pub struct BatchStats {
     /// Number of jobs executed.
@@ -116,7 +114,8 @@ pub struct BatchStats {
     pub plan_time_s: f64,
     /// Plan-cache counters for this batch (delta, not lifetime).
     pub cache: CacheStats,
-    /// Jobs per engine, in [`EngineKind::ALL`] order.
+    /// Jobs per engine, indexed by [`EngineKind::index`] (the
+    /// [`EngineKind::ALL`] order).
     pub engine_counts: [usize; 4],
     /// Total measurement shots sampled.
     pub shots: usize,
@@ -146,7 +145,7 @@ impl std::fmt::Display for BatchStats {
         writeln!(
             f,
             "plan cache: {} hits / {} misses ({:.0}% hit rate), {:.3} s planning",
-            self.cache.hits,
+            self.cache.hits + self.cache.warm_hits,
             self.cache.misses,
             100.0 * self.cache.hit_rate(),
             self.plan_time_s
@@ -167,25 +166,30 @@ pub struct BatchReport {
 /// cache persists across batches, so a long-lived scheduler keeps getting
 /// faster on recurring circuit structures.
 pub struct Scheduler {
-    config: SchedulerConfig,
-    cache: PlanCache,
+    runner: JobRunner,
 }
 
 impl Scheduler {
     /// Create a scheduler (allocates the persistent plan cache).
     pub fn new(config: SchedulerConfig) -> Self {
-        let cache = PlanCache::new(config.cache_capacity.max(1));
-        Self { config, cache }
+        Self {
+            runner: JobRunner::new(config),
+        }
     }
 
     /// The configuration.
     pub fn config(&self) -> &SchedulerConfig {
-        &self.config
+        self.runner.config()
     }
 
     /// The persistent plan cache (for inspection; stats survive batches).
     pub fn cache(&self) -> &PlanCache {
-        &self.cache
+        self.runner.cache()
+    }
+
+    /// The underlying job-execution core (shared with the service layer).
+    pub fn runner(&self) -> &JobRunner {
+        &self.runner
     }
 
     /// Execute every job and return results in submission order.
@@ -197,16 +201,17 @@ impl Scheduler {
     /// or if a worker thread panics.
     pub fn run_batch(&self, jobs: Vec<SimJob>) -> BatchReport {
         let start = Instant::now();
-        let cache_before = self.cache.stats();
+        let cache_before = self.cache().stats();
         let num_jobs = jobs.len();
 
         let queue: Mutex<VecDeque<(usize, SimJob)>> =
             Mutex::new(jobs.into_iter().enumerate().collect());
         let results: Mutex<Vec<Option<JobResult>>> =
             Mutex::new((0..num_jobs).map(|_| None).collect());
-        let residency = Semaphore::new(self.config.max_resident.max(1));
+        let residency = Semaphore::new(self.config().max_resident.max(1));
+        let control = JobControl::new();
 
-        let worker_count = self.config.workers.clamp(1, num_jobs.max(1));
+        let worker_count = self.config().workers.clamp(1, num_jobs.max(1));
         std::thread::scope(|scope| {
             for _ in 0..worker_count {
                 scope.spawn(|| loop {
@@ -214,7 +219,13 @@ impl Scheduler {
                     else {
                         return;
                     };
-                    let result = self.execute_job(index, job, &residency);
+                    let result = match self.runner.execute_job(index, job, &residency, &control) {
+                        Ok(result) => result,
+                        Err(e @ JobError::PlanFailed { .. }) => panic!("{e}"),
+                        Err(JobError::Cancelled) => {
+                            unreachable!("run_batch uses an inert control")
+                        }
+                    };
                     results.lock().expect("result board poisoned")[index] = Some(result);
                 });
             }
@@ -230,15 +241,14 @@ impl Scheduler {
 
         let mut engine_counts = [0usize; 4];
         for r in &results {
-            let slot = EngineKind::ALL.iter().position(|k| *k == r.engine).unwrap();
-            engine_counts[slot] += 1;
+            engine_counts[r.engine.index()] += 1;
         }
         let stats = BatchStats {
             jobs: num_jobs,
             total_wall_s: start.elapsed().as_secs_f64(),
             job_wall_sum_s: results.iter().map(|r| r.wall_time_s).sum(),
             plan_time_s: results.iter().map(|r| r.plan_time_s).sum(),
-            cache: self.cache.stats().since(&cache_before),
+            cache: self.cache().stats().since(&cache_before),
             engine_counts,
             shots: results
                 .iter()
@@ -246,211 +256,6 @@ impl Scheduler {
                 .sum(),
         };
         BatchReport { results, stats }
-    }
-
-    /// Plan (through the cache when enabled) and execute one job. The
-    /// residency permit is acquired only for the simulation + post-processing
-    /// phase — planning holds no simulation state, so cache-miss planning of
-    /// one job overlaps the (memory-bounded) simulation of others.
-    fn execute_job(&self, job_index: usize, job: SimJob, residency: &Semaphore) -> JobResult {
-        let start = Instant::now();
-        let mut decision = self.config.selector.decide(&job.circuit, job.engine);
-        if let Some(limit) = job.limit {
-            decision.limit = limit;
-            if decision.engine == EngineKind::Multilevel {
-                decision.second_limit = decision.second_limit.min(limit);
-            }
-        }
-        // A distributed plan must fit each rank's local slice; mirror the
-        // clamp `DistributedSimulator::run` applies so an explicit per-job
-        // limit override cannot push a working set past the local width.
-        if matches!(decision.engine, EngineKind::Dist | EngineKind::Multilevel) {
-            let local = job.circuit.num_qubits() - decision.ranks.trailing_zeros() as usize;
-            decision.limit = decision.limit.min(local.max(1));
-            decision.second_limit = decision.second_limit.min(decision.limit);
-        }
-        let fusion = job.fusion.unwrap_or(DEFAULT_FUSION_WIDTH).max(1);
-
-        let plan_start = Instant::now();
-        let (plan, cache_hit) = self.obtain_plan(&job.circuit, &decision, fusion);
-        let plan_time_s = plan_start.elapsed().as_secs_f64();
-
-        // The permit covers the simulation (allocation of the outer state
-        // vector) through post-processing.
-        let _permit = residency.acquire();
-        let (state, report) = self.simulate(&job.circuit, &decision, fusion, plan.as_ref());
-
-        // Post-processing: shot sampling and Z expectations reuse the
-        // statevec measurement utilities on the engine's final state. The
-        // parallel counter-based sampler keeps shots deterministic per seed
-        // regardless of worker/thread count.
-        let counts = if job.shots > 0 {
-            let mut counts = std::collections::BTreeMap::new();
-            for outcome in measure::sample_shots(&state, job.shots, job.seed) {
-                *counts.entry(outcome).or_insert(0) += 1;
-            }
-            counts
-        } else {
-            Default::default()
-        };
-        let z_expectations = job
-            .observables
-            .iter()
-            .map(|&q| (q, measure::expectation_z(&state, q)))
-            .collect();
-
-        JobResult {
-            job_index,
-            circuit_name: job.circuit.name.clone(),
-            engine: decision.engine,
-            state: self.config.retain_states.then_some(state),
-            report,
-            counts,
-            z_expectations,
-            wall_time_s: start.elapsed().as_secs_f64(),
-            plan_time_s,
-            plan_cache_hit: cache_hit,
-        }
-    }
-
-    /// Obtain the fused partition plan for a decision: from the cache when
-    /// enabled, else planned directly. Baseline runs unpartitioned (its
-    /// fused segments are derived inside the engine).
-    fn obtain_plan(
-        &self,
-        circuit: &Circuit,
-        decision: &EngineDecision,
-        fusion: usize,
-    ) -> (Option<CachedPlan>, bool) {
-        if decision.engine == EngineKind::Baseline {
-            return (None, false);
-        }
-        let planner = Planner::new(self.config.effort);
-        let two_level = decision.engine == EngineKind::Multilevel;
-        let compute = || {
-            let dag = CircuitDag::from_circuit(circuit);
-            if two_level {
-                planner
-                    .plan_two_level_fused(
-                        circuit,
-                        &dag,
-                        decision.limit,
-                        decision.second_limit,
-                        fusion,
-                    )
-                    .map(|ml| CachedPlan::Two(Arc::new(ml)))
-            } else {
-                planner
-                    .plan_single_fused(circuit, &dag, decision.limit, fusion)
-                    .map(|p| CachedPlan::Single(Arc::new(p)))
-            }
-        };
-
-        let outcome = if self.config.cache_capacity == 0 {
-            compute().map(|plan| (plan, false))
-        } else {
-            let key = PlanKey {
-                fingerprint: circuit.fingerprint(),
-                limit: decision.limit,
-                second_limit: if two_level { decision.second_limit } else { 0 },
-                fusion,
-                effort: self.config.effort,
-            };
-            self.cache.get_or_plan(key, compute)
-        };
-        match outcome {
-            Ok((plan, hit)) => (Some(plan), hit),
-            Err(e) => panic!(
-                "planning failed for '{}' (engine {}, limit {}): {e}",
-                circuit.name, decision.engine, decision.limit
-            ),
-        }
-    }
-
-    /// Run the chosen engine against the precomputed fused plan.
-    fn simulate(
-        &self,
-        circuit: &Circuit,
-        decision: &EngineDecision,
-        fusion: usize,
-        plan: Option<&CachedPlan>,
-    ) -> (StateVector, RunReport) {
-        let network = self.config.selector.network;
-        match decision.engine {
-            EngineKind::Baseline => {
-                let run = IqsBaseline::new(
-                    BaselineConfig::new(decision.ranks)
-                        .with_network(network)
-                        .with_fusion(fusion),
-                )
-                .run(circuit);
-                (run.state, run.report)
-            }
-            EngineKind::Hier => {
-                let plan = plan.expect("hier engine needs a plan").expect_single();
-                let sim = HierarchicalSimulator::new(
-                    HierConfig::new(decision.limit).with_strategy(Strategy::DagP),
-                );
-                let run = sim.run_with_fused_plan(circuit, plan);
-                (run.state, run.report)
-            }
-            EngineKind::Dist => {
-                let plan = plan.expect("dist engine needs a plan").expect_single();
-                let sim = DistributedSimulator::new(
-                    DistConfig::new(decision.ranks)
-                        .with_limit(decision.limit)
-                        .with_network(network),
-                );
-                let run = sim.run_with_fused_plan(circuit, plan);
-                (run.state, run.report)
-            }
-            EngineKind::Multilevel => {
-                let plan = plan.expect("multilevel engine needs a plan").expect_two();
-                let sim = MultilevelSimulator::new(
-                    MultilevelConfig::new(decision.ranks, decision.second_limit)
-                        .with_network(network),
-                );
-                let run = sim.run_with_fused_plan(circuit, plan);
-                (run.state, run.report)
-            }
-        }
-    }
-}
-
-/// A plain counting semaphore (std has none until `Semaphore` stabilises).
-struct Semaphore {
-    permits: Mutex<usize>,
-    available: Condvar,
-}
-
-struct Permit<'a> {
-    semaphore: &'a Semaphore,
-}
-
-impl Semaphore {
-    fn new(permits: usize) -> Self {
-        Self {
-            permits: Mutex::new(permits),
-            available: Condvar::new(),
-        }
-    }
-
-    fn acquire(&self) -> Permit<'_> {
-        let mut permits = self.permits.lock().expect("semaphore poisoned");
-        while *permits == 0 {
-            permits = self.available.wait(permits).expect("semaphore poisoned");
-        }
-        *permits -= 1;
-        Permit { semaphore: self }
-    }
-}
-
-impl Drop for Permit<'_> {
-    fn drop(&mut self) {
-        let mut permits = self.semaphore.permits.lock().expect("semaphore poisoned");
-        *permits += 1;
-        drop(permits);
-        self.semaphore.available.notify_one();
     }
 }
 

@@ -41,6 +41,18 @@ impl EngineKind {
         EngineKind::Multilevel,
     ];
 
+    /// This engine's slot in [`EngineKind::ALL`] — the index used wherever
+    /// per-engine accounting is kept (batch histograms, service metrics).
+    /// Infallible by construction, unlike scanning `ALL` with `position`.
+    pub const fn index(self) -> usize {
+        match self {
+            EngineKind::Baseline => 0,
+            EngineKind::Hier => 1,
+            EngineKind::Dist => 2,
+            EngineKind::Multilevel => 3,
+        }
+    }
+
     /// Stable lowercase name used in reports.
     pub fn name(&self) -> &'static str {
         match self {
@@ -240,6 +252,13 @@ fn qubits_fitting(bytes: u128) -> usize {
 mod tests {
     use super::*;
     use hisvsim_circuit::generators;
+
+    #[test]
+    fn engine_index_matches_the_all_order() {
+        for (slot, kind) in EngineKind::ALL.iter().enumerate() {
+            assert_eq!(kind.index(), slot, "{kind} index out of sync with ALL");
+        }
+    }
 
     #[test]
     fn qubit_budgets_match_powers_of_two() {

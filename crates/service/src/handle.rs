@@ -1,0 +1,270 @@
+//! The client side of a submitted job: status snapshots, the progress
+//! event stream, blocking waits and cancellation.
+
+use crossbeam::channel::{Receiver, Sender};
+use hisvsim_runtime::JobResult;
+use hisvsim_statevec::CancelToken;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Scheduling priority of a submitted job. Higher priorities are popped
+/// first; within a priority the queue is FIFO.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum JobPriority {
+    /// Background work (sweeps, speculative submissions).
+    Low,
+    /// The default.
+    Normal,
+    /// Latency-sensitive work; jumps every queued `Normal`/`Low` job.
+    High,
+}
+
+/// One event on a job's progress stream, in lifecycle order:
+/// `Queued → Planning → PlanReady → Executing…` and then exactly one of
+/// `Done`, `Cancelled` or `Failed`, after which the stream disconnects.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobEvent {
+    /// The job entered the priority queue.
+    Queued,
+    /// A worker claimed the job and started planning (or a cache lookup).
+    Planning,
+    /// The plan is ready; `cache_hit` is true when it came from the plan
+    /// cache (in-memory, or re-fused from a disk-persisted partition)
+    /// instead of being planned from scratch.
+    PlanReady {
+        /// Whether the plan came from the cache.
+        cache_hit: bool,
+    },
+    /// The engine is executing; emitted at execution start
+    /// (`gates_done == 0`) and after every completed part.
+    Executing {
+        /// Source gates whose parts have fully executed.
+        gates_done: u64,
+        /// Total source gates of the circuit.
+        gates_total: u64,
+    },
+    /// The job finished; its [`JobResult`] is available via
+    /// [`JobHandle::wait`].
+    Done,
+    /// The job was cancelled at a cooperative checkpoint (or while queued).
+    Cancelled,
+    /// The job failed (planning error or an engine panic).
+    Failed {
+        /// Human-readable failure description.
+        message: String,
+    },
+}
+
+/// A point-in-time status snapshot, returned by [`JobHandle::poll`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Waiting in the priority queue.
+    Queued,
+    /// A worker is planning (or looking the plan up).
+    Planning,
+    /// Plan ready; waiting for a resident-state-vector slot.
+    PlanReady,
+    /// The engine is executing.
+    Executing {
+        /// Source gates whose parts have fully executed.
+        gates_done: u64,
+        /// Total source gates of the circuit.
+        gates_total: u64,
+    },
+    /// Finished successfully.
+    Done,
+    /// Cancelled.
+    Cancelled,
+    /// Failed (see the [`JobEvent::Failed`] message / [`JobHandle::wait`]).
+    Failed,
+}
+
+impl JobStatus {
+    /// Terminal states produce no further events.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobStatus::Done | JobStatus::Cancelled | JobStatus::Failed
+        )
+    }
+}
+
+/// Why a job produced no result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobFailure {
+    /// The job was cancelled.
+    Cancelled,
+    /// Planning failed or the engine panicked.
+    Failed(String),
+}
+
+impl std::fmt::Display for JobFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobFailure::Cancelled => f.write_str("job cancelled"),
+            JobFailure::Failed(message) => write!(f, "job failed: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for JobFailure {}
+
+/// The state shared between a [`JobHandle`] and the worker executing the
+/// job.
+pub(crate) struct JobShared {
+    pub(crate) id: u64,
+    pub(crate) cancel: CancelToken,
+    pub(crate) state: Mutex<JobState>,
+    pub(crate) finished: Condvar,
+    /// Event sender; dropped at the terminal transition so the stream
+    /// disconnects once drained.
+    pub(crate) events: Mutex<Option<Sender<JobEvent>>>,
+}
+
+pub(crate) struct JobState {
+    pub(crate) status: JobStatus,
+    pub(crate) outcome: Option<Result<JobResult, JobFailure>>,
+}
+
+impl JobShared {
+    pub(crate) fn new(id: u64, events: Sender<JobEvent>) -> Self {
+        Self {
+            id,
+            cancel: CancelToken::new(),
+            state: Mutex::new(JobState {
+                status: JobStatus::Queued,
+                outcome: None,
+            }),
+            finished: Condvar::new(),
+            events: Mutex::new(Some(events)),
+        }
+    }
+
+    /// Emit an event to the stream (dropped silently once the handle's
+    /// receiver is gone).
+    pub(crate) fn emit(&self, event: JobEvent) {
+        if let Some(sender) = self.events.lock().expect("event sink poisoned").as_ref() {
+            let _ = sender.send(event);
+        }
+    }
+
+    /// Update the non-terminal status (no-op once terminal — a late engine
+    /// progress report must not resurrect a cancelled job's status).
+    pub(crate) fn set_status(&self, status: JobStatus) {
+        let mut state = self.state.lock().expect("job state poisoned");
+        if !state.status.is_terminal() {
+            state.status = status;
+        }
+    }
+
+    /// Terminal transition: record the outcome exactly once, emit the
+    /// matching event, close the stream and wake every waiter. Returns
+    /// false if the job was already finalized (e.g. cancel-after-complete).
+    pub(crate) fn finalize(&self, outcome: Result<JobResult, JobFailure>) -> bool {
+        let event = {
+            let mut state = self.state.lock().expect("job state poisoned");
+            if state.outcome.is_some() {
+                return false;
+            }
+            let (status, event) = match &outcome {
+                Ok(_) => (JobStatus::Done, JobEvent::Done),
+                Err(JobFailure::Cancelled) => (JobStatus::Cancelled, JobEvent::Cancelled),
+                Err(JobFailure::Failed(message)) => (
+                    JobStatus::Failed,
+                    JobEvent::Failed {
+                        message: message.clone(),
+                    },
+                ),
+            };
+            state.status = status;
+            state.outcome = Some(outcome);
+            event
+        };
+        // Send the terminal event and close the stream under one lock hold,
+        // so a racing phase emit can land before the terminal event but
+        // never after it (the sender is gone); receivers observe disconnect
+        // after draining.
+        {
+            let mut sink = self.events.lock().expect("event sink poisoned");
+            if let Some(sender) = sink.take() {
+                let _ = sender.send(event);
+            }
+        }
+        self.finished.notify_all();
+        true
+    }
+}
+
+/// A non-blocking handle to a submitted job: poll it, wait on it, cancel
+/// it, or follow its progress event stream.
+pub struct JobHandle {
+    pub(crate) shared: Arc<JobShared>,
+    pub(crate) events: Receiver<JobEvent>,
+}
+
+impl JobHandle {
+    /// The service-assigned job id (also the `job_index` of the eventual
+    /// [`JobResult`]).
+    pub fn id(&self) -> u64 {
+        self.shared.id
+    }
+
+    /// Non-blocking status snapshot.
+    pub fn poll(&self) -> JobStatus {
+        self.shared.state.lock().expect("job state poisoned").status
+    }
+
+    /// True once the job reached `Done`, `Cancelled` or `Failed`.
+    pub fn is_finished(&self) -> bool {
+        self.poll().is_terminal()
+    }
+
+    /// Block until the job finishes and return its outcome. Can be called
+    /// repeatedly (the result is cloned out).
+    pub fn wait(&self) -> Result<JobResult, JobFailure> {
+        let mut state = self.shared.state.lock().expect("job state poisoned");
+        while state.outcome.is_none() {
+            state = self
+                .shared
+                .finished
+                .wait(state)
+                .expect("job state poisoned");
+        }
+        state.outcome.clone().expect("outcome present")
+    }
+
+    /// Request cooperative cancellation. A queued job is finalized
+    /// immediately; a running job stops at its next checkpoint (between
+    /// fused parts / gather assignments), releasing its residency slot.
+    /// Cancelling a finished job is a no-op.
+    pub fn cancel(&self) {
+        self.shared.cancel.cancel();
+        // Fast path: a job still in the queue is finalized here and never
+        // claimed (workers skip jobs with an outcome). Running jobs are
+        // finalized by their worker at the next checkpoint.
+        let queued = {
+            let state = self.shared.state.lock().expect("job state poisoned");
+            state.status == JobStatus::Queued && state.outcome.is_none()
+        };
+        if queued {
+            self.shared.finalize(Err(JobFailure::Cancelled));
+        }
+    }
+
+    /// The progress event stream (see [`JobEvent`] for the order). Events
+    /// are buffered from submission, so a late subscriber still sees the
+    /// full history; the channel disconnects after the terminal event.
+    /// Each event is delivered to exactly one receiver — clone intended
+    /// for a single consumer.
+    pub fn progress(&self) -> Receiver<JobEvent> {
+        self.events.clone()
+    }
+}
+
+impl std::fmt::Debug for JobHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobHandle")
+            .field("id", &self.shared.id)
+            .field("status", &self.poll())
+            .finish()
+    }
+}

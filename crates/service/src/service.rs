@@ -1,0 +1,345 @@
+//! The long-lived job service: a priority queue in front of the runtime's
+//! worker-pool core.
+
+use crate::handle::{JobEvent, JobFailure, JobHandle, JobPriority, JobShared, JobStatus};
+use hisvsim_runtime::pool::{JobControl, JobError, JobRunner, Semaphore};
+use hisvsim_runtime::{CacheStats, PlanCache, SchedulerConfig, SimJob};
+use std::collections::BinaryHeap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Service configuration: the scheduler configuration the worker-pool core
+/// runs with, plus the service-level persistence knobs.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceConfig {
+    /// Worker count, residency bound, plan-cache capacity, planning effort,
+    /// engine selector — identical semantics to batch mode.
+    pub scheduler: SchedulerConfig,
+    /// Plan-cache snapshot location. When set, the snapshot is loaded at
+    /// startup (missing file = cold start, not an error) and written at
+    /// shutdown, so a restarted service replans nothing it already planned.
+    pub persist_path: Option<PathBuf>,
+}
+
+impl ServiceConfig {
+    /// The default configuration (no persistence).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder: use this scheduler configuration.
+    pub fn with_scheduler(mut self, scheduler: SchedulerConfig) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Builder: persist the plan cache at `path` (loaded at startup,
+    /// saved at shutdown and via [`SimService::persist_plans`]).
+    pub fn with_persistence(mut self, path: impl Into<PathBuf>) -> Self {
+        self.persist_path = Some(path.into());
+        self
+    }
+}
+
+/// Lifetime counters of a service instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Jobs accepted by [`SimService::submit`].
+    pub submitted: u64,
+    /// Jobs that finished successfully.
+    pub completed: u64,
+    /// Jobs cancelled (while queued or mid-execution).
+    pub cancelled: u64,
+    /// Jobs that failed (planning error or engine panic).
+    pub failed: u64,
+    /// Jobs currently waiting in the priority queue.
+    pub queue_depth: usize,
+}
+
+/// A queued job: max-heap ordering is priority first, FIFO within a
+/// priority (lower sequence number wins).
+struct QueuedJob {
+    priority: JobPriority,
+    seq: u64,
+    job: SimJob,
+    shared: Arc<JobShared>,
+}
+
+impl PartialEq for QueuedJob {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl Eq for QueuedJob {}
+impl PartialOrd for QueuedJob {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueuedJob {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.priority
+            .cmp(&other.priority)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+struct Inner {
+    runner: JobRunner,
+    residency: Semaphore,
+    queue: Mutex<BinaryHeap<QueuedJob>>,
+    queue_ready: Condvar,
+    shutdown: AtomicBool,
+    next_seq: AtomicU64,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    cancelled: AtomicU64,
+    failed: AtomicU64,
+}
+
+/// A long-lived simulation job service: non-blocking [`SimService::submit`]
+/// returning a [`JobHandle`] with `poll`/`wait`/`cancel` and a progress
+/// event stream, a mixed-priority queue drained by the runtime's
+/// worker-pool core, and an optionally disk-persisted plan cache so a
+/// restarted service starts warm.
+///
+/// Dropping the service (or calling [`SimService::shutdown`]) drains the
+/// queue — every already-submitted job still runs to a terminal state —
+/// then joins the workers and writes the plan-cache snapshot if
+/// persistence is configured.
+pub struct SimService {
+    inner: Arc<Inner>,
+    persist_path: Option<PathBuf>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl SimService {
+    /// Start a service: loads the plan-cache snapshot when persistence is
+    /// configured (a missing snapshot is a cold start, not an error), then
+    /// spawns the worker threads.
+    pub fn start(config: ServiceConfig) -> Self {
+        let runner = JobRunner::new(config.scheduler.clone());
+        if let Some(path) = &config.persist_path {
+            if path.exists() {
+                // A corrupt snapshot degrades to a cold start.
+                let _ = runner.cache().load_snapshot(path);
+            }
+        }
+        let inner = Arc::new(Inner {
+            residency: Semaphore::new(config.scheduler.max_resident.max(1)),
+            runner,
+            queue: Mutex::new(BinaryHeap::new()),
+            queue_ready: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            next_seq: AtomicU64::new(0),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+        });
+        let workers = (0..config.scheduler.workers.max(1))
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || worker_loop(&inner))
+            })
+            .collect();
+        Self {
+            inner,
+            persist_path: config.persist_path,
+            workers,
+        }
+    }
+
+    /// Submit a job at [`JobPriority::Normal`]. Non-blocking: returns a
+    /// handle immediately; execution happens on the worker pool.
+    pub fn submit(&self, job: SimJob) -> JobHandle {
+        self.submit_with_priority(job, JobPriority::Normal)
+    }
+
+    /// Submit a job at an explicit priority.
+    pub fn submit_with_priority(&self, job: SimJob, priority: JobPriority) -> JobHandle {
+        let seq = self.inner.next_seq.fetch_add(1, Ordering::Relaxed);
+        self.inner.submitted.fetch_add(1, Ordering::Relaxed);
+        let (sender, receiver) = crossbeam::channel::unbounded();
+        let shared = Arc::new(JobShared::new(seq, sender));
+        shared.emit(JobEvent::Queued);
+        let handle = JobHandle {
+            shared: Arc::clone(&shared),
+            events: receiver,
+        };
+        self.inner
+            .queue
+            .lock()
+            .expect("job queue poisoned")
+            .push(QueuedJob {
+                priority,
+                seq,
+                job,
+                shared,
+            });
+        self.inner.queue_ready.notify_one();
+        handle
+    }
+
+    /// The worker-pool core's persistent plan cache.
+    pub fn cache(&self) -> &PlanCache {
+        self.inner.runner.cache()
+    }
+
+    /// Plan-cache counters (lifetime of this service instance, plus
+    /// whatever warm entries the snapshot provided).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.inner.runner.cache().stats()
+    }
+
+    /// Lifetime service counters.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            submitted: self.inner.submitted.load(Ordering::Relaxed),
+            completed: self.inner.completed.load(Ordering::Relaxed),
+            cancelled: self.inner.cancelled.load(Ordering::Relaxed),
+            failed: self.inner.failed.load(Ordering::Relaxed),
+            queue_depth: self.inner.queue.lock().expect("job queue poisoned").len(),
+        }
+    }
+
+    /// Write the plan-cache snapshot now (requires persistence to be
+    /// configured). Returns the number of persisted plans.
+    pub fn persist_plans(&self) -> std::io::Result<usize> {
+        let path = self.persist_path.as_ref().ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::NotFound, "no persist_path configured")
+        })?;
+        self.inner.runner.cache().save_snapshot(path)
+    }
+
+    /// Drain the queue, join the workers and persist the plan cache (when
+    /// configured). Equivalent to dropping the service, but explicit and
+    /// able to report the flush.
+    pub fn shutdown(mut self) -> std::io::Result<()> {
+        self.shutdown_impl();
+        Ok(())
+    }
+
+    fn shutdown_impl(&mut self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.queue_ready.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        if let Some(path) = &self.persist_path {
+            let _ = self.inner.runner.cache().save_snapshot(path);
+        }
+    }
+}
+
+impl Drop for SimService {
+    fn drop(&mut self) {
+        if !self.workers.is_empty() {
+            self.shutdown_impl();
+        }
+    }
+}
+
+/// Worker body: pop the highest-priority job, run it through the pool core
+/// with the handle's cancel token and event callbacks wired in, finalize.
+/// Exits once shutdown is flagged *and* the queue is drained.
+fn worker_loop(inner: &Inner) {
+    loop {
+        let next = {
+            let mut queue = inner.queue.lock().expect("job queue poisoned");
+            loop {
+                if let Some(job) = queue.pop() {
+                    break Some(job);
+                }
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                queue = inner.queue_ready.wait(queue).expect("job queue poisoned");
+            }
+        };
+        match next {
+            Some(queued) => run_one(inner, queued),
+            None => return,
+        }
+    }
+}
+
+fn run_one(inner: &Inner, queued: QueuedJob) {
+    let QueuedJob {
+        seq, job, shared, ..
+    } = queued;
+    // Claim: a job cancelled while queued was already finalized by its
+    // handle — skip it entirely.
+    {
+        let state = shared.state.lock().expect("job state poisoned");
+        if state.outcome.is_some() {
+            inner.cancelled.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+    }
+
+    let control = {
+        let (planning, plan_ready, executing) = (
+            Arc::clone(&shared),
+            Arc::clone(&shared),
+            Arc::clone(&shared),
+        );
+        JobControl {
+            cancel: shared.cancel.clone(),
+            on_planning: Some(Arc::new(move || {
+                planning.set_status(JobStatus::Planning);
+                planning.emit(JobEvent::Planning);
+            })),
+            on_plan_ready: Some(Arc::new(move |cache_hit| {
+                plan_ready.set_status(JobStatus::PlanReady);
+                plan_ready.emit(JobEvent::PlanReady { cache_hit });
+            })),
+            on_executing: Some(Arc::new(move |gates_done, gates_total| {
+                executing.set_status(JobStatus::Executing {
+                    gates_done,
+                    gates_total,
+                });
+                executing.emit(JobEvent::Executing {
+                    gates_done,
+                    gates_total,
+                });
+            })),
+        }
+    };
+
+    // A panicking engine must kill the job, not the worker thread.
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        inner
+            .runner
+            .execute_job(seq as usize, job, &inner.residency, &control)
+    }));
+    let outcome = match outcome {
+        Ok(Ok(result)) => Ok(result),
+        Ok(Err(JobError::Cancelled)) => Err(JobFailure::Cancelled),
+        Ok(Err(error @ JobError::PlanFailed { .. })) => Err(JobFailure::Failed(error.to_string())),
+        Err(panic) => {
+            let message = panic
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "engine panicked".to_string());
+            Err(JobFailure::Failed(message))
+        }
+    };
+    let counter = match &outcome {
+        Ok(_) => &inner.completed,
+        Err(JobFailure::Cancelled) => &inner.cancelled,
+        Err(JobFailure::Failed(_)) => &inner.failed,
+    };
+    // Count before finalizing, so the stats already reflect this job the
+    // moment a `wait()` on it returns.
+    counter.fetch_add(1, Ordering::Relaxed);
+    if !shared.finalize(outcome) {
+        // The handle finalized first (cancel racing completion): the
+        // handle's verdict stands; undo ours and account a cancellation.
+        counter.fetch_sub(1, Ordering::Relaxed);
+        inner.cancelled.fetch_add(1, Ordering::Relaxed);
+    }
+}

@@ -12,7 +12,9 @@
 //!   state vectors (paper Algorithm 1),
 //! * [`fusion`] — greedy gate fusion into small dense unitaries (the
 //!   kernel-level optimisation the paper calls orthogonal to its partitioning),
-//! * [`measure`] — probabilities, sampling and expectation values.
+//! * [`measure`] — probabilities, sampling and expectation values,
+//! * [`interrupt`] — the cooperative [`CancelToken`] the engines poll so a
+//!   long sweep can be abandoned between checkpoints.
 //!
 //! The hierarchical, distributed and multi-level engines live in
 //! `hisvsim-core` and are built entirely from these primitives.
@@ -34,12 +36,14 @@
 
 pub mod fusion;
 pub mod gather;
+pub mod interrupt;
 pub mod kernels;
 pub mod measure;
 pub mod state;
 
 pub use fusion::{FusedCircuit, FusedOp, DEFAULT_FUSION_WIDTH};
 pub use gather::GatherMap;
+pub use interrupt::{CancelToken, Cancelled};
 pub use kernels::{apply_circuit, apply_gate, run_circuit, ApplyOptions};
 pub use state::StateVector;
 

@@ -1,0 +1,253 @@
+//! Integration tests of the `hisvsim-service` job service: cancellation
+//! (queued, in-flight, after completion), resident-slot release, concurrent
+//! submit/poll, warm-start persistence, and the clean-drain smoke the CI
+//! workflow runs under a timeout.
+
+use hisvsim_circuit::generators;
+use hisvsim_runtime::{EngineKind, EngineSelector, Scheduler, SchedulerConfig, SimJob};
+use hisvsim_service::prelude::*;
+use std::time::{Duration, Instant};
+
+fn scaled_config(workers: usize) -> SchedulerConfig {
+    SchedulerConfig::default()
+        .with_workers(workers)
+        .with_selector(EngineSelector::scaled(4, 8))
+}
+
+fn service(workers: usize) -> SimService {
+    SimService::start(ServiceConfig::new().with_scheduler(scaled_config(workers)))
+}
+
+/// A job big enough that cancellation lands mid-execution: a wide QFT
+/// forced onto the hierarchical engine with a tight limit, so the run
+/// spans many parts × many gather assignments (each a cancellation
+/// checkpoint).
+fn long_job() -> SimJob {
+    SimJob::new(generators::qft(16))
+        .with_engine(EngineKind::Hier)
+        .with_limit(5)
+}
+
+#[test]
+fn in_flight_cancellation_stops_mid_execution_with_ordered_events() {
+    let service = service(1);
+    let handle = service.submit(long_job());
+    let events = handle.progress();
+    // Drain the stream until execution starts, then cancel.
+    loop {
+        match events.recv().expect("stream must not end before Executing") {
+            JobEvent::Executing { .. } => break,
+            _ => continue,
+        }
+    }
+    handle.cancel();
+    assert!(matches!(handle.wait(), Err(JobFailure::Cancelled)));
+    assert_eq!(handle.poll(), JobStatus::Cancelled);
+    // The remaining stream ends with Cancelled (never Done).
+    let mut saw_cancelled = false;
+    while let Ok(event) = events.recv() {
+        assert!(!matches!(event, JobEvent::Done));
+        saw_cancelled |= matches!(event, JobEvent::Cancelled);
+    }
+    assert!(saw_cancelled, "terminal Cancelled event missing");
+}
+
+#[test]
+fn cancelled_job_releases_its_resident_state_slot() {
+    // One residency slot: if a cancelled job leaked its permit, the next
+    // job could never start.
+    let mut config = scaled_config(2);
+    config.max_resident = 1;
+    let service = SimService::start(ServiceConfig::new().with_scheduler(config));
+
+    let victim = service.submit(long_job());
+    let events = victim.progress();
+    loop {
+        match events.recv().expect("stream must not end before Executing") {
+            JobEvent::Executing { .. } => break,
+            _ => continue,
+        }
+    }
+    victim.cancel();
+    assert!(matches!(victim.wait(), Err(JobFailure::Cancelled)));
+
+    let successor = service.submit(SimJob::new(generators::qft(7)));
+    let result = successor
+        .wait()
+        .expect("slot must be free after a cancellation");
+    assert_eq!(result.circuit_name, "qft7");
+}
+
+#[test]
+fn cancelling_a_queued_job_never_runs_it() {
+    let service = service(1);
+    let blocker = service.submit(long_job());
+    let queued = service.submit(SimJob::new(generators::qft(7)));
+    queued.cancel();
+    assert_eq!(queued.poll(), JobStatus::Cancelled);
+    assert!(matches!(queued.wait(), Err(JobFailure::Cancelled)));
+    // The queued job's stream holds Queued then Cancelled — no Planning.
+    let events: Vec<JobEvent> = {
+        let rx = queued.progress();
+        let mut out = Vec::new();
+        while let Ok(e) = rx.recv() {
+            out.push(e);
+        }
+        out
+    };
+    assert_eq!(events, vec![JobEvent::Queued, JobEvent::Cancelled]);
+    blocker.cancel();
+    let _ = blocker.wait();
+}
+
+#[test]
+fn cancel_after_complete_is_a_noop() {
+    let service = service(2);
+    let handle = service.submit(SimJob::new(generators::qft(7)).with_shots(16));
+    let result = handle.wait().expect("job succeeded");
+    handle.cancel();
+    handle.cancel(); // idempotent, twice
+    assert_eq!(handle.poll(), JobStatus::Done);
+    let again = handle.wait().expect("outcome must be stable");
+    assert_eq!(result.counts, again.counts);
+    assert_eq!(service.stats().cancelled, 0);
+}
+
+#[test]
+fn concurrent_submit_and_poll_from_many_threads_never_deadlocks() {
+    let service = service(4);
+    let deadline = Instant::now() + Duration::from_secs(120);
+    std::thread::scope(|scope| {
+        for thread in 0..8u64 {
+            let service = &service;
+            scope.spawn(move || {
+                let mut handles = Vec::new();
+                for i in 0..4u64 {
+                    let priority = match (thread + i) % 3 {
+                        0 => JobPriority::Low,
+                        1 => JobPriority::Normal,
+                        _ => JobPriority::High,
+                    };
+                    handles.push(
+                        service.submit_with_priority(
+                            SimJob::new(generators::random_circuit(6, 20, thread * 10 + i))
+                                .with_shots(8),
+                            priority,
+                        ),
+                    );
+                }
+                // Poll-spin a little (exercising the status lock from many
+                // threads), then block.
+                for handle in &handles {
+                    while !handle.is_finished() {
+                        assert!(Instant::now() < deadline, "deadlock suspected");
+                        match handle.poll() {
+                            JobStatus::Failed => panic!("job failed"),
+                            _ => std::thread::yield_now(),
+                        }
+                    }
+                }
+                for handle in handles {
+                    handle.wait().expect("job succeeded");
+                }
+            });
+        }
+    });
+    let stats = service.stats();
+    assert_eq!(stats.submitted, 32);
+    assert_eq!(stats.completed, 32);
+    assert_eq!(stats.queue_depth, 0);
+}
+
+#[test]
+fn persisted_then_reloaded_plan_cache_is_bit_identical_and_replans_nothing() {
+    let dir = std::env::temp_dir().join(format!("hisvsim-service-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("plans.json");
+    std::fs::remove_file(&path).ok();
+
+    let job = || {
+        SimJob::new(generators::qft(12))
+            .with_engine(EngineKind::Hier)
+            .with_limit(6)
+    };
+
+    // Cold reference: no persistence anywhere.
+    let cold = Scheduler::new(scaled_config(2)).run_batch(vec![job()]);
+    let cold_state = cold.results[0].state.as_ref().unwrap().clone();
+
+    // "Process 1": plan, execute, persist at shutdown.
+    let first = SimService::start(
+        ServiceConfig::new()
+            .with_scheduler(scaled_config(2))
+            .with_persistence(&path),
+    );
+    let state_one = first.submit(job()).wait().unwrap().state.unwrap();
+    assert_eq!(first.cache_stats().misses, 1, "cold service plans once");
+    first.shutdown().unwrap();
+    assert!(path.exists(), "snapshot must be written at shutdown");
+
+    // "Process 2": restart warm — the repeated batch replans 0 circuits.
+    let second = SimService::start(
+        ServiceConfig::new()
+            .with_scheduler(scaled_config(2))
+            .with_persistence(&path),
+    );
+    let handles: Vec<_> = (0..3).map(|_| second.submit(job())).collect();
+    let mut warm_states = Vec::new();
+    for handle in handles {
+        let result = handle.wait().unwrap();
+        assert!(result.plan_cache_hit, "warm restart must hit the cache");
+        warm_states.push(result.state.unwrap());
+    }
+    let stats = second.cache_stats();
+    assert_eq!(stats.misses, 0, "a warm restart replans nothing");
+    assert_eq!(stats.warm_hits, 1, "one disk rebuild, then memory hits");
+    assert_eq!(stats.hits, 2);
+
+    // Same partition + same fusion width ⇒ bit-identical amplitudes, both
+    // across the restart and against the cold plan.
+    for warm in &warm_states {
+        assert_eq!(warm, &state_one, "restart changed the result");
+        assert_eq!(warm, &cold_state, "warm plan diverged from a cold plan");
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+/// The CI smoke test (run under `timeout`): submit a batch, cancel half
+/// mid-flight, assert every job reaches a terminal state and the service
+/// drains cleanly on shutdown.
+#[test]
+fn smoke_submit_batch_cancel_half_drain_cleanly() {
+    let service = service(2);
+    let handles: Vec<_> = (0..10)
+        .map(|i| {
+            if i % 2 == 0 {
+                service.submit(long_job())
+            } else {
+                service.submit(SimJob::new(generators::qft(7)).with_shots(8))
+            }
+        })
+        .collect();
+    // Cancel the even (long) half while the batch is in flight.
+    for handle in handles.iter().step_by(2) {
+        handle.cancel();
+    }
+    let mut cancelled = 0;
+    let mut completed = 0;
+    for (i, handle) in handles.iter().enumerate() {
+        match handle.wait() {
+            Ok(result) => {
+                completed += 1;
+                assert_eq!(i % 2, 1);
+                assert_eq!(result.counts.values().sum::<usize>(), 8);
+            }
+            Err(JobFailure::Cancelled) => cancelled += 1,
+            Err(other) => panic!("unexpected failure: {other}"),
+        }
+        assert!(handle.poll().is_terminal());
+    }
+    assert_eq!(cancelled, 5);
+    assert_eq!(completed, 5);
+    service.shutdown().expect("clean drain");
+}
