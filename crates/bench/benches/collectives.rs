@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use hisvsim_circuit::Complex64;
-use hisvsim_cluster::{run_spmd, NetworkModel};
+use hisvsim_cluster::{run_spmd, NetworkModel, RankComm};
 
 fn bench_collectives(c: &mut Criterion) {
     let mut group = c.benchmark_group("collectives");

@@ -1,0 +1,69 @@
+//! Criterion benchmarks of the two `RankComm` transports side by side: the
+//! in-process channel world (`LocalComm`) versus the TCP socket mesh
+//! (`TcpComm`, built in-process on localhost), on the all-to-all-v exchange
+//! the distributed engines perform at every part switch.
+//!
+//! Each iteration includes world construction (thread spawn / mesh
+//! handshake), mirroring the `collectives` bench, so the numbers answer the
+//! operational question: what does one part-switch exchange cost end to end
+//! on each transport?
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hisvsim_circuit::Complex64;
+use hisvsim_cluster::{world, NetworkModel, RankComm};
+use hisvsim_net::tcp_world;
+use std::thread;
+
+fn exchange_once<C: RankComm<Complex64> + Send + 'static>(worlds: Vec<C>, amps_per_rank: usize) {
+    let handles: Vec<_> = worlds
+        .into_iter()
+        .map(|mut comm| {
+            thread::spawn(move || {
+                let send: Vec<Vec<Complex64>> = (0..comm.size())
+                    .map(|_| vec![Complex64::ONE; amps_per_rank])
+                    .collect();
+                let recv = comm.alltoallv(send, 1);
+                recv.iter().map(|v| v.len()).sum::<usize>()
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("rank thread panicked");
+    }
+}
+
+fn bench_transports(c: &mut Criterion) {
+    let mut group = c.benchmark_group("net_transport");
+    group.sample_size(10);
+
+    for &ranks in &[2usize, 4] {
+        for &amps_per_rank in &[1usize << 10, 1usize << 14] {
+            let bytes = (amps_per_rank * ranks * ranks * 16) as u64;
+            group.throughput(Throughput::Bytes(bytes));
+            group.bench_with_input(
+                BenchmarkId::new(format!("local_{ranks}ranks"), amps_per_rank),
+                &(ranks, amps_per_rank),
+                |b, &(ranks, amps)| {
+                    b.iter(|| exchange_once(world::<Complex64>(ranks, NetworkModel::ideal()), amps))
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("tcp_{ranks}ranks"), amps_per_rank),
+                &(ranks, amps_per_rank),
+                |b, &(ranks, amps)| {
+                    b.iter(|| {
+                        exchange_once(
+                            tcp_world::<Complex64>(ranks, NetworkModel::ideal())
+                                .expect("localhost mesh"),
+                            amps,
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transports);
+criterion_main!(benches);

@@ -1,12 +1,17 @@
-//! The virtual-MPI communicator: ranks are threads, messages are typed
-//! vectors moved through lock-free channels, and every transfer is charged to
-//! the [`NetworkModel`](crate::netmodel::NetworkModel) so engines can report
-//! modelled communication time alongside the real data movement.
+//! The rank-communication surface: a [`RankComm`] trait mirroring the subset
+//! of MPI the paper's simulator needs — tagged point-to-point send/recv,
+//! barrier, all-to-all-v, all-gather and an all-reduce sum ("a general
+//! interface for other simulators to use as a library", Sec. III-D) — plus
+//! the in-process implementation, [`LocalComm`].
 //!
-//! The API mirrors the subset of MPI the paper's simulator needs: tagged
-//! point-to-point send/recv, barrier, all-to-all-v, all-gather and an
-//! all-reduce sum — enough for "a general interface for other simulators to
-//! use as a library" (Sec. III-D).
+//! [`LocalComm`] is the virtual-MPI communicator this reproduction started
+//! with: ranks are threads, messages are typed vectors moved through
+//! lock-free channels, and every transfer is charged to the
+//! [`NetworkModel`](crate::netmodel::NetworkModel) so engines can report
+//! modelled communication time alongside the real data movement. The
+//! `hisvsim-net` crate provides the second implementation, `TcpComm`, which
+//! moves the same messages between OS processes over TCP sockets; engines
+//! written against the trait run unchanged on either world.
 
 use crate::netmodel::NetworkModel;
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -14,9 +19,10 @@ use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
+use std::time::Instant;
 
 /// Per-rank communication statistics, accumulated across the lifetime of a
-/// [`RankComm`].
+/// communicator.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct CommStats {
     /// Point-to-point messages sent (collectives count their constituent
@@ -27,7 +33,8 @@ pub struct CommStats {
     /// Modelled wire time in seconds charged by the network model.
     pub modeled_time_s: f64,
     /// Wall-clock seconds this rank spent inside blocking communication
-    /// calls (receive waits, barriers) on the host machine.
+    /// calls (receive waits, barriers, and the full span of collectives)
+    /// on the host machine.
     pub wall_time_s: f64,
 }
 
@@ -43,17 +50,87 @@ impl CommStats {
     }
 }
 
+/// The rank-communication trait every distributed engine is written against.
+///
+/// Implementations: [`LocalComm`] (threads + channels, this crate) and
+/// `hisvsim_net::TcpComm` (processes + sockets). A communicator endpoint may
+/// only be driven from one thread at a time, like an MPI rank.
+///
+/// Contract shared by all implementations:
+///
+/// * `send`/`recv` match on `(from, tag)`; out-of-order messages from the
+///   same peer are stashed until a matching `recv`.
+/// * Sending to self is allowed, delivered through a local queue, and
+///   charged zero network time.
+/// * Collectives (`barrier`, `alltoallv`, `allgather`) are called by every
+///   rank with matching arguments; their entire blocking span is charged to
+///   [`CommStats::wall_time_s`] — not just the inner receive waits — so
+///   `comm_ratio()` stays honest for collective-heavy schedules.
+pub trait RankComm<T: Send + 'static> {
+    /// This rank's id (0-based).
+    fn rank(&self) -> usize;
+
+    /// Number of ranks in the world.
+    fn size(&self) -> usize;
+
+    /// The network model used for accounting.
+    fn network(&self) -> NetworkModel;
+
+    /// Communication statistics accumulated so far by this rank.
+    fn stats(&self) -> CommStats;
+
+    /// Reset this rank's statistics (e.g. between warm-up and measurement).
+    fn reset_stats(&mut self);
+
+    /// Send `payload` to rank `to` with a tag.
+    fn send(&mut self, to: usize, tag: u64, payload: Vec<T>);
+
+    /// Blocking receive of the next message from `from` with tag `tag`.
+    fn recv(&mut self, from: usize, tag: u64) -> Vec<T>;
+
+    /// Synchronise all ranks.
+    fn barrier(&mut self);
+
+    /// All-to-all-v: `send_bufs[i]` goes to rank `i`; returns `recv[i]` =
+    /// the buffer rank `i` sent to this rank. The self slot is moved, not
+    /// copied, and charged no network time.
+    fn alltoallv(&mut self, send_bufs: Vec<Vec<T>>, tag: u64) -> Vec<Vec<T>>;
+
+    /// All-gather: every rank contributes `payload`; returns all
+    /// contributions indexed by rank.
+    fn allgather(&mut self, payload: Vec<T>, tag: u64) -> Vec<Vec<T>>
+    where
+        T: Clone,
+    {
+        let bufs: Vec<Vec<T>> = (0..self.size()).map(|_| payload.clone()).collect();
+        self.alltoallv(bufs, tag)
+    }
+}
+
+/// Scalar collectives available on any communicator of `f64` payloads.
+pub trait ScalarComm {
+    /// All-reduce sum of one scalar per rank.
+    fn allreduce_sum(&mut self, value: f64, tag: u64) -> f64;
+}
+
+impl<C: RankComm<f64> + ?Sized> ScalarComm for C {
+    fn allreduce_sum(&mut self, value: f64, tag: u64) -> f64 {
+        let all = self.allgather(vec![value], tag);
+        all.iter().map(|v| v[0]).sum()
+    }
+}
+
 struct Envelope<T> {
     from: usize,
     tag: u64,
     payload: Vec<T>,
 }
 
-/// One rank's endpoint of the virtual communicator.
+/// One rank's endpoint of the in-process (thread world) communicator.
 ///
 /// Cloneable senders to every rank plus this rank's receive queue. A rank may
 /// only be driven from one thread at a time (like an MPI rank).
-pub struct RankComm<T: Send + 'static> {
+pub struct LocalComm<T: Send + 'static> {
     rank: usize,
     size: usize,
     net: NetworkModel,
@@ -71,9 +148,9 @@ pub struct RankComm<T: Send + 'static> {
 
 /// Build a communicator world of `size` ranks over the given network model.
 ///
-/// Returns one [`RankComm`] per rank; hand each to its own thread (see
+/// Returns one [`LocalComm`] per rank; hand each to its own thread (see
 /// [`crate::spmd::run_spmd`] for the scoped-thread harness).
-pub fn world<T: Send + 'static>(size: usize, net: NetworkModel) -> Vec<RankComm<T>> {
+pub fn world<T: Send + 'static>(size: usize, net: NetworkModel) -> Vec<LocalComm<T>> {
     assert!(size > 0, "a communicator needs at least one rank");
     let mut senders = Vec::with_capacity(size);
     let mut receivers = Vec::with_capacity(size);
@@ -87,7 +164,7 @@ pub fn world<T: Send + 'static>(size: usize, net: NetworkModel) -> Vec<RankComm<
     receivers
         .into_iter()
         .enumerate()
-        .map(|(rank, receiver)| RankComm {
+        .map(|(rank, receiver)| LocalComm {
             rank,
             size,
             net,
@@ -101,44 +178,15 @@ pub fn world<T: Send + 'static>(size: usize, net: NetworkModel) -> Vec<RankComm<
         .collect()
 }
 
-impl<T: Send + 'static> RankComm<T> {
-    /// This rank's id (0-based).
-    #[inline]
-    pub fn rank(&self) -> usize {
-        self.rank
-    }
-
-    /// Number of ranks in the world.
-    #[inline]
-    pub fn size(&self) -> usize {
-        self.size
-    }
-
-    /// The network model used for accounting.
-    #[inline]
-    pub fn network(&self) -> NetworkModel {
-        self.net
-    }
-
-    /// Communication statistics accumulated so far by this rank.
-    #[inline]
-    pub fn stats(&self) -> CommStats {
-        self.stats
-    }
-
-    /// Reset this rank's statistics (e.g. between warm-up and measurement).
-    pub fn reset_stats(&mut self) {
-        self.stats = CommStats::default();
-    }
-
+impl<T: Send + 'static> LocalComm<T> {
     /// Total payload bytes sent across *all* ranks of the world so far.
     pub fn global_bytes_sent(&self) -> u64 {
         self.global_bytes.load(Ordering::Relaxed)
     }
 
-    /// Send `payload` to rank `to` with a tag. Sending to self is allowed
-    /// (delivered through the same queue) and charged zero network time.
-    pub fn send(&mut self, to: usize, tag: u64, payload: Vec<T>) {
+    /// Send without wall-time accounting (the caller owns the timing
+    /// window, e.g. a collective charging its whole span once).
+    fn send_inner(&mut self, to: usize, tag: u64, payload: Vec<T>) {
         assert!(to < self.size, "destination rank {to} out of range");
         let bytes = payload.len() * std::mem::size_of::<T>();
         if to != self.rank {
@@ -156,18 +204,15 @@ impl<T: Send + 'static> RankComm<T> {
             .expect("receiver side of the communicator was dropped");
     }
 
-    /// Blocking receive of the next message from `from` with tag `tag`.
-    pub fn recv(&mut self, from: usize, tag: u64) -> Vec<T> {
-        let start = std::time::Instant::now();
+    /// Receive without wall-time accounting (see [`LocalComm::send_inner`]).
+    fn recv_inner(&mut self, from: usize, tag: u64) -> Vec<T> {
         // Check the stash first.
         if let Some(pos) = self
             .stash
             .iter()
             .position(|e| e.from == from && e.tag == tag)
         {
-            let env = self.stash.swap_remove(pos);
-            self.stats.wall_time_s += start.elapsed().as_secs_f64();
-            return env.payload;
+            return self.stash.swap_remove(pos).payload;
         }
         loop {
             let env = self
@@ -175,65 +220,86 @@ impl<T: Send + 'static> RankComm<T> {
                 .recv()
                 .expect("all senders of the communicator were dropped");
             if env.from == from && env.tag == tag {
-                self.stats.wall_time_s += start.elapsed().as_secs_f64();
                 return env.payload;
             }
             self.stash.push(env);
         }
     }
+}
 
-    /// Synchronise all ranks.
-    pub fn barrier(&mut self) {
-        let start = std::time::Instant::now();
+impl<T: Send + 'static> RankComm<T> for LocalComm<T> {
+    #[inline]
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    #[inline]
+    fn size(&self) -> usize {
+        self.size
+    }
+
+    #[inline]
+    fn network(&self) -> NetworkModel {
+        self.net
+    }
+
+    #[inline]
+    fn stats(&self) -> CommStats {
+        self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = CommStats::default();
+    }
+
+    /// Send `payload` to rank `to` with a tag. Sending to self is allowed
+    /// (delivered through the same queue) and charged zero network time.
+    fn send(&mut self, to: usize, tag: u64, payload: Vec<T>) {
+        self.send_inner(to, tag, payload);
+    }
+
+    fn recv(&mut self, from: usize, tag: u64) -> Vec<T> {
+        let start = Instant::now();
+        let payload = self.recv_inner(from, tag);
+        self.stats.wall_time_s += start.elapsed().as_secs_f64();
+        payload
+    }
+
+    fn barrier(&mut self) {
+        let start = Instant::now();
         self.barrier.wait();
         self.stats.wall_time_s += start.elapsed().as_secs_f64();
     }
 
-    /// All-to-all-v: `send_bufs[i]` goes to rank `i`; returns `recv[i]` =
-    /// the buffer rank `i` sent to this rank. The self slot is moved, not
-    /// copied, and charged no network time.
+    /// All-to-all-v over the channel world.
     ///
     /// The modelled time charged to this rank is the serial injection of its
     /// outgoing messages (see
-    /// [`NetworkModel::alltoallv_time`](crate::netmodel::NetworkModel::alltoallv_time)).
-    pub fn alltoallv(&mut self, send_bufs: Vec<Vec<T>>, tag: u64) -> Vec<Vec<T>> {
+    /// [`NetworkModel::alltoallv_time`](crate::netmodel::NetworkModel::alltoallv_time));
+    /// the wall time charged is the full span of the collective — injection
+    /// plus every blocking receive — not just the receive waits.
+    fn alltoallv(&mut self, send_bufs: Vec<Vec<T>>, tag: u64) -> Vec<Vec<T>> {
         assert_eq!(
             send_bufs.len(),
             self.size,
             "alltoallv needs one send buffer per rank"
         );
+        let start = Instant::now();
         let mut recv: Vec<Option<Vec<T>>> = (0..self.size).map(|_| None).collect();
         for (to, buf) in send_bufs.into_iter().enumerate() {
             if to == self.rank {
                 recv[to] = Some(buf);
             } else {
-                self.send(to, tag, buf);
+                self.send_inner(to, tag, buf);
             }
         }
         let (rank, size) = (self.rank, self.size);
         for from in (0..size).filter(|&from| from != rank) {
-            let payload = self.recv(from, tag);
+            let payload = self.recv_inner(from, tag);
             recv[from] = Some(payload);
         }
+        self.stats.wall_time_s += start.elapsed().as_secs_f64();
         recv.into_iter().map(|b| b.unwrap()).collect()
-    }
-
-    /// All-gather: every rank contributes `payload`; returns all
-    /// contributions indexed by rank.
-    pub fn allgather(&mut self, payload: Vec<T>, tag: u64) -> Vec<Vec<T>>
-    where
-        T: Clone,
-    {
-        let bufs: Vec<Vec<T>> = (0..self.size).map(|_| payload.clone()).collect();
-        self.alltoallv(bufs, tag)
-    }
-}
-
-impl RankComm<f64> {
-    /// All-reduce sum of one scalar per rank.
-    pub fn allreduce_sum(&mut self, value: f64, tag: u64) -> f64 {
-        let all = self.allgather(vec![value], tag);
-        all.iter().map(|v| v[0]).sum()
     }
 }
 
@@ -382,6 +448,28 @@ mod tests {
         assert_eq!(r0.stats().messages_sent, 0);
         assert_eq!(r0.stats().bytes_sent, 0);
         assert_eq!(r0.stats().modeled_time_s, 0.0);
+    }
+
+    #[test]
+    fn collectives_charge_blocking_wall_time() {
+        // Rank 1 sleeps before entering the collective; rank 0's alltoallv
+        // must charge the time it spent blocked waiting for rank 1's buffer
+        // (the pre-fix accounting missed everything but inner recv waits).
+        let mut ranks = world::<u8>(2, NetworkModel::ideal());
+        let mut r1 = ranks.pop().unwrap();
+        let mut r0 = ranks.pop().unwrap();
+        let handle = thread::spawn(move || {
+            thread::sleep(std::time::Duration::from_millis(200));
+            r1.alltoallv(vec![vec![1], vec![2]], 9);
+        });
+        let got = r0.alltoallv(vec![vec![3], vec![4]], 9);
+        assert_eq!(got, vec![vec![3], vec![1]]);
+        assert!(
+            r0.stats().wall_time_s >= 0.1,
+            "alltoallv blocked ~200ms but charged only {}s",
+            r0.stats().wall_time_s
+        );
+        handle.join().unwrap();
     }
 
     #[test]

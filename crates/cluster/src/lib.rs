@@ -12,15 +12,17 @@
 //! argument.
 //!
 //! * [`netmodel`] — the α–β interconnect model (HDR-100 constants included),
-//! * [`comm`] — [`RankComm`]: tagged send/recv, barrier, alltoallv,
-//!   allgather, allreduce, with per-rank [`CommStats`] accounting,
+//! * [`comm`] — the [`RankComm`] trait (tagged send/recv, barrier,
+//!   alltoallv, allgather, allreduce, per-rank [`CommStats`] accounting)
+//!   and its in-process implementation [`LocalComm`] — the `hisvsim-net`
+//!   crate adds `TcpComm`, the multi-process transport over sockets,
 //! * [`spmd`] — [`run_spmd`]: the `mpirun` stand-in running one closure per
 //!   rank on scoped threads.
 //!
 //! ## Example
 //!
 //! ```
-//! use hisvsim_cluster::{run_spmd, NetworkModel};
+//! use hisvsim_cluster::{run_spmd, NetworkModel, RankComm, ScalarComm};
 //!
 //! // Sum the rank ids with an all-reduce over 4 virtual ranks.
 //! let sums = run_spmd::<f64, _, _>(4, NetworkModel::ideal(), |mut comm| {
@@ -35,6 +37,6 @@ pub mod comm;
 pub mod netmodel;
 pub mod spmd;
 
-pub use comm::{world, CommStats, RankComm, ResultBoard};
+pub use comm::{world, CommStats, LocalComm, RankComm, ResultBoard, ScalarComm};
 pub use netmodel::NetworkModel;
 pub use spmd::run_spmd;

@@ -3,10 +3,11 @@
 //!
 //! This is the reproduction's stand-in for `mpirun`: the distributed engines
 //! in `hisvsim-core` pass a closure that owns one rank's slice of the state
-//! vector and communicates through the [`RankComm`](crate::comm::RankComm)
-//! handed to it.
+//! vector and communicates through the [`LocalComm`](crate::comm::LocalComm)
+//! handed to it. The multi-process equivalent is `hisvsim-net`'s
+//! `ClusterLauncher`, which drives the same engine bodies over `TcpComm`.
 
-use crate::comm::{world, RankComm};
+use crate::comm::{world, LocalComm};
 use crate::netmodel::NetworkModel;
 use std::thread;
 
@@ -19,7 +20,7 @@ pub fn run_spmd<T, R, F>(num_ranks: usize, net: NetworkModel, body: F) -> Vec<R>
 where
     T: Send + 'static,
     R: Send,
-    F: Fn(RankComm<T>) -> R + Sync,
+    F: Fn(LocalComm<T>) -> R + Sync,
 {
     assert!(num_ranks > 0, "need at least one rank");
     assert!(
@@ -43,6 +44,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::comm::RankComm;
 
     #[test]
     fn every_rank_runs_and_returns_in_order() {

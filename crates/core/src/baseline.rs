@@ -18,7 +18,7 @@ use crate::dist::{aggregate_outcomes, DistState, PreparedGate, RankOutcome};
 use crate::exec::{ExecControl, StepGate};
 use crate::metrics::RunReport;
 use hisvsim_circuit::{Circuit, Complex64, Gate, GateKind};
-use hisvsim_cluster::{run_spmd, NetworkModel};
+use hisvsim_cluster::{run_spmd, NetworkModel, RankComm};
 use hisvsim_statevec::{Cancelled, FusedCircuit, StateVector, DEFAULT_FUSION_WIDTH};
 use std::time::Instant;
 
@@ -189,16 +189,45 @@ impl IqsBaseline {
     }
 }
 
+/// Execute one rank of the IQS-style baseline against `comm` — the SPMD
+/// body shared by the in-process engine and `hisvsim-net`'s remote process
+/// workers. The step schedule is a pure function of the circuit, so every
+/// rank (thread or process) derives the identical schedule independently.
+pub fn run_baseline_rank<C: RankComm<Complex64>>(
+    comm: &mut C,
+    circuit: &Circuit,
+    fusion: usize,
+) -> RankOutcome {
+    assert!(
+        comm.size().is_power_of_two(),
+        "rank count must be a power of two"
+    );
+    let p = comm.size().trailing_zeros() as usize;
+    let local_qubits = circuit.num_qubits().saturating_sub(p);
+    let steps = plan_baseline_steps(circuit, local_qubits, fusion);
+    let mut state = DistState::new(comm, circuit.num_qubits());
+    for step in &steps {
+        match step {
+            BaselineStep::LocalFused(fused) => state.apply_fused_local(fused),
+            BaselineStep::Distributed(gate) => apply_prepared_gate_distributed(&mut state, gate),
+        }
+    }
+    state.finish_rank()
+}
+
 /// Apply one gate to the distributed state, using the communication-avoiding
 /// special cases a tuned static-mapping simulator applies, and falling back
 /// to a qubit remap (global exchange) otherwise.
-pub fn apply_gate_distributed(state: &mut DistState<'_>, gate: &Gate) {
+pub fn apply_gate_distributed<C: RankComm<Complex64>>(state: &mut DistState<'_, C>, gate: &Gate) {
     apply_prepared_gate_distributed(state, &PreparedGate::new(gate));
 }
 
 /// [`apply_gate_distributed`] with the gate's matrix prepared once by the
 /// caller (shared across ranks).
-fn apply_prepared_gate_distributed(state: &mut DistState<'_>, prepared: &PreparedGate) {
+fn apply_prepared_gate_distributed<C: RankComm<Complex64>>(
+    state: &mut DistState<'_, C>,
+    prepared: &PreparedGate,
+) {
     let gate = &prepared.gate;
     // Case 1: everything local — apply in place.
     if state.all_local(&gate.qubits) {
@@ -257,7 +286,10 @@ fn apply_prepared_gate_distributed(state: &mut DistState<'_>, prepared: &Prepare
 /// Apply a diagonal gate whose operands may include remote qubits: the phase
 /// factor of each local amplitude is determined by its local bits plus this
 /// rank's fixed bits.
-fn apply_diagonal_with_fixed_bits(state: &mut DistState<'_>, prepared: &PreparedGate) {
+fn apply_diagonal_with_fixed_bits<C: RankComm<Complex64>>(
+    state: &mut DistState<'_, C>,
+    prepared: &PreparedGate,
+) {
     let start = Instant::now();
     let gate = &prepared.gate;
     // CZ (a matrix-free fast-path kind) is not prepared; compute on demand.

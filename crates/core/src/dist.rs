@@ -20,6 +20,7 @@ use hisvsim_cluster::{run_spmd, CommStats, NetworkModel, RankComm};
 use hisvsim_dag::{CircuitDag, Partition};
 use hisvsim_partition::{PartitionBuildError, Strategy};
 use hisvsim_statevec::kernels::{apply_gate_with_matrix, uses_dense_matrix};
+use hisvsim_statevec::FusedCircuit;
 use hisvsim_statevec::{ApplyOptions, Cancelled, StateVector, DEFAULT_FUSION_WIDTH};
 use std::time::Instant;
 
@@ -58,8 +59,13 @@ const TAG_EXCHANGE: u64 = 0x5100;
 
 /// The per-rank distributed state: a local slice of the global state vector
 /// plus the qubit layout shared (by construction) by all ranks.
-pub struct DistState<'a> {
-    comm: &'a mut RankComm<Complex64>,
+///
+/// Generic over the [`RankComm`] implementation, so the same engine bodies
+/// run on the in-process channel world
+/// ([`LocalComm`](hisvsim_cluster::LocalComm)) and on `hisvsim-net`'s
+/// multi-process `TcpComm` without any change.
+pub struct DistState<'a, C: RankComm<Complex64>> {
+    comm: &'a mut C,
     /// Local slice of `2^l` amplitudes.
     local: StateVector,
     /// `layout[q]` = bit position of qubit `q` in the distributed index
@@ -74,10 +80,10 @@ pub struct DistState<'a> {
     exchange_tag: u64,
 }
 
-impl<'a> DistState<'a> {
+impl<'a, C: RankComm<Complex64>> DistState<'a, C> {
     /// Initialise the distributed `|0…0⟩` state over the communicator's
     /// ranks. The rank count must be a power of two not exceeding `2^n`.
-    pub fn new(comm: &'a mut RankComm<Complex64>, num_qubits: usize) -> Self {
+    pub fn new(comm: &'a mut C, num_qubits: usize) -> Self {
         let ranks = comm.size();
         assert!(ranks.is_power_of_two());
         let p = ranks.trailing_zeros() as usize;
@@ -295,7 +301,7 @@ impl<'a> DistState<'a> {
     /// slice, translating each qubit through the current layout. Every qubit
     /// the circuit touches must be local. Used by the IQS-style baseline for
     /// its communication-free segments.
-    pub fn apply_fused_local(&mut self, fused: &hisvsim_statevec::FusedCircuit) {
+    pub fn apply_fused_local(&mut self, fused: &FusedCircuit) {
         let start = Instant::now();
         fused.apply_mapped(&mut self.local, &self.layout, &ApplyOptions::sequential());
         self.compute_time_s += start.elapsed().as_secs_f64();
@@ -327,26 +333,30 @@ impl<'a> DistState<'a> {
         self.compute_time_s += seconds;
     }
 
-    /// Finish a rank's execution: snapshot the metrics *before* assembling
-    /// the full state (the assembly gather is a validation/result-extraction
-    /// step, not part of the simulated execution the paper times), then
-    /// assemble and return this rank's identity-layout slice as a
-    /// [`RankOutcome`]. The single epilogue shared by every SPMD engine.
+    /// Finish a rank's execution: snapshot the metrics *before* the final
+    /// redistribution (result extraction is not part of the simulated
+    /// execution the paper times), return to the identity layout and hand
+    /// back this rank's slice as a [`RankOutcome`]. The single epilogue
+    /// shared by every SPMD engine.
+    ///
+    /// Under the identity layout each rank's local slice *is* its
+    /// contiguous piece of the standard-order state, so no gather is needed
+    /// — the caller (in-process aggregator or remote launcher) concatenates
+    /// the slices in rank order. This replaced an `allgather` of the full
+    /// state onto every rank, which moved `ranks×` more data for the same
+    /// result and made remote result collection quadratic.
     pub fn finish_rank(mut self) -> RankOutcome {
         let rank = self.comm.rank();
-        let size = self.comm.size();
         let compute_time_s = self.compute_time_s;
         let exchanges = self.exchanges;
         let comm_stats = self.comm_stats();
-        let full = self.assemble_full_state();
-        let slice_len = full.len() / size;
-        let local = full.amplitudes()[rank * slice_len..(rank + 1) * slice_len].to_vec();
+        self.redistribute((0..self.n).collect());
         RankOutcome {
             rank,
             compute_time_s,
             comm: comm_stats,
             exchanges,
-            local,
+            local: self.local.into_amplitudes(),
         }
     }
 
@@ -428,6 +438,25 @@ pub fn aggregate_outcomes(
     report.comm = comm_sum;
     report.num_exchanges = exchanges;
     (state, report)
+}
+
+/// Execute one rank of a prefused single-level plan against `comm` — the
+/// SPMD body shared by the in-process engine
+/// ([`DistributedSimulator::run_with_fused_plan`]) and `hisvsim-net`'s
+/// remote process workers. The arithmetic and communication schedule are
+/// identical on every [`RankComm`] implementation, so a process-backed run
+/// is bit-identical to the channel-world run of the same plan.
+pub fn run_fused_plan_rank<C: RankComm<Complex64>>(
+    comm: &mut C,
+    num_qubits: usize,
+    plan: &FusedSinglePlan,
+) -> RankOutcome {
+    let mut state = DistState::new(comm, num_qubits);
+    for part in &plan.parts {
+        state.ensure_local(&part.working_set);
+        state.apply_fused_part(part);
+    }
+    state.finish_rank()
 }
 
 /// Configuration of the distributed HiSVSIM engine.

@@ -55,12 +55,17 @@ pub mod metrics;
 pub mod multilevel;
 pub mod profile;
 
-pub use baseline::{BaselineConfig, BaselineRun, IqsBaseline};
-pub use dist::{prepare_gates, DistConfig, DistRun, DistributedSimulator, PreparedGate};
+pub use baseline::{run_baseline_rank, BaselineConfig, BaselineRun, IqsBaseline};
+pub use dist::{
+    aggregate_outcomes, prepare_gates, run_fused_plan_rank, DistConfig, DistRun, DistState,
+    DistributedSimulator, PreparedGate, RankOutcome,
+};
 pub use exec::{ExecControl, StepGate};
 pub use fusedplan::{FusedMlPart, FusedPart, FusedSecondPart, FusedSinglePlan, FusedTwoLevelPlan};
 pub use gpu::{estimate_hybrid, GpuModel, HybridEstimate};
 pub use hier::{HierConfig, HierRun, HierarchicalSimulator, SweepControl};
 pub use hisvsim_statevec::{CancelToken, Cancelled};
 pub use metrics::RunReport;
-pub use multilevel::{MultilevelConfig, MultilevelRun, MultilevelSimulator};
+pub use multilevel::{
+    run_two_level_plan_rank, MultilevelConfig, MultilevelRun, MultilevelSimulator,
+};

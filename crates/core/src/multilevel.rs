@@ -14,7 +14,7 @@ use crate::exec::{ExecControl, StepGate};
 use crate::fusedplan::{FusedSecondPart, FusedTwoLevelPlan};
 use crate::metrics::RunReport;
 use hisvsim_circuit::{Circuit, Complex64, Gate};
-use hisvsim_cluster::{run_spmd, NetworkModel};
+use hisvsim_cluster::{run_spmd, NetworkModel, RankComm};
 use hisvsim_dag::CircuitDag;
 use hisvsim_partition::{MultilevelPartition, MultilevelPartitioner, PartitionBuildError};
 use hisvsim_statevec::{ApplyOptions, Cancelled, GatherMap, StateVector, DEFAULT_FUSION_WIDTH};
@@ -258,12 +258,31 @@ impl MultilevelSimulator {
     }
 }
 
+/// Execute one rank of a prefused two-level plan against `comm` — the SPMD
+/// body shared by the in-process engine and `hisvsim-net`'s remote process
+/// workers.
+pub fn run_two_level_plan_rank<C: RankComm<Complex64>>(
+    comm: &mut C,
+    num_qubits: usize,
+    plan: &FusedTwoLevelPlan,
+) -> RankOutcome {
+    let mut state = DistState::new(comm, num_qubits);
+    for part in &plan.parts {
+        state.ensure_local(&part.working_set);
+        execute_second_level_fused(&mut state, &part.second);
+    }
+    state.finish_rank()
+}
+
 /// Execute prefused second-level parts against the rank's local slice: for
 /// each part, translate its global working set to local positions under the
 /// current layout, then Gather–Execute–Scatter with the shared fused inner
 /// circuit (fused qubit `j` of the plan is inner qubit `j` of the gather by
 /// construction).
-fn execute_second_level_fused(state: &mut DistState<'_>, second: &[FusedSecondPart]) {
+fn execute_second_level_fused<C: RankComm<Complex64>>(
+    state: &mut DistState<'_, C>,
+    second: &[FusedSecondPart],
+) {
     let start = Instant::now();
     let l = state.local_qubits();
     let opts = ApplyOptions::sequential();
@@ -290,7 +309,10 @@ fn execute_second_level_fused(state: &mut DistState<'_>, second: &[FusedSecondPa
 /// Execute the second-level parts of one first-level part against the rank's
 /// local slice via Gather–Execute–Scatter (positions, not qubit ids, are the
 /// local "qubits" here).
-fn execute_second_level(state: &mut DistState<'_>, second_lists: &[Vec<Gate>]) {
+fn execute_second_level<C: RankComm<Complex64>>(
+    state: &mut DistState<'_, C>,
+    second_lists: &[Vec<Gate>],
+) {
     let start = Instant::now();
     let l = state.local_qubits();
     let opts = ApplyOptions::sequential();

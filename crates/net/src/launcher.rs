@@ -1,0 +1,400 @@
+//! [`ClusterLauncher`]: spawn worker processes, ship each its plan, gather
+//! per-rank slices and stats back — the multi-process `mpirun` of this
+//! reproduction, and the [`ProcessBackend`] the runtime's scheduler drives
+//! for [`Backend::Process`](hisvsim_runtime::Backend::Process) jobs.
+
+use crate::proto::{LaunchSpec, RankReport, ShippedJob, WorkerHello, AMPS_TAG};
+use crate::wire::{read_frame, recv_json, send_json};
+use crate::worker::execute_shipped_rank;
+use hisvsim_circuit::Complex64;
+use hisvsim_cluster::{run_spmd, NetworkModel};
+use hisvsim_core::{aggregate_outcomes, RankOutcome, RunReport};
+use hisvsim_runtime::{ProcessBackend, ProcessRequest};
+use hisvsim_statevec::{amplitudes_from_le_bytes, StateVector};
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Errors of the launcher/worker pipeline.
+#[derive(Debug)]
+pub enum NetError {
+    /// Socket or process I/O failed.
+    Io(io::Error),
+    /// The control protocol was violated (bad frame, wrong rank, missing
+    /// plan shape).
+    Protocol(String),
+    /// A worker process exited abnormally.
+    Worker(String),
+}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "i/o error: {e}"),
+            NetError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            NetError::Worker(msg) => write!(f, "worker failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// Locate the `hisvsim-net` worker binary: the `HISVSIM_NET_WORKER`
+/// environment variable wins; otherwise walk up from the current
+/// executable's directory (covers `target/<profile>/`,
+/// `target/<profile>/deps/` for test binaries, and
+/// `target/<profile>/examples/`).
+pub fn find_worker_binary() -> Option<PathBuf> {
+    if let Ok(path) = std::env::var("HISVSIM_NET_WORKER") {
+        let path = PathBuf::from(path);
+        if path.is_file() {
+            return Some(path);
+        }
+    }
+    let exe = std::env::current_exe().ok()?;
+    let name = format!("hisvsim-net{}", std::env::consts::EXE_SUFFIX);
+    let mut dir = exe.parent()?;
+    for _ in 0..3 {
+        let candidate = dir.join(&name);
+        if candidate.is_file() {
+            return Some(candidate);
+        }
+        dir = dir.parent()?;
+    }
+    None
+}
+
+/// Kills any still-running children on drop, so a failed launch never
+/// leaves orphan workers behind.
+struct ChildGuard {
+    children: Vec<(usize, Child)>,
+}
+
+impl ChildGuard {
+    fn new() -> Self {
+        Self {
+            children: Vec::new(),
+        }
+    }
+
+    /// A worker that already exited with failure, if any (non-blocking).
+    fn any_failed(&mut self) -> Option<String> {
+        for (rank, child) in &mut self.children {
+            if let Ok(Some(status)) = child.try_wait() {
+                if !status.success() {
+                    return Some(format!("worker rank {rank} exited with {status}"));
+                }
+            }
+        }
+        None
+    }
+
+    /// Wait for every worker to exit cleanly.
+    fn wait_all(&mut self) -> Result<(), NetError> {
+        for (rank, mut child) in self.children.drain(..) {
+            let status = child.wait()?;
+            if !status.success() {
+                return Err(NetError::Worker(format!(
+                    "worker rank {rank} exited with {status}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Drop for ChildGuard {
+    fn drop(&mut self) {
+        for (_, child) in &mut self.children {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+/// Spawns `workers` processes of the `hisvsim-net` binary in worker mode,
+/// ships each one the job over a localhost control channel, and gathers the
+/// per-rank results. Stateless across calls: every [`ClusterLauncher::execute`]
+/// is one complete launch–run–gather cycle, and plan reuse across calls is
+/// the plan cache's job (the launcher ships whatever partition it is
+/// handed, so a warm cache means zero replans on a repeat workload).
+pub struct ClusterLauncher {
+    workers: usize,
+    network: NetworkModel,
+    worker_bin: PathBuf,
+    handshake_timeout: Duration,
+}
+
+impl ClusterLauncher {
+    /// A launcher for `workers` processes (a power of two), discovering the
+    /// worker binary automatically (see [`find_worker_binary`]).
+    pub fn new(workers: usize) -> Result<Self, NetError> {
+        let worker_bin = find_worker_binary().ok_or_else(|| {
+            NetError::Protocol(
+                "cannot locate the hisvsim-net worker binary; build it (cargo build -p \
+                 hisvsim-net) or set HISVSIM_NET_WORKER"
+                    .to_string(),
+            )
+        })?;
+        Ok(Self::with_worker_binary(workers, worker_bin))
+    }
+
+    /// A launcher using an explicit worker binary path.
+    pub fn with_worker_binary(workers: usize, worker_bin: PathBuf) -> Self {
+        assert!(
+            workers.is_power_of_two(),
+            "worker count must be a power of two, got {workers}"
+        );
+        Self {
+            workers,
+            network: NetworkModel::hdr100(),
+            worker_bin,
+            handshake_timeout: Duration::from_secs(60),
+        }
+    }
+
+    /// Use a different network model for the workers' accounting.
+    pub fn with_network(mut self, network: NetworkModel) -> Self {
+        self.network = network;
+        self
+    }
+
+    /// The worker-process world size.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Launch the worker world, execute `job`, and assemble the full state
+    /// plus the aggregated run report (per-rank comm stats merged exactly
+    /// like the in-process engines').
+    pub fn execute(&self, job: &ShippedJob) -> Result<(StateVector, RunReport), NetError> {
+        self.execute_with_network(job, self.network)
+    }
+
+    /// [`ClusterLauncher::execute`] with an explicit network model.
+    pub fn execute_with_network(
+        &self,
+        job: &ShippedJob,
+        network: NetworkModel,
+    ) -> Result<(StateVector, RunReport), NetError> {
+        let start = Instant::now();
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let control_addr = listener.local_addr()?.to_string();
+
+        let mut guard = ChildGuard::new();
+        for rank in 0..self.workers {
+            let child = Command::new(&self.worker_bin)
+                .arg("worker")
+                .arg(&control_addr)
+                .arg(rank.to_string())
+                .stdin(Stdio::null())
+                .spawn()?;
+            guard.children.push((rank, child));
+        }
+
+        // Rendezvous: collect every worker's hello (rank + data address).
+        let deadline = Instant::now() + self.handshake_timeout;
+        let mut controls: Vec<Option<(TcpStream, String)>> =
+            (0..self.workers).map(|_| None).collect();
+        for _ in 0..self.workers {
+            let mut stream = accept_with_deadline(&listener, deadline, &mut guard)?;
+            stream.set_nodelay(true)?;
+            let hello: WorkerHello = recv_json(&mut stream)?;
+            if hello.rank >= self.workers || controls[hello.rank].is_some() {
+                return Err(NetError::Protocol(format!(
+                    "unexpected hello from rank {}",
+                    hello.rank
+                )));
+            }
+            controls[hello.rank] = Some((stream, hello.data_addr));
+        }
+        let mut controls: Vec<(TcpStream, String)> = controls
+            .into_iter()
+            .map(|c| c.expect("all checked in"))
+            .collect();
+        let peers: Vec<String> = controls.iter().map(|(_, addr)| addr.clone()).collect();
+
+        // Ship the job (plan partitions + circuit; workers re-fuse locally).
+        for (rank, (stream, _)) in controls.iter_mut().enumerate() {
+            send_json(
+                stream,
+                &LaunchSpec {
+                    rank,
+                    size: self.workers,
+                    peers: peers.clone(),
+                    network,
+                    job: job.clone(),
+                },
+            )?;
+        }
+
+        // Gather per-rank reports and identity-layout slices. Before each
+        // blocking read, wait for readability while polling worker
+        // liveness — a crashed worker fails the gather promptly instead of
+        // wedging the launcher on a stream that will never produce bytes.
+        let mut outcomes = Vec::with_capacity(self.workers);
+        for (rank, (stream, _)) in controls.iter_mut().enumerate() {
+            await_readable(stream, &mut guard)?;
+            let report: RankReport = recv_json(stream)?;
+            if report.rank != rank {
+                return Err(NetError::Protocol(format!(
+                    "rank {rank}'s control channel reported rank {}",
+                    report.rank
+                )));
+            }
+            let (tag, bytes) = read_frame(stream)?;
+            if tag != AMPS_TAG {
+                return Err(NetError::Protocol(format!(
+                    "expected the amplitude frame, got tag {tag:#x}"
+                )));
+            }
+            let local = amplitudes_from_le_bytes(&bytes);
+            if local.len() != report.amp_count {
+                return Err(NetError::Protocol(format!(
+                    "rank {rank} announced {} amplitudes but sent {}",
+                    report.amp_count,
+                    local.len()
+                )));
+            }
+            outcomes.push(RankOutcome {
+                rank,
+                compute_time_s: report.compute_time_s,
+                comm: report.comm,
+                exchanges: report.exchanges,
+                local,
+            });
+        }
+        guard.wait_all()?;
+
+        let wall = start.elapsed().as_secs_f64();
+        let (state, report) = aggregate_outcomes(
+            job.engine.name(),
+            "process",
+            &job.circuit,
+            job.num_parts(),
+            outcomes,
+            wall,
+        );
+        Ok((state, report))
+    }
+}
+
+/// Block until `stream` has readable bytes (or EOF), polling worker
+/// liveness every half second so a crashed worker turns into a prompt
+/// [`NetError::Worker`] instead of an indefinite blocking read. `peek`
+/// consumes nothing, so the frame reader's byte accounting is untouched.
+/// A worker that is alive but wedged still blocks — the launch-level
+/// `timeout` guard in CI (and the transport's deadlock-free collectives)
+/// are the lines of defence there.
+fn await_readable(stream: &TcpStream, guard: &mut ChildGuard) -> Result<(), NetError> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    let mut probe = [0u8; 1];
+    let result = loop {
+        match stream.peek(&mut probe) {
+            // Readable data or EOF: hand off to the real reader (EOF
+            // surfaces there as UnexpectedEof with the rank attached).
+            Ok(_) => break Ok(()),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if let Some(failure) = guard.any_failed() {
+                    break Err(NetError::Worker(failure));
+                }
+            }
+            Err(e) => break Err(e.into()),
+        }
+    };
+    stream.set_read_timeout(None)?;
+    result
+}
+
+/// Accept one connection, polling so a crashed worker fails the launch
+/// promptly instead of hanging the accept loop forever.
+fn accept_with_deadline(
+    listener: &TcpListener,
+    deadline: Instant,
+    guard: &mut ChildGuard,
+) -> Result<TcpStream, NetError> {
+    listener.set_nonblocking(true)?;
+    let result = loop {
+        match listener.accept() {
+            Ok((stream, _)) => break Ok(stream),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if let Some(failure) = guard.any_failed() {
+                    break Err(NetError::Worker(failure));
+                }
+                if Instant::now() > deadline {
+                    break Err(NetError::Protocol(
+                        "timed out waiting for workers to check in".to_string(),
+                    ));
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) => break Err(e.into()),
+        }
+    };
+    listener.set_nonblocking(false)?;
+    let stream = result?;
+    stream.set_nonblocking(false)?;
+    Ok(stream)
+}
+
+/// Execute a [`ShippedJob`] on the *in-process* channel world — the
+/// reference a process run is compared against. Runs the identical rank
+/// body ([`execute_shipped_rank`]) over
+/// [`LocalComm`](hisvsim_cluster::LocalComm), so the two runs are
+/// bit-identical whenever the transport moves bytes faithfully.
+pub fn execute_local_reference(
+    job: &ShippedJob,
+    ranks: usize,
+    network: NetworkModel,
+) -> Result<(StateVector, RunReport), NetError> {
+    let start = Instant::now();
+    let results =
+        run_spmd::<Complex64, Result<RankOutcome, String>, _>(ranks, network, |mut comm| {
+            execute_shipped_rank(job, &mut comm).map_err(|e| e.to_string())
+        });
+    let outcomes: Result<Vec<RankOutcome>, String> = results.into_iter().collect();
+    let outcomes = outcomes.map_err(NetError::Protocol)?;
+    let wall = start.elapsed().as_secs_f64();
+    Ok(aggregate_outcomes(
+        job.engine.name(),
+        "process",
+        &job.circuit,
+        job.num_parts(),
+        outcomes,
+        wall,
+    ))
+}
+
+impl ProcessBackend for ClusterLauncher {
+    fn ranks(&self) -> usize {
+        self.workers
+    }
+
+    fn execute(&self, request: ProcessRequest<'_>) -> Result<(StateVector, RunReport), String> {
+        let job = ShippedJob {
+            engine: request.engine,
+            circuit: request.circuit.clone(),
+            fusion: request.fusion,
+            plan: request.plan,
+        };
+        self.execute_with_network(&job, request.network)
+            .map(|(state, mut report)| {
+                report.engine = request.engine.name().to_string();
+                (state, report)
+            })
+            .map_err(|e| e.to_string())
+    }
+}

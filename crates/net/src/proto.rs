@@ -1,0 +1,89 @@
+//! Control-channel protocol between the launcher and its workers.
+//!
+//! Everything on the control channel is a JSON frame (see
+//! [`crate::wire`]), except the final amplitude slice, which follows the
+//! worker's [`RankReport`] as one raw little-endian frame tagged
+//! [`AMPS_TAG`]. The shipped plan is exactly the plan-cache snapshot shape
+//! ([`PersistedPlan`]): partitions travel, fused matrices never do —
+//! workers re-fuse locally, keeping the fused form process-local by design.
+
+use hisvsim_circuit::Circuit;
+use hisvsim_cluster::{CommStats, NetworkModel};
+use hisvsim_runtime::{EngineKind, PersistedPlan};
+use serde::{Deserialize, Serialize};
+
+/// Tag of the raw amplitude-slice frame a worker sends after its report.
+pub const AMPS_TAG: u64 = 0x414D_5053_0000_0001;
+
+/// The job a launcher ships to every worker: engine choice, the circuit,
+/// the fusion width to re-fuse at, and the partition plan in its wire shape
+/// (`None` for the unpartitioned baseline engine, which derives its own
+/// schedule from the circuit).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShippedJob {
+    /// Which engine's rank body the workers run. [`EngineKind::Hier`] runs
+    /// its single-level plan through the distributed rank body — plan
+    /// shapes are shared between the two engines, only the driver differs.
+    pub engine: EngineKind,
+    /// The circuit to simulate.
+    pub circuit: Circuit,
+    /// Gate-fusion width each worker re-fuses the shipped partition at.
+    pub fusion: usize,
+    /// The partition to execute ([`PersistedPlan::Single`] for hier/dist,
+    /// [`PersistedPlan::Two`] for multilevel, `None` for baseline).
+    pub plan: Option<PersistedPlan>,
+}
+
+impl ShippedJob {
+    /// Number of (first-level) parts the shipped plan executes (1 for the
+    /// unpartitioned baseline).
+    pub fn num_parts(&self) -> usize {
+        match &self.plan {
+            Some(PersistedPlan::Single(partition)) => partition.num_parts(),
+            Some(PersistedPlan::Two(ml)) => ml.num_first_level_parts(),
+            None => 1,
+        }
+    }
+}
+
+/// First message on a worker's control connection: which rank it is and
+/// where its data-plane listener lives.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkerHello {
+    /// The rank assigned on the worker's command line.
+    pub rank: usize,
+    /// The worker's rendezvous listener address (`127.0.0.1:port`).
+    pub data_addr: String,
+}
+
+/// The launcher's reply once every worker has checked in: the world layout
+/// plus the job itself.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LaunchSpec {
+    /// The receiving worker's rank (echoed for sanity checking).
+    pub rank: usize,
+    /// World size (a power of two).
+    pub size: usize,
+    /// Every rank's data-plane address, indexed by rank.
+    pub peers: Vec<String>,
+    /// Interconnect model for per-transfer accounting.
+    pub network: NetworkModel,
+    /// The work.
+    pub job: ShippedJob,
+}
+
+/// A worker's result header; the amplitude slice follows as a raw
+/// [`AMPS_TAG`] frame of `amp_count × 16` bytes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RankReport {
+    /// The reporting rank.
+    pub rank: usize,
+    /// Wall-clock seconds this rank spent applying gates.
+    pub compute_time_s: f64,
+    /// The rank's communication statistics over the TCP world.
+    pub comm: CommStats,
+    /// Number of state redistributions this rank participated in.
+    pub exchanges: usize,
+    /// Amplitudes in the raw frame that follows.
+    pub amp_count: usize,
+}

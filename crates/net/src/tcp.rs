@@ -1,0 +1,466 @@
+//! [`TcpComm`]: the multi-process [`RankComm`] implementation.
+//!
+//! A world of `N` ranks is a full mesh of TCP connections — one stream per
+//! rank pair, established by a rendezvous handshake: every rank opens a
+//! listener, the addresses are distributed (by the launcher, or by
+//! [`tcp_world`] for in-process tests), rank `i` connects to every rank
+//! `j < i` and accepts connections from every `j > i`; the first frame on
+//! each connection is a hello carrying the connecting rank.
+//!
+//! Semantics match [`LocalComm`](hisvsim_cluster::LocalComm) exactly:
+//! tagged matching with an out-of-order stash per peer, self-sends through
+//! a local queue at zero network charge, and the same [`CommStats`]
+//! accounting (logical payload bytes, modelled α–β wire time, and the full
+//! blocking span of collectives charged to `wall_time_s`). The barrier has
+//! no shared-memory `Barrier` to lean on, so it is a gather–release through
+//! rank 0 on a reserved tag namespace.
+
+use crate::wire::{decode_items, encode_items, read_frame, write_frame, WireItem};
+use hisvsim_cluster::{CommStats, NetworkModel, RankComm};
+use std::collections::VecDeque;
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Tag of the rendezvous hello frame (outside the engines' tag space).
+const HELLO_TAG: u64 = 0x0048_454C_4C4F_0000;
+
+/// Reserved namespace for barrier rounds: `BARRIER_NS | epoch`.
+const BARRIER_NS: u64 = 0xB55F_0000_0000_0000;
+
+/// Upper bound on the bytes a pairwise exchange puts in flight per
+/// direction per step (see [`TcpComm::alltoallv`]): far below any kernel's
+/// socket buffering, so alternating chunk sends can never wedge.
+const CHUNK_BYTES: usize = 64 * 1024;
+
+/// One rank's endpoint of a multi-process TCP world.
+pub struct TcpComm<T: WireItem> {
+    rank: usize,
+    size: usize,
+    net: NetworkModel,
+    /// One stream per peer (`None` at this rank's own slot).
+    streams: Vec<Option<TcpStream>>,
+    /// Out-of-order messages per peer, waiting for a matching recv.
+    stash: Vec<Vec<(u64, Vec<T>)>>,
+    /// Self-sends, delivered locally in FIFO order per tag.
+    self_queue: VecDeque<(u64, Vec<T>)>,
+    /// Barrier round counter (both sides must agree; they do, because
+    /// barriers are collective).
+    barrier_epoch: u64,
+    stats: CommStats,
+}
+
+/// Connect with a handful of retries: the rendezvous guarantees every
+/// listener exists before its address is distributed, but the accept loop
+/// may not have started yet under load.
+fn connect_retry(addr: &str) -> io::Result<TcpStream> {
+    let mut last = None;
+    for _ in 0..50 {
+        match TcpStream::connect(addr) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => {
+                last = Some(e);
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+    Err(last.unwrap_or_else(|| io::Error::other("connect failed")))
+}
+
+impl<T: WireItem> TcpComm<T> {
+    /// Build this rank's endpoint of a full mesh: connect to every rank
+    /// below `rank` (sending a hello frame), accept a connection from every
+    /// rank above it (reading the peer's hello). `peers[j]` is rank `j`'s
+    /// listener address; `listener` is this rank's own (already bound)
+    /// listener, consumed here.
+    pub fn connect_mesh(
+        rank: usize,
+        size: usize,
+        net: NetworkModel,
+        listener: TcpListener,
+        peers: &[String],
+    ) -> io::Result<Self> {
+        assert!(rank < size, "rank {rank} out of range for world {size}");
+        assert_eq!(peers.len(), size, "need one rendezvous address per rank");
+        let mut streams: Vec<Option<TcpStream>> = (0..size).map(|_| None).collect();
+        for to in 0..rank {
+            let mut stream = connect_retry(&peers[to])?;
+            stream.set_nodelay(true)?;
+            write_frame(&mut stream, HELLO_TAG, &(rank as u64).to_le_bytes())?;
+            streams[to] = Some(stream);
+        }
+        for _ in rank + 1..size {
+            let (mut stream, _) = listener.accept()?;
+            stream.set_nodelay(true)?;
+            let (tag, payload) = read_frame(&mut stream)?;
+            if tag != HELLO_TAG || payload.len() != 8 {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "rendezvous connection did not start with a hello frame",
+                ));
+            }
+            let from = u64::from_le_bytes(payload[..].try_into().expect("hello width")) as usize;
+            if from <= rank || from >= size || streams[from].is_some() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unexpected hello from rank {from}"),
+                ));
+            }
+            streams[from] = Some(stream);
+        }
+        Ok(Self {
+            rank,
+            size,
+            net,
+            streams,
+            stash: (0..size).map(|_| Vec::new()).collect(),
+            self_queue: VecDeque::new(),
+            barrier_epoch: 0,
+            stats: CommStats::default(),
+        })
+    }
+
+    /// Send without wall-time accounting (collectives own their window).
+    fn send_inner(&mut self, to: usize, tag: u64, payload: Vec<T>) {
+        assert!(to < self.size, "destination rank {to} out of range");
+        if to == self.rank {
+            self.self_queue.push_back((tag, payload));
+            return;
+        }
+        let bytes = payload.len() * T::WIRE_SIZE;
+        self.stats.messages_sent += 1;
+        self.stats.bytes_sent += bytes as u64;
+        self.stats.modeled_time_s += self.net.message_time(bytes);
+        let encoded = encode_items(&payload);
+        let stream = self.streams[to].as_mut().expect("no stream to peer");
+        write_frame(stream, tag, &encoded).expect("peer connection lost while sending");
+    }
+
+    /// Symmetric bounded-buffer exchange with one peer: both sides send a
+    /// small item-count header, then strictly alternate sending and
+    /// receiving chunks of at most [`CHUNK_BYTES`]. Because the two
+    /// endpoints follow the identical schedule, no more than one chunk per
+    /// direction is ever in flight between a matched send/receive step —
+    /// the kernel's socket buffers always absorb it, so the exchange never
+    /// deadlocks regardless of payload size (the failure mode of a naive
+    /// send-all-then-receive schedule).
+    ///
+    /// Charges the same logical accounting as a single message: one
+    /// `messages_sent`, the payload bytes, one α–β `message_time`.
+    fn exchange_chunked(&mut self, peer: usize, tag: u64, payload: Vec<T>) -> Vec<T> {
+        debug_assert_ne!(peer, self.rank);
+        let bytes = payload.len() * T::WIRE_SIZE;
+        self.stats.messages_sent += 1;
+        self.stats.bytes_sent += bytes as u64;
+        self.stats.modeled_time_s += self.net.message_time(bytes);
+
+        let items_per_chunk = (CHUNK_BYTES / T::WIRE_SIZE).max(1);
+        {
+            let stream = self.streams[peer].as_mut().expect("no stream to peer");
+            write_frame(stream, tag, &(payload.len() as u64).to_le_bytes())
+                .expect("peer connection lost while sending");
+        }
+        // The peer's header may be preceded by stashable backlog (earlier
+        // point-to-point sends we have not recv'd yet) — drain through the
+        // stash-aware raw reader. Everything after the header is ours: the
+        // peer writes nothing else to this stream until its exchange ends.
+        let header = self.read_matching_raw(peer, tag);
+        assert_eq!(header.len(), 8, "malformed exchange header from peer");
+        let their_count = u64::from_le_bytes(header[..].try_into().expect("header width")) as usize;
+        let mut incoming: Vec<T> = Vec::with_capacity(their_count);
+        let my_chunks = payload.len().div_ceil(items_per_chunk);
+        let their_chunks = their_count.div_ceil(items_per_chunk);
+        for step in 0..my_chunks.max(their_chunks) {
+            if step < my_chunks {
+                let first = step * items_per_chunk;
+                let last = (first + items_per_chunk).min(payload.len());
+                let encoded = encode_items(&payload[first..last]);
+                let stream = self.streams[peer].as_mut().expect("no stream to peer");
+                write_frame(stream, tag, &encoded).expect("peer connection lost while sending");
+            }
+            if step < their_chunks {
+                let stream = self.streams[peer].as_mut().expect("no stream to peer");
+                let (got_tag, chunk) =
+                    read_frame(stream).expect("peer connection lost while receiving");
+                assert_eq!(got_tag, tag, "stray frame inside a pairwise exchange");
+                incoming.extend(decode_items::<T>(&chunk).expect("malformed chunk from peer"));
+            }
+        }
+        assert_eq!(incoming.len(), their_count, "peer sent a short exchange");
+        incoming
+    }
+
+    /// Read raw frames from `from`'s stream until one carries `tag`,
+    /// stashing (decoded) mismatching frames for later matching receives.
+    /// The caller guarantees no *stashed* message already carries `tag`.
+    fn read_matching_raw(&mut self, from: usize, tag: u64) -> Vec<u8> {
+        debug_assert!(
+            !self.stash[from].iter().any(|(t, _)| *t == tag),
+            "raw read would bypass a stashed message with the same tag"
+        );
+        loop {
+            let stream = self.streams[from].as_mut().expect("no stream to peer");
+            let (got_tag, payload) =
+                read_frame(stream).expect("peer connection lost while receiving");
+            if got_tag == tag {
+                return payload;
+            }
+            let items = decode_items(&payload).expect("malformed payload from peer");
+            self.stash[from].push((got_tag, items));
+        }
+    }
+
+    /// Receive without wall-time accounting (see [`TcpComm::send_inner`]).
+    fn recv_inner(&mut self, from: usize, tag: u64) -> Vec<T> {
+        assert!(from < self.size, "source rank {from} out of range");
+        if from == self.rank {
+            let pos = self
+                .self_queue
+                .iter()
+                .position(|(t, _)| *t == tag)
+                .expect("no self-send with this tag pending");
+            return self.self_queue.remove(pos).expect("index in range").1;
+        }
+        if let Some(pos) = self.stash[from].iter().position(|(t, _)| *t == tag) {
+            return self.stash[from].swap_remove(pos).1;
+        }
+        let payload = self.read_matching_raw(from, tag);
+        decode_items(&payload).expect("malformed payload from peer")
+    }
+}
+
+impl<T: WireItem> RankComm<T> for TcpComm<T> {
+    #[inline]
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    #[inline]
+    fn size(&self) -> usize {
+        self.size
+    }
+
+    #[inline]
+    fn network(&self) -> NetworkModel {
+        self.net
+    }
+
+    #[inline]
+    fn stats(&self) -> CommStats {
+        self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = CommStats::default();
+    }
+
+    fn send(&mut self, to: usize, tag: u64, payload: Vec<T>) {
+        self.send_inner(to, tag, payload);
+    }
+
+    fn recv(&mut self, from: usize, tag: u64) -> Vec<T> {
+        let start = Instant::now();
+        let payload = self.recv_inner(from, tag);
+        self.stats.wall_time_s += start.elapsed().as_secs_f64();
+        payload
+    }
+
+    /// Gather–release barrier through rank 0 on a reserved tag namespace.
+    /// Each round uses a fresh epoch tag, so traffic from adjacent barriers
+    /// can never be confused even if a rank races ahead.
+    fn barrier(&mut self) {
+        if self.size == 1 {
+            return;
+        }
+        let start = Instant::now();
+        let payload_stats = self.stats;
+        let tag = BARRIER_NS | self.barrier_epoch;
+        self.barrier_epoch += 1;
+        if self.rank == 0 {
+            for from in 1..self.size {
+                let _ = self.recv_inner(from, tag);
+            }
+            for to in 1..self.size {
+                self.send_inner(to, tag, Vec::new());
+            }
+        } else {
+            self.send_inner(0, tag, Vec::new());
+            let _ = self.recv_inner(0, tag);
+        }
+        // The gather–release control frames are an implementation detail
+        // of this transport, not payload traffic: LocalComm's barrier (a
+        // shared-memory Barrier) charges nothing, and the two RankComm
+        // implementations must account identically. Only the blocking
+        // wall time is charged.
+        self.stats = payload_stats;
+        self.stats.wall_time_s += start.elapsed().as_secs_f64();
+    }
+
+    /// Pairwise chunk-interleaved all-to-all-v.
+    ///
+    /// The naive schedule — blocking sends to every peer, then receives —
+    /// deadlocks over real sockets once a pair's payload exceeds the
+    /// kernel's socket buffering: both endpoints sit in `write_all`
+    /// forever, each waiting for the other to drain. This implementation
+    /// runs a *pairwise exchange schedule* instead (XOR rounds for the
+    /// power-of-two worlds the engines use; a lexicographic pair order
+    /// otherwise), and within a pair both sides strictly alternate
+    /// bounded-size send and receive chunks — at most [`CHUNK_BYTES`] in
+    /// flight per direction per step, which the kernel always absorbs.
+    /// Payload size is therefore unbounded.
+    fn alltoallv(&mut self, send_bufs: Vec<Vec<T>>, tag: u64) -> Vec<Vec<T>> {
+        assert_eq!(
+            send_bufs.len(),
+            self.size,
+            "alltoallv needs one send buffer per rank"
+        );
+        let start = Instant::now();
+        let mut recv: Vec<Option<Vec<T>>> = (0..self.size).map(|_| None).collect();
+        let mut send_bufs: Vec<Option<Vec<T>>> = send_bufs.into_iter().map(Some).collect();
+        recv[self.rank] = send_bufs[self.rank].take();
+        let (rank, size) = (self.rank, self.size);
+        if size.is_power_of_two() {
+            // XOR rounds: in round r every rank exchanges with rank^r — a
+            // perfect matching per round, so both endpoints of every pair
+            // are in the same exchange at the same time.
+            for round in 1..size {
+                let peer = rank ^ round;
+                let outgoing = send_bufs[peer].take().expect("one exchange per peer");
+                recv[peer] = Some(self.exchange_chunked(peer, tag, outgoing));
+            }
+        } else {
+            // Fallback for non-power-of-two worlds: walk all pairs (a, b)
+            // in one global lexicographic order. The total order on pairs
+            // admits no waiting cycle, so progress is guaranteed (just
+            // with less round-parallelism than the XOR schedule).
+            for a in 0..size {
+                for b in a + 1..size {
+                    let peer = if rank == a {
+                        b
+                    } else if rank == b {
+                        a
+                    } else {
+                        continue;
+                    };
+                    let outgoing = send_bufs[peer].take().expect("one exchange per peer");
+                    recv[peer] = Some(self.exchange_chunked(peer, tag, outgoing));
+                }
+            }
+        }
+        self.stats.wall_time_s += start.elapsed().as_secs_f64();
+        recv.into_iter().map(|b| b.unwrap()).collect()
+    }
+}
+
+/// Build a full in-process TCP world on localhost: every rank gets a real
+/// socket mesh, but all endpoints live in this process. This is the test
+/// and benchmark harness for [`TcpComm`] — the transport code exercised is
+/// exactly what worker processes run, only the process boundary is missing.
+pub fn tcp_world<T: WireItem>(size: usize, net: NetworkModel) -> io::Result<Vec<TcpComm<T>>> {
+    assert!(size > 0, "a communicator needs at least one rank");
+    let listeners: Vec<TcpListener> = (0..size)
+        .map(|_| TcpListener::bind("127.0.0.1:0"))
+        .collect::<io::Result<_>>()?;
+    let peers: Vec<String> = listeners
+        .iter()
+        .map(|l| l.local_addr().map(|a| a.to_string()))
+        .collect::<io::Result<_>>()?;
+    let handles: Vec<_> = listeners
+        .into_iter()
+        .enumerate()
+        .map(|(rank, listener)| {
+            let peers = peers.clone();
+            std::thread::spawn(move || TcpComm::connect_mesh(rank, size, net, listener, &peers))
+        })
+        .collect();
+    handles
+        .into_iter()
+        .map(|h| h.join().expect("mesh setup thread panicked"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn mesh_roundtrip_and_stats_match_local_semantics() {
+        let mut world = tcp_world::<u64>(2, NetworkModel::hdr100()).unwrap();
+        let mut r1 = world.pop().unwrap();
+        let mut r0 = world.pop().unwrap();
+        let handle = thread::spawn(move || {
+            r1.send(0, 7, vec![1, 2, 3]);
+            let got = r1.recv(0, 8);
+            assert_eq!(got, vec![9]);
+            r1.stats()
+        });
+        assert_eq!(r0.recv(1, 7), vec![1, 2, 3]);
+        r0.send(1, 8, vec![9]);
+        let s1 = handle.join().unwrap();
+        assert_eq!(s1.messages_sent, 1);
+        assert_eq!(s1.bytes_sent, 24);
+        assert!(s1.modeled_time_s > 0.0);
+    }
+
+    #[test]
+    fn large_alltoallv_does_not_deadlock() {
+        // Regression: a naive send-all-then-receive schedule wedges once a
+        // pair's payload exceeds the kernel's socket buffering (~MBs). The
+        // chunk-interleaved pairwise exchange must survive 16 MiB per
+        // direction between two ranks.
+        const ITEMS: usize = 2 * 1024 * 1024; // × 8 B = 16 MiB per direction
+        let world = tcp_world::<u64>(2, NetworkModel::ideal()).unwrap();
+        let handles: Vec<_> = world
+            .into_iter()
+            .map(|mut comm| {
+                thread::spawn(move || {
+                    let me = comm.rank() as u64;
+                    let send: Vec<Vec<u64>> = (0..comm.size())
+                        .map(|to| vec![me * 10 + to as u64; ITEMS])
+                        .collect();
+                    let recv = comm.alltoallv(send, 11);
+                    for (from, buf) in recv.iter().enumerate() {
+                        assert_eq!(buf.len(), ITEMS);
+                        assert!(buf.iter().all(|&v| v == from as u64 * 10 + me));
+                    }
+                    assert_eq!(comm.stats().bytes_sent, (ITEMS * 8) as u64);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn barrier_and_alltoallv_synchronise_a_tcp_world() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        let size = 4;
+        let world = tcp_world::<usize>(size, NetworkModel::ideal()).unwrap();
+        let counter = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = world
+            .into_iter()
+            .map(|mut comm| {
+                let counter = Arc::clone(&counter);
+                thread::spawn(move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                    comm.barrier();
+                    assert_eq!(counter.load(Ordering::SeqCst), size as u64);
+                    let me = comm.rank();
+                    let send: Vec<Vec<usize>> =
+                        (0..comm.size()).map(|to| vec![me * 100 + to]).collect();
+                    let recv = comm.alltoallv(send, 3);
+                    for (from, buf) in recv.iter().enumerate() {
+                        assert_eq!(buf, &vec![from * 100 + me]);
+                    }
+                    comm.barrier();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Worker-process mode (`hisvsim-net worker <control_addr> <rank>`).
+//!
+//! A worker is one rank of the process cluster: it checks in with the
+//! launcher, joins the TCP mesh, re-fuses the shipped partition locally,
+//! runs the *same* engine rank body the in-process world runs, and streams
+//! its identity-layout slice back.
+
+use crate::launcher::NetError;
+use crate::proto::{LaunchSpec, RankReport, ShippedJob, WorkerHello, AMPS_TAG};
+use crate::tcp::TcpComm;
+use crate::wire::{recv_json, send_json, write_frame};
+use hisvsim_circuit::Complex64;
+use hisvsim_cluster::RankComm;
+use hisvsim_core::{
+    run_baseline_rank, run_fused_plan_rank, run_two_level_plan_rank, FusedSinglePlan,
+    FusedTwoLevelPlan, RankOutcome,
+};
+use hisvsim_dag::CircuitDag;
+use hisvsim_runtime::{EngineKind, PersistedPlan};
+use hisvsim_statevec::amplitudes_to_le_bytes;
+use std::net::{TcpListener, TcpStream};
+
+/// Execute one rank of a shipped job on any [`RankComm`] world. This is the
+/// single dispatch point shared by worker processes (over
+/// [`TcpComm`]) and the in-process reference executor (over
+/// [`LocalComm`](hisvsim_cluster::LocalComm)) — which is what makes the two
+/// runs bit-identical by construction.
+///
+/// Workers re-fuse the shipped partition locally ([`FusedSinglePlan`] /
+/// [`FusedTwoLevelPlan`] are rebuilt from the [`PersistedPlan`] wire
+/// shape); the fusion scan is deterministic, so every rank derives the
+/// identical fused schedule independently.
+pub fn execute_shipped_rank<C: RankComm<Complex64>>(
+    job: &ShippedJob,
+    comm: &mut C,
+) -> Result<RankOutcome, NetError> {
+    let fusion = job.fusion.max(1);
+    match job.engine {
+        EngineKind::Baseline => Ok(run_baseline_rank(comm, &job.circuit, fusion)),
+        EngineKind::Hier | EngineKind::Dist => {
+            let Some(PersistedPlan::Single(partition)) = &job.plan else {
+                return Err(NetError::Protocol(format!(
+                    "engine {} needs a single-level plan, got {:?}",
+                    job.engine,
+                    job.plan.as_ref().map(plan_shape)
+                )));
+            };
+            let dag = CircuitDag::from_circuit(&job.circuit);
+            let plan = FusedSinglePlan::build(&job.circuit, &dag, partition.clone(), fusion);
+            Ok(run_fused_plan_rank(comm, job.circuit.num_qubits(), &plan))
+        }
+        EngineKind::Multilevel => {
+            let Some(PersistedPlan::Two(ml)) = &job.plan else {
+                return Err(NetError::Protocol(format!(
+                    "engine multilevel needs a two-level plan, got {:?}",
+                    job.plan.as_ref().map(plan_shape)
+                )));
+            };
+            let dag = CircuitDag::from_circuit(&job.circuit);
+            let plan = FusedTwoLevelPlan::build(&job.circuit, &dag, ml.clone(), fusion);
+            Ok(run_two_level_plan_rank(
+                comm,
+                job.circuit.num_qubits(),
+                &plan,
+            ))
+        }
+    }
+}
+
+fn plan_shape(plan: &PersistedPlan) -> &'static str {
+    match plan {
+        PersistedPlan::Single(_) => "single-level",
+        PersistedPlan::Two(_) => "two-level",
+    }
+}
+
+/// The worker-process body: rendezvous, mesh, execute, report.
+pub fn run_worker(control_addr: &str, rank: usize) -> Result<(), NetError> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let data_addr = listener.local_addr()?.to_string();
+    let mut control = TcpStream::connect(control_addr)?;
+    control.set_nodelay(true)?;
+    send_json(&mut control, &WorkerHello { rank, data_addr })?;
+    let spec: LaunchSpec = recv_json(&mut control)?;
+    if spec.rank != rank {
+        return Err(NetError::Protocol(format!(
+            "launch spec addressed to rank {}, this worker is rank {rank}",
+            spec.rank
+        )));
+    }
+    let mut comm =
+        TcpComm::<Complex64>::connect_mesh(rank, spec.size, spec.network, listener, &spec.peers)?;
+    let outcome = execute_shipped_rank(&spec.job, &mut comm)?;
+    send_json(
+        &mut control,
+        &RankReport {
+            rank,
+            compute_time_s: outcome.compute_time_s,
+            comm: outcome.comm,
+            exchanges: outcome.exchanges,
+            amp_count: outcome.local.len(),
+        },
+    )?;
+    write_frame(
+        &mut control,
+        AMPS_TAG,
+        &amplitudes_to_le_bytes(&outcome.local),
+    )?;
+    Ok(())
+}

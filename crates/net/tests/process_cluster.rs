@@ -1,0 +1,226 @@
+//! Multi-process cluster tests: real worker processes of the
+//! `hisvsim-net` binary on localhost, compared bit-for-bit against the
+//! in-process channel world and the flat reference simulator.
+
+use hisvsim_circuit::generators;
+use hisvsim_cluster::NetworkModel;
+use hisvsim_dag::CircuitDag;
+use hisvsim_net::{execute_local_reference, ClusterLauncher, ShippedJob};
+use hisvsim_partition::{MultilevelPartitioner, Strategy};
+use hisvsim_runtime::{Backend, EngineKind, PersistedPlan, Scheduler, SchedulerConfig, SimJob};
+use hisvsim_runtime::{EngineSelector, PlanEffort};
+use hisvsim_service::{ServiceConfig, SimService};
+use hisvsim_statevec::{run_circuit, DEFAULT_FUSION_WIDTH};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn launcher(workers: usize) -> ClusterLauncher {
+    ClusterLauncher::with_worker_binary(workers, PathBuf::from(env!("CARGO_BIN_EXE_hisvsim-net")))
+        .with_network(NetworkModel::hdr100())
+}
+
+fn single_level_job(engine: EngineKind, qubits: usize, workers: usize) -> ShippedJob {
+    let circuit = generators::qft(qubits);
+    let dag = CircuitDag::from_circuit(&circuit);
+    let local = qubits - workers.trailing_zeros() as usize;
+    let partition = Strategy::DagP.partition(&dag, local).unwrap();
+    ShippedJob {
+        engine,
+        circuit,
+        fusion: DEFAULT_FUSION_WIDTH,
+        plan: Some(PersistedPlan::Single(partition)),
+    }
+}
+
+#[test]
+fn four_process_dist_run_is_bit_identical_to_in_process() {
+    let workers = 4;
+    let job = single_level_job(EngineKind::Dist, 12, workers);
+    let (state, report) = launcher(workers).execute(&job).unwrap();
+    let (reference, _) = execute_local_reference(&job, workers, NetworkModel::hdr100()).unwrap();
+    assert_eq!(state, reference, "process run must be bit-identical");
+    assert!(state.approx_eq(&run_circuit(&job.circuit), 1e-9));
+    assert_eq!(report.num_ranks, workers);
+    assert!(report.comm.bytes_sent > 0, "4 ranks must exchange state");
+    assert!(
+        report.comm.wall_time_s > 0.0,
+        "collectives charge wall time"
+    );
+}
+
+#[test]
+fn four_process_hier_plan_is_bit_identical_to_in_process() {
+    let workers = 4;
+    let job = single_level_job(EngineKind::Hier, 11, workers);
+    let (state, _) = launcher(workers).execute(&job).unwrap();
+    let (reference, _) = execute_local_reference(&job, workers, NetworkModel::hdr100()).unwrap();
+    assert_eq!(state, reference);
+    assert!(state.approx_eq(&run_circuit(&job.circuit), 1e-9));
+}
+
+#[test]
+fn process_baseline_and_multilevel_match_the_flat_simulator() {
+    let workers = 2;
+    // Baseline ships no plan; workers derive the static-mapping schedule.
+    let baseline = ShippedJob {
+        engine: EngineKind::Baseline,
+        circuit: generators::by_name("ising", 9),
+        fusion: DEFAULT_FUSION_WIDTH,
+        plan: None,
+    };
+    let (state, _) = launcher(workers).execute(&baseline).unwrap();
+    let (reference, _) =
+        execute_local_reference(&baseline, workers, NetworkModel::hdr100()).unwrap();
+    assert_eq!(state, reference);
+    assert!(state.approx_eq(&run_circuit(&baseline.circuit), 1e-9));
+
+    // Multilevel ships a two-level partition.
+    let circuit = generators::by_name("qaoa", 9);
+    let dag = CircuitDag::from_circuit(&circuit);
+    let ml = MultilevelPartitioner::default()
+        .partition(&dag, 8, 3)
+        .unwrap();
+    let job = ShippedJob {
+        engine: EngineKind::Multilevel,
+        circuit,
+        fusion: DEFAULT_FUSION_WIDTH,
+        plan: Some(PersistedPlan::Two(ml)),
+    };
+    let (state, _) = launcher(workers).execute(&job).unwrap();
+    let (reference, _) = execute_local_reference(&job, workers, NetworkModel::hdr100()).unwrap();
+    assert_eq!(state, reference);
+    assert!(state.approx_eq(&run_circuit(&job.circuit), 1e-9));
+}
+
+#[test]
+fn scheduler_routes_process_backend_jobs_through_the_launcher() {
+    let backend: Arc<ClusterLauncher> = Arc::new(launcher(4));
+    let scheduler = Scheduler::new(
+        SchedulerConfig::default()
+            .with_selector(EngineSelector::scaled(4, 8))
+            .with_effort(PlanEffort::Fast)
+            .with_process_backend(backend),
+    );
+    let circuit = generators::qft(11);
+    let expected = run_circuit(&circuit);
+    let jobs = vec![
+        SimJob::new(circuit.clone())
+            .with_engine(EngineKind::Dist)
+            .with_backend(Backend::Process),
+        SimJob::new(circuit.clone()).with_engine(EngineKind::Dist), // local twin
+    ];
+    let report = scheduler.run_batch(jobs);
+    let process = &report.results[0];
+    let local = &report.results[1];
+    assert!(process.state.as_ref().unwrap().approx_eq(&expected, 1e-9));
+    assert!(local.state.as_ref().unwrap().approx_eq(&expected, 1e-9));
+    assert_eq!(process.report.num_ranks, 4);
+    assert_eq!(process.report.strategy, "process");
+    assert!(process.comm_stats().bytes_sent > 0);
+}
+
+#[test]
+fn requesting_process_backend_without_registration_fails_cleanly() {
+    let service = SimService::start(
+        ServiceConfig::new()
+            .with_scheduler(SchedulerConfig::default().with_selector(EngineSelector::scaled(4, 8))),
+    );
+    let handle = service.submit(
+        SimJob::new(generators::qft(8))
+            .with_engine(EngineKind::Dist)
+            .with_backend(Backend::Process),
+    );
+    let err = handle.wait().unwrap_err();
+    let message = err.to_string();
+    assert!(
+        message.contains("no process backend"),
+        "unexpected failure message: {message}"
+    );
+    service.shutdown().unwrap();
+}
+
+#[test]
+fn too_small_circuit_is_rejected_before_any_worker_launches() {
+    let service = SimService::start(
+        ServiceConfig::new().with_scheduler(
+            SchedulerConfig::default()
+                .with_selector(EngineSelector::scaled(4, 8))
+                .with_process_backend(Arc::new(launcher(4))),
+        ),
+    );
+    // 2 qubits cannot give 4 ranks a local slice wide enough for a
+    // 2-qubit gate: the pool must reject this cleanly, not let worker
+    // processes die on an assert.
+    let handle = service.submit(
+        SimJob::new(generators::qft(2))
+            .with_engine(EngineKind::Dist)
+            .with_backend(Backend::Process),
+    );
+    let message = handle.wait().unwrap_err().to_string();
+    assert!(message.contains("too small"), "got: {message}");
+    service.shutdown().unwrap();
+}
+
+#[test]
+#[cfg(unix)]
+fn crashed_worker_fails_the_launch_instead_of_hanging() {
+    // A "worker binary" that exits immediately: the launcher must surface
+    // a Worker error promptly (liveness polling), not block in accept.
+    let bad = ClusterLauncher::with_worker_binary(2, PathBuf::from("/bin/false"))
+        .with_network(NetworkModel::ideal());
+    let job = single_level_job(EngineKind::Dist, 8, 2);
+    let start = std::time::Instant::now();
+    let err = bad.execute(&job).unwrap_err();
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(30),
+        "launch failure took too long"
+    );
+    let message = err.to_string();
+    assert!(
+        message.contains("worker") || message.contains("i/o"),
+        "got: {message}"
+    );
+}
+
+#[test]
+fn restarted_launcher_service_reuses_shipped_plans_with_zero_replans() {
+    let dir = std::env::temp_dir().join(format!("hisvsim-net-warm-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let snapshot = dir.join("plans.json");
+    let circuit = generators::qft(11);
+    let expected = run_circuit(&circuit);
+    let config = || {
+        ServiceConfig::new()
+            .with_scheduler(
+                SchedulerConfig::default()
+                    .with_selector(EngineSelector::scaled(4, 8))
+                    .with_process_backend(Arc::new(launcher(4))),
+            )
+            .with_persistence(&snapshot)
+    };
+    let job = || {
+        SimJob::new(circuit.clone())
+            .with_engine(EngineKind::Dist)
+            .with_backend(Backend::Process)
+    };
+
+    // First launcher service: plans from scratch, ships, persists.
+    let first = SimService::start(config());
+    let state1 = first.submit(job()).wait().unwrap().state.unwrap();
+    assert_eq!(first.cache_stats().misses, 1);
+    first.shutdown().unwrap();
+
+    // Restarted launcher service: the shipped partition is reloaded from
+    // the snapshot — zero replans on the repeat workload.
+    let second = SimService::start(config());
+    let state2 = second.submit(job()).wait().unwrap().state.unwrap();
+    let stats = second.cache_stats();
+    assert_eq!(stats.misses, 0, "repeat workload must not replan");
+    assert_eq!(stats.warm_hits, 1, "plan must come from the snapshot");
+    second.shutdown().unwrap();
+
+    // Same partition shipped both times ⇒ bit-identical assembled states.
+    assert_eq!(state1, state2);
+    assert!(state1.approx_eq(&expected, 1e-9));
+    std::fs::remove_file(&snapshot).ok();
+}

@@ -81,6 +81,16 @@ impl CachedPlan {
             CachedPlan::Two(plan) => plan.ml.num_first_level_parts(),
         }
     }
+
+    /// The plan's partition skeleton in its disk/wire shape — what the
+    /// snapshot persists and what a process backend ships to remote workers
+    /// (which re-fuse locally).
+    pub fn to_persisted(&self) -> PersistedPlan {
+        match self {
+            CachedPlan::Single(plan) => PersistedPlan::Single(plan.partition.clone()),
+            CachedPlan::Two(plan) => PersistedPlan::Two(plan.ml.clone()),
+        }
+    }
 }
 
 /// The partition skeleton of a cached plan in its disk-persistable form:
@@ -300,14 +310,8 @@ impl PlanCache {
                 let Ok(value) = slot.value.try_lock() else {
                     continue; // in-flight: nothing completed to persist
                 };
-                match value.as_ref() {
-                    Some(CachedPlan::Single(plan)) => {
-                        entries.push((*key, PersistedPlan::Single(plan.partition.clone())));
-                    }
-                    Some(CachedPlan::Two(plan)) => {
-                        entries.push((*key, PersistedPlan::Two(plan.ml.clone())));
-                    }
-                    None => {}
+                if let Some(plan) = value.as_ref() {
+                    entries.push((*key, plan.to_persisted()));
                 }
             }
         }

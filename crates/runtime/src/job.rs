@@ -7,6 +7,22 @@ use hisvsim_cluster::CommStats;
 use hisvsim_core::RunReport;
 use hisvsim_statevec::StateVector;
 use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Where a job's (distributed) execution runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Backend {
+    /// In-process virtual ranks: threads plus channels
+    /// ([`hisvsim_cluster::LocalComm`]).
+    #[default]
+    Local,
+    /// Real OS processes over the TCP transport: the job's partition plan
+    /// is shipped to worker processes through the registered
+    /// [`ProcessBackend`](crate::pool::ProcessBackend) (see
+    /// `hisvsim_net::ClusterLauncher`). Requires
+    /// [`SchedulerConfig::with_process_backend`](crate::scheduler::SchedulerConfig::with_process_backend).
+    Process,
+}
 
 /// One simulation job: a circuit plus everything the runtime needs to
 /// execute and post-process it.
@@ -30,6 +46,13 @@ pub struct SimJob {
     pub fusion: Option<usize>,
     /// Seed for shot sampling (deterministic per job).
     pub seed: u64,
+    /// Execution backend: in-process virtual ranks (default) or real worker
+    /// processes via the registered process backend.
+    pub backend: Backend,
+    /// Wall-clock deadline. The runtime itself does not arm a timer — the
+    /// service layer does (firing the job's `CancelToken` and reporting
+    /// `DeadlineExceeded`); batch mode ignores it.
+    pub deadline: Option<Duration>,
 }
 
 impl SimJob {
@@ -43,6 +66,8 @@ impl SimJob {
             limit: None,
             fusion: None,
             seed: 0,
+            backend: Backend::Local,
+            deadline: None,
         }
     }
 
@@ -80,6 +105,21 @@ impl SimJob {
     /// Use this sampling seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Execute on this backend (e.g. [`Backend::Process`] for a
+    /// multi-process cluster run).
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Give the job a wall-clock deadline. The `hisvsim-service` layer arms
+    /// a timer that fires the job's cancel token when the deadline passes
+    /// and surfaces `Failed { DeadlineExceeded }` on the progress stream.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
         self
     }
 }

@@ -55,9 +55,9 @@ pub mod scheduler;
 pub mod selector;
 
 pub use cache::{CacheStats, CachedPlan, PersistedPlan, PlanCache, PlanKey, PlanSource};
-pub use job::{JobResult, SimJob};
+pub use job::{Backend, JobResult, SimJob};
 pub use planner::{PlanEffort, Planner};
-pub use pool::{JobControl, JobError, JobRunner, Semaphore};
+pub use pool::{JobControl, JobError, JobRunner, ProcessBackend, ProcessRequest, Semaphore};
 pub use scheduler::{BatchReport, BatchStats, Scheduler, SchedulerConfig};
 pub use selector::{EngineDecision, EngineKind, EngineSelector};
 

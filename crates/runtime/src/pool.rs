@@ -19,11 +19,12 @@
 //! are bit-identical to the pre-refactor scheduler.
 
 use crate::cache::{CachedPlan, PersistedPlan, PlanCache, PlanKey, PlanSource};
-use crate::job::{JobResult, SimJob};
+use crate::job::{Backend, JobResult, SimJob};
 use crate::planner::Planner;
 use crate::scheduler::SchedulerConfig;
 use crate::selector::{EngineDecision, EngineKind};
 use hisvsim_circuit::Circuit;
+use hisvsim_cluster::NetworkModel;
 use hisvsim_core::{
     BaselineConfig, DistConfig, DistributedSimulator, ExecControl, FusedSinglePlan,
     FusedTwoLevelPlan, HierConfig, HierarchicalSimulator, IqsBaseline, MultilevelConfig,
@@ -176,6 +177,12 @@ pub enum JobError {
         /// The underlying planning error.
         error: PartitionBuildError,
     },
+    /// The job requested [`Backend::Process`] but no process backend is
+    /// registered, or the launcher/worker pipeline failed.
+    Backend {
+        /// Human-readable failure description.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for JobError {
@@ -191,11 +198,49 @@ impl std::fmt::Display for JobError {
                 f,
                 "planning failed for '{circuit}' (engine {engine}, limit {limit}): {error}"
             ),
+            JobError::Backend { message } => write!(f, "process backend failed: {message}"),
         }
     }
 }
 
 impl std::error::Error for JobError {}
+
+/// Everything a process backend needs to execute one job on a worker
+/// cluster: the circuit, the engine choice, the fusion width to re-fuse at,
+/// the network model for accounting, and the *partition* of the plan in its
+/// wire shape ([`PersistedPlan`]) — fused matrices stay process-local by
+/// design, so receivers re-fuse (`None` for the unpartitioned baseline).
+pub struct ProcessRequest<'a> {
+    /// The circuit to simulate.
+    pub circuit: &'a Circuit,
+    /// The engine whose rank body the workers run. `Hier` executes its
+    /// single-level plan through the distributed rank body — the plan shape
+    /// is shared, only the driver differs.
+    pub engine: EngineKind,
+    /// Gate-fusion width workers re-fuse the shipped partition at.
+    pub fusion: usize,
+    /// Interconnect model for per-transfer accounting on the workers.
+    pub network: NetworkModel,
+    /// The partition to ship (exactly the plan-cache snapshot wire shape).
+    pub plan: Option<PersistedPlan>,
+}
+
+/// A multi-process execution backend (implemented by
+/// `hisvsim_net::ClusterLauncher`): takes a [`ProcessRequest`], runs it on
+/// real worker processes, and returns the assembled state plus the report
+/// aggregated from per-rank comm stats.
+///
+/// Defined here (not in `hisvsim-net`) so the runtime can stay free of any
+/// transport dependency; the launcher is injected via
+/// [`SchedulerConfig::with_process_backend`](crate::scheduler::SchedulerConfig::with_process_backend).
+pub trait ProcessBackend: Send + Sync {
+    /// The worker-process world size (a power of two); the runner clamps
+    /// plan limits so every shipped working set fits a worker's local slice.
+    fn ranks(&self) -> usize;
+
+    /// Execute the request on the worker cluster.
+    fn execute(&self, request: ProcessRequest<'_>) -> Result<(StateVector, RunReport), String>;
+}
 
 /// The plan-through-postprocess job executor: everything
 /// [`Scheduler::run_batch`](crate::scheduler::Scheduler::run_batch) does to
@@ -247,6 +292,56 @@ impl JobRunner {
                 decision.second_limit = decision.second_limit.min(limit);
             }
         }
+        // A process-backed job runs on the launcher's worker world, not the
+        // selector's virtual rank count — and *every* engine's plan (hier
+        // included, since its single-level plan executes through the
+        // distributed rank body on workers) must fit a worker's local slice.
+        let process = if job.backend == Backend::Process {
+            let backend = self
+                .config
+                .process_backend
+                .clone()
+                .ok_or_else(|| JobError::Backend {
+                    message: format!(
+                        "job '{}' requested Backend::Process but no process backend is \
+                             registered (SchedulerConfig::with_process_backend)",
+                        job.circuit.name
+                    ),
+                })?;
+            let ranks = backend.ranks();
+            assert!(
+                ranks.is_power_of_two(),
+                "process backend world size must be a power of two, got {ranks}"
+            );
+            decision.ranks = ranks;
+            let rank_bits = ranks.trailing_zeros() as usize;
+            let arity_floor = job
+                .circuit
+                .gates()
+                .iter()
+                .map(|g| g.arity())
+                .max()
+                .unwrap_or(1);
+            let local = job.circuit.num_qubits().saturating_sub(rank_bits);
+            // Reject undistributable jobs here with a clear error instead
+            // of launching workers whose rank bodies would assert and die.
+            if job.circuit.num_qubits() < rank_bits || local < arity_floor {
+                return Err(JobError::Backend {
+                    message: format!(
+                        "circuit '{}' ({} qubits, max gate arity {arity_floor}) is too small \
+                         for the {ranks}-worker world: each worker needs at least \
+                         {arity_floor} local qubit(s), got {local}",
+                        job.circuit.name,
+                        job.circuit.num_qubits(),
+                    ),
+                });
+            }
+            decision.limit = decision.limit.min(local.max(1));
+            decision.second_limit = decision.second_limit.min(decision.limit);
+            Some(backend)
+        } else {
+            None
+        };
         // A distributed plan must fit each rank's local slice; mirror the
         // clamp `DistributedSimulator::run` applies so an explicit per-job
         // limit override cannot push a working set past the local width.
@@ -284,9 +379,31 @@ impl JobRunner {
             }
             exec
         };
-        let (state, report) = self
-            .simulate(&job.circuit, &decision, fusion, plan.as_ref(), &exec)
-            .map_err(|_| JobError::Cancelled)?;
+        let (state, report) = match &process {
+            Some(backend) => {
+                let request = ProcessRequest {
+                    circuit: &job.circuit,
+                    engine: decision.engine,
+                    fusion,
+                    network: self.config.selector.network,
+                    plan: plan.as_ref().map(CachedPlan::to_persisted),
+                };
+                let outcome = backend
+                    .execute(request)
+                    .map_err(|message| JobError::Backend { message })?;
+                // A launcher run has no cooperative checkpoints; honour a
+                // cancellation that raced it by discarding the result here.
+                control.cancel.check().map_err(|_| JobError::Cancelled)?;
+                control.notify_executing(
+                    job.circuit.num_gates() as u64,
+                    job.circuit.num_gates() as u64,
+                );
+                outcome
+            }
+            None => self
+                .simulate(&job.circuit, &decision, fusion, plan.as_ref(), &exec)
+                .map_err(|_| JobError::Cancelled)?,
+        };
 
         // Post-processing: shot sampling and Z expectations reuse the
         // statevec measurement utilities on the engine's final state. The

@@ -23,14 +23,14 @@
 use crate::cache::{CacheStats, PlanCache};
 use crate::job::{JobResult, SimJob};
 use crate::planner::PlanEffort;
-use crate::pool::{JobControl, JobError, JobRunner, Semaphore};
+use crate::pool::{JobControl, JobError, JobRunner, ProcessBackend, Semaphore};
 use crate::selector::{EngineKind, EngineSelector};
 use std::collections::VecDeque;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Scheduler configuration.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct SchedulerConfig {
     /// Worker threads executing jobs concurrently.
     pub workers: usize,
@@ -49,6 +49,10 @@ pub struct SchedulerConfig {
     /// fire-and-forget sampling workloads where only counts/expectations
     /// matter, so batch memory stays bounded by `max_resident`.
     pub retain_states: bool,
+    /// The multi-process execution backend jobs with
+    /// [`Backend::Process`](crate::job::Backend::Process) run on (e.g.
+    /// `hisvsim_net::ClusterLauncher`); `None` rejects such jobs.
+    pub process_backend: Option<Arc<dyn ProcessBackend>>,
 }
 
 impl Default for SchedulerConfig {
@@ -64,7 +68,25 @@ impl Default for SchedulerConfig {
             effort: PlanEffort::Fast,
             selector: EngineSelector::default(),
             retain_states: true,
+            process_backend: None,
         }
+    }
+}
+
+impl std::fmt::Debug for SchedulerConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SchedulerConfig")
+            .field("workers", &self.workers)
+            .field("max_resident", &self.max_resident)
+            .field("cache_capacity", &self.cache_capacity)
+            .field("effort", &self.effort)
+            .field("selector", &self.selector)
+            .field("retain_states", &self.retain_states)
+            .field(
+                "process_backend",
+                &self.process_backend.as_ref().map(|b| b.ranks()),
+            )
+            .finish()
     }
 }
 
@@ -96,6 +118,13 @@ impl SchedulerConfig {
     /// Builder: disable the plan cache (ablation mode).
     pub fn without_cache(mut self) -> Self {
         self.cache_capacity = 0;
+        self
+    }
+
+    /// Builder: register the multi-process execution backend serving
+    /// [`Backend::Process`](crate::job::Backend::Process) jobs.
+    pub fn with_process_backend(mut self, backend: Arc<dyn ProcessBackend>) -> Self {
+        self.process_backend = Some(backend);
         self
     }
 }
@@ -197,8 +226,12 @@ impl Scheduler {
     /// # Panics
     ///
     /// Panics if a job's *explicit* limit override is below its circuit's
-    /// largest gate arity (automatic limits always respect the arity floor),
-    /// or if a worker thread panics.
+    /// largest gate arity (automatic limits always respect the arity
+    /// floor), if a worker thread panics, or if a
+    /// [`Backend::Process`](crate::job::Backend::Process) job fails in the
+    /// launcher/worker pipeline — batch mode has no per-job error surface;
+    /// use `hisvsim-service` for workloads that must survive individual
+    /// job failures (it converts the same errors to `JobFailure::Failed`).
     pub fn run_batch(&self, jobs: Vec<SimJob>) -> BatchReport {
         let start = Instant::now();
         let cache_before = self.cache().stats();
@@ -221,7 +254,9 @@ impl Scheduler {
                     };
                     let result = match self.runner.execute_job(index, job, &residency, &control) {
                         Ok(result) => result,
-                        Err(e @ JobError::PlanFailed { .. }) => panic!("{e}"),
+                        Err(e @ (JobError::PlanFailed { .. } | JobError::Backend { .. })) => {
+                            panic!("{e}")
+                        }
                         Err(JobError::Cancelled) => {
                             unreachable!("run_batch uses an inert control")
                         }

@@ -4,6 +4,7 @@
 use crossbeam::channel::{Receiver, Sender};
 use hisvsim_runtime::JobResult;
 use hisvsim_statevec::CancelToken;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 /// Scheduling priority of a submitted job. Higher priorities are popped
@@ -118,6 +119,15 @@ pub(crate) struct JobShared {
     /// Event sender; dropped at the terminal transition so the stream
     /// disconnects once drained.
     pub(crate) events: Mutex<Option<Sender<JobEvent>>>,
+    /// Set by the service's deadline timer before it fires the cancel
+    /// token, so a deadline-cancelled run surfaces as `Failed
+    /// { DeadlineExceeded }` rather than `Cancelled`.
+    pub(crate) deadline_fired: AtomicBool,
+    /// Service-wide count of jobs finalized *while still queued* (handle
+    /// cancel, deadline expiry) and not yet lazily dropped by a worker.
+    /// Shared with the service so `stats()` can report an honest queue
+    /// depth as `heap len − this`, without locking per-job state.
+    pub(crate) finalized_queued: Arc<AtomicU64>,
 }
 
 pub(crate) struct JobState {
@@ -126,7 +136,7 @@ pub(crate) struct JobState {
 }
 
 impl JobShared {
-    pub(crate) fn new(id: u64, events: Sender<JobEvent>) -> Self {
+    pub(crate) fn new(id: u64, events: Sender<JobEvent>, finalized_queued: Arc<AtomicU64>) -> Self {
         Self {
             id,
             cancel: CancelToken::new(),
@@ -136,6 +146,8 @@ impl JobShared {
             }),
             finished: Condvar::new(),
             events: Mutex::new(Some(events)),
+            deadline_fired: AtomicBool::new(false),
+            finalized_queued,
         }
     }
 
@@ -160,9 +172,25 @@ impl JobShared {
     /// matching event, close the stream and wake every waiter. Returns
     /// false if the job was already finalized (e.g. cancel-after-complete).
     pub(crate) fn finalize(&self, outcome: Result<JobResult, JobFailure>) -> bool {
+        self.finalize_impl(outcome, false)
+    }
+
+    /// [`JobShared::finalize`], but only if the job is still *queued*
+    /// (never claimed by a worker). The status check and the terminal
+    /// transition happen under one lock hold, so the caller's
+    /// finalized-while-queued accounting is exact even against a racing
+    /// claim — a worker marks the job claimed under the same lock.
+    pub(crate) fn finalize_queued(&self, outcome: Result<JobResult, JobFailure>) -> bool {
+        self.finalize_impl(outcome, true)
+    }
+
+    fn finalize_impl(&self, outcome: Result<JobResult, JobFailure>, only_if_queued: bool) -> bool {
         let event = {
             let mut state = self.state.lock().expect("job state poisoned");
             if state.outcome.is_some() {
+                return false;
+            }
+            if only_if_queued && state.status != JobStatus::Queued {
                 return false;
             }
             let (status, event) = match &outcome {
@@ -239,14 +267,16 @@ impl JobHandle {
     pub fn cancel(&self) {
         self.shared.cancel.cancel();
         // Fast path: a job still in the queue is finalized here and never
-        // claimed (workers skip jobs with an outcome). Running jobs are
+        // claimed (workers skip jobs with an outcome); it stays in the
+        // heap until lazily dropped, so the phantom-entry counter feeding
+        // the service's queue-depth gauge is bumped. Running jobs are
         // finalized by their worker at the next checkpoint.
-        let queued = {
-            let state = self.shared.state.lock().expect("job state poisoned");
-            state.status == JobStatus::Queued && state.outcome.is_none()
-        };
-        if queued {
-            self.shared.finalize(Err(JobFailure::Cancelled));
+        // Pre-bump so the gauge is consistent the instant a `wait()` on
+        // this job returns (finalize wakes waiters); undo on the paths
+        // that did not actually finalize a queued entry.
+        self.shared.finalized_queued.fetch_add(1, Ordering::Relaxed);
+        if !self.shared.finalize_queued(Err(JobFailure::Cancelled)) {
+            self.shared.finalized_queued.fetch_sub(1, Ordering::Relaxed);
         }
     }
 

@@ -67,7 +67,7 @@ pub mod handle;
 pub mod service;
 
 pub use handle::{JobEvent, JobFailure, JobHandle, JobPriority, JobStatus};
-pub use service::{ServiceConfig, ServiceStats, SimService};
+pub use service::{ServiceConfig, ServiceStats, SimService, DEADLINE_EXCEEDED};
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {

@@ -9,6 +9,18 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Reason prefix carried by the `Failed` event/outcome of a job whose
+/// deadline timer fired (distinguishes it from an explicit `cancel()`).
+pub const DEADLINE_EXCEEDED: &str = "DeadlineExceeded";
+
+fn deadline_message(deadline: Duration) -> String {
+    format!(
+        "{DEADLINE_EXCEEDED}: job exceeded its {:.3}s deadline",
+        deadline.as_secs_f64()
+    )
+}
 
 /// Service configuration: the scheduler configuration the worker-pool core
 /// runs with, plus the service-level persistence knobs.
@@ -52,9 +64,16 @@ pub struct ServiceStats {
     pub completed: u64,
     /// Jobs cancelled (while queued or mid-execution).
     pub cancelled: u64,
-    /// Jobs that failed (planning error or engine panic).
+    /// Jobs that failed (planning error, backend error or engine panic),
+    /// including deadline expiries.
     pub failed: u64,
-    /// Jobs currently waiting in the priority queue.
+    /// Jobs whose deadline timer fired before they completed (a subset of
+    /// `failed`).
+    pub deadline_exceeded: u64,
+    /// Jobs currently waiting to run. Entries that were finalized while
+    /// queued (handle cancel, deadline expiry) but not yet lazily dropped
+    /// by a worker are *not* counted — they can never run, and reporting
+    /// them would show operators a phantom backlog.
     pub queue_depth: usize,
 }
 
@@ -97,6 +116,10 @@ struct Inner {
     completed: AtomicU64,
     cancelled: AtomicU64,
     failed: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    /// Jobs finalized while still in the heap (handle cancel, deadline
+    /// expiry) awaiting their lazy drop; shared into every `JobShared`.
+    finalized_queued: Arc<AtomicU64>,
 }
 
 /// A long-lived simulation job service: non-blocking [`SimService::submit`]
@@ -138,6 +161,8 @@ impl SimService {
             completed: AtomicU64::new(0),
             cancelled: AtomicU64::new(0),
             failed: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
+            finalized_queued: Arc::new(AtomicU64::new(0)),
         });
         let workers = (0..config.scheduler.workers.max(1))
             .map(|_| {
@@ -158,17 +183,28 @@ impl SimService {
         self.submit_with_priority(job, JobPriority::Normal)
     }
 
-    /// Submit a job at an explicit priority.
+    /// Submit a job at an explicit priority. When the job carries a
+    /// [`SimJob::with_deadline`], a timer is armed *from submission*: if the
+    /// job has not reached a terminal state when it fires, the job's cancel
+    /// token is raised and the outcome surfaces as
+    /// `Failed { DeadlineExceeded }` rather than `Cancelled`.
     pub fn submit_with_priority(&self, job: SimJob, priority: JobPriority) -> JobHandle {
         let seq = self.inner.next_seq.fetch_add(1, Ordering::Relaxed);
         self.inner.submitted.fetch_add(1, Ordering::Relaxed);
         let (sender, receiver) = crossbeam::channel::unbounded();
-        let shared = Arc::new(JobShared::new(seq, sender));
+        let shared = Arc::new(JobShared::new(
+            seq,
+            sender,
+            Arc::clone(&self.inner.finalized_queued),
+        ));
         shared.emit(JobEvent::Queued);
         let handle = JobHandle {
             shared: Arc::clone(&shared),
             events: receiver,
         };
+        if let Some(deadline) = job.deadline {
+            arm_deadline(Arc::clone(&self.inner), Arc::clone(&shared), deadline);
+        }
         self.inner
             .queue
             .lock()
@@ -196,13 +232,101 @@ impl SimService {
 
     /// Lifetime service counters.
     pub fn stats(&self) -> ServiceStats {
+        // Honest backlog without an O(queue) scan: heap length minus the
+        // entries already finalized in place (they can never run; workers
+        // drop them lazily on pop). Saturating: the two reads are not one
+        // atomic snapshot, so a racing pop may transiently skew them.
+        let queue_len = self.inner.queue.lock().expect("job queue poisoned").len();
+        let queue_depth =
+            queue_len.saturating_sub(self.inner.finalized_queued.load(Ordering::Relaxed) as usize);
         ServiceStats {
             submitted: self.inner.submitted.load(Ordering::Relaxed),
             completed: self.inner.completed.load(Ordering::Relaxed),
             cancelled: self.inner.cancelled.load(Ordering::Relaxed),
             failed: self.inner.failed.load(Ordering::Relaxed),
-            queue_depth: self.inner.queue.lock().expect("job queue poisoned").len(),
+            deadline_exceeded: self.inner.deadline_exceeded.load(Ordering::Relaxed),
+            queue_depth,
         }
+    }
+
+    /// A Prometheus-style text snapshot of the service and plan-cache
+    /// counters, for operators to scrape (queue depth, terminal-state
+    /// totals, deadline expiries, warm hits, evictions).
+    pub fn metrics_text(&self) -> String {
+        let s = self.stats();
+        let c = self.cache_stats();
+        let mut out = String::with_capacity(1024);
+        let mut counter = |name: &str, help: &str, value: u64| {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
+            ));
+        };
+        counter(
+            "hisvsim_service_jobs_submitted_total",
+            "Jobs accepted by submit().",
+            s.submitted,
+        );
+        counter(
+            "hisvsim_service_jobs_completed_total",
+            "Jobs that finished successfully.",
+            s.completed,
+        );
+        counter(
+            "hisvsim_service_jobs_cancelled_total",
+            "Jobs cancelled while queued or mid-execution.",
+            s.cancelled,
+        );
+        counter(
+            "hisvsim_service_jobs_failed_total",
+            "Jobs that failed (planning, backend, panic or deadline).",
+            s.failed,
+        );
+        counter(
+            "hisvsim_service_jobs_deadline_exceeded_total",
+            "Jobs whose deadline fired before completion (subset of failed).",
+            s.deadline_exceeded,
+        );
+        counter(
+            "hisvsim_plan_cache_hits_total",
+            "Plan lookups served from memory.",
+            c.hits,
+        );
+        counter(
+            "hisvsim_plan_cache_warm_hits_total",
+            "Plan lookups served by re-fusing a disk-persisted partition.",
+            c.warm_hits,
+        );
+        counter(
+            "hisvsim_plan_cache_misses_total",
+            "Plan lookups that planned from scratch.",
+            c.misses,
+        );
+        counter(
+            "hisvsim_plan_cache_evictions_total",
+            "Plans evicted by the LRU bound.",
+            c.evictions,
+        );
+        let mut gauge = |name: &str, help: &str, value: f64| {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}\n"
+            ));
+        };
+        gauge(
+            "hisvsim_service_queue_depth",
+            "Jobs currently waiting in the priority queue.",
+            s.queue_depth as f64,
+        );
+        gauge(
+            "hisvsim_plan_cache_entries",
+            "Plans currently resident in the cache.",
+            c.entries as f64,
+        );
+        gauge(
+            "hisvsim_plan_cache_hit_rate",
+            "Hits (memory + warm) over total lookups.",
+            c.hit_rate(),
+        );
+        out
     }
 
     /// Write the plan-cache snapshot now (requires persistence to be
@@ -242,6 +366,56 @@ impl Drop for SimService {
     }
 }
 
+/// Arm a deadline timer for a submitted job: a watcher thread waits on the
+/// job's terminal condvar for at most `deadline`; if the job is still live
+/// when the timer expires it marks the deadline as fired and raises the
+/// job's cancel token. A job still in the queue is finalized here directly
+/// (workers skip finalized jobs); a running job stops at its next
+/// cooperative checkpoint and its worker converts the cancellation into
+/// `Failed { DeadlineExceeded }`. A job that finishes first wakes the
+/// watcher early, so no timer outlives its job by more than a condvar wake.
+fn arm_deadline(inner: Arc<Inner>, shared: Arc<JobShared>, deadline: Duration) {
+    std::thread::spawn(move || {
+        let armed = Instant::now();
+        {
+            let mut state = shared.state.lock().expect("job state poisoned");
+            loop {
+                if state.outcome.is_some() {
+                    return; // finished within the deadline
+                }
+                let Some(remaining) = deadline.checked_sub(armed.elapsed()) else {
+                    break;
+                };
+                let (guard, _timeout) = shared
+                    .finished
+                    .wait_timeout(state, remaining)
+                    .expect("job state poisoned");
+                state = guard;
+            }
+        }
+        shared
+            .deadline_fired
+            .store(true, std::sync::atomic::Ordering::SeqCst);
+        shared.cancel.cancel();
+        // A still-queued job is finalized here (`finalize_queued` decides
+        // queued-ness and the terminal transition atomically, so the
+        // phantom-queue counter stays exact against a racing worker
+        // claim); a claimed job stops at its next cooperative checkpoint
+        // and its worker converts the cancellation into DeadlineExceeded.
+        // Count before finalizing (finalize wakes waiters, and the stats
+        // must already reflect the job the moment a `wait()` on it
+        // returns); undo if the job was not finalized here after all.
+        inner.failed.fetch_add(1, Ordering::Relaxed);
+        inner.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+        inner.finalized_queued.fetch_add(1, Ordering::Relaxed);
+        if !shared.finalize_queued(Err(JobFailure::Failed(deadline_message(deadline)))) {
+            inner.failed.fetch_sub(1, Ordering::Relaxed);
+            inner.deadline_exceeded.fetch_sub(1, Ordering::Relaxed);
+            inner.finalized_queued.fetch_sub(1, Ordering::Relaxed);
+        }
+    });
+}
+
 /// Worker body: pop the highest-priority job, run it through the pool core
 /// with the handle's cancel token and event callbacks wired in, finalize.
 /// Exits once shutdown is flagged *and* the queue is drained.
@@ -270,16 +444,27 @@ fn run_one(inner: &Inner, queued: QueuedJob) {
     let QueuedJob {
         seq, job, shared, ..
     } = queued;
-    // Claim: a job cancelled while queued was already finalized by its
-    // handle — skip it entirely.
+    // Claim: a job finalized while queued (handle cancel, or the deadline
+    // timer) is skipped entirely. A handle-cancelled job is counted here
+    // (its `cancel()` fast path does not touch the service counters); a
+    // deadline-failed job was already counted by its timer. A live job is
+    // marked claimed under the same lock hold, so `finalize_queued` (the
+    // only source of phantom-queue entries) can never fire after this
+    // point — the counter stays exact in every interleaving.
     {
-        let state = shared.state.lock().expect("job state poisoned");
-        if state.outcome.is_some() {
-            inner.cancelled.fetch_add(1, Ordering::Relaxed);
+        let mut state = shared.state.lock().expect("job state poisoned");
+        if let Some(outcome) = &state.outcome {
+            // The phantom entry has now left the heap.
+            inner.finalized_queued.fetch_sub(1, Ordering::Relaxed);
+            if matches!(outcome, Err(JobFailure::Cancelled)) {
+                inner.cancelled.fetch_add(1, Ordering::Relaxed);
+            }
             return;
         }
+        state.status = JobStatus::Planning;
     }
 
+    let job_deadline = job.deadline;
     let control = {
         let (planning, plan_ready, executing) = (
             Arc::clone(&shared),
@@ -315,10 +500,18 @@ fn run_one(inner: &Inner, queued: QueuedJob) {
             .runner
             .execute_job(seq as usize, job, &inner.residency, &control)
     }));
+    // A cancellation whose origin was the job's deadline timer surfaces as
+    // DeadlineExceeded, not as a user cancellation.
+    let deadline_hit = shared
+        .deadline_fired
+        .load(std::sync::atomic::Ordering::SeqCst);
     let outcome = match outcome {
         Ok(Ok(result)) => Ok(result),
+        Ok(Err(JobError::Cancelled)) if deadline_hit => Err(JobFailure::Failed(deadline_message(
+            job_deadline.unwrap_or_default(),
+        ))),
         Ok(Err(JobError::Cancelled)) => Err(JobFailure::Cancelled),
-        Ok(Err(error @ JobError::PlanFailed { .. })) => Err(JobFailure::Failed(error.to_string())),
+        Ok(Err(error)) => Err(JobFailure::Failed(error.to_string())),
         Err(panic) => {
             let message = panic
                 .downcast_ref::<String>()
@@ -328,6 +521,8 @@ fn run_one(inner: &Inner, queued: QueuedJob) {
             Err(JobFailure::Failed(message))
         }
     };
+    let is_deadline_failure = deadline_hit
+        && matches!(&outcome, Err(JobFailure::Failed(m)) if m.starts_with(DEADLINE_EXCEEDED));
     let counter = match &outcome {
         Ok(_) => &inner.completed,
         Err(JobFailure::Cancelled) => &inner.cancelled,
@@ -336,10 +531,19 @@ fn run_one(inner: &Inner, queued: QueuedJob) {
     // Count before finalizing, so the stats already reflect this job the
     // moment a `wait()` on it returns.
     counter.fetch_add(1, Ordering::Relaxed);
+    if is_deadline_failure {
+        inner.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+    }
     if !shared.finalize(outcome) {
-        // The handle finalized first (cancel racing completion): the
-        // handle's verdict stands; undo ours and account a cancellation.
+        // Unreachable under the claim protocol: once this worker marked
+        // the job claimed, the only external finalizers (handle cancel,
+        // deadline timer) go through `finalize_queued`, which refuses
+        // claimed jobs. Kept as a defensive counter rollback so a future
+        // finalizer that breaks the invariant cannot inflate the stats.
         counter.fetch_sub(1, Ordering::Relaxed);
-        inner.cancelled.fetch_add(1, Ordering::Relaxed);
+        if is_deadline_failure {
+            inner.deadline_exceeded.fetch_sub(1, Ordering::Relaxed);
+        }
+        debug_assert!(false, "a claimed job was finalized by someone else");
     }
 }

@@ -45,7 +45,7 @@ pub use fusion::{FusedCircuit, FusedOp, DEFAULT_FUSION_WIDTH};
 pub use gather::GatherMap;
 pub use interrupt::{CancelToken, Cancelled};
 pub use kernels::{apply_circuit, apply_gate, run_circuit, ApplyOptions};
-pub use state::StateVector;
+pub use state::{amplitudes_from_le_bytes, amplitudes_to_le_bytes, StateVector};
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {

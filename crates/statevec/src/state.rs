@@ -89,6 +89,18 @@ impl StateVector {
         self.amps
     }
 
+    /// Encode the amplitudes as little-endian bytes (`re`, `im` f64 pairs)
+    /// — the wire shape `hisvsim-net` ships state slices in.
+    pub fn to_le_bytes(&self) -> Vec<u8> {
+        amplitudes_to_le_bytes(&self.amps)
+    }
+
+    /// Decode a state from [`StateVector::to_le_bytes`] output. Panics if
+    /// the byte count is not a power-of-two multiple of 16.
+    pub fn from_le_bytes(bytes: &[u8]) -> Self {
+        Self::from_amplitudes(amplitudes_from_le_bytes(bytes))
+    }
+
     /// Single amplitude accessor.
     #[inline]
     pub fn amp(&self, index: usize) -> Complex64 {
@@ -156,6 +168,38 @@ impl StateVector {
     }
 }
 
+/// Encode a slice of amplitudes as little-endian bytes: 16 bytes per
+/// amplitude, `re` then `im`, each an IEEE-754 f64. Bit-exact — the decode
+/// of an encode reproduces the identical amplitudes, which is what lets a
+/// multi-process run promise bit-identical results to an in-process one.
+pub fn amplitudes_to_le_bytes(amps: &[Complex64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(amps.len() * 16);
+    for amp in amps {
+        out.extend_from_slice(&amp.re.to_le_bytes());
+        out.extend_from_slice(&amp.im.to_le_bytes());
+    }
+    out
+}
+
+/// Decode amplitudes from [`amplitudes_to_le_bytes`] output. Panics if the
+/// byte count is not a multiple of 16.
+pub fn amplitudes_from_le_bytes(bytes: &[u8]) -> Vec<Complex64> {
+    assert!(
+        bytes.len().is_multiple_of(16),
+        "amplitude byte stream length {} is not a multiple of 16",
+        bytes.len()
+    );
+    bytes
+        .chunks_exact(16)
+        .map(|chunk| {
+            Complex64::new(
+                f64::from_le_bytes(chunk[0..8].try_into().unwrap()),
+                f64::from_le_bytes(chunk[8..16].try_into().unwrap()),
+            )
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -205,6 +249,25 @@ mod tests {
         assert!(a.inner_product(&b).approx_eq(Complex64::ONE, 1e-15));
         assert!((a.fidelity(&b) - 1.0).abs() < 1e-15);
         assert!(a.fidelity(&c) < 1e-15);
+    }
+
+    #[test]
+    fn le_byte_roundtrip_is_bit_exact() {
+        let amps: Vec<Complex64> = (0..8)
+            .map(|i| Complex64::new((i as f64).sqrt(), -(i as f64) / 7.0))
+            .collect();
+        let sv = StateVector::from_amplitudes(amps);
+        let bytes = sv.to_le_bytes();
+        assert_eq!(bytes.len(), 8 * 16);
+        let back = StateVector::from_le_bytes(&bytes);
+        // Bit-exact, not approx: the wire format must not perturb results.
+        assert_eq!(sv, back);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 16")]
+    fn truncated_byte_stream_is_rejected() {
+        let _ = amplitudes_from_le_bytes(&[0u8; 24]);
     }
 
     #[test]

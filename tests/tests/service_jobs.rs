@@ -251,3 +251,100 @@ fn smoke_submit_batch_cancel_half_drain_cleanly() {
     assert_eq!(completed, 5);
     service.shutdown().expect("clean drain");
 }
+
+#[test]
+fn deadline_fires_mid_run_and_surfaces_deadline_exceeded() {
+    let service = service(1);
+    let handle = service.submit(long_job().with_deadline(Duration::from_millis(150)));
+    match handle.wait() {
+        Err(JobFailure::Failed(message)) => {
+            assert!(
+                message.starts_with(hisvsim_service::DEADLINE_EXCEEDED),
+                "expected a DeadlineExceeded failure, got: {message}"
+            );
+        }
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+    assert_eq!(handle.poll(), JobStatus::Failed);
+    // The progress stream ends with the same Failed { DeadlineExceeded }.
+    let mut saw_deadline_failure = false;
+    while let Ok(event) = handle.progress().recv() {
+        assert!(!matches!(event, JobEvent::Done | JobEvent::Cancelled));
+        if let JobEvent::Failed { message } = event {
+            assert!(message.starts_with(hisvsim_service::DEADLINE_EXCEEDED));
+            saw_deadline_failure = true;
+        }
+    }
+    assert!(saw_deadline_failure, "terminal Failed event missing");
+    let stats = service.stats();
+    assert_eq!(stats.failed, 1);
+    assert_eq!(stats.deadline_exceeded, 1);
+    assert_eq!(stats.cancelled, 0, "a deadline is not a user cancellation");
+    service.shutdown().unwrap();
+}
+
+#[test]
+fn deadline_expires_while_queued_behind_other_work() {
+    // One worker, blocked by a long job: the deadlined job's timer fires
+    // while it still sits in the queue.
+    let service = service(1);
+    let blocker = service.submit(long_job());
+    let deadlined =
+        service.submit(SimJob::new(generators::qft(7)).with_deadline(Duration::from_millis(100)));
+    match deadlined.wait() {
+        Err(JobFailure::Failed(message)) => {
+            assert!(message.starts_with(hisvsim_service::DEADLINE_EXCEEDED));
+        }
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+    // The finalized entry still sits in the heap until a worker skips it,
+    // but it is not backlog: the metrics must not report a phantom queue.
+    assert_eq!(service.stats().queue_depth, 0);
+    blocker.cancel();
+    let _ = blocker.wait();
+    let stats = service.stats();
+    assert_eq!(stats.deadline_exceeded, 1);
+    service.shutdown().unwrap();
+}
+
+#[test]
+fn job_finishing_inside_its_deadline_is_untouched() {
+    let service = service(2);
+    let handle = service.submit(
+        SimJob::new(generators::qft(7))
+            .with_shots(16)
+            .with_deadline(Duration::from_secs(60)),
+    );
+    let result = handle.wait().expect("well within the deadline");
+    assert_eq!(result.counts.values().sum::<usize>(), 16);
+    let stats = service.stats();
+    assert_eq!(stats.deadline_exceeded, 0);
+    assert_eq!(stats.completed, 1);
+    service.shutdown().unwrap();
+}
+
+#[test]
+fn metrics_text_exposes_service_and_cache_counters() {
+    let service = service(2);
+    service
+        .submit(SimJob::new(generators::qft(7)))
+        .wait()
+        .unwrap();
+    service
+        .submit(SimJob::new(generators::qft(7)))
+        .wait()
+        .unwrap();
+    let text = service.metrics_text();
+    // Prometheus shape: HELP/TYPE per metric, then `name value`.
+    assert!(text.contains("# TYPE hisvsim_service_jobs_submitted_total counter"));
+    assert!(text.contains("hisvsim_service_jobs_submitted_total 2"));
+    assert!(text.contains("hisvsim_service_jobs_completed_total 2"));
+    assert!(text.contains("hisvsim_service_jobs_deadline_exceeded_total 0"));
+    assert!(text.contains("# TYPE hisvsim_service_queue_depth gauge"));
+    assert!(text.contains("hisvsim_service_queue_depth 0"));
+    // Identical circuits: one miss, one memory hit.
+    assert!(text.contains("hisvsim_plan_cache_misses_total 1"));
+    assert!(text.contains("hisvsim_plan_cache_hits_total 1"));
+    assert!(text.contains("hisvsim_plan_cache_hit_rate 0.5"));
+    service.shutdown().unwrap();
+}
