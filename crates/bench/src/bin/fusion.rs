@@ -1,21 +1,27 @@
 //! The fused-pipeline acceptance benchmark: measures the end-to-end speedup
-//! of fused over unfused execution on the flat simulator and on the
-//! hierarchical engine, verifies the fused results against the flat
-//! reference, and records everything in `BENCH_fusion.json` so the perf
-//! trajectory of the execution path has data points.
+//! of fused over unfused execution — per fusion *strategy* — on the flat
+//! simulator and on the hierarchical engine, verifies every fused result
+//! against the flat reference, and records everything in
+//! `BENCH_fusion.json` so the perf trajectory of the execution path has
+//! data points.
 //!
 //! ```text
 //! cargo run --release -p hisvsim-bench --bin fusion [qubits] [reps]
 //! ```
 //!
-//! Defaults: 24 qubits, 3 repetitions (best-of). A width sweep at a smaller
-//! size maps the fusion-width curve that motivates the auto default.
+//! Defaults: 24 qubits, 3 repetitions (best-of). Families: the QFT (layered
+//! — the window scanner's best case) and the deep `random` interleaved
+//! family (depth ≥ 64 at the default size — the workload DAG fusion closes).
+//! A width sweep at a smaller size maps the fusion-width curve that
+//! motivates the auto default.
 
 use hisvsim_circuit::{generators, Circuit};
 use hisvsim_core::{HierConfig, HierarchicalSimulator};
 use hisvsim_dag::CircuitDag;
 use hisvsim_partition::Strategy;
-use hisvsim_statevec::{kernels, ApplyOptions, FusedCircuit, StateVector, DEFAULT_FUSION_WIDTH};
+use hisvsim_statevec::{
+    kernels, ApplyOptions, FusedCircuit, FusionStrategy, StateVector, DEFAULT_FUSION_WIDTH,
+};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -24,6 +30,8 @@ struct FlatResult {
     circuit: String,
     qubits: usize,
     gates: usize,
+    depth: usize,
+    strategy: String,
     fusion_width: usize,
     fused_ops: usize,
     unfused_s: f64,
@@ -38,6 +46,7 @@ struct HierResult {
     qubits: usize,
     limit: usize,
     num_parts: usize,
+    strategy: String,
     fusion_width: usize,
     unfused_s: f64,
     fused_s: f64,
@@ -56,19 +65,41 @@ struct SweepPoint {
 }
 
 #[derive(Serialize)]
+struct AutoPick {
+    circuit: String,
+    qubits: usize,
+    resolved: String,
+}
+
+#[derive(Serialize)]
 struct Report {
     qubits: usize,
     reps: usize,
     default_fusion_width: usize,
+    /// What `FusionStrategy::Auto` resolves to per family at the default
+    /// width (window for layered circuits, dag for deep interleaved ones).
+    auto_picks: Vec<AutoPick>,
     flat: Vec<FlatResult>,
     hier: Vec<HierResult>,
     width_sweep: Vec<SweepPoint>,
 }
 
-/// Benchmark circuits: the Table-I families plus a dense random circuit.
+/// Benchmark circuits: the layered QFT and the deep `random` interleaved
+/// family. The random instance is deepened until its circuit depth reaches
+/// 64 (at 24 qubits: ~48·n gates), the regime where the bounded fusion
+/// window degenerates.
 fn circuit_by_name(name: &str, n: usize) -> Circuit {
     match name {
-        "random" => generators::random_circuit(n, 12 * n, 0x5EED),
+        "random" => {
+            let mut gates = 48 * n;
+            loop {
+                let c = generators::random_circuit(n, gates, 0x5EED);
+                if c.depth() >= 64 {
+                    return c;
+                }
+                gates += 8 * n;
+            }
+        }
         other => generators::by_name(other, n),
     }
 }
@@ -84,43 +115,51 @@ fn time_best<F: FnMut()>(reps: usize, mut f: F) -> f64 {
     best
 }
 
-fn flat_case(name: &str, n: usize, reps: usize, width: usize) -> FlatResult {
+fn flat_cases(name: &str, n: usize, reps: usize, width: usize) -> Vec<FlatResult> {
     let circuit = circuit_by_name(name, n);
     let opts = ApplyOptions::default();
-    let fused = FusedCircuit::new(&circuit, width);
 
     let mut reference = StateVector::zero_state(n);
     let unfused_s = time_best(reps, || {
         reference = StateVector::zero_state(n);
         kernels::apply_circuit_with(&mut reference, &circuit, &opts);
     });
-    let mut fused_state = StateVector::zero_state(n);
-    let fused_s = time_best(reps, || {
-        fused_state = StateVector::zero_state(n);
-        fused.apply(&mut fused_state, &opts);
-    });
-    let max_abs_diff = fused_state.max_abs_diff(&reference);
-    println!(
-        "flat {name}@{n}: unfused {unfused_s:.3} s, fused(w={width}) {fused_s:.3} s \
-         -> {:.2}x (max diff {max_abs_diff:.2e}, {} ops for {} gates)",
-        unfused_s / fused_s,
-        fused.num_ops(),
-        circuit.num_gates()
-    );
-    FlatResult {
-        circuit: name.to_string(),
-        qubits: n,
-        gates: circuit.num_gates(),
-        fusion_width: width,
-        fused_ops: fused.num_ops(),
-        unfused_s,
-        fused_s,
-        speedup: unfused_s / fused_s,
-        max_abs_diff,
-    }
+
+    [FusionStrategy::Window, FusionStrategy::Dag]
+        .into_iter()
+        .map(|strategy| {
+            let fused = FusedCircuit::with_strategy(&circuit, width, strategy);
+            let mut fused_state = StateVector::zero_state(n);
+            let fused_s = time_best(reps, || {
+                fused_state = StateVector::zero_state(n);
+                fused.apply(&mut fused_state, &opts);
+            });
+            let max_abs_diff = fused_state.max_abs_diff(&reference);
+            println!(
+                "flat {name}@{n} [{strategy}]: unfused {unfused_s:.3} s, fused(w={width}) \
+                 {fused_s:.3} s -> {:.2}x (max diff {max_abs_diff:.2e}, {} ops for {} gates)",
+                unfused_s / fused_s,
+                fused.num_ops(),
+                circuit.num_gates()
+            );
+            FlatResult {
+                circuit: name.to_string(),
+                qubits: n,
+                gates: circuit.num_gates(),
+                depth: circuit.depth(),
+                strategy: strategy.name().to_string(),
+                fusion_width: width,
+                fused_ops: fused.num_ops(),
+                unfused_s,
+                fused_s,
+                speedup: unfused_s / fused_s,
+                max_abs_diff,
+            }
+        })
+        .collect()
 }
 
-fn hier_case(name: &str, n: usize, limit: usize, reps: usize, width: usize) -> HierResult {
+fn hier_cases(name: &str, n: usize, limit: usize, reps: usize, width: usize) -> Vec<HierResult> {
     let circuit = circuit_by_name(name, n);
     let dag = CircuitDag::from_circuit(&circuit);
     let partition = Strategy::DagP
@@ -134,7 +173,6 @@ fn hier_case(name: &str, n: usize, limit: usize, reps: usize, width: usize) -> H
     };
 
     let unfused_sim = HierarchicalSimulator::new(HierConfig::new(limit).with_fusion(0));
-    let fused_sim = HierarchicalSimulator::new(HierConfig::new(limit).with_fusion(width));
     let mut unfused_state = None;
     let unfused_s = time_best(reps, || {
         unfused_state = Some(
@@ -143,37 +181,50 @@ fn hier_case(name: &str, n: usize, limit: usize, reps: usize, width: usize) -> H
                 .state,
         );
     });
-    let mut fused_state = None;
-    let fused_s = time_best(reps, || {
-        fused_state = Some(
-            fused_sim
-                .run_with_partition(&circuit, &dag, partition.clone())
-                .state,
-        );
-    });
-    let fused_state = fused_state.expect("at least one rep");
-    let max_abs_diff = fused_state.max_abs_diff(&reference).max(
-        unfused_state
-            .expect("at least one rep")
-            .max_abs_diff(&reference),
-    );
-    println!(
-        "hier {name}@{n} (limit {limit}, {} parts): unfused {unfused_s:.3} s, \
-         fused(w={width}) {fused_s:.3} s -> {:.2}x (max diff {max_abs_diff:.2e})",
-        partition.num_parts(),
-        unfused_s / fused_s
-    );
-    HierResult {
-        circuit: name.to_string(),
-        qubits: n,
-        limit,
-        num_parts: partition.num_parts(),
-        fusion_width: width,
-        unfused_s,
-        fused_s,
-        speedup: unfused_s / fused_s,
-        max_abs_diff,
-    }
+    let unfused_diff = unfused_state
+        .expect("at least one rep")
+        .max_abs_diff(&reference);
+
+    [FusionStrategy::Window, FusionStrategy::Dag]
+        .into_iter()
+        .map(|strategy| {
+            let fused_sim = HierarchicalSimulator::new(
+                HierConfig::new(limit)
+                    .with_fusion(width)
+                    .with_fusion_strategy(strategy),
+            );
+            let mut fused_state = None;
+            let fused_s = time_best(reps, || {
+                fused_state = Some(
+                    fused_sim
+                        .run_with_partition(&circuit, &dag, partition.clone())
+                        .state,
+                );
+            });
+            let max_abs_diff = fused_state
+                .expect("at least one rep")
+                .max_abs_diff(&reference)
+                .max(unfused_diff);
+            println!(
+                "hier {name}@{n} [{strategy}] (limit {limit}, {} parts): unfused {unfused_s:.3} s, \
+                 fused(w={width}) {fused_s:.3} s -> {:.2}x (max diff {max_abs_diff:.2e})",
+                partition.num_parts(),
+                unfused_s / fused_s
+            );
+            HierResult {
+                circuit: name.to_string(),
+                qubits: n,
+                limit,
+                num_parts: partition.num_parts(),
+                strategy: strategy.name().to_string(),
+                fusion_width: width,
+                unfused_s,
+                fused_s,
+                speedup: unfused_s / fused_s,
+                max_abs_diff,
+            }
+        })
+        .collect()
 }
 
 fn width_sweep(name: &str, n: usize, reps: usize) -> Vec<SweepPoint> {
@@ -185,13 +236,14 @@ fn width_sweep(name: &str, n: usize, reps: usize) -> Vec<SweepPoint> {
     });
     (1usize..=5)
         .map(|width| {
-            let fused = FusedCircuit::new(&circuit, width);
+            let fused = FusedCircuit::with_strategy(&circuit, width, FusionStrategy::Auto);
             let time_s = time_best(reps, || {
                 let mut state = StateVector::zero_state(n);
                 fused.apply(&mut state, &opts);
             });
             println!(
-                "sweep {name}@{n} w={width}: {time_s:.3} s ({:.2}x vs flat, {} ops)",
+                "sweep {name}@{n} w={width} [{}]: {time_s:.3} s ({:.2}x vs flat, {} ops)",
+                fused.strategy(),
                 flat_s / time_s,
                 fused.num_ops()
             );
@@ -220,26 +272,39 @@ fn main() {
     let sweep_qubits = qubits.saturating_sub(2).max(16);
 
     println!("fused-pipeline benchmark: {qubits} qubits, best of {reps}\n");
-    let flat = vec![
-        flat_case("qft", qubits, reps, width),
-        flat_case("random", qubits, reps, width),
-    ];
-    let hier = vec![
-        hier_case("qft", qubits, qubits.saturating_sub(4).max(4), reps, width),
-        hier_case(
-            "random",
-            qubits,
-            qubits.saturating_sub(4).max(4),
-            reps,
-            width,
-        ),
-    ];
+    let auto_picks = ["qft", "random"]
+        .into_iter()
+        .map(|name| {
+            let circuit = circuit_by_name(name, 16.min(qubits));
+            let resolved = FusedCircuit::with_strategy(&circuit, width, FusionStrategy::Auto)
+                .strategy()
+                .name()
+                .to_string();
+            println!("auto {name}: resolves to {resolved}");
+            AutoPick {
+                circuit: name.to_string(),
+                qubits: 16.min(qubits),
+                resolved,
+            }
+        })
+        .collect();
+
+    let flat: Vec<FlatResult> = ["qft", "random"]
+        .into_iter()
+        .flat_map(|name| flat_cases(name, qubits, reps, width))
+        .collect();
+    let limit = qubits.saturating_sub(4).max(4);
+    let hier: Vec<HierResult> = ["qft", "random"]
+        .into_iter()
+        .flat_map(|name| hier_cases(name, qubits, limit, reps, width))
+        .collect();
     let sweep = width_sweep("qft", sweep_qubits, reps);
 
     let report = Report {
         qubits,
         reps,
         default_fusion_width: width,
+        auto_picks,
         flat,
         hier,
         width_sweep: sweep,
@@ -251,15 +316,17 @@ fn main() {
     for result in &report.flat {
         assert!(
             result.max_abs_diff < 1e-9,
-            "{}: fused flat result diverged",
-            result.circuit
+            "{} [{}]: fused flat result diverged",
+            result.circuit,
+            result.strategy
         );
     }
     for result in &report.hier {
         assert!(
             result.max_abs_diff < 1e-9,
-            "{}: fused hier result diverged",
-            result.circuit
+            "{} [{}]: fused hier result diverged",
+            result.circuit,
+            result.strategy
         );
     }
 }

@@ -19,7 +19,9 @@ use crate::exec::{ExecControl, StepGate};
 use crate::metrics::RunReport;
 use hisvsim_circuit::{Circuit, Complex64, Gate, GateKind};
 use hisvsim_cluster::{run_spmd, NetworkModel, RankComm};
-use hisvsim_statevec::{Cancelled, FusedCircuit, StateVector, DEFAULT_FUSION_WIDTH};
+use hisvsim_statevec::{
+    Cancelled, FusedCircuit, FusionStrategy, StateVector, DEFAULT_FUSION_WIDTH,
+};
 use std::time::Instant;
 
 /// Configuration of the IQS-style baseline.
@@ -34,6 +36,9 @@ pub struct BaselineConfig {
     /// the communication schedule — the quantity the baseline exists to
     /// model — is untouched.
     pub fusion: usize,
+    /// How fusion groups are discovered within each local segment (window
+    /// scan, DAG antichains, or auto selection).
+    pub fusion_strategy: FusionStrategy,
 }
 
 impl BaselineConfig {
@@ -44,6 +49,7 @@ impl BaselineConfig {
             num_ranks,
             network: NetworkModel::hdr100(),
             fusion: DEFAULT_FUSION_WIDTH,
+            fusion_strategy: FusionStrategy::default(),
         }
     }
 
@@ -56,6 +62,12 @@ impl BaselineConfig {
     /// Use a different fusion width (0 = unfused).
     pub fn with_fusion(mut self, fusion: usize) -> Self {
         self.fusion = fusion;
+        self
+    }
+
+    /// Use a different fusion strategy (see [`FusionStrategy`]).
+    pub fn with_fusion_strategy(mut self, strategy: FusionStrategy) -> Self {
+        self.fusion_strategy = strategy;
         self
     }
 }
@@ -75,13 +87,20 @@ enum BaselineStep {
 /// every rank and the layout is the identity at every step boundary, so the
 /// split is a pure function of the circuit — computed once, shared by all
 /// ranks.
-fn plan_baseline_steps(circuit: &Circuit, local_qubits: usize, fusion: usize) -> Vec<BaselineStep> {
+fn plan_baseline_steps(
+    circuit: &Circuit,
+    local_qubits: usize,
+    fusion: usize,
+    strategy: FusionStrategy,
+) -> Vec<BaselineStep> {
     let mut steps = Vec::new();
     let mut segment = Circuit::new(circuit.num_qubits());
     let flush = |segment: &mut Circuit, steps: &mut Vec<BaselineStep>| {
         if !segment.is_empty() {
             let gates = std::mem::replace(segment, Circuit::new(circuit.num_qubits()));
-            steps.push(BaselineStep::LocalFused(FusedCircuit::new(&gates, fusion)));
+            steps.push(BaselineStep::LocalFused(FusedCircuit::with_strategy(
+                &gates, fusion, strategy,
+            )));
         }
     };
     for gate in circuit.gates() {
@@ -142,7 +161,12 @@ impl IqsBaseline {
         );
         let p = self.config.num_ranks.trailing_zeros() as usize;
         let local_qubits = circuit.num_qubits().saturating_sub(p);
-        let steps = plan_baseline_steps(circuit, local_qubits, self.config.fusion);
+        let steps = plan_baseline_steps(
+            circuit,
+            local_qubits,
+            self.config.fusion,
+            self.config.fusion_strategy,
+        );
         let total_gates: u64 = steps
             .iter()
             .map(|s| match s {
@@ -197,6 +221,7 @@ pub fn run_baseline_rank<C: RankComm<Complex64>>(
     comm: &mut C,
     circuit: &Circuit,
     fusion: usize,
+    strategy: FusionStrategy,
 ) -> RankOutcome {
     assert!(
         comm.size().is_power_of_two(),
@@ -204,7 +229,7 @@ pub fn run_baseline_rank<C: RankComm<Complex64>>(
     );
     let p = comm.size().trailing_zeros() as usize;
     let local_qubits = circuit.num_qubits().saturating_sub(p);
-    let steps = plan_baseline_steps(circuit, local_qubits, fusion);
+    let steps = plan_baseline_steps(circuit, local_qubits, fusion, strategy);
     let mut state = DistState::new(comm, circuit.num_qubits());
     for step in &steps {
         match step {

@@ -21,7 +21,9 @@ use hisvsim_dag::{CircuitDag, Partition};
 use hisvsim_partition::{PartitionBuildError, Strategy};
 use hisvsim_statevec::kernels::{apply_gate_with_matrix, uses_dense_matrix};
 use hisvsim_statevec::FusedCircuit;
-use hisvsim_statevec::{ApplyOptions, Cancelled, StateVector, DEFAULT_FUSION_WIDTH};
+use hisvsim_statevec::{
+    ApplyOptions, Cancelled, FusionStrategy, StateVector, DEFAULT_FUSION_WIDTH,
+};
 use std::time::Instant;
 
 /// A gate bundled with its precomputed dense matrix (when its kernel path
@@ -473,6 +475,9 @@ pub struct DistConfig {
     pub network: NetworkModel,
     /// Gate-fusion width for each part's inner circuit (0 disables fusion).
     pub fusion: usize,
+    /// How fusion groups are discovered (window scan, DAG antichains, or
+    /// auto selection).
+    pub fusion_strategy: FusionStrategy,
 }
 
 impl DistConfig {
@@ -485,6 +490,7 @@ impl DistConfig {
             limit: None,
             network: NetworkModel::hdr100(),
             fusion: DEFAULT_FUSION_WIDTH,
+            fusion_strategy: FusionStrategy::default(),
         }
     }
 
@@ -509,6 +515,12 @@ impl DistConfig {
     /// Use a different fusion width (0 = unfused).
     pub fn with_fusion(mut self, fusion: usize) -> Self {
         self.fusion = fusion;
+        self
+    }
+
+    /// Use a different fusion strategy (see [`FusionStrategy`]).
+    pub fn with_fusion_strategy(mut self, strategy: FusionStrategy) -> Self {
+        self.fusion_strategy = strategy;
         self
     }
 }
@@ -574,7 +586,13 @@ impl DistributedSimulator {
         partition: Partition,
     ) -> DistRun {
         if self.config.fusion > 0 {
-            let plan = FusedSinglePlan::build(circuit, dag, partition, self.config.fusion);
+            let plan = FusedSinglePlan::build_with_strategy(
+                circuit,
+                dag,
+                partition,
+                self.config.fusion,
+                self.config.fusion_strategy,
+            );
             return self.run_with_fused_plan(circuit, &plan);
         }
         let order = partition.execution_order(dag);

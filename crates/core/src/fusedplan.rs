@@ -20,7 +20,7 @@
 use hisvsim_circuit::{Circuit, Qubit};
 use hisvsim_dag::{CircuitDag, Partition};
 use hisvsim_partition::MultilevelPartition;
-use hisvsim_statevec::FusedCircuit;
+use hisvsim_statevec::{FusedCircuit, FusionStrategy};
 
 /// One part of a [`FusedSinglePlan`]: its working set and prefused gates.
 #[derive(Debug, Clone)]
@@ -42,27 +42,60 @@ pub struct FusedSinglePlan {
     pub parts: Vec<FusedPart>,
     /// The fusion width the inner circuits were fused at.
     pub fusion_width: usize,
+    /// The fusion strategy the inner circuits were built with (as
+    /// requested; `Auto` resolves per part).
+    pub strategy: FusionStrategy,
 }
 
 impl FusedSinglePlan {
-    /// Fuse every part of `partition` at `fusion_width` (≥ 1).
+    /// Fuse every part of `partition` at `fusion_width` (≥ 1) with the
+    /// window scanner.
     pub fn build(
         circuit: &Circuit,
         dag: &CircuitDag,
         partition: Partition,
         fusion_width: usize,
     ) -> Self {
+        Self::build_with_strategy(
+            circuit,
+            dag,
+            partition,
+            fusion_width,
+            FusionStrategy::Window,
+        )
+    }
+
+    /// Fuse every part of `partition` at `fusion_width` (≥ 1) under the
+    /// given [`FusionStrategy`] (`Auto` resolves independently per part:
+    /// each part's inner circuit decides from its own window histogram).
+    pub fn build_with_strategy(
+        circuit: &Circuit,
+        dag: &CircuitDag,
+        partition: Partition,
+        fusion_width: usize,
+        strategy: FusionStrategy,
+    ) -> Self {
         let order = partition.execution_order(dag);
         let gates_by_part = partition.gates_by_part();
         let parts = order
             .iter()
             .filter(|&&part| !gates_by_part[part].is_empty())
-            .map(|&part| fuse_part(circuit, dag, part, &gates_by_part[part], fusion_width))
+            .map(|&part| {
+                fuse_part(
+                    circuit,
+                    dag,
+                    part,
+                    &gates_by_part[part],
+                    fusion_width,
+                    strategy,
+                )
+            })
             .collect();
         Self {
             partition,
             parts,
             fusion_width,
+            strategy,
         }
     }
 }
@@ -74,9 +107,10 @@ fn fuse_part(
     part: usize,
     part_gates: &[usize],
     fusion_width: usize,
+    strategy: FusionStrategy,
 ) -> FusedPart {
     let working_set: Vec<Qubit> = dag.working_set_of_gates(part_gates).into_iter().collect();
-    let inner = fuse_gate_list(circuit, part_gates, &working_set, fusion_width);
+    let inner = fuse_gate_list(circuit, part_gates, &working_set, fusion_width, strategy);
     FusedPart {
         part,
         working_set,
@@ -90,6 +124,7 @@ fn fuse_gate_list(
     gate_indices: &[usize],
     working_set: &[Qubit],
     fusion_width: usize,
+    strategy: FusionStrategy,
 ) -> FusedCircuit {
     let mut map = vec![None; circuit.num_qubits()];
     for (inner, &outer) in working_set.iter().enumerate() {
@@ -98,7 +133,7 @@ fn fuse_gate_list(
     let inner_circuit = circuit
         .subcircuit(gate_indices)
         .remap_qubits(&map, working_set.len());
-    FusedCircuit::new(&inner_circuit, fusion_width)
+    FusedCircuit::with_strategy(&inner_circuit, fusion_width, strategy)
 }
 
 /// One second-level part of a [`FusedTwoLevelPlan`]'s first-level part.
@@ -130,15 +165,30 @@ pub struct FusedTwoLevelPlan {
     pub parts: Vec<FusedMlPart>,
     /// The fusion width the inner circuits were fused at.
     pub fusion_width: usize,
+    /// The fusion strategy the inner circuits were built with.
+    pub strategy: FusionStrategy,
 }
 
 impl FusedTwoLevelPlan {
-    /// Fuse every second-level part of `ml` at `fusion_width` (≥ 1).
+    /// Fuse every second-level part of `ml` at `fusion_width` (≥ 1) with
+    /// the window scanner.
     pub fn build(
         circuit: &Circuit,
         dag: &CircuitDag,
         ml: MultilevelPartition,
         fusion_width: usize,
+    ) -> Self {
+        Self::build_with_strategy(circuit, dag, ml, fusion_width, FusionStrategy::Window)
+    }
+
+    /// Fuse every second-level part of `ml` at `fusion_width` (≥ 1) under
+    /// the given [`FusionStrategy`].
+    pub fn build_with_strategy(
+        circuit: &Circuit,
+        dag: &CircuitDag,
+        ml: MultilevelPartition,
+        fusion_width: usize,
+        strategy: FusionStrategy,
     ) -> Self {
         let first_order = ml.first.execution_order(dag);
         let first_parts = ml.first.gates_by_part();
@@ -157,7 +207,7 @@ impl FusedTwoLevelPlan {
                     .map(|gates| {
                         let ws: Vec<Qubit> = dag.working_set_of_gates(&gates).into_iter().collect();
                         FusedSecondPart {
-                            inner: fuse_gate_list(circuit, &gates, &ws, fusion_width),
+                            inner: fuse_gate_list(circuit, &gates, &ws, fusion_width, strategy),
                             working_set: ws,
                         }
                     })
@@ -173,6 +223,7 @@ impl FusedTwoLevelPlan {
             ml,
             parts,
             fusion_width,
+            strategy,
         }
     }
 }

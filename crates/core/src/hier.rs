@@ -20,7 +20,7 @@ use hisvsim_circuit::Circuit;
 use hisvsim_dag::{CircuitDag, Partition};
 use hisvsim_partition::{PartitionBuildError, Strategy};
 use hisvsim_statevec::{
-    ApplyOptions, CancelToken, Cancelled, FusedCircuit, GatherMap, StateVector,
+    ApplyOptions, CancelToken, Cancelled, FusedCircuit, FusionStrategy, GatherMap, StateVector,
     DEFAULT_FUSION_WIDTH,
 };
 use rayon::prelude::*;
@@ -40,6 +40,9 @@ pub struct HierConfig {
     /// Gate-fusion width for the inner circuits (0 disables fusion and
     /// restores the one-pass-per-gate execution of the unfused engine).
     pub fusion: usize,
+    /// How fusion groups are discovered (window scan, DAG antichains, or
+    /// auto selection).
+    pub fusion_strategy: FusionStrategy,
 }
 
 impl HierConfig {
@@ -51,6 +54,7 @@ impl HierConfig {
             strategy: Strategy::DagP,
             parallel: true,
             fusion: DEFAULT_FUSION_WIDTH,
+            fusion_strategy: FusionStrategy::default(),
         }
     }
 
@@ -69,6 +73,13 @@ impl HierConfig {
     /// Same configuration with a different fusion width (0 = unfused).
     pub fn with_fusion(mut self, fusion: usize) -> Self {
         self.fusion = fusion;
+        self
+    }
+
+    /// Same configuration with a different fusion strategy (see
+    /// [`FusionStrategy`]).
+    pub fn with_fusion_strategy(mut self, strategy: FusionStrategy) -> Self {
+        self.fusion_strategy = strategy;
         self
     }
 }
@@ -128,7 +139,13 @@ impl HierarchicalSimulator {
         partition: Partition,
     ) -> HierRun {
         if self.config.fusion > 0 {
-            let plan = FusedSinglePlan::build(circuit, dag, partition, self.config.fusion);
+            let plan = FusedSinglePlan::build_with_strategy(
+                circuit,
+                dag,
+                partition,
+                self.config.fusion,
+                self.config.fusion_strategy,
+            );
             return self.run_with_fused_plan(circuit, &plan);
         }
         let start = Instant::now();

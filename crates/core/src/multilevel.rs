@@ -17,7 +17,9 @@ use hisvsim_circuit::{Circuit, Complex64, Gate};
 use hisvsim_cluster::{run_spmd, NetworkModel, RankComm};
 use hisvsim_dag::CircuitDag;
 use hisvsim_partition::{MultilevelPartition, MultilevelPartitioner, PartitionBuildError};
-use hisvsim_statevec::{ApplyOptions, Cancelled, GatherMap, StateVector, DEFAULT_FUSION_WIDTH};
+use hisvsim_statevec::{
+    ApplyOptions, Cancelled, FusionStrategy, GatherMap, StateVector, DEFAULT_FUSION_WIDTH,
+};
 use std::time::Instant;
 
 /// Configuration of the multi-level engine.
@@ -35,6 +37,9 @@ pub struct MultilevelConfig {
     /// Gate-fusion width for the second-level inner circuits (0 disables
     /// fusion).
     pub fusion: usize,
+    /// How fusion groups are discovered (window scan, DAG antichains, or
+    /// auto selection).
+    pub fusion_strategy: FusionStrategy,
 }
 
 impl MultilevelConfig {
@@ -46,6 +51,7 @@ impl MultilevelConfig {
             second_limit,
             network: NetworkModel::hdr100(),
             fusion: DEFAULT_FUSION_WIDTH,
+            fusion_strategy: FusionStrategy::default(),
         }
     }
 
@@ -58,6 +64,12 @@ impl MultilevelConfig {
     /// Use a different fusion width (0 = unfused).
     pub fn with_fusion(mut self, fusion: usize) -> Self {
         self.fusion = fusion;
+        self
+    }
+
+    /// Use a different fusion strategy (see [`FusionStrategy`]).
+    pub fn with_fusion_strategy(mut self, strategy: FusionStrategy) -> Self {
+        self.fusion_strategy = strategy;
         self
     }
 }
@@ -119,7 +131,13 @@ impl MultilevelSimulator {
         ml: MultilevelPartition,
     ) -> MultilevelRun {
         if self.config.fusion > 0 {
-            let plan = FusedTwoLevelPlan::build(circuit, dag, ml, self.config.fusion);
+            let plan = FusedTwoLevelPlan::build_with_strategy(
+                circuit,
+                dag,
+                ml,
+                self.config.fusion,
+                self.config.fusion_strategy,
+            );
             return self.run_with_fused_plan(circuit, &plan);
         }
         // Build the per-first-level-part schedule: the first-level execution

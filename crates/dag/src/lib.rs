@@ -10,6 +10,9 @@
 //! * [`partition`] — [`Partition`] (per-gate part assignment), the quotient
 //!   [`PartGraph`], and validation of the paper's three partitioning
 //!   conditions (coverage, working-set limit `Lm`, acyclicity).
+//! * [`fusion`] — [`antichain_fusion_groups`]: DAG-driven fusion grouping
+//!   along the ready frontier, the structural-commutation covering that
+//!   feeds `hisvsim-statevec`'s `FusedCircuit::from_dag`.
 //!
 //! ## Example
 //!
@@ -30,7 +33,9 @@
 #![warn(missing_docs)]
 
 pub mod dag;
+pub mod fusion;
 pub mod partition;
 
 pub use dag::{CircuitDag, Edge, NodeId, NodeKind};
+pub use fusion::{antichain_fusion_groups, FusionGroup, GateClass};
 pub use partition::{PartGraph, Partition, PartitionError};

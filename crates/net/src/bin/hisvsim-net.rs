@@ -16,7 +16,7 @@ use hisvsim_dag::CircuitDag;
 use hisvsim_net::{execute_local_reference, ClusterLauncher, ShippedJob};
 use hisvsim_partition::Strategy;
 use hisvsim_runtime::{EngineKind, PersistedPlan};
-use hisvsim_statevec::DEFAULT_FUSION_WIDTH;
+use hisvsim_statevec::{FusionStrategy, DEFAULT_FUSION_WIDTH};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -72,9 +72,17 @@ fn smoke(qubits: usize, workers: usize) -> ExitCode {
     let dag = CircuitDag::from_circuit(&circuit);
     let local_qubits = qubits - workers.trailing_zeros() as usize;
 
-    for engine in [EngineKind::Hier, EngineKind::Dist] {
+    for (engine, strategy) in [
+        (EngineKind::Hier, FusionStrategy::Window),
+        (EngineKind::Hier, FusionStrategy::Dag),
+        (EngineKind::Dist, FusionStrategy::Window),
+        (EngineKind::Dist, FusionStrategy::Dag),
+    ] {
         // Hier ships its single-level plan through the distributed rank
         // body, so both engines' plans must fit a worker's local slice.
+        // Both fusion strategies are exercised: workers re-fuse the shipped
+        // partition with the shipped strategy, and both must reproduce the
+        // in-process run bit for bit.
         let partition = Strategy::DagP
             .partition(&dag, local_qubits)
             .expect("partitioning QFT cannot fail at the local-qubit limit");
@@ -82,6 +90,7 @@ fn smoke(qubits: usize, workers: usize) -> ExitCode {
             engine,
             circuit: circuit.clone(),
             fusion: DEFAULT_FUSION_WIDTH,
+            strategy,
             plan: Some(PersistedPlan::Single(partition)),
         };
         let (state, report) = match launcher.execute(&job) {
@@ -100,15 +109,15 @@ fn smoke(qubits: usize, workers: usize) -> ExitCode {
         };
         if state != reference {
             eprintln!(
-                "smoke: {engine} process run DIVERGED from the in-process run \
+                "smoke: {engine}/{strategy} process run DIVERGED from the in-process run \
                  (max |diff| = {:.3e})",
                 state.max_abs_diff(&reference)
             );
             return ExitCode::FAILURE;
         }
         println!(
-            "smoke {engine}: qft-{qubits} on {workers} worker processes: bit-identical to the \
-             in-process run ({} parts, {} exchanges, {:.1} MiB moved, wall {:.2}s)",
+            "smoke {engine}/{strategy}: qft-{qubits} on {workers} worker processes: bit-identical \
+             to the in-process run ({} parts, {} exchanges, {:.1} MiB moved, wall {:.2}s)",
             report.num_parts,
             report.num_exchanges,
             report.comm.bytes_sent as f64 / (1024.0 * 1024.0),

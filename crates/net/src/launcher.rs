@@ -388,6 +388,7 @@ impl ProcessBackend for ClusterLauncher {
             engine: request.engine,
             circuit: request.circuit.clone(),
             fusion: request.fusion,
+            strategy: request.strategy,
             plan: request.plan,
         };
         self.execute_with_network(&job, request.network)

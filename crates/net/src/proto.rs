@@ -9,7 +9,7 @@
 
 use hisvsim_circuit::Circuit;
 use hisvsim_cluster::{CommStats, NetworkModel};
-use hisvsim_runtime::{EngineKind, PersistedPlan};
+use hisvsim_runtime::{EngineKind, FusionStrategy, PersistedPlan};
 use serde::{Deserialize, Serialize};
 
 /// Tag of the raw amplitude-slice frame a worker sends after its report.
@@ -29,6 +29,11 @@ pub struct ShippedJob {
     pub circuit: Circuit,
     /// Gate-fusion width each worker re-fuses the shipped partition at.
     pub fusion: usize,
+    /// Fusion strategy each worker re-fuses with. The scan is
+    /// deterministic, so every rank derives the identical fused schedule
+    /// independently — shipping the knob (not the fused matrices) keeps the
+    /// wire shape small and the fused form process-local.
+    pub strategy: FusionStrategy,
     /// The partition to execute ([`PersistedPlan::Single`] for hier/dist,
     /// [`PersistedPlan::Two`] for multilevel, `None` for baseline).
     pub plan: Option<PersistedPlan>,

@@ -35,8 +35,9 @@ pub fn execute_shipped_rank<C: RankComm<Complex64>>(
     comm: &mut C,
 ) -> Result<RankOutcome, NetError> {
     let fusion = job.fusion.max(1);
+    let strategy = job.strategy;
     match job.engine {
-        EngineKind::Baseline => Ok(run_baseline_rank(comm, &job.circuit, fusion)),
+        EngineKind::Baseline => Ok(run_baseline_rank(comm, &job.circuit, fusion, strategy)),
         EngineKind::Hier | EngineKind::Dist => {
             let Some(PersistedPlan::Single(partition)) = &job.plan else {
                 return Err(NetError::Protocol(format!(
@@ -46,7 +47,13 @@ pub fn execute_shipped_rank<C: RankComm<Complex64>>(
                 )));
             };
             let dag = CircuitDag::from_circuit(&job.circuit);
-            let plan = FusedSinglePlan::build(&job.circuit, &dag, partition.clone(), fusion);
+            let plan = FusedSinglePlan::build_with_strategy(
+                &job.circuit,
+                &dag,
+                partition.clone(),
+                fusion,
+                strategy,
+            );
             Ok(run_fused_plan_rank(comm, job.circuit.num_qubits(), &plan))
         }
         EngineKind::Multilevel => {
@@ -57,7 +64,13 @@ pub fn execute_shipped_rank<C: RankComm<Complex64>>(
                 )));
             };
             let dag = CircuitDag::from_circuit(&job.circuit);
-            let plan = FusedTwoLevelPlan::build(&job.circuit, &dag, ml.clone(), fusion);
+            let plan = FusedTwoLevelPlan::build_with_strategy(
+                &job.circuit,
+                &dag,
+                ml.clone(),
+                fusion,
+                strategy,
+            );
             Ok(run_two_level_plan_rank(
                 comm,
                 job.circuit.num_qubits(),

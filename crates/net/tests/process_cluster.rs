@@ -10,7 +10,7 @@ use hisvsim_partition::{MultilevelPartitioner, Strategy};
 use hisvsim_runtime::{Backend, EngineKind, PersistedPlan, Scheduler, SchedulerConfig, SimJob};
 use hisvsim_runtime::{EngineSelector, PlanEffort};
 use hisvsim_service::{ServiceConfig, SimService};
-use hisvsim_statevec::{run_circuit, DEFAULT_FUSION_WIDTH};
+use hisvsim_statevec::{run_circuit, FusionStrategy, DEFAULT_FUSION_WIDTH};
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -20,6 +20,15 @@ fn launcher(workers: usize) -> ClusterLauncher {
 }
 
 fn single_level_job(engine: EngineKind, qubits: usize, workers: usize) -> ShippedJob {
+    single_level_job_with_strategy(engine, qubits, workers, FusionStrategy::Auto)
+}
+
+fn single_level_job_with_strategy(
+    engine: EngineKind,
+    qubits: usize,
+    workers: usize,
+    strategy: FusionStrategy,
+) -> ShippedJob {
     let circuit = generators::qft(qubits);
     let dag = CircuitDag::from_circuit(&circuit);
     let local = qubits - workers.trailing_zeros() as usize;
@@ -28,6 +37,7 @@ fn single_level_job(engine: EngineKind, qubits: usize, workers: usize) -> Shippe
         engine,
         circuit,
         fusion: DEFAULT_FUSION_WIDTH,
+        strategy,
         plan: Some(PersistedPlan::Single(partition)),
     }
 }
@@ -66,6 +76,7 @@ fn process_baseline_and_multilevel_match_the_flat_simulator() {
         engine: EngineKind::Baseline,
         circuit: generators::by_name("ising", 9),
         fusion: DEFAULT_FUSION_WIDTH,
+        strategy: FusionStrategy::Auto,
         plan: None,
     };
     let (state, _) = launcher(workers).execute(&baseline).unwrap();
@@ -84,12 +95,33 @@ fn process_baseline_and_multilevel_match_the_flat_simulator() {
         engine: EngineKind::Multilevel,
         circuit,
         fusion: DEFAULT_FUSION_WIDTH,
+        strategy: FusionStrategy::Auto,
         plan: Some(PersistedPlan::Two(ml)),
     };
     let (state, _) = launcher(workers).execute(&job).unwrap();
     let (reference, _) = execute_local_reference(&job, workers, NetworkModel::hdr100()).unwrap();
     assert_eq!(state, reference);
     assert!(state.approx_eq(&run_circuit(&job.circuit), 1e-9));
+}
+
+#[test]
+fn shipped_dag_strategy_runs_bit_identical_across_transports() {
+    // A worker re-fuses the shipped partition with the shipped strategy;
+    // the fusion scan is deterministic, so the TCP-process run and the
+    // in-process channel-world run of the same job must agree bit for bit
+    // under the DAG strategy exactly as under the window strategy.
+    let workers = 4;
+    for strategy in [FusionStrategy::Window, FusionStrategy::Dag] {
+        let job = single_level_job_with_strategy(EngineKind::Dist, 11, workers, strategy);
+        let (state, _) = launcher(workers).execute(&job).unwrap();
+        let (reference, _) =
+            execute_local_reference(&job, workers, NetworkModel::hdr100()).unwrap();
+        assert_eq!(
+            state, reference,
+            "{strategy:?}: process run must be bit-identical to the local world"
+        );
+        assert!(state.approx_eq(&run_circuit(&job.circuit), 1e-9));
+    }
 }
 
 #[test]

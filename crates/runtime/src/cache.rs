@@ -23,6 +23,7 @@
 use hisvsim_core::{FusedSinglePlan, FusedTwoLevelPlan};
 use hisvsim_dag::Partition;
 use hisvsim_partition::{MultilevelPartition, PartitionBuildError};
+use hisvsim_statevec::FusionStrategy;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::path::Path;
@@ -30,7 +31,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Cache key: structural fingerprint plus plan shape.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// Serde is implemented by hand (not derived) so snapshots written before
+/// the `strategy` field existed still deserialize: a missing `strategy`
+/// maps to [`FusionStrategy::default`], which is exactly what the jobs
+/// that produced those entries run with today.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PlanKey {
     /// [`Circuit::fingerprint`](hisvsim_circuit::Circuit::fingerprint) of
     /// the job's circuit.
@@ -41,9 +47,49 @@ pub struct PlanKey {
     pub second_limit: usize,
     /// Gate-fusion width the plan's inner circuits were fused at.
     pub fusion: usize,
+    /// Fusion strategy the plan's inner circuits were built with (jobs
+    /// identical except for strategy must never share an entry — the fused
+    /// forms differ).
+    pub strategy: FusionStrategy,
     /// Planner effort that produced the plan (plans of different effort are
     /// different cache entries).
     pub effort: crate::planner::PlanEffort,
+}
+
+impl Serialize for PlanKey {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("fingerprint".to_string(), self.fingerprint.to_value()),
+            ("limit".to_string(), self.limit.to_value()),
+            ("second_limit".to_string(), self.second_limit.to_value()),
+            ("fusion".to_string(), self.fusion.to_value()),
+            ("strategy".to_string(), self.strategy.to_value()),
+            ("effort".to_string(), self.effort.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for PlanKey {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let field = |name: &str| {
+            value
+                .get_field(name)
+                .ok_or_else(|| serde::Error::missing_field(name))
+        };
+        Ok(PlanKey {
+            fingerprint: Deserialize::from_value(field("fingerprint")?)?,
+            limit: Deserialize::from_value(field("limit")?)?,
+            second_limit: Deserialize::from_value(field("second_limit")?)?,
+            fusion: Deserialize::from_value(field("fusion")?)?,
+            // Snapshots written before the strategy knob existed have no
+            // field here; they belong to the default strategy.
+            strategy: match value.get_field("strategy") {
+                Some(strategy) => Deserialize::from_value(strategy)?,
+                None => FusionStrategy::default(),
+            },
+            effort: Deserialize::from_value(field("effort")?)?,
+        })
+    }
 }
 
 /// A memoized plan, stored prefused so warm hits skip partitioning and
@@ -323,6 +369,7 @@ impl PlanCache {
                 k.limit,
                 k.second_limit,
                 k.fusion,
+                k.strategy.name(),
                 k.effort.name(),
             )
         });
@@ -401,6 +448,7 @@ mod tests {
             limit,
             second_limit: 0,
             fusion: 3,
+            strategy: FusionStrategy::Auto,
             effort: PlanEffort::Fast,
         }
     }
@@ -409,7 +457,7 @@ mod tests {
         let dag = CircuitDag::from_circuit(circuit);
         CachedPlan::Single(Arc::new(
             Planner::default()
-                .plan_single_fused(circuit, &dag, limit, 3)
+                .plan_single_fused(circuit, &dag, limit, 3, FusionStrategy::Auto)
                 .unwrap(),
         ))
     }
@@ -521,7 +569,7 @@ mod tests {
         let key = key_of(&circuit, 2);
         let attempt = cache.get_or_plan(key, || {
             Planner::default()
-                .plan_single_fused(&circuit, &dag, 2, 3)
+                .plan_single_fused(&circuit, &dag, 2, 3, FusionStrategy::Auto)
                 .map(|p| CachedPlan::Single(Arc::new(p)))
         });
         assert!(attempt.is_err());
@@ -602,6 +650,7 @@ mod tests {
             limit: 6,
             second_limit: 3,
             fusion: 3,
+            strategy: FusionStrategy::Auto,
             effort: PlanEffort::Fast,
         };
         cache
@@ -622,6 +671,46 @@ mod tests {
                 );
             }
             other => panic!("expected a two-level persisted plan, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn legacy_snapshots_without_a_strategy_field_still_load() {
+        // Snapshots written before `PlanKey.strategy` existed must keep
+        // warm-starting: a missing field maps to the default strategy
+        // (what those jobs run with today), not a load error silently
+        // degraded to a cold start.
+        let circuit = generators::qft(9);
+        let dag = CircuitDag::from_circuit(&circuit);
+        let partition = Planner::default().plan_single(&circuit, &dag, 5).unwrap();
+        let legacy_json = format!(
+            r#"[[{{"fingerprint":{},"limit":5,"second_limit":0,"fusion":3,"effort":"Fast"}},{{"Single":{}}}]]"#,
+            circuit.fingerprint(),
+            serde_json::to_string(&partition).unwrap()
+        );
+        let dir = std::env::temp_dir().join(format!("hisvsim-legacy-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("legacy.json");
+        std::fs::write(&path, legacy_json).unwrap();
+
+        let cache = PlanCache::new(4);
+        assert_eq!(
+            cache.load_snapshot(&path).unwrap(),
+            1,
+            "legacy snapshot must load"
+        );
+        let key = PlanKey {
+            fingerprint: circuit.fingerprint(),
+            limit: 5,
+            second_limit: 0,
+            fusion: 3,
+            strategy: FusionStrategy::default(),
+            effort: PlanEffort::Fast,
+        };
+        match cache.take_warm(&key) {
+            Some(PersistedPlan::Single(back)) => assert_eq!(back, partition),
+            other => panic!("legacy entry must map to the default strategy, got {other:?}"),
         }
         std::fs::remove_file(&path).ok();
     }

@@ -5,7 +5,7 @@ use crate::selector::EngineKind;
 use hisvsim_circuit::{Circuit, Qubit};
 use hisvsim_cluster::CommStats;
 use hisvsim_core::RunReport;
-use hisvsim_statevec::StateVector;
+use hisvsim_statevec::{FusionStrategy, StateVector};
 use std::collections::BTreeMap;
 use std::time::Duration;
 
@@ -44,6 +44,11 @@ pub struct SimJob {
     /// merges runs of same-wire gates and collapses diagonal runs; 3–4 is
     /// the CPU sweet spot.
     pub fusion: Option<usize>,
+    /// How fusion groups are discovered: the bounded-window scanner, the
+    /// DAG antichain grouper, or [`FusionStrategy::Auto`] (window unless
+    /// its group-size histogram degenerates). Part of the plan-cache key —
+    /// jobs differing only in strategy never share a cached plan.
+    pub fusion_strategy: FusionStrategy,
     /// Seed for shot sampling (deterministic per job).
     pub seed: u64,
     /// Execution backend: in-process virtual ranks (default) or real worker
@@ -65,6 +70,7 @@ impl SimJob {
             engine: None,
             limit: None,
             fusion: None,
+            fusion_strategy: FusionStrategy::default(),
             seed: 0,
             backend: Backend::Local,
             deadline: None,
@@ -99,6 +105,14 @@ impl SimJob {
     pub fn with_fusion(mut self, fusion: usize) -> Self {
         assert!(fusion >= 1, "fusion width must be at least 1");
         self.fusion = Some(fusion);
+        self
+    }
+
+    /// Use a specific fusion strategy (see [`FusionStrategy`]). The
+    /// strategy is part of the plan-cache key, and process-backed jobs ship
+    /// it to their workers, which re-fuse with the same strategy.
+    pub fn with_fusion_strategy(mut self, strategy: FusionStrategy) -> Self {
+        self.fusion_strategy = strategy;
         self
     }
 

@@ -28,6 +28,7 @@ use hisvsim_partition::{
     DagPConfig, DagPPartitioner, DfsPartitioner, MultilevelPartition, MultilevelPartitioner,
     NatPartitioner, PartitionBuildError,
 };
+use hisvsim_statevec::FusionStrategy;
 use serde::{Deserialize, Serialize};
 
 /// How much work to invest in one plan.
@@ -165,13 +166,15 @@ impl Planner {
         dag: &CircuitDag,
         limit: usize,
         fusion_width: usize,
+        strategy: FusionStrategy,
     ) -> Result<FusedSinglePlan, PartitionBuildError> {
         let partition = self.plan_single(circuit, dag, limit)?;
-        Ok(FusedSinglePlan::build(
+        Ok(FusedSinglePlan::build_with_strategy(
             circuit,
             dag,
             partition,
             fusion_width.max(1),
+            strategy,
         ))
     }
 
@@ -184,13 +187,15 @@ impl Planner {
         first_limit: usize,
         second_limit: usize,
         fusion_width: usize,
+        strategy: FusionStrategy,
     ) -> Result<FusedTwoLevelPlan, PartitionBuildError> {
         let ml = self.plan_two_level(dag, first_limit, second_limit)?;
-        Ok(FusedTwoLevelPlan::build(
+        Ok(FusedTwoLevelPlan::build_with_strategy(
             circuit,
             dag,
             ml,
             fusion_width.max(1),
+            strategy,
         ))
     }
 

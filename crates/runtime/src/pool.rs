@@ -32,7 +32,7 @@ use hisvsim_core::{
 };
 use hisvsim_dag::CircuitDag;
 use hisvsim_partition::{PartitionBuildError, Strategy};
-use hisvsim_statevec::{measure, CancelToken, StateVector, DEFAULT_FUSION_WIDTH};
+use hisvsim_statevec::{measure, CancelToken, FusionStrategy, StateVector, DEFAULT_FUSION_WIDTH};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
@@ -219,6 +219,9 @@ pub struct ProcessRequest<'a> {
     pub engine: EngineKind,
     /// Gate-fusion width workers re-fuse the shipped partition at.
     pub fusion: usize,
+    /// Fusion strategy workers re-fuse with (the scan is deterministic, so
+    /// every worker derives the identical fused schedule independently).
+    pub strategy: FusionStrategy,
     /// Interconnect model for per-transfer accounting on the workers.
     pub network: NetworkModel,
     /// The partition to ship (exactly the plan-cache snapshot wire shape).
@@ -351,17 +354,18 @@ impl JobRunner {
             decision.second_limit = decision.second_limit.min(decision.limit);
         }
         let fusion = job.fusion.unwrap_or(DEFAULT_FUSION_WIDTH).max(1);
+        let strategy = job.fusion_strategy;
 
         control.notify_planning();
         let plan_start = Instant::now();
-        let (plan, source) =
-            self.obtain_plan(&job.circuit, &decision, fusion)
-                .map_err(|error| JobError::PlanFailed {
-                    circuit: job.circuit.name.clone(),
-                    engine: decision.engine,
-                    limit: decision.limit,
-                    error,
-                })?;
+        let (plan, source) = self
+            .obtain_plan(&job.circuit, &decision, fusion, strategy)
+            .map_err(|error| JobError::PlanFailed {
+                circuit: job.circuit.name.clone(),
+                engine: decision.engine,
+                limit: decision.limit,
+                error,
+            })?;
         let plan_time_s = plan_start.elapsed().as_secs_f64();
         control.notify_plan_ready(source.is_hit());
 
@@ -385,6 +389,7 @@ impl JobRunner {
                     circuit: &job.circuit,
                     engine: decision.engine,
                     fusion,
+                    strategy,
                     network: self.config.selector.network,
                     plan: plan.as_ref().map(CachedPlan::to_persisted),
                 };
@@ -401,7 +406,14 @@ impl JobRunner {
                 outcome
             }
             None => self
-                .simulate(&job.circuit, &decision, fusion, plan.as_ref(), &exec)
+                .simulate(
+                    &job.circuit,
+                    &decision,
+                    fusion,
+                    strategy,
+                    plan.as_ref(),
+                    &exec,
+                )
                 .map_err(|_| JobError::Cancelled)?,
         };
 
@@ -447,6 +459,7 @@ impl JobRunner {
         circuit: &Circuit,
         decision: &EngineDecision,
         fusion: usize,
+        strategy: FusionStrategy,
     ) -> Result<(Option<CachedPlan>, PlanSource), PartitionBuildError> {
         if decision.engine == EngineKind::Baseline {
             return Ok((None, PlanSource::Planned));
@@ -462,11 +475,12 @@ impl JobRunner {
                         decision.limit,
                         decision.second_limit,
                         fusion,
+                        strategy,
                     )
                     .map(|ml| CachedPlan::Two(Arc::new(ml)))
             } else {
                 planner
-                    .plan_single_fused(circuit, dag, decision.limit, fusion)
+                    .plan_single_fused(circuit, dag, decision.limit, fusion, strategy)
                     .map(|p| CachedPlan::Single(Arc::new(p)))
             }
         };
@@ -481,6 +495,7 @@ impl JobRunner {
             limit: decision.limit,
             second_limit: if two_level { decision.second_limit } else { 0 },
             fusion,
+            strategy,
             effort: self.config.effort,
         };
         let outcome = self.cache.get_or_plan_tracked(key, || {
@@ -494,13 +509,17 @@ impl JobRunner {
                     PersistedPlan::Single(partition)
                         if !two_level && partition.validate(&dag, decision.limit).is_ok() =>
                     {
-                        let plan = FusedSinglePlan::build(circuit, &dag, partition, fusion);
+                        let plan = FusedSinglePlan::build_with_strategy(
+                            circuit, &dag, partition, fusion, strategy,
+                        );
                         return Ok((CachedPlan::Single(Arc::new(plan)), PlanSource::Warm));
                     }
                     PersistedPlan::Two(ml)
                         if two_level && ml.validate(&dag, decision.limit).is_ok() =>
                     {
-                        let plan = FusedTwoLevelPlan::build(circuit, &dag, ml, fusion);
+                        let plan = FusedTwoLevelPlan::build_with_strategy(
+                            circuit, &dag, ml, fusion, strategy,
+                        );
                         return Ok((CachedPlan::Two(Arc::new(plan)), PlanSource::Warm));
                     }
                     // Shape mismatch or a stale/invalid snapshot entry:
@@ -520,6 +539,7 @@ impl JobRunner {
         circuit: &Circuit,
         decision: &EngineDecision,
         fusion: usize,
+        strategy: FusionStrategy,
         plan: Option<&CachedPlan>,
         exec: &ExecControl,
     ) -> Result<(StateVector, RunReport), hisvsim_statevec::Cancelled> {
@@ -528,7 +548,8 @@ impl JobRunner {
             EngineKind::Baseline => IqsBaseline::new(
                 BaselineConfig::new(decision.ranks)
                     .with_network(network)
-                    .with_fusion(fusion),
+                    .with_fusion(fusion)
+                    .with_fusion_strategy(strategy),
             )
             .run_controlled(circuit, exec)
             .map(|run| (run.state, run.report)),

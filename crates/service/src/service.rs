@@ -6,7 +6,7 @@ use hisvsim_runtime::pool::{JobControl, JobError, JobRunner, Semaphore};
 use hisvsim_runtime::{CacheStats, PlanCache, SchedulerConfig, SimJob};
 use std::collections::BinaryHeap;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -105,6 +105,75 @@ impl Ord for QueuedJob {
     }
 }
 
+/// One armed deadline: when it is due, how long the job was given (for the
+/// failure message), and the job it belongs to. The job reference is weak:
+/// the heap is not rebalanced when a job finalizes, and a strong reference
+/// would pin the finished job's outcome (including a possibly huge result
+/// state vector) until the entry's due time. Live jobs are kept alive by
+/// the queue / their worker / their handle; an entry that no longer
+/// upgrades belongs to a job nobody can observe anymore and fires as a
+/// no-op.
+struct DeadlineEntry {
+    due: Instant,
+    deadline: Duration,
+    job_id: u64,
+    shared: std::sync::Weak<JobShared>,
+}
+
+impl PartialEq for DeadlineEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.job_id == other.job_id
+    }
+}
+impl Eq for DeadlineEntry {}
+impl PartialOrd for DeadlineEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for DeadlineEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: `BinaryHeap` is a max-heap, the timer wants the
+        // *earliest* due entry on top. Ties broken by job id for a total
+        // order.
+        other
+            .due
+            .cmp(&self.due)
+            .then(other.job_id.cmp(&self.job_id))
+    }
+}
+
+/// The deadline min-heap owned by the service's single timer thread.
+///
+/// Every armed deadline used to park one watcher thread until its job
+/// finalized — 200 deadlined jobs meant 200 sleeping threads. Now
+/// [`Inner::arm_deadline`] pushes an entry here and at most **one** timer
+/// thread (spawned lazily on the first armed deadline) sleeps until the
+/// earliest due time, pops everything expired, and fires each exactly like
+/// the old per-job watcher did. Entries whose job finished in time are
+/// discarded when popped.
+struct DeadlineQueue {
+    heap: Mutex<BinaryHeap<DeadlineEntry>>,
+    /// Wakes the timer for a new earliest deadline or for shutdown.
+    wake: Condvar,
+    /// Set (then notified) at shutdown, after the workers have drained.
+    stop: AtomicBool,
+    /// Timer threads ever spawned — 0 before the first deadline, 1 after;
+    /// observable via [`SimService::deadline_timer_threads`].
+    threads_spawned: AtomicUsize,
+}
+
+impl Default for DeadlineQueue {
+    fn default() -> Self {
+        Self {
+            heap: Mutex::new(BinaryHeap::new()),
+            wake: Condvar::new(),
+            stop: AtomicBool::new(false),
+            threads_spawned: AtomicUsize::new(0),
+        }
+    }
+}
+
 struct Inner {
     runner: JobRunner,
     residency: Semaphore,
@@ -120,6 +189,11 @@ struct Inner {
     /// Jobs finalized while still in the heap (handle cancel, deadline
     /// expiry) awaiting their lazy drop; shared into every `JobShared`.
     finalized_queued: Arc<AtomicU64>,
+    /// The armed-deadline min-heap (one timer thread for all jobs).
+    deadlines: DeadlineQueue,
+    /// The timer thread, spawned on the first armed deadline and joined at
+    /// shutdown (after the workers, so deadlines keep firing mid-drain).
+    timer: Mutex<Option<JoinHandle<()>>>,
 }
 
 /// A long-lived simulation job service: non-blocking [`SimService::submit`]
@@ -163,6 +237,8 @@ impl SimService {
             failed: AtomicU64::new(0),
             deadline_exceeded: AtomicU64::new(0),
             finalized_queued: Arc::new(AtomicU64::new(0)),
+            deadlines: DeadlineQueue::default(),
+            timer: Mutex::new(None),
         });
         let workers = (0..config.scheduler.workers.max(1))
             .map(|_| {
@@ -203,7 +279,7 @@ impl SimService {
             events: receiver,
         };
         if let Some(deadline) = job.deadline {
-            arm_deadline(Arc::clone(&self.inner), Arc::clone(&shared), deadline);
+            arm_deadline(&self.inner, Arc::clone(&shared), deadline);
         }
         self.inner
             .queue
@@ -329,6 +405,14 @@ impl SimService {
         out
     }
 
+    /// Timer threads the deadline machinery has ever spawned: `0` before
+    /// the first [`SimJob::with_deadline`] submission, `1` after — never
+    /// more, regardless of how many deadlined jobs are in flight (they all
+    /// share one min-heap).
+    pub fn deadline_timer_threads(&self) -> usize {
+        self.inner.deadlines.threads_spawned.load(Ordering::SeqCst)
+    }
+
     /// Write the plan-cache snapshot now (requires persistence to be
     /// configured). Returns the number of persisted plans.
     pub fn persist_plans(&self) -> std::io::Result<usize> {
@@ -352,6 +436,32 @@ impl SimService {
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
+        // Stop the deadline timer only after the workers drained: deadlines
+        // must keep firing for jobs still running out the queue. Every job
+        // is terminal now, so pending heap entries are inert. The stop flag
+        // is set and notified *under the heap lock*: the timer's
+        // check-then-wait is atomic under that lock, so the notification
+        // cannot fall between its stop check and its wait (a lost wakeup
+        // would hang the join below forever on an empty heap).
+        {
+            let _heap = self
+                .inner
+                .deadlines
+                .heap
+                .lock()
+                .expect("deadline heap poisoned");
+            self.inner.deadlines.stop.store(true, Ordering::SeqCst);
+            self.inner.deadlines.wake.notify_all();
+        }
+        if let Some(timer) = self
+            .inner
+            .timer
+            .lock()
+            .expect("timer handle poisoned")
+            .take()
+        {
+            let _ = timer.join();
+        }
         if let Some(path) = &self.persist_path {
             let _ = self.inner.runner.cache().save_snapshot(path);
         }
@@ -366,54 +476,114 @@ impl Drop for SimService {
     }
 }
 
-/// Arm a deadline timer for a submitted job: a watcher thread waits on the
-/// job's terminal condvar for at most `deadline`; if the job is still live
-/// when the timer expires it marks the deadline as fired and raises the
-/// job's cancel token. A job still in the queue is finalized here directly
-/// (workers skip finalized jobs); a running job stops at its next
-/// cooperative checkpoint and its worker converts the cancellation into
-/// `Failed { DeadlineExceeded }`. A job that finishes first wakes the
-/// watcher early, so no timer outlives its job by more than a condvar wake.
-fn arm_deadline(inner: Arc<Inner>, shared: Arc<JobShared>, deadline: Duration) {
-    std::thread::spawn(move || {
-        let armed = Instant::now();
-        {
-            let mut state = shared.state.lock().expect("job state poisoned");
-            loop {
-                if state.outcome.is_some() {
-                    return; // finished within the deadline
+/// Arm a deadline for a submitted job: push an entry onto the shared
+/// deadline min-heap and make sure the (single) timer thread exists. No
+/// per-job thread is spawned — 200 deadlined jobs still park exactly one
+/// watcher.
+fn arm_deadline(inner: &Arc<Inner>, shared: Arc<JobShared>, deadline: Duration) {
+    let entry = DeadlineEntry {
+        due: Instant::now() + deadline,
+        deadline,
+        job_id: shared.id,
+        shared: Arc::downgrade(&shared),
+    };
+    inner
+        .deadlines
+        .heap
+        .lock()
+        .expect("deadline heap poisoned")
+        .push(entry);
+    // Wake the timer: the new entry may be the earliest due.
+    inner.deadlines.wake.notify_one();
+    let mut timer = inner.timer.lock().expect("timer handle poisoned");
+    if timer.is_none() {
+        inner
+            .deadlines
+            .threads_spawned
+            .fetch_add(1, Ordering::SeqCst);
+        let inner = Arc::clone(inner);
+        *timer = Some(std::thread::spawn(move || deadline_timer_loop(&inner)));
+    }
+}
+
+/// The single timer thread: sleep until the earliest armed deadline, pop
+/// and fire everything expired, repeat. Entries whose job already reached a
+/// terminal state are discarded when popped (the heap is not rebalanced on
+/// job completion — an entry for a finished job costs one pop at its due
+/// time, never a thread).
+fn deadline_timer_loop(inner: &Inner) {
+    let mut heap = inner.deadlines.heap.lock().expect("deadline heap poisoned");
+    loop {
+        if inner.deadlines.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let now = Instant::now();
+        match heap.peek().map(|entry| entry.due) {
+            None => {
+                heap = inner
+                    .deadlines
+                    .wake
+                    .wait(heap)
+                    .expect("deadline heap poisoned");
+            }
+            Some(due) if due <= now => {
+                let entry = heap.pop().expect("peeked entry present");
+                // A dead weak reference means the job finalized and every
+                // observer dropped it — nothing left to fire.
+                if let Some(shared) = entry.shared.upgrade() {
+                    // Fire outside the heap lock: finalization takes the
+                    // job's state lock and wakes waiters, neither of which
+                    // should serialise against `arm_deadline` pushes.
+                    drop(heap);
+                    fire_deadline(inner, &shared, entry.deadline);
+                    heap = inner.deadlines.heap.lock().expect("deadline heap poisoned");
                 }
-                let Some(remaining) = deadline.checked_sub(armed.elapsed()) else {
-                    break;
-                };
-                let (guard, _timeout) = shared
-                    .finished
-                    .wait_timeout(state, remaining)
-                    .expect("job state poisoned");
-                state = guard;
+            }
+            Some(due) => {
+                let (guard, _timeout) = inner
+                    .deadlines
+                    .wake
+                    .wait_timeout(heap, due - now)
+                    .expect("deadline heap poisoned");
+                heap = guard;
             }
         }
-        shared
-            .deadline_fired
-            .store(true, std::sync::atomic::Ordering::SeqCst);
-        shared.cancel.cancel();
-        // A still-queued job is finalized here (`finalize_queued` decides
-        // queued-ness and the terminal transition atomically, so the
-        // phantom-queue counter stays exact against a racing worker
-        // claim); a claimed job stops at its next cooperative checkpoint
-        // and its worker converts the cancellation into DeadlineExceeded.
-        // Count before finalizing (finalize wakes waiters, and the stats
-        // must already reflect the job the moment a `wait()` on it
-        // returns); undo if the job was not finalized here after all.
-        inner.failed.fetch_add(1, Ordering::Relaxed);
-        inner.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
-        inner.finalized_queued.fetch_add(1, Ordering::Relaxed);
-        if !shared.finalize_queued(Err(JobFailure::Failed(deadline_message(deadline)))) {
-            inner.failed.fetch_sub(1, Ordering::Relaxed);
-            inner.deadline_exceeded.fetch_sub(1, Ordering::Relaxed);
-            inner.finalized_queued.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Fire one expired deadline; semantics identical to the old per-job
+/// watcher. If the job is still live, mark the deadline as fired and raise
+/// the job's cancel token. A job still in the queue is finalized here
+/// directly (workers skip finalized jobs); a running job stops at its next
+/// cooperative checkpoint and its worker converts the cancellation into
+/// `Failed { DeadlineExceeded }`; a job that already finished is a no-op.
+fn fire_deadline(inner: &Inner, shared: &Arc<JobShared>, deadline: Duration) {
+    {
+        let state = shared.state.lock().expect("job state poisoned");
+        if state.outcome.is_some() {
+            return; // finished within the deadline
         }
-    });
+    }
+    shared
+        .deadline_fired
+        .store(true, std::sync::atomic::Ordering::SeqCst);
+    shared.cancel.cancel();
+    // A still-queued job is finalized here (`finalize_queued` decides
+    // queued-ness and the terminal transition atomically, so the
+    // phantom-queue counter stays exact against a racing worker
+    // claim); a claimed job stops at its next cooperative checkpoint
+    // and its worker converts the cancellation into DeadlineExceeded.
+    // Count before finalizing (finalize wakes waiters, and the stats
+    // must already reflect the job the moment a `wait()` on it
+    // returns); undo if the job was not finalized here after all.
+    inner.failed.fetch_add(1, Ordering::Relaxed);
+    inner.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+    inner.finalized_queued.fetch_add(1, Ordering::Relaxed);
+    if !shared.finalize_queued(Err(JobFailure::Failed(deadline_message(deadline)))) {
+        inner.failed.fetch_sub(1, Ordering::Relaxed);
+        inner.deadline_exceeded.fetch_sub(1, Ordering::Relaxed);
+        inner.finalized_queued.fetch_sub(1, Ordering::Relaxed);
+    }
 }
 
 /// Worker body: pop the highest-priority job, run it through the pool core

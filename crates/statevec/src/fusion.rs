@@ -25,7 +25,9 @@ use crate::kernels::{
 };
 use crate::state::StateVector;
 use hisvsim_circuit::{Circuit, Complex64, Gate, Qubit, UnitaryMatrix};
+use hisvsim_dag::{antichain_fusion_groups, CircuitDag, GateClass};
 use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
 
 /// The default fusion width engines use when the caller does not pick one.
 ///
@@ -33,6 +35,56 @@ use rayon::prelude::*;
 /// multiply-adds per gathered amplitude, so the CPU sweet spot sits at 3–4;
 /// 3 is the conservative default (the `fusion_sweep` bench maps the curve).
 pub const DEFAULT_FUSION_WIDTH: usize = 3;
+
+/// How fusion groups are discovered.
+///
+/// Both strategies produce the same executable form ([`FusedCircuit`]) and
+/// are gated by the same per-amplitude cost model and width caps — they
+/// differ only in *which* gates they can see as mergeable:
+///
+/// * [`Window`](FusionStrategy::Window) — the program-order scanner with a
+///   bounded set of open groups (cheap, and near-optimal for layered
+///   circuits like the QFT, where mergeable gates sit close together);
+/// * [`Dag`](FusionStrategy::Dag) — grouping along antichains of the
+///   gate-dependency DAG ([`hisvsim_dag::antichain_fusion_groups`]): gates
+///   with no dependency path between them commute structurally, so deep
+///   interleaved circuits form large groups the window can never reach;
+/// * [`Auto`](FusionStrategy::Auto) — run the window pass, and fall back to
+///   the DAG pass when the window's group-size histogram degenerates (mean
+///   absorbed gates per sweep below [`AUTO_DEGENERATE_MEAN_GATES`], or
+///   mostly singleton groups), keeping whichever form models cheaper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum FusionStrategy {
+    /// Bounded-window program-order scanning (the PR 2 pipeline).
+    Window,
+    /// DAG-driven antichain grouping over the gate-dependency graph.
+    Dag,
+    /// Window first; switch to Dag when the window's group-size histogram
+    /// degenerates and the DAG form models cheaper.
+    #[default]
+    Auto,
+}
+
+impl FusionStrategy {
+    /// Stable lowercase name (cache keys, reports, JSON).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FusionStrategy::Window => "window",
+            FusionStrategy::Dag => "dag",
+            FusionStrategy::Auto => "auto",
+        }
+    }
+}
+
+impl std::fmt::Display for FusionStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Mean source gates per fused sweep below which [`FusionStrategy::Auto`]
+/// considers the window pass degenerate and tries the DAG pass instead.
+pub const AUTO_DEGENERATE_MEAN_GATES: f64 = 4.0;
 
 /// One fused operation: a dense unitary over a small set of qubits.
 #[derive(Debug, Clone)]
@@ -548,15 +600,20 @@ pub struct FusedCircuit {
     prepared: Vec<PreparedOp>,
     fusion_width: usize,
     source_gates: usize,
+    /// The *resolved* strategy that produced the ops (never `Auto`).
+    strategy: FusionStrategy,
 }
 
 impl FusedCircuit {
-    /// Fuse `circuit` at the given width (≥ 1). Dense groups are capped at
+    /// Fuse `circuit` at the given width (≥ 1) with the window scanner
+    /// (equivalent to [`FusedCircuit::with_strategy`] at
+    /// [`FusionStrategy::Window`]). Dense groups are capped at
     /// `max_fused_qubits`; runs of diagonal gates collapse into single
     /// streaming passes with no width limit. Grouping is commutation-aware:
     /// a gate may join an earlier open group when it commutes with every
     /// group in between (disjoint qubits, or diagonal-past-diagonal), so
-    /// interleaved circuits fuse as well as layered ones.
+    /// interleaved circuits fuse as well as layered ones — within the
+    /// bounded window.
     pub fn new(circuit: &Circuit, max_fused_qubits: usize) -> Self {
         assert!(max_fused_qubits >= 1, "fusion width must be at least 1");
         let mut builder = Builder {
@@ -569,14 +626,132 @@ impl FusedCircuit {
             builder.push(index, gate);
         }
         builder.flush_all();
-        let prepared = builder.ops.iter().map(prepare_op).collect();
+        Self::from_ops(
+            circuit,
+            builder.ops,
+            max_fused_qubits,
+            FusionStrategy::Window,
+        )
+    }
+
+    /// Fuse `circuit` under the given [`FusionStrategy`]. `Auto` resolves to
+    /// either window or DAG fusion deterministically (same circuit, width
+    /// and strategy ⇒ identical fused form — the property the plan cache,
+    /// the SPMD engines and the process workers all rely on).
+    pub fn with_strategy(
+        circuit: &Circuit,
+        max_fused_qubits: usize,
+        strategy: FusionStrategy,
+    ) -> Self {
+        match strategy {
+            FusionStrategy::Window => Self::new(circuit, max_fused_qubits),
+            FusionStrategy::Dag => {
+                let dag = CircuitDag::from_circuit(circuit);
+                Self::from_dag(circuit, &dag, max_fused_qubits)
+            }
+            FusionStrategy::Auto => {
+                let window = Self::new(circuit, max_fused_qubits);
+                if !window.window_histogram_degenerated() {
+                    return window;
+                }
+                let dag = CircuitDag::from_circuit(circuit);
+                let dag_form = Self::from_dag(circuit, &dag, max_fused_qubits);
+                if dag_form.estimated_sweep_cost() < window.estimated_sweep_cost() {
+                    dag_form
+                } else {
+                    window
+                }
+            }
+        }
+    }
+
+    /// Fuse `circuit` by covering its gate-dependency DAG with antichain
+    /// groups ([`hisvsim_dag::antichain_fusion_groups`]): gates with no
+    /// dependency path between them commute structurally, so no matrix
+    /// commutation check is needed, and mergeable gates arbitrarily far
+    /// apart in program order still land in one group. The same
+    /// per-amplitude cost model and width caps gate group growth as in the
+    /// window scanner.
+    pub fn from_dag(circuit: &Circuit, dag: &CircuitDag, max_fused_qubits: usize) -> Self {
+        assert!(max_fused_qubits >= 1, "fusion width must be at least 1");
+        let classes: Vec<GateClass> = circuit
+            .gates()
+            .iter()
+            .map(|gate| GateClass {
+                diagonal: gate.kind.is_diagonal(),
+                widen_allowance: solo_cost(gate),
+            })
+            .collect();
+        let groups = antichain_fusion_groups(dag, &classes, max_fused_qubits);
+        let mut ops = Vec::with_capacity(groups.len());
+        for group in groups {
+            if group.diagonal {
+                let mut factors: Vec<DiagonalFactor> = Vec::new();
+                for &index in &group.gates {
+                    absorb_diagonal_gate(&mut factors, &circuit.gates()[index]);
+                }
+                ops.push(FusedOp::Diagonal {
+                    factors,
+                    fused_count: group.gates.len(),
+                });
+            } else {
+                emit_dense_group(circuit, group.gates, group.qubits, &mut ops);
+            }
+        }
+        Self::from_ops(circuit, ops, max_fused_qubits, FusionStrategy::Dag)
+    }
+
+    /// Assemble the executable form from built ops (derives the prepared
+    /// per-op data once).
+    fn from_ops(
+        circuit: &Circuit,
+        ops: Vec<FusedOp>,
+        fusion_width: usize,
+        strategy: FusionStrategy,
+    ) -> Self {
+        let prepared = ops.iter().map(prepare_op).collect();
         Self {
             num_qubits: circuit.num_qubits(),
-            ops: builder.ops,
+            ops,
             prepared,
-            fusion_width: max_fused_qubits,
+            fusion_width,
             source_gates: circuit.num_gates(),
+            strategy,
         }
+    }
+
+    /// Whether the window pass's group-size histogram is degenerate: few
+    /// gates absorbed per sweep on average, or mostly singleton groups —
+    /// the signature of a deep interleaved circuit the bounded window
+    /// cannot reorder across. [`FusionStrategy::Auto`] uses this to decide
+    /// when the DAG pass is worth building.
+    fn window_histogram_degenerated(&self) -> bool {
+        if self.ops.is_empty() {
+            return false;
+        }
+        let mean = self.source_gates as f64 / self.ops.len() as f64;
+        let singletons = self.ops.iter().filter(|op| op.fused_count() == 1).count();
+        mean < AUTO_DEGENERATE_MEAN_GATES || singletons * 2 > self.ops.len()
+    }
+
+    /// Modelled per-amplitude cost of executing all ops (sweep + arithmetic
+    /// terms, same units as the fusion cost model). Used to compare the
+    /// window and DAG forms under [`FusionStrategy::Auto`].
+    fn estimated_sweep_cost(&self) -> f64 {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                FusedOp::Dense(g) => PASS + (1u64 << g.qubits.len()) as f64,
+                FusedOp::Solo(gate, _) => solo_cost(gate),
+                FusedOp::Diagonal { factors, .. } => PASS + 0.5 * factors.len() as f64,
+            })
+            .sum()
+    }
+
+    /// The resolved strategy that produced this fused form (never
+    /// [`FusionStrategy::Auto`]: auto resolves at construction).
+    pub fn strategy(&self) -> FusionStrategy {
+        self.strategy
     }
 
     /// Number of qubits of the source circuit.
@@ -643,14 +818,15 @@ impl FusedCircuit {
     }
 }
 
+/// Estimated cost of streaming the state through the cache hierarchy
+/// once, relative to one complex multiply-add per amplitude.
+const PASS: f64 = 2.0;
+
 /// Per-amplitude cost (in complex multiply-add units) of applying a gate
 /// through its standalone specialised kernel, including an estimated sweep
 /// (memory-traffic) term. Only relative magnitudes matter: the fusion
 /// builder compares this against the arithmetic a wider dense group adds.
 fn solo_cost(gate: &Gate) -> f64 {
-    /// Estimated cost of streaming the state through the cache hierarchy
-    /// once, relative to one complex multiply-add per amplitude.
-    const PASS: f64 = 2.0;
     use hisvsim_circuit::GateKind::*;
     match (&gate.kind, gate.arity()) {
         (I, _) => 0.0,
@@ -664,6 +840,59 @@ fn solo_cost(gate: &Gate) -> f64 {
         (_, 2) => PASS + 4.0,
         (_, k) => PASS + (1u64 << k) as f64,
     }
+}
+
+/// Fold `gate` (diagonal) into a run's factor list: coalesce into the
+/// youngest factor while its qubit union stays small (bounded arithmetic
+/// per amplitude), otherwise open a new factor. Shared by the window
+/// scanner's open diagonal runs and the DAG grouper's emitted runs.
+fn absorb_diagonal_gate(factors: &mut Vec<DiagonalFactor>, gate: &Gate) {
+    let matrix = gate.matrix();
+    let cap = MAX_STACK_KERNEL_QUBITS.max(gate.arity());
+    let coalesced = match factors.last_mut() {
+        Some(last) => {
+            let extra = gate
+                .qubits
+                .iter()
+                .filter(|q| !last.qubits.contains(q))
+                .count();
+            if last.qubits.len() + extra <= cap {
+                last.absorb(&gate.qubits, &matrix);
+                true
+            } else {
+                false
+            }
+        }
+        None => false,
+    };
+    if !coalesced {
+        factors.push(DiagonalFactor::from_gate(&gate.qubits, &matrix));
+    }
+}
+
+/// Emit a dense group as a fused op: a lone gate keeps its specialised
+/// fast path ([`FusedOp::Solo`]), multi-gate groups multiply into one
+/// matrix. Shared by both fusion strategies.
+fn emit_dense_group(
+    circuit: &Circuit,
+    indices: Vec<usize>,
+    qubits: Vec<Qubit>,
+    ops: &mut Vec<FusedOp>,
+) {
+    if indices.len() == 1 {
+        // A lone gate gains nothing from the dense-matrix form and would
+        // lose its fast path (SWAP/CX/controlled); keep it as written.
+        let gate = &circuit.gates()[indices[0]];
+        let matrix = crate::kernels::uses_dense_matrix(gate).then(|| gate.matrix());
+        ops.push(FusedOp::Solo(gate.clone(), matrix));
+        return;
+    }
+    let matrix = build_group_matrix(circuit, &indices, &qubits);
+    ops.push(FusedOp::Dense(FusedGate {
+        qubits,
+        matrix,
+        fused_count: indices.len(),
+    }));
 }
 
 /// How many groups stay open at once. Bounds the commutation scan and the
@@ -797,29 +1026,7 @@ impl Builder<'_> {
                 qubits,
             } => {
                 debug_assert!(diagonal);
-                let matrix = gate.matrix();
-                // Coalesce into the youngest factor while its qubit union
-                // stays small (bounded arithmetic per amplitude).
-                let cap = MAX_STACK_KERNEL_QUBITS.max(gate.arity());
-                let coalesced = match factors.last_mut() {
-                    Some(last) => {
-                        let extra = gate
-                            .qubits
-                            .iter()
-                            .filter(|q| !last.qubits.contains(q))
-                            .count();
-                        if last.qubits.len() + extra <= cap {
-                            last.absorb(&gate.qubits, &matrix);
-                            true
-                        } else {
-                            false
-                        }
-                    }
-                    None => false,
-                };
-                if !coalesced {
-                    factors.push(DiagonalFactor::from_gate(&gate.qubits, &matrix));
-                }
+                absorb_diagonal_gate(factors, gate);
                 *count += 1;
                 for &q in &gate.qubits {
                     if !qubits.contains(&q) {
@@ -834,21 +1041,7 @@ impl Builder<'_> {
     fn emit(&mut self, group: Pending) {
         match group {
             Pending::Dense { indices, qubits } => {
-                if indices.len() == 1 {
-                    // A lone gate gains nothing from the dense-matrix form
-                    // and would lose its fast path (SWAP/CX/controlled);
-                    // keep it as written.
-                    let gate = &self.circuit.gates()[indices[0]];
-                    let matrix = crate::kernels::uses_dense_matrix(gate).then(|| gate.matrix());
-                    self.ops.push(FusedOp::Solo(gate.clone(), matrix));
-                    return;
-                }
-                let matrix = build_group_matrix(self.circuit, &indices, &qubits);
-                self.ops.push(FusedOp::Dense(FusedGate {
-                    qubits,
-                    matrix,
-                    fused_count: indices.len(),
-                }));
+                emit_dense_group(self.circuit, indices, qubits, &mut self.ops);
             }
             Pending::Diag { factors, count, .. } => {
                 self.ops.push(FusedOp::Diagonal {
@@ -1071,6 +1264,95 @@ mod tests {
         let mut state = StateVector::zero_state(5);
         fused.apply_mapped(&mut state, &map, &ApplyOptions::sequential());
         assert!(state.approx_eq(&expected, 1e-10));
+    }
+
+    // -- DAG-driven fusion --------------------------------------------------
+
+    #[test]
+    fn dag_fusion_matches_unfused_across_suite_and_widths() {
+        for name in generators::FAMILY_NAMES {
+            let circuit = generators::by_name(name, 8);
+            let expected = run_circuit(&circuit);
+            for width in [1usize, 2, 3, 5] {
+                let fused = FusedCircuit::with_strategy(&circuit, width, FusionStrategy::Dag);
+                assert_eq!(fused.strategy(), FusionStrategy::Dag);
+                let total: usize = fused.ops().iter().map(|op| op.fused_count()).sum();
+                assert_eq!(total, circuit.num_gates(), "{name}: gates lost");
+                for opts in [ApplyOptions::sequential(), ApplyOptions::default()] {
+                    let got = fused.run(&opts);
+                    assert!(
+                        got.approx_eq(&expected, 1e-9),
+                        "{name} dag-fused at width {width} diverges (max diff {})",
+                        got.max_abs_diff(&expected)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dag_fusion_random_interleaved_circuits_match() {
+        for seed in 0..8 {
+            let circuit = generators::random_circuit(7, 90, seed);
+            let expected = run_circuit(&circuit);
+            for width in [2usize, 3, 4] {
+                let got = FusedCircuit::with_strategy(&circuit, width, FusionStrategy::Dag)
+                    .run(&ApplyOptions::sequential());
+                assert!(
+                    got.approx_eq(&expected, 1e-9),
+                    "seed {seed} width {width}: max diff {}",
+                    got.max_abs_diff(&expected)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dag_fusion_needs_fewer_sweeps_on_interleaved_circuits() {
+        // The gap the DAG strategy exists to close: on deep interleaved
+        // circuits the bounded window strands mergeable gates in separate
+        // groups, the dependency frontier does not.
+        let circuit = generators::random_circuit(16, 400, 0x5EED);
+        let window = FusedCircuit::new(&circuit, 3);
+        let dag = FusedCircuit::with_strategy(&circuit, 3, FusionStrategy::Dag);
+        assert!(
+            dag.num_ops() < window.num_ops(),
+            "dag {} ops vs window {} ops",
+            dag.num_ops(),
+            window.num_ops()
+        );
+    }
+
+    #[test]
+    fn auto_keeps_window_on_layered_circuits_and_resolves_deterministically() {
+        // The QFT fuses densely under the window already; Auto must keep it.
+        let qft = generators::by_name("qft", 10);
+        let auto = FusedCircuit::with_strategy(&qft, 3, FusionStrategy::Auto);
+        assert_eq!(auto.strategy(), FusionStrategy::Window);
+
+        // Auto is deterministic and always matches the reference.
+        let circuit = generators::random_circuit(8, 120, 3);
+        let a = FusedCircuit::with_strategy(&circuit, 3, FusionStrategy::Auto);
+        let b = FusedCircuit::with_strategy(&circuit, 3, FusionStrategy::Auto);
+        assert_eq!(a.strategy(), b.strategy());
+        assert_eq!(a.num_ops(), b.num_ops());
+        let expected = run_circuit(&circuit);
+        assert!(a
+            .run(&ApplyOptions::sequential())
+            .approx_eq(&expected, 1e-9));
+    }
+
+    #[test]
+    fn from_dag_reuses_a_prebuilt_dag() {
+        let circuit = generators::random_circuit(7, 60, 11);
+        let dag = CircuitDag::from_circuit(&circuit);
+        let via_dag = FusedCircuit::from_dag(&circuit, &dag, 3);
+        let via_strategy = FusedCircuit::with_strategy(&circuit, 3, FusionStrategy::Dag);
+        assert_eq!(via_dag.num_ops(), via_strategy.num_ops());
+        let expected = run_circuit(&circuit);
+        assert!(via_dag
+            .run(&ApplyOptions::sequential())
+            .approx_eq(&expected, 1e-9));
     }
 
     #[test]

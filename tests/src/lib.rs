@@ -1,7 +1,15 @@
-//! Shared helpers for the cross-crate integration tests.
+//! Shared helpers for the cross-crate integration tests, including the
+//! cross-engine differential harness backing the DAG-fusion work: every
+//! engine × every fusion strategy × fused/flat, checked against the flat
+//! reference and for bitwise run-to-run reproducibility.
 
-use hisvsim_circuit::Circuit;
-use hisvsim_statevec::{run_circuit, StateVector};
+use hisvsim_circuit::{generators, Circuit};
+use hisvsim_core::{
+    BaselineConfig, DistConfig, DistributedSimulator, HierConfig, HierarchicalSimulator,
+    IqsBaseline, MultilevelConfig, MultilevelSimulator,
+};
+use hisvsim_statevec::{run_circuit, FusionStrategy, StateVector};
+use proptest::prelude::*;
 
 /// Tolerance used when comparing engine outputs against the flat reference.
 pub const TOL: f64 = 1e-9;
@@ -27,4 +35,137 @@ pub fn small_suite(width: usize) -> Vec<Circuit> {
         .iter()
         .map(|name| hisvsim_circuit::generators::by_name(name, width))
         .collect()
+}
+
+/// The cross-engine differential harness.
+///
+/// For every `(strategy, width)` combination — width `0` means fusion off
+/// (the flat per-gate execution path) — run the circuit through **all four
+/// engines** (baseline, hier, dist, multilevel) and demand:
+///
+/// 1. **agreement with the flat reference** within [`TOL`] — fusion (either
+///    strategy) reorders commuting floating-point work, so exact equality
+///    with the unfused stream is not defined, but the amplitudes must agree
+///    to reference precision;
+/// 2. **bitwise determinism** — the same engine, width and strategy run
+///    twice produces *bit-identical* amplitudes. This is the property the
+///    plan cache, the SPMD rank bodies, and the process workers (which
+///    re-fuse the shipped partition independently) all build on: fusion is
+///    a pure function, so a DAG-fused job is exactly reproducible anywhere.
+///
+/// Engines run at a limit derived from the circuit (at least the largest
+/// gate arity), with 4 virtual ranks for dist and 2 for multilevel —
+/// circuits need ≥ 6 qubits so every rank keeps a wide-enough local slice.
+pub fn assert_all_engines_bit_identical(
+    circuit: &Circuit,
+    widths: &[usize],
+    strategies: &[FusionStrategy],
+) {
+    let n = circuit.num_qubits();
+    assert!(n >= 6, "harness circuits need ≥ 6 qubits, got {n}");
+    let expected = reference_state(circuit);
+    let arity_floor = circuit.gates().iter().map(|g| g.arity()).max().unwrap_or(1);
+    let limit = (n / 2).max(arity_floor).max(3).min(n);
+
+    for &strategy in strategies {
+        for &width in widths {
+            for engine in ["baseline", "hier", "dist", "multilevel"] {
+                let label = format!(
+                    "{} engine={engine} strategy={} width={width}",
+                    circuit.name,
+                    strategy.name()
+                );
+                let run = |pass: usize| -> StateVector {
+                    match engine {
+                        "baseline" => {
+                            IqsBaseline::new(
+                                BaselineConfig::new(2)
+                                    .with_fusion(width)
+                                    .with_fusion_strategy(strategy),
+                            )
+                            .run(circuit)
+                            .state
+                        }
+                        "hier" => {
+                            HierarchicalSimulator::new(
+                                HierConfig::new(limit)
+                                    .with_fusion(width)
+                                    .with_fusion_strategy(strategy),
+                            )
+                            .run(circuit)
+                            .unwrap_or_else(|e| panic!("{label} (pass {pass}): {e}"))
+                            .state
+                        }
+                        "dist" => {
+                            DistributedSimulator::new(
+                                DistConfig::new(4)
+                                    .with_fusion(width)
+                                    .with_fusion_strategy(strategy),
+                            )
+                            .run(circuit)
+                            .unwrap_or_else(|e| panic!("{label} (pass {pass}): {e}"))
+                            .state
+                        }
+                        "multilevel" => {
+                            MultilevelSimulator::new(
+                                MultilevelConfig::new(2, limit)
+                                    .with_fusion(width)
+                                    .with_fusion_strategy(strategy),
+                            )
+                            .run(circuit)
+                            .unwrap_or_else(|e| panic!("{label} (pass {pass}): {e}"))
+                            .state
+                        }
+                        _ => unreachable!(),
+                    }
+                };
+                let first = run(1);
+                assert_states_match(&label, &first, &expected);
+                let second = run(2);
+                assert_eq!(
+                    first, second,
+                    "{label}: two runs of the identical configuration must be bit-identical"
+                );
+            }
+        }
+    }
+}
+
+/// Build one member of the `random` interleaved family: the benchmark
+/// workload whose mergeable gates are buried far apart in program order
+/// (where window fusion degenerates and DAG fusion must not).
+pub fn random_interleaved(qubits: usize, gates: usize, seed: u64) -> Circuit {
+    generators::random_circuit(qubits, gates, seed)
+}
+
+/// Proptest generator over the `random` interleaved family: deep random
+/// circuits of 6–8 qubits, shrinkable in gate count and seed. Used by the
+/// differential suite as the adversarial input distribution for the
+/// DAG-fusion correctness backstop.
+pub fn prop_random_interleaved() -> impl Strategy<Value = Circuit> {
+    (6usize..9, 20usize..90, any::<u64>())
+        .prop_map(|(qubits, gates, seed)| random_interleaved(qubits, gates, seed))
+}
+
+/// A denser variant biased toward long dependency chains: interleaves a
+/// round-robin entangling layer with random single-qubit rotations, so
+/// every qubit pair's gates are separated by a full register sweep —
+/// maximally hostile to the bounded fusion window.
+pub fn prop_layered_interleaved() -> impl Strategy<Value = Circuit> {
+    (6usize..9, 2usize..6, any::<u64>()).prop_map(|(qubits, rounds, seed)| {
+        let mut circuit = Circuit::named(format!("interleaved{qubits}x{rounds}"), qubits);
+        let mut phase = seed as f64 % 1.0 + 0.1;
+        for round in 0..rounds {
+            for q in 0..qubits {
+                circuit.cx(q, (q + 1 + round % (qubits - 1)) % qubits);
+                circuit.rz(phase, q);
+                phase += 0.37;
+            }
+            for q in 0..qubits {
+                circuit.ry(phase * 0.5, (q * 3) % qubits);
+                circuit.t(q);
+            }
+        }
+        circuit
+    })
 }

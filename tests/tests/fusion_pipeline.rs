@@ -106,6 +106,50 @@ fn warm_plan_cache_results_are_bit_identical_to_cold() {
     }
 }
 
+/// Stale-plan hazard regression: two jobs identical except for their fusion
+/// *strategy* must never share a `PlanCache` entry — a window-fused plan
+/// served to a Dag job (or vice versa) would silently execute the wrong
+/// fused form. Extends the fusion-width cache-key test below to the
+/// strategy axis.
+#[test]
+fn fusion_strategy_is_part_of_the_cache_key() {
+    let scheduler = Scheduler::new(
+        SchedulerConfig::default()
+            .with_workers(2)
+            .with_selector(EngineSelector::scaled(4, 8)),
+    );
+    let circuit = generators::random_circuit(8, 90, 0xD1FF);
+    let expected = run_circuit(&circuit);
+    let job = |strategy| {
+        SimJob::new(circuit.clone())
+            .with_fusion(3)
+            .with_fusion_strategy(strategy)
+    };
+    let batch = scheduler.run_batch(vec![
+        job(hisvsim_runtime::FusionStrategy::Window),
+        job(hisvsim_runtime::FusionStrategy::Dag),
+        job(hisvsim_runtime::FusionStrategy::Window),
+        job(hisvsim_runtime::FusionStrategy::Dag),
+    ]);
+    let hits: Vec<bool> = batch.results.iter().map(|r| r.plan_cache_hit).collect();
+    assert_eq!(
+        hits.iter().filter(|&&h| h).count(),
+        2,
+        "only the repeated (circuit, strategy) pairs may hit: {hits:?}"
+    );
+    // The two strategies planned separately: two misses, two hits.
+    assert_eq!(
+        batch.stats.cache.misses, 2,
+        "strategies must not share an entry"
+    );
+    for result in &batch.results {
+        assert!(result.state.as_ref().unwrap().approx_eq(&expected, 1e-9));
+    }
+    // Same strategy twice ⇒ the very same cached plan ⇒ bit-identical.
+    assert_eq!(batch.results[0].state, batch.results[2].state);
+    assert_eq!(batch.results[1].state, batch.results[3].state);
+}
+
 /// Different fusion widths are distinct cache entries (no cross-width
 /// contamination) and all match the reference.
 #[test]

@@ -284,6 +284,84 @@ fn deadline_fires_mid_run_and_surfaces_deadline_exceeded() {
 }
 
 #[test]
+fn two_hundred_deadlined_jobs_share_one_timer_thread() {
+    // The ROADMAP-named scaling debt: every deadlined job used to park its
+    // own watcher thread until it finalized. The deadline machinery now
+    // owns a single min-heap timer thread, however many deadlines are
+    // armed — and the deadlines must still fire on time.
+    let service = service(1);
+    assert_eq!(
+        service.deadline_timer_threads(),
+        0,
+        "no timer thread before the first armed deadline"
+    );
+
+    // Block the only worker so every deadlined job expires while queued.
+    let blocker = service.submit(long_job());
+    let deadline = Duration::from_millis(200);
+    let armed = Instant::now();
+    let handles: Vec<_> = (0..200)
+        .map(|_| service.submit(SimJob::new(generators::qft(6)).with_deadline(deadline)))
+        .collect();
+    assert_eq!(
+        service.deadline_timer_threads(),
+        1,
+        "200 armed deadlines must share exactly one timer thread"
+    );
+
+    for handle in &handles {
+        match handle.wait() {
+            Err(JobFailure::Failed(message)) => {
+                assert!(
+                    message.starts_with(hisvsim_service::DEADLINE_EXCEEDED),
+                    "expected DeadlineExceeded, got: {message}"
+                );
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+    }
+    // Tolerance: all 200 deadlines fired from one thread without serial
+    // drift — well inside a few seconds of the 200 ms due time.
+    let elapsed = armed.elapsed();
+    assert!(
+        elapsed >= deadline,
+        "deadlines must not fire early ({elapsed:?})"
+    );
+    assert!(
+        elapsed < deadline + Duration::from_secs(10),
+        "deadlines drifted far past due ({elapsed:?})"
+    );
+    let stats = service.stats();
+    assert_eq!(stats.deadline_exceeded, 200);
+    assert_eq!(stats.failed, 200);
+
+    blocker.cancel();
+    let _ = blocker.wait();
+    assert_eq!(service.deadline_timer_threads(), 1);
+    service.shutdown().unwrap();
+}
+
+#[test]
+fn shutdown_returns_promptly_with_far_future_deadlines_armed() {
+    // Regression for the timer-shutdown handshake: a job that finishes
+    // well inside a one-hour deadline leaves an inert entry in the
+    // deadline heap; shutdown must wake the timer thread (no lost-wakeup
+    // window) and join it promptly instead of sleeping out the hour.
+    let service = service(2);
+    let handle =
+        service.submit(SimJob::new(generators::qft(7)).with_deadline(Duration::from_secs(3600)));
+    handle.wait().expect("well within the deadline");
+    assert_eq!(service.deadline_timer_threads(), 1);
+    let start = Instant::now();
+    service.shutdown().unwrap();
+    assert!(
+        start.elapsed() < Duration::from_secs(30),
+        "shutdown must not wait out armed deadlines ({:?})",
+        start.elapsed()
+    );
+}
+
+#[test]
 fn deadline_expires_while_queued_behind_other_work() {
     // One worker, blocked by a long job: the deadlined job's timer fires
     // while it still sits in the queue.

@@ -10,6 +10,28 @@ pub trait Strategy {
 
     /// Draw one value.
     fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transform every generated value with `map` (no shrinking in the
+    /// stub, so this is a plain post-generation map).
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { source: self, map }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    map: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        (self.map)(self.source.generate(rng))
+    }
 }
 
 macro_rules! impl_range_strategy {
