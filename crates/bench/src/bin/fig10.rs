@@ -29,7 +29,7 @@ fn main() {
         .last()
         .unwrap();
         let circuit = entry.circuit();
-        eprintln!("running {} at {} ranks", entry.label, ranks);
+        hisvsim_bench::progress!("running {} at {} ranks", entry.label, ranks);
         let single = run_algorithm(&circuit, ranks, Algorithm::DagP);
         let multi = run_algorithm(&circuit, ranks, Algorithm::MultiLevel);
         let delta = single.total_time_s / multi.total_time_s;

@@ -26,9 +26,11 @@ fn main() {
         } else {
             &small_ranks
         };
-        eprintln!(
+        hisvsim_bench::progress!(
             "sweeping {} ({} qubits) over ranks {:?}",
-            entry.label, entry.qubits, ranks
+            entry.label,
+            entry.qubits,
+            ranks
         );
         records.extend(sweep_entry(entry, ranks));
     }

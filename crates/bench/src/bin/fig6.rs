@@ -16,7 +16,7 @@ use hisvsim_bench::{
 
 fn sweep_or_load() -> Vec<ExperimentRecord> {
     if let Some(records) = load_records("sweep") {
-        eprintln!("(reusing results/sweep.json — delete it to re-measure)");
+        hisvsim_bench::progress!("(reusing results/sweep.json — delete it to re-measure)");
         return records;
     }
     let suite = evaluation_suite();
@@ -28,7 +28,7 @@ fn sweep_or_load() -> Vec<ExperimentRecord> {
         } else {
             &small_ranks
         };
-        eprintln!("sweeping {} over ranks {:?}", entry.label, ranks);
+        hisvsim_bench::progress!("sweeping {} over ranks {:?}", entry.label, ranks);
         records.extend(sweep_entry(entry, ranks));
     }
     save_records("sweep", &records);

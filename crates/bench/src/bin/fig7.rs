@@ -13,7 +13,7 @@ use hisvsim_bench::{
 
 fn sweep_or_load() -> Vec<ExperimentRecord> {
     if let Some(records) = load_records("sweep") {
-        eprintln!("(reusing results/sweep.json — delete it to re-measure)");
+        hisvsim_bench::progress!("(reusing results/sweep.json — delete it to re-measure)");
         return records;
     }
     let suite = evaluation_suite();

@@ -30,11 +30,13 @@
 
 pub mod config;
 pub mod perfstats;
+pub mod progress;
 pub mod runner;
 pub mod tables;
 
 pub use config::{evaluation_suite, rank_sweeps, results_dir, SuiteEntry};
 pub use perfstats::{geometric_mean, performance_profile, ProfileCurve};
+pub use progress::progress;
 pub use runner::{
     improvement_factor, load_records, run_algorithm, save_records, sweep_entry, Algorithm,
     ExperimentRecord,

@@ -1,0 +1,23 @@
+//! Structured progress reporting for the bench binaries.
+//!
+//! Every message is stamped with the process-wide obs clock and mirrored
+//! into the span recorder as an instant event, so a bench run's console
+//! output and its trace (when recording is enabled) share one timeline.
+
+/// Report a progress message: printed to stderr with the obs-clock
+/// timestamp, and recorded as a `bench`/`progress` instant event when the
+/// recorder is enabled. Prefer the [`progress!`](crate::progress!) macro
+/// for formatted messages.
+pub fn progress(msg: &str) {
+    let t = hisvsim_obs::now_us() as f64 / 1e6;
+    eprintln!("[{t:9.3}s] {msg}");
+    hisvsim_obs::instant("bench", "progress", msg);
+}
+
+/// `format!`-style wrapper around [`progress`].
+#[macro_export]
+macro_rules! progress {
+    ($($arg:tt)*) => {
+        $crate::progress(&format!($($arg)*))
+    };
+}

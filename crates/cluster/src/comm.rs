@@ -259,13 +259,16 @@ impl<T: Send + 'static> RankComm<T> for LocalComm<T> {
     }
 
     fn recv(&mut self, from: usize, tag: u64) -> Vec<T> {
+        let span = hisvsim_obs::span("comm", "recv");
         let start = Instant::now();
         let payload = self.recv_inner(from, tag);
         self.stats.wall_time_s += start.elapsed().as_secs_f64();
+        let _span = span.bytes((payload.len() * std::mem::size_of::<T>()) as u64);
         payload
     }
 
     fn barrier(&mut self) {
+        let _span = hisvsim_obs::span("comm", "barrier");
         let start = Instant::now();
         self.barrier.wait();
         self.stats.wall_time_s += start.elapsed().as_secs_f64();
@@ -284,6 +287,8 @@ impl<T: Send + 'static> RankComm<T> for LocalComm<T> {
             self.size,
             "alltoallv needs one send buffer per rank"
         );
+        let send_bytes = send_bufs.iter().map(Vec::len).sum::<usize>() * std::mem::size_of::<T>();
+        let _span = hisvsim_obs::span("comm", "alltoallv").bytes(send_bytes as u64);
         let start = Instant::now();
         let mut recv: Vec<Option<Vec<T>>> = (0..self.size).map(|_| None).collect();
         for (to, buf) in send_bufs.into_iter().enumerate() {

@@ -2,18 +2,21 @@
 //! self-contained multi-process smoke check.
 //!
 //! ```text
-//! hisvsim-net worker <control_addr> <rank>   # spawned by ClusterLauncher
-//! hisvsim-net smoke [qubits] [workers]       # acceptance check (default 20, 4)
+//! hisvsim-net worker <control_addr> <rank>        # spawned by ClusterLauncher
+//! hisvsim-net smoke [qubits] [workers] [--trace <path>]
 //! ```
 //!
 //! `smoke` runs QFT-n under the `hier` and `dist` engines on a localhost
 //! process cluster and demands the assembled amplitudes be **bit-identical**
-//! to the in-process channel-world run of the same shipped plan.
+//! to the in-process channel-world run of the same shipped plan. With
+//! `--trace <path>` the launcher records its own spans, collects every
+//! worker's span buffer over the control channel, and writes one merged
+//! Chrome trace JSON (open in `chrome://tracing` or Perfetto).
 
 use hisvsim_circuit::generators;
 use hisvsim_cluster::NetworkModel;
 use hisvsim_dag::CircuitDag;
-use hisvsim_net::{execute_local_reference, ClusterLauncher, ShippedJob};
+use hisvsim_net::{execute_local_reference, ClusterLauncher, RankSummary, ShippedJob};
 use hisvsim_partition::Strategy;
 use hisvsim_runtime::{EngineKind, PersistedPlan};
 use hisvsim_statevec::{FusionStrategy, DEFAULT_FUSION_WIDTH};
@@ -43,15 +46,31 @@ fn main() -> ExitCode {
             }
         }
         Some("smoke") => {
-            let qubits: usize = args
-                .get(2)
+            let mut positional = Vec::new();
+            let mut trace_path: Option<String> = None;
+            let mut rest = args[2..].iter();
+            while let Some(arg) = rest.next() {
+                if arg == "--trace" {
+                    match rest.next() {
+                        Some(path) => trace_path = Some(path.clone()),
+                        None => {
+                            eprintln!("--trace needs a file path");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                } else {
+                    positional.push(arg.clone());
+                }
+            }
+            let qubits: usize = positional
+                .first()
                 .map(|s| s.parse().expect("qubits must be an integer"))
                 .unwrap_or(20);
-            let workers: usize = args
-                .get(3)
+            let workers: usize = positional
+                .get(1)
                 .map(|s| s.parse().expect("workers must be an integer"))
                 .unwrap_or(4);
-            smoke(qubits, workers)
+            smoke(qubits, workers, trace_path.as_deref())
         }
         _ => {
             eprintln!("usage: hisvsim-net <worker|smoke> ...");
@@ -62,8 +81,14 @@ fn main() -> ExitCode {
 
 /// Launch `workers` processes on localhost, run QFT-`qubits` under the
 /// hier and dist engines, and verify bit-identical amplitudes against the
-/// in-process reference run of the identical shipped plan.
-fn smoke(qubits: usize, workers: usize) -> ExitCode {
+/// in-process reference run of the identical shipped plan. Prints a
+/// per-rank comm-stats table for every run; with `trace_path`, also writes
+/// a merged launcher+workers Chrome trace and validates its contents.
+fn smoke(qubits: usize, workers: usize, trace_path: Option<&str>) -> ExitCode {
+    let tracing = trace_path.is_some();
+    if tracing {
+        hisvsim_obs::set_enabled(true);
+    }
     let network = NetworkModel::hdr100();
     let launcher =
         ClusterLauncher::with_worker_binary(workers, std::env::current_exe().expect("current exe"))
@@ -83,17 +108,22 @@ fn smoke(qubits: usize, workers: usize) -> ExitCode {
         // Both fusion strategies are exercised: workers re-fuse the shipped
         // partition with the shipped strategy, and both must reproduce the
         // in-process run bit for bit.
-        let partition = Strategy::DagP
-            .partition(&dag, local_qubits)
-            .expect("partitioning QFT cannot fail at the local-qubit limit");
+        let partition = {
+            let _plan = hisvsim_obs::span("job", "plan")
+                .detail(format!("qft-{qubits} into {workers} parts"));
+            Strategy::DagP
+                .partition(&dag, local_qubits)
+                .expect("partitioning QFT cannot fail at the local-qubit limit")
+        };
         let job = ShippedJob {
             engine,
             circuit: circuit.clone(),
             fusion: DEFAULT_FUSION_WIDTH,
             strategy,
             plan: Some(PersistedPlan::Single(partition)),
+            trace: tracing,
         };
-        let (state, report) = match launcher.execute(&job) {
+        let (state, report, ranks) = match launcher.execute_detailed(&job, network) {
             Ok(result) => result,
             Err(e) => {
                 eprintln!("smoke: {engine} process run failed: {e}");
@@ -123,7 +153,66 @@ fn smoke(qubits: usize, workers: usize) -> ExitCode {
             report.comm.bytes_sent as f64 / (1024.0 * 1024.0),
             report.total_time_s,
         );
+        print_rank_table(&ranks);
+    }
+    if let Some(path) = trace_path {
+        let spans = hisvsim_obs::drain();
+        if let Err(msg) = validate_cluster_spans(&spans, workers) {
+            eprintln!("smoke: trace validation failed: {msg}");
+            return ExitCode::FAILURE;
+        }
+        let json = hisvsim_obs::chrome_trace_json(&spans);
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("smoke: cannot write trace to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "smoke: wrote merged trace ({} spans, launcher + {workers} worker ranks) to {path}",
+            spans.len()
+        );
     }
     println!("smoke: OK");
     ExitCode::SUCCESS
+}
+
+/// Per-rank comm-stats summary of one process-cluster run.
+fn print_rank_table(ranks: &[RankSummary]) {
+    println!(
+        "  {:>4}  {:>10}  {:>11}  {:>10}  {:>9}  {:>9}",
+        "rank", "compute_s", "comm_wall_s", "sent_MiB", "messages", "exchanges"
+    );
+    for r in ranks {
+        println!(
+            "  {:>4}  {:>10.3}  {:>11.3}  {:>10.1}  {:>9}  {:>9}",
+            r.rank,
+            r.compute_time_s,
+            r.comm.wall_time_s,
+            r.comm.bytes_sent as f64 / (1024.0 * 1024.0),
+            r.comm.messages_sent,
+            r.exchanges,
+        );
+    }
+}
+
+/// Check the merged span set covers the whole cluster: launcher spans on
+/// pid 0, at least one span from every worker rank (pid = rank + 1), and
+/// the plan/fuse/sweep/collective phases all present.
+fn validate_cluster_spans(spans: &[hisvsim_obs::SpanRecord], workers: usize) -> Result<(), String> {
+    let has = |pred: &dyn Fn(&hisvsim_obs::SpanRecord) -> bool, what: &str| {
+        if spans.iter().any(pred) {
+            Ok(())
+        } else {
+            Err(format!("no {what} span in the merged trace"))
+        }
+    };
+    has(&|s| s.cat == "cluster" && s.pid == 0, "launcher (cluster)")?;
+    for rank in 0..workers {
+        let pid = rank as u32 + 1;
+        has(&|s| s.pid == pid, &format!("rank-{rank} (pid {pid})"))?;
+    }
+    has(&|s| s.name == "plan", "plan phase")?;
+    has(&|s| s.name == "fuse", "fuse phase")?;
+    has(&|s| s.name.starts_with("sweep:"), "kernel sweep")?;
+    has(&|s| s.cat == "comm", "collective (comm)")?;
+    Ok(())
 }

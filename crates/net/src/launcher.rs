@@ -185,22 +185,40 @@ impl ClusterLauncher {
         job: &ShippedJob,
         network: NetworkModel,
     ) -> Result<(StateVector, RunReport), NetError> {
+        self.execute_detailed(job, network)
+            .map(|(state, report, _)| (state, report))
+    }
+
+    /// [`ClusterLauncher::execute_with_network`], additionally returning
+    /// the per-rank stats that [`aggregate_outcomes`] would otherwise fold
+    /// away (for the smoke command's per-rank table and any caller that
+    /// wants rank-resolved comm accounting).
+    pub fn execute_detailed(
+        &self,
+        job: &ShippedJob,
+        network: NetworkModel,
+    ) -> Result<(StateVector, RunReport, Vec<RankSummary>), NetError> {
         let start = Instant::now();
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let control_addr = listener.local_addr()?.to_string();
 
         let mut guard = ChildGuard::new();
-        for rank in 0..self.workers {
-            let child = Command::new(&self.worker_bin)
-                .arg("worker")
-                .arg(&control_addr)
-                .arg(rank.to_string())
-                .stdin(Stdio::null())
-                .spawn()?;
-            guard.children.push((rank, child));
+        {
+            let _launch =
+                hisvsim_obs::span("cluster", "launch").detail(format!("{} workers", self.workers));
+            for rank in 0..self.workers {
+                let child = Command::new(&self.worker_bin)
+                    .arg("worker")
+                    .arg(&control_addr)
+                    .arg(rank.to_string())
+                    .stdin(Stdio::null())
+                    .spawn()?;
+                guard.children.push((rank, child));
+            }
         }
 
         // Rendezvous: collect every worker's hello (rank + data address).
+        let rendezvous = hisvsim_obs::span("cluster", "rendezvous");
         let deadline = Instant::now() + self.handshake_timeout;
         let mut controls: Vec<Option<(TcpStream, String)>> =
             (0..self.workers).map(|_| None).collect();
@@ -221,26 +239,32 @@ impl ClusterLauncher {
             .map(|c| c.expect("all checked in"))
             .collect();
         let peers: Vec<String> = controls.iter().map(|(_, addr)| addr.clone()).collect();
+        drop(rendezvous);
 
         // Ship the job (plan partitions + circuit; workers re-fuse locally).
-        for (rank, (stream, _)) in controls.iter_mut().enumerate() {
-            send_json(
-                stream,
-                &LaunchSpec {
-                    rank,
-                    size: self.workers,
-                    peers: peers.clone(),
-                    network,
-                    job: job.clone(),
-                },
-            )?;
+        {
+            let _ship = hisvsim_obs::span("cluster", "ship");
+            for (rank, (stream, _)) in controls.iter_mut().enumerate() {
+                send_json(
+                    stream,
+                    &LaunchSpec {
+                        rank,
+                        size: self.workers,
+                        peers: peers.clone(),
+                        network,
+                        job: job.clone(),
+                    },
+                )?;
+            }
         }
 
         // Gather per-rank reports and identity-layout slices. Before each
         // blocking read, wait for readability while polling worker
         // liveness — a crashed worker fails the gather promptly instead of
         // wedging the launcher on a stream that will never produce bytes.
+        let gather = hisvsim_obs::span("cluster", "gather");
         let mut outcomes = Vec::with_capacity(self.workers);
+        let mut summaries = Vec::with_capacity(self.workers);
         for (rank, (stream, _)) in controls.iter_mut().enumerate() {
             await_readable(stream, &mut guard)?;
             let report: RankReport = recv_json(stream)?;
@@ -264,6 +288,18 @@ impl ClusterLauncher {
                     local.len()
                 )));
             }
+            // Splice the worker's spans into the launcher's timeline, one
+            // process lane per rank (`pid = rank + 1`; the launcher is 0).
+            for mut span in report.spans {
+                span.pid = rank as u32 + 1;
+                hisvsim_obs::record(span);
+            }
+            summaries.push(RankSummary {
+                rank,
+                compute_time_s: report.compute_time_s,
+                comm: report.comm,
+                exchanges: report.exchanges,
+            });
             outcomes.push(RankOutcome {
                 rank,
                 compute_time_s: report.compute_time_s,
@@ -273,6 +309,7 @@ impl ClusterLauncher {
             });
         }
         guard.wait_all()?;
+        drop(gather);
 
         let wall = start.elapsed().as_secs_f64();
         let (state, report) = aggregate_outcomes(
@@ -283,8 +320,22 @@ impl ClusterLauncher {
             outcomes,
             wall,
         );
-        Ok((state, report))
+        Ok((state, report, summaries))
     }
+}
+
+/// Per-rank stats extracted from a worker's [`RankReport`], before
+/// [`aggregate_outcomes`] folds them into one [`RunReport`].
+#[derive(Debug, Clone)]
+pub struct RankSummary {
+    /// The reporting rank.
+    pub rank: usize,
+    /// Wall-clock seconds the rank spent applying gates.
+    pub compute_time_s: f64,
+    /// The rank's communication statistics.
+    pub comm: hisvsim_cluster::CommStats,
+    /// Number of state redistributions the rank participated in.
+    pub exchanges: usize,
 }
 
 /// Block until `stream` has readable bytes (or EOF), polling worker
@@ -390,6 +441,7 @@ impl ProcessBackend for ClusterLauncher {
             fusion: request.fusion,
             strategy: request.strategy,
             plan: request.plan,
+            trace: hisvsim_obs::enabled(),
         };
         self.execute_with_network(&job, request.network)
             .map(|(state, mut report)| {

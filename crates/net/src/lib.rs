@@ -35,7 +35,9 @@ pub mod tcp;
 pub mod wire;
 pub mod worker;
 
-pub use launcher::{execute_local_reference, find_worker_binary, ClusterLauncher, NetError};
+pub use launcher::{
+    execute_local_reference, find_worker_binary, ClusterLauncher, NetError, RankSummary,
+};
 pub use proto::{LaunchSpec, RankReport, ShippedJob, WorkerHello};
 pub use tcp::{tcp_world, TcpComm};
 pub use wire::WireItem;

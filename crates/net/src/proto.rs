@@ -9,6 +9,7 @@
 
 use hisvsim_circuit::Circuit;
 use hisvsim_cluster::{CommStats, NetworkModel};
+use hisvsim_obs::SpanRecord;
 use hisvsim_runtime::{EngineKind, FusionStrategy, PersistedPlan};
 use serde::{Deserialize, Serialize};
 
@@ -37,6 +38,11 @@ pub struct ShippedJob {
     /// The partition to execute ([`PersistedPlan::Single`] for hier/dist,
     /// [`PersistedPlan::Two`] for multilevel, `None` for baseline).
     pub plan: Option<PersistedPlan>,
+    /// When true, workers enable their span recorder and ship the buffered
+    /// spans back in [`RankReport::spans`], so the launcher can merge every
+    /// rank into one timeline. (The launcher and workers are the same
+    /// binary, so this wire-shape change never meets an older peer.)
+    pub trace: bool,
 }
 
 impl ShippedJob {
@@ -91,4 +97,8 @@ pub struct RankReport {
     pub exchanges: usize,
     /// Amplitudes in the raw frame that follows.
     pub amp_count: usize,
+    /// This rank's buffered trace spans (empty unless
+    /// [`ShippedJob::trace`] was set). `pid`/`tid` are worker-local; the
+    /// launcher re-lanes them to `pid = rank + 1` when merging.
+    pub spans: Vec<SpanRecord>,
 }

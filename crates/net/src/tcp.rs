@@ -259,9 +259,11 @@ impl<T: WireItem> RankComm<T> for TcpComm<T> {
     }
 
     fn recv(&mut self, from: usize, tag: u64) -> Vec<T> {
+        let span = hisvsim_obs::span("comm", "recv");
         let start = Instant::now();
         let payload = self.recv_inner(from, tag);
         self.stats.wall_time_s += start.elapsed().as_secs_f64();
+        let _span = span.bytes((payload.len() * std::mem::size_of::<T>()) as u64);
         payload
     }
 
@@ -272,6 +274,7 @@ impl<T: WireItem> RankComm<T> for TcpComm<T> {
         if self.size == 1 {
             return;
         }
+        let _span = hisvsim_obs::span("comm", "barrier");
         let start = Instant::now();
         let payload_stats = self.stats;
         let tag = BARRIER_NS | self.barrier_epoch;
@@ -314,6 +317,8 @@ impl<T: WireItem> RankComm<T> for TcpComm<T> {
             self.size,
             "alltoallv needs one send buffer per rank"
         );
+        let send_bytes = send_bufs.iter().map(Vec::len).sum::<usize>() * std::mem::size_of::<T>();
+        let _span = hisvsim_obs::span("comm", "alltoallv").bytes(send_bytes as u64);
         let start = Instant::now();
         let mut recv: Vec<Option<Vec<T>>> = (0..self.size).map(|_| None).collect();
         let mut send_bufs: Vec<Option<Vec<T>>> = send_bufs.into_iter().map(Some).collect();

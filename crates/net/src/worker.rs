@@ -46,14 +46,18 @@ pub fn execute_shipped_rank<C: RankComm<Complex64>>(
                     job.plan.as_ref().map(plan_shape)
                 )));
             };
-            let dag = CircuitDag::from_circuit(&job.circuit);
-            let plan = FusedSinglePlan::build_with_strategy(
-                &job.circuit,
-                &dag,
-                partition.clone(),
-                fusion,
-                strategy,
-            );
+            let plan = {
+                let _fuse = hisvsim_obs::span("job", "fuse")
+                    .detail(format!("{} gates, width {fusion}", job.circuit.num_gates()));
+                let dag = CircuitDag::from_circuit(&job.circuit);
+                FusedSinglePlan::build_with_strategy(
+                    &job.circuit,
+                    &dag,
+                    partition.clone(),
+                    fusion,
+                    strategy,
+                )
+            };
             Ok(run_fused_plan_rank(comm, job.circuit.num_qubits(), &plan))
         }
         EngineKind::Multilevel => {
@@ -63,14 +67,18 @@ pub fn execute_shipped_rank<C: RankComm<Complex64>>(
                     job.plan.as_ref().map(plan_shape)
                 )));
             };
-            let dag = CircuitDag::from_circuit(&job.circuit);
-            let plan = FusedTwoLevelPlan::build_with_strategy(
-                &job.circuit,
-                &dag,
-                ml.clone(),
-                fusion,
-                strategy,
-            );
+            let plan = {
+                let _fuse = hisvsim_obs::span("job", "fuse")
+                    .detail(format!("{} gates, width {fusion}", job.circuit.num_gates()));
+                let dag = CircuitDag::from_circuit(&job.circuit);
+                FusedTwoLevelPlan::build_with_strategy(
+                    &job.circuit,
+                    &dag,
+                    ml.clone(),
+                    fusion,
+                    strategy,
+                )
+            };
             Ok(run_two_level_plan_rank(
                 comm,
                 job.circuit.num_qubits(),
@@ -101,9 +109,17 @@ pub fn run_worker(control_addr: &str, rank: usize) -> Result<(), NetError> {
             spec.rank
         )));
     }
+    if spec.job.trace {
+        hisvsim_obs::set_enabled(true);
+    }
     let mut comm =
         TcpComm::<Complex64>::connect_mesh(rank, spec.size, spec.network, listener, &spec.peers)?;
     let outcome = execute_shipped_rank(&spec.job, &mut comm)?;
+    let spans = if spec.job.trace {
+        hisvsim_obs::drain()
+    } else {
+        Vec::new()
+    };
     send_json(
         &mut control,
         &RankReport {
@@ -112,6 +128,7 @@ pub fn run_worker(control_addr: &str, rank: usize) -> Result<(), NetError> {
             comm: outcome.comm,
             exchanges: outcome.exchanges,
             amp_count: outcome.local.len(),
+            spans,
         },
     )?;
     write_frame(

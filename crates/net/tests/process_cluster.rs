@@ -39,6 +39,7 @@ fn single_level_job_with_strategy(
         fusion: DEFAULT_FUSION_WIDTH,
         strategy,
         plan: Some(PersistedPlan::Single(partition)),
+        trace: false,
     }
 }
 
@@ -78,6 +79,7 @@ fn process_baseline_and_multilevel_match_the_flat_simulator() {
         fusion: DEFAULT_FUSION_WIDTH,
         strategy: FusionStrategy::Auto,
         plan: None,
+        trace: false,
     };
     let (state, _) = launcher(workers).execute(&baseline).unwrap();
     let (reference, _) =
@@ -97,6 +99,7 @@ fn process_baseline_and_multilevel_match_the_flat_simulator() {
         fusion: DEFAULT_FUSION_WIDTH,
         strategy: FusionStrategy::Auto,
         plan: Some(PersistedPlan::Two(ml)),
+        trace: false,
     };
     let (state, _) = launcher(workers).execute(&job).unwrap();
     let (reference, _) = execute_local_reference(&job, workers, NetworkModel::hdr100()).unwrap();

@@ -1,0 +1,25 @@
+//! hisvsim-obs: unified observability for the HiSVSIM workspace.
+//!
+//! Two halves:
+//!
+//! - [`trace`]: a low-overhead span/event recorder. Instrumented code calls
+//!   [`span`]/[`instant`]; recording is off by default (a single relaxed
+//!   atomic load per call site) and compiles out entirely without the
+//!   `trace` feature. [`drain`] collects every thread's buffered spans and
+//!   [`chrome_trace_json`] renders them for `chrome://tracing`/Perfetto.
+//!   Worker processes ship their [`SpanRecord`]s back over the cluster
+//!   protocol so a multi-rank run merges into one timeline.
+//!
+//! - [`metrics`]: a process-wide [`Registry`] of counters, gauges, and
+//!   log-scale histograms with Prometheus text exposition
+//!   ([`Registry::render`]) and a strict format checker
+//!   ([`validate_prometheus`]) used by the test suite and CI.
+
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{validate_prometheus, Counter, Gauge, Histogram, Registry, BUCKET_BOUNDS};
+pub use trace::{
+    chrome_trace_json, drain, dropped, enabled, instant, now_us, record, set_enabled, span,
+    SpanGuard, SpanRecord,
+};

@@ -1,0 +1,487 @@
+//! Unified metrics registry with Prometheus text exposition.
+//!
+//! A [`Registry`] holds named counters, gauges, and fixed-bucket log-scale
+//! histograms. Handles are cheap `Arc` clones safe to update from any
+//! thread; [`Registry::render`] produces the Prometheus text format and
+//! [`validate_prometheus`] is a strict parser used by the test suite to
+//! keep the exposition well-formed.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Histogram bucket upper bounds: `1e-6 * 4^i` for `i = 0..16`, spanning
+/// 1 µs to ~1073 s — wide enough for kernel sweeps and whole-job wall times
+/// with one fixed layout. A `+Inf` bucket is implicit.
+pub const BUCKET_BOUNDS: [f64; 16] = [
+    1e-6,
+    4e-6,
+    1.6e-5,
+    6.4e-5,
+    2.56e-4,
+    1.024e-3,
+    4.096e-3,
+    1.6384e-2,
+    6.5536e-2,
+    2.62144e-1,
+    1.048576,
+    4.194304,
+    16.777216,
+    67.108864,
+    268.435456,
+    1073.741824,
+];
+
+fn f64_add(cell: &AtomicU64, v: f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let next = f64::from_bits(cur) + v;
+        match cell.compare_exchange_weak(cur, next.to_bits(), Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(_) => return,
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
+/// Monotonically increasing counter (f64-valued so it can carry seconds).
+#[derive(Debug, Default)]
+pub struct Counter {
+    bits: AtomicU64,
+}
+
+impl Counter {
+    /// Increment by 1.
+    pub fn inc(&self) {
+        self.add(1.0);
+    }
+
+    /// Increment by `v` (must be non-negative to keep the series monotone).
+    pub fn add(&self, v: f64) {
+        f64_add(&self.bits, v);
+    }
+
+    /// Overwrite the value. Intended for syncing from an external monotonic
+    /// source (e.g. an `AtomicU64` kept by older code) at scrape time.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Instantaneous value that can go up and down.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Set the current value.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Histogram with the fixed log-scale [`BUCKET_BOUNDS`] layout.
+#[derive(Debug)]
+pub struct Histogram {
+    /// One count per bound, plus a final `+Inf` slot.
+    buckets: [AtomicU64; BUCKET_BOUNDS.len() + 1],
+    sum_bits: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_bits: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one observation.
+    pub fn observe(&self, v: f64) {
+        let idx = BUCKET_BOUNDS
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(BUCKET_BOUNDS.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        f64_add(&self.sum_bits, v);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+struct Entry {
+    help: String,
+    metric: Metric,
+}
+
+/// A shared, thread-safe collection of named metrics.
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Arc<Mutex<BTreeMap<String, Entry>>>,
+}
+
+impl Registry {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or create the counter `name`. Panics if `name` is already
+    /// registered as a different metric type.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        let mut map = self.inner.lock().unwrap();
+        let entry = map.entry(name.to_string()).or_insert_with(|| Entry {
+            help: help.to_string(),
+            metric: Metric::Counter(Arc::new(Counter::default())),
+        });
+        match &entry.metric {
+            Metric::Counter(c) => Arc::clone(c),
+            _ => panic!("metric `{name}` already registered with a different type"),
+        }
+    }
+
+    /// Get or create the gauge `name`.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        let mut map = self.inner.lock().unwrap();
+        let entry = map.entry(name.to_string()).or_insert_with(|| Entry {
+            help: help.to_string(),
+            metric: Metric::Gauge(Arc::new(Gauge::default())),
+        });
+        match &entry.metric {
+            Metric::Gauge(g) => Arc::clone(g),
+            _ => panic!("metric `{name}` already registered with a different type"),
+        }
+    }
+
+    /// Get or create the histogram `name`.
+    pub fn histogram(&self, name: &str, help: &str) -> Arc<Histogram> {
+        let mut map = self.inner.lock().unwrap();
+        let entry = map.entry(name.to_string()).or_insert_with(|| Entry {
+            help: help.to_string(),
+            metric: Metric::Histogram(Arc::new(Histogram::default())),
+        });
+        match &entry.metric {
+            Metric::Histogram(h) => Arc::clone(h),
+            _ => panic!("metric `{name}` already registered with a different type"),
+        }
+    }
+
+    /// Render every registered metric in Prometheus text exposition format,
+    /// sorted by metric name.
+    pub fn render(&self) -> String {
+        let map = self.inner.lock().unwrap();
+        let mut out = String::new();
+        for (name, entry) in map.iter() {
+            let kind = match &entry.metric {
+                Metric::Counter(_) => "counter",
+                Metric::Gauge(_) => "gauge",
+                Metric::Histogram(_) => "histogram",
+            };
+            out.push_str(&format!("# HELP {name} {}\n", entry.help));
+            out.push_str(&format!("# TYPE {name} {kind}\n"));
+            match &entry.metric {
+                Metric::Counter(c) => {
+                    out.push_str(&format!("{name} {}\n", fmt_value(c.get())));
+                }
+                Metric::Gauge(g) => {
+                    out.push_str(&format!("{name} {}\n", fmt_value(g.get())));
+                }
+                Metric::Histogram(h) => {
+                    let mut cumulative = 0u64;
+                    for (i, bound) in BUCKET_BOUNDS.iter().enumerate() {
+                        cumulative += h.buckets[i].load(Ordering::Relaxed);
+                        out.push_str(&format!(
+                            "{name}_bucket{{le=\"{}\"}} {cumulative}\n",
+                            fmt_value(*bound)
+                        ));
+                    }
+                    cumulative += h.buckets[BUCKET_BOUNDS.len()].load(Ordering::Relaxed);
+                    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {cumulative}\n"));
+                    out.push_str(&format!("{name}_sum {}\n", fmt_value(h.sum())));
+                    out.push_str(&format!("{name}_count {}\n", h.count()));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Format a value the way Prometheus clients conventionally do: integers
+/// without a fractional part, floats with enough digits to round-trip.
+fn fmt_value(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        let mut s = format!("{v}");
+        if !s.contains('.') && !s.contains('e') && !s.contains("inf") && !s.contains("NaN") {
+            s.push_str(".0");
+        }
+        s
+    }
+}
+
+/// Strictly validate a Prometheus text exposition. Checks:
+/// - every `# HELP` is followed by a matching `# TYPE` for the same metric;
+/// - each metric has HELP/TYPE exactly once;
+/// - every sample line belongs to the most recently declared metric
+///   (histograms may append `_bucket`/`_sum`/`_count`);
+/// - no duplicate series (same name + label set);
+/// - histogram buckets have strictly increasing `le` bounds, cumulative
+///   non-decreasing counts, a terminal `+Inf` bucket whose count equals
+///   `_count`, and both `_sum` and `_count` samples.
+pub fn validate_prometheus(text: &str) -> Result<(), String> {
+    let mut declared: BTreeMap<String, String> = BTreeMap::new(); // name -> type
+    let mut help_seen: BTreeMap<String, bool> = BTreeMap::new();
+    let mut series_seen: Vec<String> = Vec::new();
+    let mut current: Option<(String, String)> = None; // (name, type)
+
+    // Per-histogram running state.
+    let mut hist_prev_le: f64 = f64::NEG_INFINITY;
+    let mut hist_prev_count: u64 = 0;
+    let mut hist_inf_count: Option<u64> = None;
+    let mut hist_sum_seen = false;
+    let mut hist_count_val: Option<u64> = None;
+
+    let finish_histogram = |name: &str,
+                            inf: &Option<u64>,
+                            sum_seen: bool,
+                            count_val: &Option<u64>|
+     -> Result<(), String> {
+        if inf.is_none() {
+            return Err(format!("histogram `{name}` missing +Inf bucket"));
+        }
+        if !sum_seen {
+            return Err(format!("histogram `{name}` missing _sum"));
+        }
+        match count_val {
+            None => return Err(format!("histogram `{name}` missing _count")),
+            Some(c) => {
+                if Some(*c) != *inf {
+                    return Err(format!(
+                        "histogram `{name}` _count {c} != +Inf bucket {}",
+                        inf.unwrap()
+                    ));
+                }
+            }
+        }
+        Ok(())
+    };
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: String| Err(format!("line {}: {msg}", lineno + 1));
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split_whitespace().next().unwrap_or("").to_string();
+            if name.is_empty() {
+                return err("HELP with no metric name".into());
+            }
+            if help_seen.contains_key(&name) {
+                return err(format!("duplicate HELP for `{name}`"));
+            }
+            help_seen.insert(name, true);
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().unwrap_or("").to_string();
+            let kind = parts.next().unwrap_or("").to_string();
+            if !matches!(kind.as_str(), "counter" | "gauge" | "histogram") {
+                return err(format!("unknown metric type `{kind}`"));
+            }
+            if !help_seen.contains_key(&name) {
+                return err(format!("TYPE for `{name}` without preceding HELP"));
+            }
+            if declared.contains_key(&name) {
+                return err(format!("duplicate TYPE for `{name}`"));
+            }
+            // Close out the previous histogram, if any.
+            if let Some((prev_name, prev_kind)) = &current {
+                if prev_kind == "histogram" {
+                    finish_histogram(prev_name, &hist_inf_count, hist_sum_seen, &hist_count_val)?;
+                }
+            }
+            declared.insert(name.clone(), kind.clone());
+            current = Some((name, kind));
+            hist_prev_le = f64::NEG_INFINITY;
+            hist_prev_count = 0;
+            hist_inf_count = None;
+            hist_sum_seen = false;
+            hist_count_val = None;
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // other comments are legal
+        }
+
+        // Sample line: `name{labels} value` or `name value`.
+        let (series, value_str) = match line.rsplit_once(' ') {
+            Some(x) => x,
+            None => return err("sample line without a value".into()),
+        };
+        let series = series.trim();
+        let base = series.split('{').next().unwrap_or("").to_string();
+        let (name, kind) = match &current {
+            Some(c) => c.clone(),
+            None => return err(format!("sample `{base}` before any TYPE")),
+        };
+        if series_seen.contains(&series.to_string()) {
+            return err(format!("duplicate series `{series}`"));
+        }
+        series_seen.push(series.to_string());
+
+        let value: f64 = match value_str.trim() {
+            "+Inf" => f64::INFINITY,
+            v => v
+                .parse()
+                .map_err(|_| format!("line {}: bad value `{v}`", lineno + 1))?,
+        };
+
+        if kind == "histogram" {
+            if base == format!("{name}_bucket") {
+                let le_str = series
+                    .split("le=\"")
+                    .nth(1)
+                    .and_then(|s| s.split('"').next())
+                    .ok_or_else(|| format!("line {}: bucket without le label", lineno + 1))?;
+                let le = if le_str == "+Inf" {
+                    f64::INFINITY
+                } else {
+                    le_str
+                        .parse()
+                        .map_err(|_| format!("line {}: bad le `{le_str}`", lineno + 1))?
+                };
+                if le <= hist_prev_le {
+                    return err(format!("non-increasing bucket bound {le_str}"));
+                }
+                let count = value as u64;
+                if count < hist_prev_count {
+                    return err(format!("non-monotone bucket count {count}"));
+                }
+                hist_prev_le = le;
+                hist_prev_count = count;
+                if le.is_infinite() {
+                    hist_inf_count = Some(count);
+                }
+            } else if base == format!("{name}_sum") {
+                hist_sum_seen = true;
+            } else if base == format!("{name}_count") {
+                hist_count_val = Some(value as u64);
+            } else {
+                return err(format!(
+                    "sample `{base}` does not belong to histogram `{name}`"
+                ));
+            }
+        } else if base != *name {
+            return err(format!(
+                "sample `{base}` does not belong to metric `{name}`"
+            ));
+        } else if kind == "counter" && value < 0.0 {
+            return err(format!("negative counter value {value}"));
+        }
+    }
+
+    if let Some((prev_name, prev_kind)) = &current {
+        if prev_kind == "histogram" {
+            finish_histogram(prev_name, &hist_inf_count, hist_sum_seen, &hist_count_val)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_histograms_render_and_validate() {
+        let reg = Registry::new();
+        let c = reg.counter("test_ops_total", "total ops");
+        c.inc();
+        c.add(4.0);
+        let g = reg.gauge("test_depth", "queue depth");
+        g.set(3.0);
+        let h = reg.histogram("test_latency_seconds", "latency");
+        h.observe(5e-7); // below first bound
+        h.observe(0.01);
+        h.observe(5000.0); // beyond last bound -> +Inf
+        let text = reg.render();
+        validate_prometheus(&text).expect("valid exposition");
+        assert!(text.contains("test_ops_total 5\n"));
+        assert!(text.contains("test_depth 3\n"));
+        assert!(text.contains("test_latency_seconds_count 3\n"));
+        assert!(text.contains("le=\"+Inf\"} 3\n"));
+        assert_eq!(c.get(), 5.0);
+        assert_eq!(h.count(), 3);
+        assert!((h.sum() - 5000.0100005).abs() < 1e-6);
+    }
+
+    #[test]
+    fn handles_are_idempotent_and_shared() {
+        let reg = Registry::new();
+        let a = reg.counter("same_total", "x");
+        let b = reg.counter("same_total", "x");
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2.0);
+    }
+
+    #[test]
+    fn validator_rejects_malformed_expositions() {
+        // Sample before any metadata.
+        assert!(validate_prometheus("foo 1\n").is_err());
+        // TYPE without HELP.
+        assert!(validate_prometheus("# TYPE foo counter\nfoo 1\n").is_err());
+        // Duplicate series.
+        let dup = "# HELP foo x\n# TYPE foo counter\nfoo 1\nfoo 2\n";
+        assert!(validate_prometheus(dup).is_err());
+        // Histogram without +Inf.
+        let no_inf = "# HELP h x\n# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n";
+        assert!(validate_prometheus(no_inf).is_err());
+        // Non-monotone buckets.
+        let non_mono = "# HELP h x\n# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n";
+        assert!(validate_prometheus(non_mono).is_err());
+        // A correct histogram passes.
+        let ok = "# HELP h x\n# TYPE h histogram\nh_bucket{le=\"1\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 9.5\nh_count 5\n";
+        validate_prometheus(ok).expect("valid");
+    }
+
+    #[test]
+    fn bucket_bounds_are_strictly_increasing() {
+        for w in BUCKET_BOUNDS.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+}

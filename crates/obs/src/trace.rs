@@ -1,0 +1,463 @@
+//! Span/event recorder with Chrome trace-event JSON export.
+//!
+//! The recorder is opt-in at runtime (`set_enabled(true)`) and can be
+//! compiled out entirely by building `hisvsim-obs` without the `trace`
+//! feature, in which case every recording entry point is a no-op and the
+//! only cost left in instrumented code is constructing an inert guard.
+//!
+//! Design notes:
+//! - Timestamps come from a process-wide monotonic epoch (`Instant`), so
+//!   spans recorded on any thread — including rayon workers and SPMD rank
+//!   threads — share one clock and merge into a single timeline.
+//! - Each thread appends to its own fixed-capacity ring buffer; when full,
+//!   the oldest spans are overwritten and a drop counter is bumped. The
+//!   per-thread buffers are registered in a global list so [`drain`] can
+//!   collect everything regardless of which threads are still alive.
+//! - [`SpanRecord`] is a plain serde-derived struct so worker processes can
+//!   ship their buffers back over the wire (`RankReport.spans`) and the
+//!   launcher can splice them into its own timeline under a different `pid`.
+
+use serde::{Deserialize, Serialize};
+
+/// One completed span (or instant event, when `dur_us == 0` and the name is
+/// recorded via [`instant`]). Fields map onto Chrome trace-event keys.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanRecord {
+    /// Event name, e.g. `"plan"`, `"sweep:dense"`, `"alltoallv"`.
+    pub name: String,
+    /// Category, e.g. `"job"`, `"kernel"`, `"comm"`, `"cluster"`.
+    pub cat: String,
+    /// Start timestamp in microseconds since the process trace epoch.
+    pub ts_us: u64,
+    /// Duration in microseconds (0 for instant events).
+    pub dur_us: u64,
+    /// Process lane: 0 for the local process, `rank + 1` for worker ranks.
+    pub pid: u32,
+    /// Thread lane (sequential registration order within a process).
+    pub tid: u32,
+    /// Free-form detail string, shown under `args.detail` in the viewer.
+    pub detail: String,
+    /// Payload size for comm events (0 when not applicable).
+    pub bytes: u64,
+}
+
+impl SpanRecord {
+    /// An instant event at `ts_us` with no duration.
+    pub fn instant(cat: &str, name: &str, ts_us: u64, detail: String) -> Self {
+        SpanRecord {
+            name: name.to_string(),
+            cat: cat.to_string(),
+            ts_us,
+            dur_us: 0,
+            pid: 0,
+            tid: 0,
+            detail,
+            bytes: 0,
+        }
+    }
+}
+
+/// Render spans as a Chrome trace-event JSON document (the
+/// `{"traceEvents": [...]}` object form) suitable for `chrome://tracing`
+/// and Perfetto. Spans with a duration become complete (`"X"`) events;
+/// zero-duration spans become instant (`"i"`) events.
+pub fn chrome_trace_json(spans: &[SpanRecord]) -> String {
+    use serde::Value;
+    let events: Vec<Value> = spans
+        .iter()
+        .map(|s| {
+            let mut fields = vec![
+                ("name".to_string(), Value::Str(s.name.clone())),
+                ("cat".to_string(), Value::Str(s.cat.clone())),
+                ("ts".to_string(), Value::Int(s.ts_us as i128)),
+                ("pid".to_string(), Value::Int(s.pid as i128)),
+                ("tid".to_string(), Value::Int(s.tid as i128)),
+            ];
+            if s.dur_us > 0 {
+                fields.push(("ph".to_string(), Value::Str("X".to_string())));
+                fields.push(("dur".to_string(), Value::Int(s.dur_us as i128)));
+            } else {
+                fields.push(("ph".to_string(), Value::Str("i".to_string())));
+                fields.push(("s".to_string(), Value::Str("t".to_string())));
+            }
+            let mut args = Vec::new();
+            if !s.detail.is_empty() {
+                args.push(("detail".to_string(), Value::Str(s.detail.clone())));
+            }
+            if s.bytes > 0 {
+                args.push(("bytes".to_string(), Value::Int(s.bytes as i128)));
+            }
+            if !args.is_empty() {
+                fields.push(("args".to_string(), Value::Object(args)));
+            }
+            Value::Object(fields)
+        })
+        .collect();
+    let doc = Value::Object(vec![("traceEvents".to_string(), Value::Array(events))]);
+    // The vendored `Value` has no `Serialize` impl of its own; a transparent
+    // newtype bridges it into `serde_json::to_string`.
+    struct Raw(Value);
+    impl serde::Serialize for Raw {
+        fn to_value(&self) -> Value {
+            self.0.clone()
+        }
+    }
+    serde_json::to_string(&Raw(doc)).expect("trace serialisation cannot fail")
+}
+
+#[cfg(feature = "trace")]
+mod imp {
+    use super::SpanRecord;
+    use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+    use std::sync::{Arc, Mutex, OnceLock};
+    use std::time::Instant;
+
+    /// Capacity of each per-thread ring buffer.
+    const RING_CAP: usize = 4096;
+
+    static ENABLED: AtomicBool = AtomicBool::new(false);
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    static NEXT_TID: AtomicU32 = AtomicU32::new(0);
+    static DROPPED: AtomicU64 = AtomicU64::new(0);
+
+    struct Ring {
+        spans: Vec<SpanRecord>,
+        /// Next write position once the ring has wrapped.
+        head: usize,
+        wrapped: bool,
+    }
+
+    impl Ring {
+        fn push(&mut self, span: SpanRecord) {
+            if self.spans.len() < RING_CAP {
+                self.spans.push(span);
+            } else {
+                self.spans[self.head] = span;
+                self.head = (self.head + 1) % RING_CAP;
+                self.wrapped = true;
+                DROPPED.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+
+        fn drain(&mut self) -> Vec<SpanRecord> {
+            let mut out = if self.wrapped {
+                // Restore chronological order: oldest entries start at head.
+                let mut v = Vec::with_capacity(self.spans.len());
+                v.extend_from_slice(&self.spans[self.head..]);
+                v.extend_from_slice(&self.spans[..self.head]);
+                v
+            } else {
+                std::mem::take(&mut self.spans)
+            };
+            self.spans.clear();
+            self.head = 0;
+            self.wrapped = false;
+            out.shrink_to_fit();
+            out
+        }
+    }
+
+    fn registry() -> &'static Mutex<Vec<Arc<Mutex<Ring>>>> {
+        static RINGS: OnceLock<Mutex<Vec<Arc<Mutex<Ring>>>>> = OnceLock::new();
+        RINGS.get_or_init(|| Mutex::new(Vec::new()))
+    }
+
+    thread_local! {
+        static LOCAL: (u32, Arc<Mutex<Ring>>) = {
+            let ring = Arc::new(Mutex::new(Ring {
+                spans: Vec::new(),
+                head: 0,
+                wrapped: false,
+            }));
+            let tid = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+            registry().lock().unwrap().push(Arc::clone(&ring));
+            (tid, ring)
+        };
+    }
+
+    /// Turn recording on or off process-wide. Off by default; the first
+    /// enable pins the trace epoch so timestamps start near zero.
+    pub fn set_enabled(on: bool) {
+        if on {
+            EPOCH.get_or_init(Instant::now);
+        }
+        ENABLED.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether recording is currently enabled.
+    #[inline]
+    pub fn enabled() -> bool {
+        ENABLED.load(Ordering::Relaxed)
+    }
+
+    /// Microseconds since the trace epoch (pinned at first use).
+    #[inline]
+    pub fn now_us() -> u64 {
+        EPOCH.get_or_init(Instant::now).elapsed().as_micros() as u64
+    }
+
+    /// Number of spans lost to ring-buffer overwrites since startup.
+    pub fn dropped() -> u64 {
+        DROPPED.load(Ordering::Relaxed)
+    }
+
+    /// Record a fully-formed span (used to splice in spans from worker
+    /// processes). `tid` is preserved; no-op when recording is disabled.
+    pub fn record(span: SpanRecord) {
+        if !enabled() {
+            return;
+        }
+        LOCAL.with(|(_, ring)| ring.lock().unwrap().push(span));
+    }
+
+    /// Record an instant event on the calling thread.
+    pub fn instant(cat: &str, name: &str, detail: impl Into<String>) {
+        if !enabled() {
+            return;
+        }
+        LOCAL.with(|(tid, ring)| {
+            let mut span = SpanRecord::instant(cat, name, now_us(), detail.into());
+            span.tid = *tid;
+            ring.lock().unwrap().push(span);
+        });
+    }
+
+    /// RAII guard that records a complete span on drop. Created armed only
+    /// if recording was enabled at construction time.
+    pub struct SpanGuard {
+        start_us: u64,
+        name: &'static str,
+        cat: &'static str,
+        detail: String,
+        bytes: u64,
+        armed: bool,
+    }
+
+    impl SpanGuard {
+        /// Attach a detail string shown under `args.detail`.
+        pub fn detail(mut self, detail: impl Into<String>) -> Self {
+            if self.armed {
+                self.detail = detail.into();
+            }
+            self
+        }
+
+        /// Attach a byte count (for comm spans).
+        pub fn bytes(mut self, bytes: u64) -> Self {
+            self.bytes = bytes;
+            self
+        }
+    }
+
+    impl Drop for SpanGuard {
+        fn drop(&mut self) {
+            if !self.armed {
+                return;
+            }
+            let end = now_us();
+            LOCAL.with(|(tid, ring)| {
+                ring.lock().unwrap().push(SpanRecord {
+                    name: self.name.to_string(),
+                    cat: self.cat.to_string(),
+                    ts_us: self.start_us,
+                    dur_us: end.saturating_sub(self.start_us).max(1),
+                    pid: 0,
+                    tid: *tid,
+                    detail: std::mem::take(&mut self.detail),
+                    bytes: self.bytes,
+                });
+            });
+        }
+    }
+
+    /// Open a span; it records itself when the guard drops.
+    #[inline]
+    pub fn span(cat: &'static str, name: &'static str) -> SpanGuard {
+        let armed = enabled();
+        SpanGuard {
+            start_us: if armed { now_us() } else { 0 },
+            name,
+            cat,
+            detail: String::new(),
+            bytes: 0,
+            armed,
+        }
+    }
+
+    /// Collect and clear every thread's buffered spans, sorted by start
+    /// time. Spans from threads that have exited are still collected (their
+    /// rings stay registered).
+    pub fn drain() -> Vec<SpanRecord> {
+        // Touch the local ring so the draining thread is registered too.
+        LOCAL.with(|_| {});
+        let rings: Vec<Arc<Mutex<Ring>>> = registry().lock().unwrap().clone();
+        let mut out = Vec::new();
+        for ring in rings {
+            out.extend(ring.lock().unwrap().drain());
+        }
+        out.sort_by_key(|s| (s.ts_us, s.tid));
+        out
+    }
+}
+
+#[cfg(not(feature = "trace"))]
+mod imp {
+    use super::SpanRecord;
+
+    /// No-op: the `trace` feature is disabled.
+    pub fn set_enabled(_on: bool) {}
+
+    /// Always false without the `trace` feature.
+    #[inline]
+    pub fn enabled() -> bool {
+        false
+    }
+
+    /// Always 0 without the `trace` feature.
+    #[inline]
+    pub fn now_us() -> u64 {
+        0
+    }
+
+    /// Always 0 without the `trace` feature.
+    pub fn dropped() -> u64 {
+        0
+    }
+
+    /// No-op: the span is discarded.
+    pub fn record(_span: SpanRecord) {}
+
+    /// No-op: the event is discarded.
+    pub fn instant(_cat: &str, _name: &str, _detail: impl Into<String>) {}
+
+    /// Inert guard; all builder methods are no-ops.
+    pub struct SpanGuard;
+
+    impl SpanGuard {
+        /// No-op.
+        pub fn detail(self, _detail: impl Into<String>) -> Self {
+            self
+        }
+
+        /// No-op.
+        pub fn bytes(self, _bytes: u64) -> Self {
+            self
+        }
+    }
+
+    /// Returns an inert guard.
+    #[inline]
+    pub fn span(_cat: &'static str, _name: &'static str) -> SpanGuard {
+        SpanGuard
+    }
+
+    /// Always empty without the `trace` feature.
+    pub fn drain() -> Vec<SpanRecord> {
+        Vec::new()
+    }
+}
+
+pub use imp::{drain, dropped, enabled, instant, now_us, record, set_enabled, span, SpanGuard};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn spans_are_recorded_when_enabled() {
+        set_enabled(true);
+        let _ = drain(); // discard anything from sibling tests
+        {
+            let _g = span("test", "outer").detail("d1");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        instant("test", "marker", "m");
+        let spans = drain();
+        set_enabled(false);
+        let outer = spans
+            .iter()
+            .find(|s| s.name == "outer")
+            .expect("outer span");
+        assert_eq!(outer.cat, "test");
+        assert_eq!(outer.detail, "d1");
+        assert!(outer.dur_us >= 1);
+        assert!(spans.iter().any(|s| s.name == "marker" && s.dur_us == 0));
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn disabled_recorder_discards_spans() {
+        set_enabled(false);
+        let _ = drain();
+        {
+            let _g = span("test", "ghost");
+        }
+        instant("test", "ghost2", "");
+        assert!(drain().iter().all(|s| !s.name.starts_with("ghost")));
+    }
+
+    #[cfg(not(feature = "trace"))]
+    #[test]
+    fn feature_off_compiles_to_noops() {
+        set_enabled(true);
+        assert!(!enabled());
+        {
+            let _g = span("test", "never").detail("x").bytes(9);
+        }
+        instant("test", "never2", "y");
+        record(SpanRecord::instant("test", "never3", 0, String::new()));
+        assert!(drain().is_empty());
+        assert_eq!(now_us(), 0);
+        assert_eq!(dropped(), 0);
+    }
+
+    #[test]
+    fn chrome_trace_export_is_well_formed() {
+        let spans = vec![
+            SpanRecord {
+                name: "plan".into(),
+                cat: "job".into(),
+                ts_us: 10,
+                dur_us: 100,
+                pid: 0,
+                tid: 0,
+                detail: "qft-4".into(),
+                bytes: 0,
+            },
+            SpanRecord::instant("bench", "progress", 200, "hello".into()),
+        ];
+        let json = chrome_trace_json(&spans);
+        let v = serde_json::value_from_str(&json).expect("valid JSON");
+        let events = v
+            .get_field("traceEvents")
+            .and_then(|e| e.as_array())
+            .expect("traceEvents array");
+        assert_eq!(events.len(), 2);
+        assert_eq!(
+            events[0].get_field("ph").and_then(|p| p.as_str()),
+            Some("X")
+        );
+        assert_eq!(
+            events[1].get_field("ph").and_then(|p| p.as_str()),
+            Some("i")
+        );
+    }
+
+    #[test]
+    fn span_record_round_trips_through_serde() {
+        let span = SpanRecord {
+            name: "alltoallv".into(),
+            cat: "comm".into(),
+            ts_us: 42,
+            dur_us: 7,
+            pid: 3,
+            tid: 1,
+            detail: "rank 2".into(),
+            bytes: 4096,
+        };
+        let text = serde_json::to_string(&span).unwrap();
+        let back: SpanRecord = serde_json::from_str(&text).unwrap();
+        assert_eq!(span, back);
+    }
+}

@@ -184,6 +184,10 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries evicted by the LRU bound.
     pub evictions: u64,
+    /// Lookups that blocked on another worker's in-flight computation of
+    /// the same key and then observed its result (deduplicated planning
+    /// work; these also count as `hits`).
+    pub inflight_dedups: u64,
     /// Entries currently resident.
     pub entries: usize,
 }
@@ -207,6 +211,7 @@ impl CacheStats {
             warm_hits: self.warm_hits - earlier.warm_hits,
             misses: self.misses - earlier.misses,
             evictions: self.evictions - earlier.evictions,
+            inflight_dedups: self.inflight_dedups - earlier.inflight_dedups,
             entries: self.entries,
         }
     }
@@ -230,6 +235,7 @@ pub struct PlanCache {
     warm_hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    inflight_dedups: AtomicU64,
     tick: AtomicU64,
     capacity: usize,
 }
@@ -286,10 +292,18 @@ impl PlanCache {
             slot
         };
 
-        // The per-key lock serialises computation for this key only.
+        // The per-key lock serialises computation for this key only. A
+        // contended lock here means another worker is planning this exact
+        // key right now — if its result is there once the lock is acquired,
+        // this lookup was an in-flight dedup (a hit that never existed in
+        // the map when the lookup started).
+        let contended = slot.value.try_lock().is_err();
         let mut value = slot.value.lock().expect("plan slot poisoned");
         if let Some(plan) = value.as_ref() {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            if contended {
+                self.inflight_dedups.fetch_add(1, Ordering::Relaxed);
+            }
             return Ok((plan.clone(), PlanSource::Memory));
         }
         match compute() {
@@ -411,6 +425,7 @@ impl PlanCache {
             warm_hits: self.warm_hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            inflight_dedups: self.inflight_dedups.load(Ordering::Relaxed),
             entries: self.map.lock().expect("plan cache poisoned").len(),
         }
     }

@@ -5,6 +5,7 @@ use crate::selector::EngineKind;
 use hisvsim_circuit::{Circuit, Qubit};
 use hisvsim_cluster::CommStats;
 use hisvsim_core::RunReport;
+use hisvsim_obs::SpanRecord;
 use hisvsim_statevec::{FusionStrategy, StateVector};
 use std::collections::BTreeMap;
 use std::time::Duration;
@@ -166,6 +167,10 @@ pub struct JobResult {
     /// Whether the partition plan came from the cache (in-memory hit or a
     /// disk-persisted warm entry) instead of being planned from scratch.
     pub plan_cache_hit: bool,
+    /// Per-phase execution timeline (plan → execute → postprocess),
+    /// recorded by the worker thread on the shared obs clock. Always
+    /// populated, independent of whether the global span recorder is on.
+    pub timeline: Vec<SpanRecord>,
 }
 
 impl JobResult {
@@ -186,5 +191,13 @@ impl JobResult {
     /// (see [`RunReport::comm_ratio`]).
     pub fn comm_ratio(&self) -> f64 {
         self.report.comm_ratio()
+    }
+
+    /// The job's per-phase execution timeline: one span per runner phase
+    /// (`plan`, `execute`, `postprocess`), timestamped on the process-wide
+    /// obs clock so it can be merged with recorder spans and exported via
+    /// [`hisvsim_obs::chrome_trace_json`].
+    pub fn timeline(&self) -> &[SpanRecord] {
+        &self.timeline
     }
 }

@@ -356,17 +356,39 @@ impl JobRunner {
         let fusion = job.fusion.unwrap_or(DEFAULT_FUSION_WIDTH).max(1);
         let strategy = job.fusion_strategy;
 
+        // Each phase is recorded twice on the shared obs clock: into the
+        // global span recorder (when enabled) for whole-process traces, and
+        // explicitly into the job's own timeline, which is always populated
+        // so `JobResult::timeline()` works without the recorder.
+        let mut timeline: Vec<hisvsim_obs::SpanRecord> = Vec::with_capacity(3);
+        let mut phase = |name: &'static str, start_us: u64, elapsed: &Instant, detail: String| {
+            timeline.push(hisvsim_obs::SpanRecord {
+                name: name.to_string(),
+                cat: "job".to_string(),
+                ts_us: start_us,
+                dur_us: (elapsed.elapsed().as_micros() as u64).max(1),
+                pid: 0,
+                tid: 0,
+                detail,
+                bytes: 0,
+            });
+        };
+
         control.notify_planning();
+        let plan_ts = hisvsim_obs::now_us();
         let plan_start = Instant::now();
-        let (plan, source) = self
-            .obtain_plan(&job.circuit, &decision, fusion, strategy)
-            .map_err(|error| JobError::PlanFailed {
-                circuit: job.circuit.name.clone(),
-                engine: decision.engine,
-                limit: decision.limit,
-                error,
-            })?;
+        let (plan, source) = {
+            let _span = hisvsim_obs::span("job", "plan").detail(job.circuit.name.clone());
+            self.obtain_plan(&job.circuit, &decision, fusion, strategy)
+                .map_err(|error| JobError::PlanFailed {
+                    circuit: job.circuit.name.clone(),
+                    engine: decision.engine,
+                    limit: decision.limit,
+                    error,
+                })?
+        };
         let plan_time_s = plan_start.elapsed().as_secs_f64();
+        phase("plan", plan_ts, &plan_start, format!("{source:?}"));
         control.notify_plan_ready(source.is_hit());
 
         // The permit covers the simulation (allocation of the outer state
@@ -383,6 +405,14 @@ impl JobRunner {
             }
             exec
         };
+        let exec_ts = hisvsim_obs::now_us();
+        let exec_start = Instant::now();
+        let exec_span = hisvsim_obs::span("job", "execute").detail(format!(
+            "{} on {} ({} ranks)",
+            job.circuit.name,
+            decision.engine.name(),
+            decision.ranks
+        ));
         let (state, report) = match &process {
             Some(backend) => {
                 let request = ProcessRequest {
@@ -416,11 +446,21 @@ impl JobRunner {
                 )
                 .map_err(|_| JobError::Cancelled)?,
         };
+        drop(exec_span);
+        phase(
+            "execute",
+            exec_ts,
+            &exec_start,
+            format!("{} ranks, {}", decision.ranks, decision.engine.name()),
+        );
 
         // Post-processing: shot sampling and Z expectations reuse the
         // statevec measurement utilities on the engine's final state. The
         // parallel counter-based sampler keeps shots deterministic per seed
         // regardless of worker/thread count.
+        let post_ts = hisvsim_obs::now_us();
+        let post_start = Instant::now();
+        let post_span = hisvsim_obs::span("job", "postprocess");
         let counts = if job.shots > 0 {
             let mut counts = std::collections::BTreeMap::new();
             for outcome in measure::sample_shots(&state, job.shots, job.seed) {
@@ -435,6 +475,13 @@ impl JobRunner {
             .iter()
             .map(|&q| (q, measure::expectation_z(&state, q)))
             .collect();
+        drop(post_span);
+        phase(
+            "postprocess",
+            post_ts,
+            &post_start,
+            format!("{} shots, {} observables", job.shots, job.observables.len()),
+        );
 
         Ok(JobResult {
             job_index,
@@ -447,6 +494,7 @@ impl JobRunner {
             wall_time_s: start.elapsed().as_secs_f64(),
             plan_time_s,
             plan_cache_hit: source.is_hit(),
+            timeline,
         })
     }
 

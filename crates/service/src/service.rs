@@ -2,6 +2,7 @@
 //! worker-pool core.
 
 use crate::handle::{JobEvent, JobFailure, JobHandle, JobPriority, JobShared, JobStatus};
+use hisvsim_obs::{Counter, Histogram, Registry};
 use hisvsim_runtime::pool::{JobControl, JobError, JobRunner, Semaphore};
 use hisvsim_runtime::{CacheStats, PlanCache, SchedulerConfig, SimJob};
 use std::collections::BinaryHeap;
@@ -174,8 +175,65 @@ impl Default for DeadlineQueue {
     }
 }
 
+/// The service's slice of the unified obs registry: histogram/counter
+/// handles updated on the hot path (per completed job), while the plain
+/// service/cache counters are synced into the registry at scrape time.
+struct ServiceMetrics {
+    registry: Registry,
+    job_wall_seconds: Arc<Histogram>,
+    job_plan_seconds: Arc<Histogram>,
+    comm_bytes_total: Arc<Counter>,
+    comm_messages_total: Arc<Counter>,
+    comm_wall_seconds_total: Arc<Counter>,
+    comm_modeled_seconds_total: Arc<Counter>,
+}
+
+impl ServiceMetrics {
+    fn new(registry: Registry) -> Self {
+        Self {
+            job_wall_seconds: registry.histogram(
+                "hisvsim_job_wall_seconds",
+                "End-to-end wall time per completed job (plan + execute + postprocess).",
+            ),
+            job_plan_seconds: registry.histogram(
+                "hisvsim_job_plan_seconds",
+                "Seconds spent obtaining the plan per completed job (~0 on a cache hit).",
+            ),
+            comm_bytes_total: registry.counter(
+                "hisvsim_comm_bytes_sent_total",
+                "Bytes moved by collectives across all ranks of completed jobs.",
+            ),
+            comm_messages_total: registry.counter(
+                "hisvsim_comm_messages_total",
+                "Messages sent by collectives across all ranks of completed jobs.",
+            ),
+            comm_wall_seconds_total: registry.counter(
+                "hisvsim_comm_wall_seconds_total",
+                "Wall seconds ranks of completed jobs spent inside collectives.",
+            ),
+            comm_modeled_seconds_total: registry.counter(
+                "hisvsim_comm_modeled_seconds_total",
+                "Modelled interconnect seconds across all ranks of completed jobs.",
+            ),
+            registry,
+        }
+    }
+
+    /// Record one successfully completed job.
+    fn observe_job(&self, result: &hisvsim_runtime::JobResult) {
+        self.job_wall_seconds.observe(result.wall_time_s);
+        self.job_plan_seconds.observe(result.plan_time_s);
+        let comm = result.comm_stats();
+        self.comm_bytes_total.add(comm.bytes_sent as f64);
+        self.comm_messages_total.add(comm.messages_sent as f64);
+        self.comm_wall_seconds_total.add(comm.wall_time_s);
+        self.comm_modeled_seconds_total.add(comm.modeled_time_s);
+    }
+}
+
 struct Inner {
     runner: JobRunner,
+    metrics: ServiceMetrics,
     residency: Semaphore,
     queue: Mutex<BinaryHeap<QueuedJob>>,
     queue_ready: Condvar,
@@ -227,6 +285,7 @@ impl SimService {
         let inner = Arc::new(Inner {
             residency: Semaphore::new(config.scheduler.max_resident.max(1)),
             runner,
+            metrics: ServiceMetrics::new(Registry::new()),
             queue: Mutex::new(BinaryHeap::new()),
             queue_ready: Condvar::new(),
             shutdown: AtomicBool::new(false),
@@ -325,17 +384,27 @@ impl SimService {
         }
     }
 
-    /// A Prometheus-style text snapshot of the service and plan-cache
-    /// counters, for operators to scrape (queue depth, terminal-state
-    /// totals, deadline expiries, warm hits, evictions).
+    /// The unified obs registry backing [`SimService::metrics_text`].
+    /// Cheap to clone; callers may register their own series alongside the
+    /// service's (they appear in the same exposition).
+    pub fn registry(&self) -> Registry {
+        self.inner.metrics.registry.clone()
+    }
+
+    /// A Prometheus text snapshot of the unified metrics registry: the
+    /// service counters (queue depth, terminal-state totals, deadline
+    /// expiries), the plan-cache counters (hits, warm hits, misses,
+    /// evictions, in-flight dedups), the per-job wall/plan-time histograms,
+    /// and the communication totals of completed jobs. A thin view over
+    /// [`SimService::registry`]: the ad-hoc `ServiceStats`/`CacheStats`
+    /// atomics are synced into the registry at scrape time, everything else
+    /// is already there.
     pub fn metrics_text(&self) -> String {
         let s = self.stats();
         let c = self.cache_stats();
-        let mut out = String::with_capacity(1024);
-        let mut counter = |name: &str, help: &str, value: u64| {
-            out.push_str(&format!(
-                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
-            ));
+        let reg = &self.inner.metrics.registry;
+        let counter = |name: &str, help: &str, value: u64| {
+            reg.counter(name, help).set(value as f64);
         };
         counter(
             "hisvsim_service_jobs_submitted_total",
@@ -382,10 +451,13 @@ impl SimService {
             "Plans evicted by the LRU bound.",
             c.evictions,
         );
-        let mut gauge = |name: &str, help: &str, value: f64| {
-            out.push_str(&format!(
-                "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}\n"
-            ));
+        counter(
+            "hisvsim_plan_cache_inflight_dedups_total",
+            "Plan lookups that waited out another worker's in-flight planning of the same key.",
+            c.inflight_dedups,
+        );
+        let gauge = |name: &str, help: &str, value: f64| {
+            reg.gauge(name, help).set(value);
         };
         gauge(
             "hisvsim_service_queue_depth",
@@ -402,7 +474,7 @@ impl SimService {
             "Hits (memory + warm) over total lookups.",
             c.hit_rate(),
         );
-        out
+        reg.render()
     }
 
     /// Timer threads the deadline machinery has ever spawned: `0` before
@@ -676,7 +748,10 @@ fn run_one(inner: &Inner, queued: QueuedJob) {
         .deadline_fired
         .load(std::sync::atomic::Ordering::SeqCst);
     let outcome = match outcome {
-        Ok(Ok(result)) => Ok(result),
+        Ok(Ok(result)) => {
+            inner.metrics.observe_job(&result);
+            Ok(result)
+        }
         Ok(Err(JobError::Cancelled)) if deadline_hit => Err(JobFailure::Failed(deadline_message(
             job_deadline.unwrap_or_default(),
         ))),

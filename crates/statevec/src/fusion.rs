@@ -317,6 +317,15 @@ impl FusedOp {
         }
     }
 
+    /// Static trace-span name for this op's sweep kind.
+    fn span_name(&self) -> &'static str {
+        match self {
+            FusedOp::Dense(_) => "sweep:dense",
+            FusedOp::Solo(..) => "sweep:solo",
+            FusedOp::Diagonal { .. } => "sweep:diagonal",
+        }
+    }
+
     /// Apply this op with an optional qubit translation (`map[q]` = target
     /// qubit). The distributed engines use the map to aim one shared fused
     /// circuit at each rank's layout without re-fusing; the prepared data
@@ -787,9 +796,7 @@ impl FusedCircuit {
             self.num_qubits,
             state.num_qubits()
         );
-        for (op, prep) in self.ops.iter().zip(&self.prepared) {
-            op.apply_inner(state, prep, None, opts);
-        }
+        self.apply_with_map(state, None, opts);
     }
 
     /// Apply with a qubit translation: fused qubit `q` acts on state qubit
@@ -805,8 +812,28 @@ impl FusedCircuit {
             map.len(),
             self.num_qubits
         );
+        self.apply_with_map(state, Some(map), opts);
+    }
+
+    /// Shared sweep loop behind [`apply`](Self::apply) and
+    /// [`apply_mapped`](Self::apply_mapped), with sampled per-sweep trace
+    /// spans: when the recorder is enabled, full-size sweeps (≥ 2^16
+    /// amplitudes) are always recorded and small inner-state sweeps (the
+    /// hierarchical engines run millions of them) are sampled 1-in-64 to
+    /// keep the tracing overhead off the hot path.
+    fn apply_with_map(&self, state: &mut StateVector, map: Option<&[Qubit]>, opts: &ApplyOptions) {
+        let tracing = hisvsim_obs::enabled();
         for (op, prep) in self.ops.iter().zip(&self.prepared) {
-            op.apply_inner(state, prep, Some(map), opts);
+            if tracing && sample_sweep(state.len()) {
+                let _g = hisvsim_obs::span("kernel", op.span_name()).detail(format!(
+                    "{} gates, {} amps",
+                    op.fused_count(),
+                    state.len()
+                ));
+                op.apply_inner(state, prep, map, opts);
+            } else {
+                op.apply_inner(state, prep, map, opts);
+            }
         }
     }
 
@@ -816,6 +843,25 @@ impl FusedCircuit {
         self.apply(&mut state, opts);
         state
     }
+}
+
+/// Sweep-span sampling decision: record every sweep over a full-size state
+/// (the interesting ones for kernel optimisation), and of the small
+/// inner-state sweeps the first on each thread plus 1-in-64 after, so
+/// hierarchical runs always leave a kernel footprint in the trace without
+/// flooding the ring buffers.
+fn sample_sweep(amps: usize) -> bool {
+    if amps >= (1 << 16) {
+        return true;
+    }
+    thread_local! {
+        static SWEEP_TICK: std::cell::Cell<u32> = const { std::cell::Cell::new(0) };
+    }
+    SWEEP_TICK.with(|c| {
+        let n = c.get().wrapping_add(1);
+        c.set(n);
+        n % 64 == 1
+    })
 }
 
 /// Estimated cost of streaming the state through the cache hierarchy

@@ -1,0 +1,102 @@
+//! `obs_trace` — capture a Chrome trace and a metrics snapshot of one run.
+//!
+//! Enables the span recorder, runs a QFT circuit through the job service
+//! (plan → execute → postprocess, with sampled kernel sweeps underneath),
+//! merges the job's phase timeline with the recorder's spans, writes the
+//! result as Chrome trace-event JSON, and prints the service's Prometheus
+//! exposition. The trace file opens directly in `chrome://tracing` or
+//! <https://ui.perfetto.dev>.
+//!
+//! Run with `cargo run --release --example obs_trace [trace.json]`.
+//! `HISVSIM_OBS_QUBITS` overrides the circuit width (default 24; use
+//! 14–18 on small machines). The example validates its own output: it
+//! exits non-zero if the trace is missing a phase or the metrics text is
+//! not well-formed Prometheus format.
+
+use hisvsim_circuit::generators;
+use hisvsim_runtime::{EngineSelector, SchedulerConfig, SimJob};
+use hisvsim_service::{ServiceConfig, SimService};
+use std::process::ExitCode;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() -> ExitCode {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "obs_trace.json".to_string());
+    let qubits = env_usize("HISVSIM_OBS_QUBITS", 24);
+
+    hisvsim_obs::set_enabled(true);
+    let service =
+        SimService::start(ServiceConfig::new().with_scheduler(
+            SchedulerConfig::default().with_selector(EngineSelector::scaled(6, 10)),
+        ));
+
+    println!("running qft-{qubits} with the span recorder on ...");
+    let handle = service.submit(SimJob::new(generators::qft(qubits)).with_shots(64));
+    let result = match handle.wait() {
+        Ok(result) => result,
+        Err(failure) => {
+            eprintln!("obs_trace: job failed: {failure:?}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "done in {:.2}s (plan {:.3}s); per-phase timeline:",
+        result.wall_time_s, result.plan_time_s
+    );
+    for span in result.timeline() {
+        println!(
+            "  {:<12} {:>9.3}s  {}",
+            span.name,
+            span.dur_us as f64 / 1e6,
+            span.detail
+        );
+    }
+
+    // Merge the recorder's spans (kernel sweeps, comm collectives, the
+    // mirrored job phases) with the job's own timeline and export.
+    let mut spans = hisvsim_obs::drain();
+    spans.extend(result.timeline().iter().cloned());
+    let json = hisvsim_obs::chrome_trace_json(&spans);
+    if let Err(e) = std::fs::write(&path, &json) {
+        eprintln!("obs_trace: cannot write {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "wrote {} spans to {path} (open in chrome://tracing or ui.perfetto.dev)",
+        spans.len()
+    );
+
+    // Self-validation: every runner phase must appear, kernel sweeps must
+    // have been sampled, and the trace JSON must parse back.
+    for phase in ["plan", "execute", "postprocess"] {
+        if !spans.iter().any(|s| s.name == phase) {
+            eprintln!("obs_trace: no `{phase}` span in the trace");
+            return ExitCode::FAILURE;
+        }
+    }
+    if !spans.iter().any(|s| s.name.starts_with("sweep:")) {
+        eprintln!("obs_trace: no sampled kernel sweep spans in the trace");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = serde_json::value_from_str(&json) {
+        eprintln!("obs_trace: emitted trace is not valid JSON: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    let metrics = service.metrics_text();
+    println!("\nmetrics exposition:\n{metrics}");
+    if let Err(msg) = hisvsim_obs::validate_prometheus(&metrics) {
+        eprintln!("obs_trace: metrics exposition is malformed: {msg}");
+        return ExitCode::FAILURE;
+    }
+    println!("obs_trace: OK");
+    ExitCode::SUCCESS
+}

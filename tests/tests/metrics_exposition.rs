@@ -1,0 +1,100 @@
+//! Validation of the unified metrics exposition and the per-job timeline:
+//! every line `SimService::metrics_text()` emits must be well-formed
+//! Prometheus text format (HELP/TYPE pairs, monotone histogram buckets, no
+//! duplicate series), the service/cache/comm series must all be present,
+//! and `JobResult::timeline()` must cover every runner phase.
+
+use hisvsim_circuit::generators;
+use hisvsim_obs::validate_prometheus;
+use hisvsim_runtime::{EngineKind, EngineSelector, SchedulerConfig, SimJob};
+use hisvsim_service::prelude::*;
+
+fn service(workers: usize) -> SimService {
+    SimService::start(
+        ServiceConfig::new().with_scheduler(
+            SchedulerConfig::default()
+                .with_workers(workers)
+                .with_selector(EngineSelector::scaled(4, 8)),
+        ),
+    )
+}
+
+#[test]
+fn metrics_text_is_valid_prometheus_exposition() {
+    let service = service(2);
+    // Cold scrape: valid before any job has run.
+    validate_prometheus(&service.metrics_text()).expect("cold exposition must be valid");
+
+    for width in [8usize, 9, 8] {
+        let job = SimJob::new(generators::qft(width)).with_shots(16);
+        service.submit(job).wait().expect("job must complete");
+    }
+    let text = service.metrics_text();
+    validate_prometheus(&text).expect("exposition after jobs must be valid");
+
+    // The unified registry must expose all three families: service
+    // counters, plan-cache counters (including the in-flight dedups), and
+    // the comm/job series fed from completed JobResults.
+    for series in [
+        "hisvsim_service_jobs_submitted_total 3",
+        "hisvsim_service_jobs_completed_total 3",
+        "hisvsim_service_queue_depth",
+        "hisvsim_plan_cache_hits_total",
+        "hisvsim_plan_cache_warm_hits_total",
+        "hisvsim_plan_cache_misses_total",
+        "hisvsim_plan_cache_inflight_dedups_total",
+        "hisvsim_plan_cache_entries",
+        "hisvsim_job_wall_seconds_bucket",
+        "hisvsim_job_wall_seconds_count 3",
+        "hisvsim_job_plan_seconds_sum",
+        "hisvsim_comm_bytes_sent_total",
+        "hisvsim_comm_wall_seconds_total",
+    ] {
+        assert!(
+            text.contains(series),
+            "exposition is missing `{series}`:\n{text}"
+        );
+    }
+    // The repeated qft-8 must have hit the plan cache.
+    let cache = service.cache_stats();
+    assert!(cache.hits >= 1, "repeat submission must hit the cache");
+}
+
+#[test]
+fn job_result_timeline_covers_every_phase() {
+    let service = service(1);
+    let job = SimJob::new(generators::qft(10))
+        .with_engine(EngineKind::Hier)
+        .with_shots(8)
+        .with_observables(vec![0, 1]);
+    let result = service.submit(job).wait().expect("job must complete");
+    let names: Vec<&str> = result.timeline().iter().map(|s| s.name.as_str()).collect();
+    assert_eq!(
+        names,
+        ["plan", "execute", "postprocess"],
+        "timeline must record the three runner phases in order"
+    );
+    for span in result.timeline() {
+        assert_eq!(span.cat, "job");
+        assert!(span.dur_us >= 1, "phases record at least 1µs");
+    }
+    // The timeline is exportable as-is.
+    let json = hisvsim_obs::chrome_trace_json(result.timeline());
+    assert!(json.contains("\"traceEvents\""));
+}
+
+#[test]
+fn histogram_buckets_are_cumulative_and_terminated() {
+    // Drive a histogram through the registry directly and check the
+    // rendered bucket structure survives the strict parser (the same
+    // parser CI runs over the service exposition).
+    let registry = hisvsim_obs::Registry::new();
+    let h = registry.histogram("t_seconds", "test");
+    for v in [1e-7, 1e-3, 0.5, 2.0, 1e6] {
+        h.observe(v);
+    }
+    let text = registry.render();
+    validate_prometheus(&text).expect("rendered histogram must be valid");
+    assert!(text.contains("t_seconds_bucket{le=\"+Inf\"} 5"));
+    assert!(text.contains("t_seconds_count 5"));
+}
