@@ -6,8 +6,12 @@
 //! data points.
 //!
 //! ```text
-//! cargo run --release -p hisvsim-bench --bin fusion [qubits] [reps]
+//! cargo run --release -p hisvsim-bench --bin fusion [qubits] [reps] [family]
 //! ```
+//!
+//! `family` (`qft` | `random` | `all`, default `all`) restricts the run to
+//! one circuit family — handy for re-measuring a single row without paying
+//! for the whole matrix.
 //!
 //! Defaults: 24 qubits, 3 repetitions (best-of). Families: the QFT (layered
 //! — the window scanner's best case) and the deep `random` interleaved
@@ -268,12 +272,20 @@ fn main() {
         .nth(2)
         .and_then(|a| a.parse().ok())
         .unwrap_or(3);
+    let family = std::env::args().nth(3).unwrap_or_else(|| "all".to_string());
+    let families: Vec<&str> = match family.as_str() {
+        "all" => vec!["qft", "random"],
+        "qft" => vec!["qft"],
+        "random" => vec!["random"],
+        other => panic!("unknown family {other:?} (expected qft, random or all)"),
+    };
     let width = DEFAULT_FUSION_WIDTH;
     let sweep_qubits = qubits.saturating_sub(2).max(16);
 
     println!("fused-pipeline benchmark: {qubits} qubits, best of {reps}\n");
-    let auto_picks = ["qft", "random"]
-        .into_iter()
+    let auto_picks = families
+        .iter()
+        .copied()
         .map(|name| {
             let circuit = circuit_by_name(name, 16.min(qubits));
             let resolved = FusedCircuit::with_strategy(&circuit, width, FusionStrategy::Auto)
@@ -289,13 +301,15 @@ fn main() {
         })
         .collect();
 
-    let flat: Vec<FlatResult> = ["qft", "random"]
-        .into_iter()
+    let flat: Vec<FlatResult> = families
+        .iter()
+        .copied()
         .flat_map(|name| flat_cases(name, qubits, reps, width))
         .collect();
     let limit = qubits.saturating_sub(4).max(4);
-    let hier: Vec<HierResult> = ["qft", "random"]
-        .into_iter()
+    let hier: Vec<HierResult> = families
+        .iter()
+        .copied()
         .flat_map(|name| hier_cases(name, qubits, limit, reps, width))
         .collect();
     let sweep = width_sweep("qft", sweep_qubits, reps);
@@ -309,9 +323,13 @@ fn main() {
         hier,
         width_sweep: sweep,
     };
-    let json = serde_json::to_string_pretty(&report).expect("serialize report");
-    std::fs::write("BENCH_fusion.json", &json).expect("write BENCH_fusion.json");
-    println!("\nwrote BENCH_fusion.json");
+    if family == "all" {
+        let json = serde_json::to_string_pretty(&report).expect("serialize report");
+        std::fs::write("BENCH_fusion.json", &json).expect("write BENCH_fusion.json");
+        println!("\nwrote BENCH_fusion.json");
+    } else {
+        println!("\nfamily filter active ({family}): BENCH_fusion.json left untouched");
+    }
 
     for result in &report.flat {
         assert!(

@@ -1,0 +1,213 @@
+//! Per-kernel microbenchmark: forced-scalar vs auto (SIMD) dispatch for
+//! each sweep kernel the fused executor drives — single-qubit (strided and
+//! q0), two-qubit dense, prepared k-qubit, and the diagonal-run streaming
+//! pass — at 20–24 qubits, reported as effective GB/s and speedup, recorded
+//! in `BENCH_kernels.json`.
+//!
+//! ```text
+//! cargo run --release -p hisvsim-bench --bin kernel_microbench [reps]
+//! ```
+//!
+//! Default: best-of-3. Each kernel is benchmarked through the public sweep
+//! API (`apply_gate_with` / `FusedCircuit::apply`) so the numbers measure
+//! exactly what the engines execute, dispatch resolution included.
+
+use hisvsim_circuit::{Circuit, Complex64};
+use hisvsim_statevec::{
+    kernels, simd_available, ApplyOptions, FusedCircuit, FusedOp, FusionStrategy, KernelDispatch,
+    StateVector,
+};
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct KernelCase {
+    kernel: String,
+    qubits: usize,
+    /// Wall seconds per sweep, forced-scalar dispatch (best of reps).
+    scalar_s: f64,
+    /// Wall seconds per sweep, auto dispatch (best of reps).
+    auto_s: f64,
+    /// Effective scalar bandwidth: amplitudes read + written per sweep.
+    scalar_gbps: f64,
+    /// Effective auto-dispatch bandwidth.
+    auto_gbps: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    reps: usize,
+    /// What `KernelDispatch::Auto` resolves to on this machine.
+    auto_resolves_to: String,
+    simd_available: bool,
+    kernels: Vec<KernelCase>,
+}
+
+/// A deterministic pseudo-random normalized state (splitmix64 amplitudes),
+/// so no kernel ever streams the all-zeros fast case.
+fn random_state(num_qubits: usize, seed: u64) -> StateVector {
+    let mut s = seed;
+    let mut next = move || -> u64 {
+        s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = s;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let mut uniform = move || (next() >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+    let amps = (0..1usize << num_qubits)
+        .map(|_| Complex64::new(uniform(), uniform()))
+        .collect();
+    let mut state = StateVector::from_amplitudes(amps);
+    state.normalize();
+    state
+}
+
+/// Best-of-`reps` wall time of `f` after one warmup call.
+fn time_best<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// The single fused op a small generator circuit collapses to — how each
+/// fused-path kernel (two-qubit dense, prepared k-qubit, diagonal run) is
+/// benchmarked in exactly the form the executor drives it.
+fn single_fused_op(build: impl FnOnce(&mut Circuit), num_qubits: usize, width: usize) -> FusedOp {
+    let mut circuit = Circuit::new(num_qubits);
+    build(&mut circuit);
+    let fused = FusedCircuit::with_strategy(&circuit, width, FusionStrategy::Window);
+    assert_eq!(
+        fused.num_ops(),
+        1,
+        "microbench circuit must fuse to exactly one op, got {}",
+        fused.num_ops()
+    );
+    fused.ops()[0].clone()
+}
+
+fn bench_case(
+    name: &str,
+    n: usize,
+    reps: usize,
+    state: &mut StateVector,
+    mut sweep: impl FnMut(&mut StateVector, &ApplyOptions),
+) -> KernelCase {
+    // Amplitudes read + written once per sweep: 2 × 16 bytes each.
+    let bytes = (1u64 << n) as f64 * 32.0;
+    let scalar_opts = ApplyOptions::default().with_dispatch(KernelDispatch::Scalar);
+    let auto_opts = ApplyOptions::default().with_dispatch(KernelDispatch::Auto);
+    let scalar_s = time_best(reps, || sweep(state, &scalar_opts));
+    let auto_s = time_best(reps, || sweep(state, &auto_opts));
+    let case = KernelCase {
+        kernel: name.to_string(),
+        qubits: n,
+        scalar_s,
+        auto_s,
+        scalar_gbps: bytes / scalar_s / 1e9,
+        auto_gbps: bytes / auto_s / 1e9,
+        speedup: scalar_s / auto_s,
+    };
+    println!(
+        "{name}@{n}: scalar {scalar_s:.4} s ({:.2} GB/s), auto {auto_s:.4} s ({:.2} GB/s) -> {:.2}x",
+        case.scalar_gbps, case.auto_gbps, case.speedup
+    );
+    case
+}
+
+fn main() {
+    let reps: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(3);
+    println!(
+        "kernel microbenchmark: best of {reps}, auto dispatch resolves to {}\n",
+        KernelDispatch::Auto.resolved_name()
+    );
+
+    let mut cases = Vec::new();
+    for n in [20usize, 22, 24] {
+        let mid = n / 2;
+        let mut state = random_state(n, 0xBE_4C4 ^ n as u64);
+
+        // Single-qubit dense sweeps: the strided pair kernel and the
+        // q0-specialised contiguous kernel.
+        let h_mid = {
+            let mut c = Circuit::new(n);
+            c.h(mid);
+            c.gates()[0].clone()
+        };
+        cases.push(bench_case("single_mid", n, reps, &mut state, |s, o| {
+            kernels::apply_gate_with(s, &h_mid, o)
+        }));
+        let h0 = {
+            let mut c = Circuit::new(n);
+            c.h(0);
+            c.gates()[0].clone()
+        };
+        cases.push(bench_case("single_q0", n, reps, &mut state, |s, o| {
+            kernels::apply_gate_with(s, &h0, o)
+        }));
+
+        // Two-qubit dense: a fused {H,H,CX} group on non-adjacent qubits.
+        let two = single_fused_op(
+            |c| {
+                c.h(1).h(mid).cx(1, mid);
+            },
+            n,
+            2,
+        );
+        cases.push(bench_case(
+            "two_qubit_dense",
+            n,
+            reps,
+            &mut state,
+            |s, o| two.apply(s, o),
+        ));
+
+        // Prepared k-qubit (k = 3): the gather/scatter group kernel.
+        let three = single_fused_op(
+            |c| {
+                c.h(1).h(mid).h(n - 2).cx(1, mid).cx(mid, n - 2);
+            },
+            n,
+            3,
+        );
+        cases.push(bench_case(
+            "k_qubit_prepared",
+            n,
+            reps,
+            &mut state,
+            |s, o| three.apply(s, o),
+        ));
+
+        // Diagonal run: a collapsed streak of phase factors streamed in one
+        // pass over the state.
+        let diag = single_fused_op(
+            |c| {
+                c.rz(0.3, 1).rz(0.7, mid).cp(0.5, 1, mid).rz(1.1, n - 2);
+            },
+            n,
+            3,
+        );
+        cases.push(bench_case("diagonal_run", n, reps, &mut state, |s, o| {
+            diag.apply(s, o)
+        }));
+    }
+
+    let report = Report {
+        reps,
+        auto_resolves_to: KernelDispatch::Auto.resolved_name().to_string(),
+        simd_available: simd_available(),
+        kernels: cases,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
+    println!("\nwrote BENCH_kernels.json");
+}

@@ -11,7 +11,12 @@ use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
 
 /// A double-precision complex number (16 bytes), the amplitude type used by
 /// every simulator in the workspace.
+///
+/// `repr(C)` guarantees the `[re, im]` memory layout the SIMD kernels in
+/// `hisvsim-statevec` rely on when reinterpreting amplitude slices as
+/// interleaved `f64` lanes.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[repr(C)]
 pub struct Complex64 {
     /// Real part.
     pub re: f64,

@@ -20,7 +20,7 @@ use crate::metrics::RunReport;
 use hisvsim_circuit::{Circuit, Complex64, Gate, GateKind};
 use hisvsim_cluster::{run_spmd, NetworkModel, RankComm};
 use hisvsim_statevec::{
-    Cancelled, FusedCircuit, FusionStrategy, StateVector, DEFAULT_FUSION_WIDTH,
+    Cancelled, FusedCircuit, FusionStrategy, KernelDispatch, StateVector, DEFAULT_FUSION_WIDTH,
 };
 use std::time::Instant;
 
@@ -39,6 +39,9 @@ pub struct BaselineConfig {
     /// How fusion groups are discovered within each local segment (window
     /// scan, DAG antichains, or auto selection).
     pub fusion_strategy: FusionStrategy,
+    /// Kernel dispatch for every rank-local sweep (auto-detected SIMD by
+    /// default; forced scalar for differential validation).
+    pub kernel_dispatch: KernelDispatch,
 }
 
 impl BaselineConfig {
@@ -50,6 +53,7 @@ impl BaselineConfig {
             network: NetworkModel::hdr100(),
             fusion: DEFAULT_FUSION_WIDTH,
             fusion_strategy: FusionStrategy::default(),
+            kernel_dispatch: KernelDispatch::default(),
         }
     }
 
@@ -68,6 +72,12 @@ impl BaselineConfig {
     /// Use a different fusion strategy (see [`FusionStrategy`]).
     pub fn with_fusion_strategy(mut self, strategy: FusionStrategy) -> Self {
         self.fusion_strategy = strategy;
+        self
+    }
+
+    /// Use a different kernel dispatch (see [`KernelDispatch`]).
+    pub fn with_kernel_dispatch(mut self, dispatch: KernelDispatch) -> Self {
+        self.kernel_dispatch = dispatch;
         self
     }
 }
@@ -181,6 +191,7 @@ impl IqsBaseline {
             self.config.network,
             |mut comm| {
                 let mut state = DistState::new(&mut comm, circuit.num_qubits());
+                state.set_kernel_dispatch(self.config.kernel_dispatch);
                 let mut gates_done = 0u64;
                 for (index, step) in steps.iter().enumerate() {
                     if step_gate.cancelled_at(index) {
@@ -222,6 +233,7 @@ pub fn run_baseline_rank<C: RankComm<Complex64>>(
     circuit: &Circuit,
     fusion: usize,
     strategy: FusionStrategy,
+    dispatch: KernelDispatch,
 ) -> RankOutcome {
     assert!(
         comm.size().is_power_of_two(),
@@ -231,6 +243,7 @@ pub fn run_baseline_rank<C: RankComm<Complex64>>(
     let local_qubits = circuit.num_qubits().saturating_sub(p);
     let steps = plan_baseline_steps(circuit, local_qubits, fusion, strategy);
     let mut state = DistState::new(comm, circuit.num_qubits());
+    state.set_kernel_dispatch(dispatch);
     for step in &steps {
         match step {
             BaselineStep::LocalFused(fused) => state.apply_fused_local(fused),

@@ -22,7 +22,7 @@ use hisvsim_partition::{PartitionBuildError, Strategy};
 use hisvsim_statevec::kernels::{apply_gate_with_matrix, uses_dense_matrix};
 use hisvsim_statevec::FusedCircuit;
 use hisvsim_statevec::{
-    ApplyOptions, Cancelled, FusionStrategy, StateVector, DEFAULT_FUSION_WIDTH,
+    ApplyOptions, Cancelled, FusionStrategy, KernelDispatch, StateVector, DEFAULT_FUSION_WIDTH,
 };
 use std::time::Instant;
 
@@ -80,6 +80,9 @@ pub struct DistState<'a, C: RankComm<Complex64>> {
     /// Number of global redistributions performed.
     pub exchanges: usize,
     exchange_tag: u64,
+    /// Kernel dispatch for every local sweep ([`KernelDispatch::Auto`] by
+    /// default; forced scalar for differential validation).
+    dispatch: KernelDispatch,
 }
 
 impl<'a, C: RankComm<Complex64>> DistState<'a, C> {
@@ -107,7 +110,26 @@ impl<'a, C: RankComm<Complex64>> DistState<'a, C> {
             compute_time_s: 0.0,
             exchanges: 0,
             exchange_tag: TAG_EXCHANGE,
+            dispatch: KernelDispatch::default(),
         }
+    }
+
+    /// Select the kernel dispatch every subsequent local sweep uses (the
+    /// scalar fallback is bit-identical to the SIMD path, so this never
+    /// changes results — only how they are computed).
+    pub fn set_kernel_dispatch(&mut self, dispatch: KernelDispatch) {
+        self.dispatch = dispatch;
+    }
+
+    /// The kernel dispatch local sweeps run under.
+    pub fn kernel_dispatch(&self) -> KernelDispatch {
+        self.dispatch
+    }
+
+    /// Apply options for rank-local sweeps (sequential: parallelism lives at
+    /// the rank level, not inside a slice).
+    fn opts(&self) -> ApplyOptions {
+        ApplyOptions::sequential().with_dispatch(self.dispatch)
     }
 
     /// Number of local (per-rank) qubits.
@@ -283,7 +305,7 @@ impl<'a, C: RankComm<Complex64>> DistState<'a, C> {
     /// all local. The precomputed matrices are shared by every rank.
     pub fn apply_prepared_local(&mut self, gates: &[PreparedGate]) {
         let start = Instant::now();
-        let opts = ApplyOptions::sequential();
+        let opts = self.opts();
         for prepared in gates {
             let gate = &prepared.gate;
             debug_assert!(
@@ -305,7 +327,8 @@ impl<'a, C: RankComm<Complex64>> DistState<'a, C> {
     /// its communication-free segments.
     pub fn apply_fused_local(&mut self, fused: &FusedCircuit) {
         let start = Instant::now();
-        fused.apply_mapped(&mut self.local, &self.layout, &ApplyOptions::sequential());
+        let opts = self.opts();
+        fused.apply_mapped(&mut self.local, &self.layout, &opts);
         self.compute_time_s += start.elapsed().as_secs_f64();
     }
 
@@ -324,8 +347,8 @@ impl<'a, C: RankComm<Complex64>> DistState<'a, C> {
                 pos
             })
             .collect();
-        part.inner
-            .apply_mapped(&mut self.local, &map, &ApplyOptions::sequential());
+        let opts = self.opts();
+        part.inner.apply_mapped(&mut self.local, &map, &opts);
         self.compute_time_s += start.elapsed().as_secs_f64();
     }
 
@@ -452,8 +475,10 @@ pub fn run_fused_plan_rank<C: RankComm<Complex64>>(
     comm: &mut C,
     num_qubits: usize,
     plan: &FusedSinglePlan,
+    dispatch: KernelDispatch,
 ) -> RankOutcome {
     let mut state = DistState::new(comm, num_qubits);
+    state.set_kernel_dispatch(dispatch);
     for part in &plan.parts {
         state.ensure_local(&part.working_set);
         state.apply_fused_part(part);
@@ -478,6 +503,9 @@ pub struct DistConfig {
     /// How fusion groups are discovered (window scan, DAG antichains, or
     /// auto selection).
     pub fusion_strategy: FusionStrategy,
+    /// Kernel dispatch for every rank-local sweep (auto-detected SIMD by
+    /// default; forced scalar for differential validation).
+    pub kernel_dispatch: KernelDispatch,
 }
 
 impl DistConfig {
@@ -491,6 +519,7 @@ impl DistConfig {
             network: NetworkModel::hdr100(),
             fusion: DEFAULT_FUSION_WIDTH,
             fusion_strategy: FusionStrategy::default(),
+            kernel_dispatch: KernelDispatch::default(),
         }
     }
 
@@ -521,6 +550,12 @@ impl DistConfig {
     /// Use a different fusion strategy (see [`FusionStrategy`]).
     pub fn with_fusion_strategy(mut self, strategy: FusionStrategy) -> Self {
         self.fusion_strategy = strategy;
+        self
+    }
+
+    /// Use a different kernel dispatch (see [`KernelDispatch`]).
+    pub fn with_kernel_dispatch(mut self, dispatch: KernelDispatch) -> Self {
+        self.kernel_dispatch = dispatch;
         self
     }
 }
@@ -618,6 +653,7 @@ impl DistributedSimulator {
             self.config.network,
             |mut comm| {
                 let mut state = DistState::new(&mut comm, circuit.num_qubits());
+                state.set_kernel_dispatch(self.config.kernel_dispatch);
                 for (gates, working_set) in &schedule {
                     state.ensure_local(working_set);
                     state.apply_prepared_local(gates);
@@ -671,6 +707,7 @@ impl DistributedSimulator {
             self.config.network,
             |mut comm| {
                 let mut state = DistState::new(&mut comm, circuit.num_qubits());
+                state.set_kernel_dispatch(self.config.kernel_dispatch);
                 let mut gates_done = 0u64;
                 for (step, part) in plan.parts.iter().enumerate() {
                     if step_gate.cancelled_at(step) {

@@ -20,8 +20,8 @@ use hisvsim_circuit::Circuit;
 use hisvsim_dag::{CircuitDag, Partition};
 use hisvsim_partition::{PartitionBuildError, Strategy};
 use hisvsim_statevec::{
-    ApplyOptions, CancelToken, Cancelled, FusedCircuit, FusionStrategy, GatherMap, StateVector,
-    DEFAULT_FUSION_WIDTH,
+    ApplyOptions, CancelToken, Cancelled, FusedCircuit, FusionStrategy, GatherMap, KernelDispatch,
+    StateVector, DEFAULT_FUSION_WIDTH,
 };
 use rayon::prelude::*;
 use std::time::Instant;
@@ -43,6 +43,9 @@ pub struct HierConfig {
     /// How fusion groups are discovered (window scan, DAG antichains, or
     /// auto selection).
     pub fusion_strategy: FusionStrategy,
+    /// Kernel dispatch for every inner-state sweep (auto-detected SIMD by
+    /// default; forced scalar for differential validation).
+    pub kernel_dispatch: KernelDispatch,
 }
 
 impl HierConfig {
@@ -55,6 +58,7 @@ impl HierConfig {
             parallel: true,
             fusion: DEFAULT_FUSION_WIDTH,
             fusion_strategy: FusionStrategy::default(),
+            kernel_dispatch: KernelDispatch::default(),
         }
     }
 
@@ -80,6 +84,13 @@ impl HierConfig {
     /// [`FusionStrategy`]).
     pub fn with_fusion_strategy(mut self, strategy: FusionStrategy) -> Self {
         self.fusion_strategy = strategy;
+        self
+    }
+
+    /// Same configuration with a different kernel dispatch (see
+    /// [`KernelDispatch`]).
+    pub fn with_kernel_dispatch(mut self, dispatch: KernelDispatch) -> Self {
+        self.kernel_dispatch = dispatch;
         self
     }
 }
@@ -154,7 +165,14 @@ impl HierarchicalSimulator {
         let parts = partition.gates_by_part();
 
         for &part in &order {
-            execute_part(&mut state, circuit, dag, &parts[part], self.config.parallel);
+            execute_part(
+                &mut state,
+                circuit,
+                dag,
+                &parts[part],
+                self.config.parallel,
+                self.config.kernel_dispatch,
+            );
         }
 
         let elapsed = start.elapsed().as_secs_f64();
@@ -206,6 +224,7 @@ impl HierarchicalSimulator {
                 &mut state,
                 part,
                 self.config.parallel,
+                self.config.kernel_dispatch,
                 Some(&SweepControl {
                     cancel: &control.cancel,
                     on_assignments: Some(&on_assignments),
@@ -247,6 +266,7 @@ pub fn execute_part(
     dag: &CircuitDag,
     part_gates: &[usize],
     parallel: bool,
+    dispatch: KernelDispatch,
 ) {
     if part_gates.is_empty() {
         return;
@@ -256,7 +276,7 @@ pub fn execute_part(
     let inner_circuit = circuit
         .subcircuit(part_gates)
         .remap_qubits(&map.remap_table(), map.inner_qubits());
-    let opts = ApplyOptions::sequential();
+    let opts = ApplyOptions::sequential().with_dispatch(dispatch);
     sweep_assignments(outer, &map, parallel, None, |inner| {
         hisvsim_statevec::kernels::apply_circuit_with(inner, &inner_circuit, &opts);
     })
@@ -267,8 +287,13 @@ pub fn execute_part(
 /// [`execute_part`], but the inner circuit is already fused (one pass per
 /// fused op instead of per gate) and the parallel path reuses one inner
 /// buffer per chunk of assignments instead of allocating per assignment.
-pub fn execute_part_fused(outer: &mut StateVector, part: &FusedPart, parallel: bool) {
-    execute_part_fused_controlled(outer, part, parallel, None)
+pub fn execute_part_fused(
+    outer: &mut StateVector,
+    part: &FusedPart,
+    parallel: bool,
+    dispatch: KernelDispatch,
+) {
+    execute_part_fused_controlled(outer, part, parallel, dispatch, None)
         .expect("uncancellable sweep cannot abort");
 }
 
@@ -291,11 +316,12 @@ pub fn execute_part_fused_controlled(
     outer: &mut StateVector,
     part: &FusedPart,
     parallel: bool,
+    dispatch: KernelDispatch,
     control: Option<&SweepControl<'_>>,
 ) -> Result<(), Cancelled> {
     let map = GatherMap::new(outer.num_qubits(), &part.working_set);
     let inner_circuit: &FusedCircuit = &part.inner;
-    let opts = ApplyOptions::sequential();
+    let opts = ApplyOptions::sequential().with_dispatch(dispatch);
     sweep_assignments(outer, &map, parallel, control, |inner| {
         inner_circuit.apply(inner, &opts);
     })

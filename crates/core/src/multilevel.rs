@@ -18,7 +18,8 @@ use hisvsim_cluster::{run_spmd, NetworkModel, RankComm};
 use hisvsim_dag::CircuitDag;
 use hisvsim_partition::{MultilevelPartition, MultilevelPartitioner, PartitionBuildError};
 use hisvsim_statevec::{
-    ApplyOptions, Cancelled, FusionStrategy, GatherMap, StateVector, DEFAULT_FUSION_WIDTH,
+    ApplyOptions, Cancelled, FusionStrategy, GatherMap, KernelDispatch, StateVector,
+    DEFAULT_FUSION_WIDTH,
 };
 use std::time::Instant;
 
@@ -40,6 +41,9 @@ pub struct MultilevelConfig {
     /// How fusion groups are discovered (window scan, DAG antichains, or
     /// auto selection).
     pub fusion_strategy: FusionStrategy,
+    /// Kernel dispatch for every rank-local sweep (auto-detected SIMD by
+    /// default; forced scalar for differential validation).
+    pub kernel_dispatch: KernelDispatch,
 }
 
 impl MultilevelConfig {
@@ -52,6 +56,7 @@ impl MultilevelConfig {
             network: NetworkModel::hdr100(),
             fusion: DEFAULT_FUSION_WIDTH,
             fusion_strategy: FusionStrategy::default(),
+            kernel_dispatch: KernelDispatch::default(),
         }
     }
 
@@ -70,6 +75,12 @@ impl MultilevelConfig {
     /// Use a different fusion strategy (see [`FusionStrategy`]).
     pub fn with_fusion_strategy(mut self, strategy: FusionStrategy) -> Self {
         self.fusion_strategy = strategy;
+        self
+    }
+
+    /// Use a different kernel dispatch (see [`KernelDispatch`]).
+    pub fn with_kernel_dispatch(mut self, dispatch: KernelDispatch) -> Self {
+        self.kernel_dispatch = dispatch;
         self
     }
 }
@@ -166,6 +177,7 @@ impl MultilevelSimulator {
             self.config.network,
             |mut comm| {
                 let mut state = DistState::new(&mut comm, circuit.num_qubits());
+                state.set_kernel_dispatch(self.config.kernel_dispatch);
                 for (working_set, second_lists) in &schedule {
                     state.ensure_local(working_set);
                     execute_second_level(&mut state, second_lists);
@@ -229,6 +241,7 @@ impl MultilevelSimulator {
             self.config.network,
             |mut comm| {
                 let mut state = DistState::new(&mut comm, circuit.num_qubits());
+                state.set_kernel_dispatch(self.config.kernel_dispatch);
                 // Checkpoint numbering walked identically by every rank:
                 // one step per first-level part switch, one per
                 // second-level part.
@@ -283,8 +296,10 @@ pub fn run_two_level_plan_rank<C: RankComm<Complex64>>(
     comm: &mut C,
     num_qubits: usize,
     plan: &FusedTwoLevelPlan,
+    dispatch: KernelDispatch,
 ) -> RankOutcome {
     let mut state = DistState::new(comm, num_qubits);
+    state.set_kernel_dispatch(dispatch);
     for part in &plan.parts {
         state.ensure_local(&part.working_set);
         execute_second_level_fused(&mut state, &part.second);
@@ -303,7 +318,7 @@ fn execute_second_level_fused<C: RankComm<Complex64>>(
 ) {
     let start = Instant::now();
     let l = state.local_qubits();
-    let opts = ApplyOptions::sequential();
+    let opts = ApplyOptions::sequential().with_dispatch(state.kernel_dispatch());
     let mut working_positions: Vec<usize> = Vec::new();
     for part in second {
         working_positions.clear();
@@ -333,7 +348,7 @@ fn execute_second_level<C: RankComm<Complex64>>(
 ) {
     let start = Instant::now();
     let l = state.local_qubits();
-    let opts = ApplyOptions::sequential();
+    let opts = ApplyOptions::sequential().with_dispatch(state.kernel_dispatch());
     for gates in second_lists {
         if gates.is_empty() {
             continue;

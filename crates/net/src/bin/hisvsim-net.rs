@@ -120,6 +120,7 @@ fn smoke(qubits: usize, workers: usize, trace_path: Option<&str>) -> ExitCode {
             circuit: circuit.clone(),
             fusion: DEFAULT_FUSION_WIDTH,
             strategy,
+            dispatch: Default::default(),
             plan: Some(PersistedPlan::Single(partition)),
             trace: tracing,
         };

@@ -440,6 +440,7 @@ impl ProcessBackend for ClusterLauncher {
             circuit: request.circuit.clone(),
             fusion: request.fusion,
             strategy: request.strategy,
+            dispatch: request.dispatch,
             plan: request.plan,
             trace: hisvsim_obs::enabled(),
         };

@@ -10,7 +10,7 @@
 use hisvsim_circuit::Circuit;
 use hisvsim_cluster::{CommStats, NetworkModel};
 use hisvsim_obs::SpanRecord;
-use hisvsim_runtime::{EngineKind, FusionStrategy, PersistedPlan};
+use hisvsim_runtime::{EngineKind, FusionStrategy, KernelDispatch, PersistedPlan};
 use serde::{Deserialize, Serialize};
 
 /// Tag of the raw amplitude-slice frame a worker sends after its report.
@@ -35,6 +35,10 @@ pub struct ShippedJob {
     /// independently — shipping the knob (not the fused matrices) keeps the
     /// wire shape small and the fused form process-local.
     pub strategy: FusionStrategy,
+    /// Kernel dispatch every rank applies to its local sweeps. The launcher
+    /// and workers are the same binary, so this wire-shape change never
+    /// meets an older peer.
+    pub dispatch: KernelDispatch,
     /// The partition to execute ([`PersistedPlan::Single`] for hier/dist,
     /// [`PersistedPlan::Two`] for multilevel, `None` for baseline).
     pub plan: Option<PersistedPlan>,

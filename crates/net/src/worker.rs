@@ -36,8 +36,15 @@ pub fn execute_shipped_rank<C: RankComm<Complex64>>(
 ) -> Result<RankOutcome, NetError> {
     let fusion = job.fusion.max(1);
     let strategy = job.strategy;
+    let dispatch = job.dispatch;
     match job.engine {
-        EngineKind::Baseline => Ok(run_baseline_rank(comm, &job.circuit, fusion, strategy)),
+        EngineKind::Baseline => Ok(run_baseline_rank(
+            comm,
+            &job.circuit,
+            fusion,
+            strategy,
+            dispatch,
+        )),
         EngineKind::Hier | EngineKind::Dist => {
             let Some(PersistedPlan::Single(partition)) = &job.plan else {
                 return Err(NetError::Protocol(format!(
@@ -58,7 +65,12 @@ pub fn execute_shipped_rank<C: RankComm<Complex64>>(
                     strategy,
                 )
             };
-            Ok(run_fused_plan_rank(comm, job.circuit.num_qubits(), &plan))
+            Ok(run_fused_plan_rank(
+                comm,
+                job.circuit.num_qubits(),
+                &plan,
+                dispatch,
+            ))
         }
         EngineKind::Multilevel => {
             let Some(PersistedPlan::Two(ml)) = &job.plan else {
@@ -83,6 +95,7 @@ pub fn execute_shipped_rank<C: RankComm<Complex64>>(
                 comm,
                 job.circuit.num_qubits(),
                 &plan,
+                dispatch,
             ))
         }
     }

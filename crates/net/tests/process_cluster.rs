@@ -38,6 +38,7 @@ fn single_level_job_with_strategy(
         circuit,
         fusion: DEFAULT_FUSION_WIDTH,
         strategy,
+        dispatch: Default::default(),
         plan: Some(PersistedPlan::Single(partition)),
         trace: false,
     }
@@ -78,6 +79,7 @@ fn process_baseline_and_multilevel_match_the_flat_simulator() {
         circuit: generators::by_name("ising", 9),
         fusion: DEFAULT_FUSION_WIDTH,
         strategy: FusionStrategy::Auto,
+        dispatch: Default::default(),
         plan: None,
         trace: false,
     };
@@ -98,6 +100,7 @@ fn process_baseline_and_multilevel_match_the_flat_simulator() {
         circuit,
         fusion: DEFAULT_FUSION_WIDTH,
         strategy: FusionStrategy::Auto,
+        dispatch: Default::default(),
         plan: Some(PersistedPlan::Two(ml)),
         trace: false,
     };

@@ -6,7 +6,7 @@ use hisvsim_circuit::{Circuit, Qubit};
 use hisvsim_cluster::CommStats;
 use hisvsim_core::RunReport;
 use hisvsim_obs::SpanRecord;
-use hisvsim_statevec::{FusionStrategy, StateVector};
+use hisvsim_statevec::{FusionStrategy, KernelDispatch, StateVector};
 use std::collections::BTreeMap;
 use std::time::Duration;
 
@@ -50,6 +50,11 @@ pub struct SimJob {
     /// its group-size histogram degenerates). Part of the plan-cache key —
     /// jobs differing only in strategy never share a cached plan.
     pub fusion_strategy: FusionStrategy,
+    /// Kernel dispatch for every sweep the job runs:
+    /// [`KernelDispatch::Auto`] (runtime-detected SIMD) or
+    /// [`KernelDispatch::Scalar`] (the bit-identical portable fallback).
+    /// Process-backed jobs ship it to their workers.
+    pub kernel_dispatch: KernelDispatch,
     /// Seed for shot sampling (deterministic per job).
     pub seed: u64,
     /// Execution backend: in-process virtual ranks (default) or real worker
@@ -72,6 +77,7 @@ impl SimJob {
             limit: None,
             fusion: None,
             fusion_strategy: FusionStrategy::default(),
+            kernel_dispatch: KernelDispatch::default(),
             seed: 0,
             backend: Backend::Local,
             deadline: None,
@@ -114,6 +120,14 @@ impl SimJob {
     /// it to their workers, which re-fuse with the same strategy.
     pub fn with_fusion_strategy(mut self, strategy: FusionStrategy) -> Self {
         self.fusion_strategy = strategy;
+        self
+    }
+
+    /// Use a specific kernel dispatch (see [`KernelDispatch`]). Forcing
+    /// [`KernelDispatch::Scalar`] is the differential-validation lever: the
+    /// scalar fallback is bit-identical to the SIMD kernels by construction.
+    pub fn with_kernel_dispatch(mut self, dispatch: KernelDispatch) -> Self {
+        self.kernel_dispatch = dispatch;
         self
     }
 
@@ -167,6 +181,10 @@ pub struct JobResult {
     /// Whether the partition plan came from the cache (in-memory hit or a
     /// disk-persisted warm entry) instead of being planned from scratch.
     pub plan_cache_hit: bool,
+    /// The kernel dispatch the job executed under
+    /// ([`KernelDispatch::resolved_name`] gives the concrete kernel family
+    /// it resolved to on this machine).
+    pub kernel_dispatch: KernelDispatch,
     /// Per-phase execution timeline (plan → execute → postprocess),
     /// recorded by the worker thread on the shared obs clock. Always
     /// populated, independent of whether the global span recorder is on.

@@ -61,9 +61,10 @@ pub use pool::{JobControl, JobError, JobRunner, ProcessBackend, ProcessRequest, 
 pub use scheduler::{BatchReport, BatchStats, Scheduler, SchedulerConfig};
 pub use selector::{EngineDecision, EngineKind, EngineSelector};
 
-// The strategy knob travels with jobs and plan keys; re-exported so service
-// and net layers need not depend on `hisvsim-statevec` directly for it.
-pub use hisvsim_statevec::FusionStrategy;
+// The strategy and dispatch knobs travel with jobs (and, for strategy, plan
+// keys); re-exported so service and net layers need not depend on
+// `hisvsim-statevec` directly for them.
+pub use hisvsim_statevec::{FusionStrategy, KernelDispatch};
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
@@ -72,7 +73,7 @@ pub mod prelude {
     pub use crate::planner::PlanEffort;
     pub use crate::scheduler::{BatchReport, Scheduler, SchedulerConfig};
     pub use crate::selector::{EngineKind, EngineSelector};
-    pub use hisvsim_statevec::FusionStrategy;
+    pub use hisvsim_statevec::{FusionStrategy, KernelDispatch};
 }
 
 #[cfg(test)]

@@ -32,7 +32,9 @@ use hisvsim_core::{
 };
 use hisvsim_dag::CircuitDag;
 use hisvsim_partition::{PartitionBuildError, Strategy};
-use hisvsim_statevec::{measure, CancelToken, FusionStrategy, StateVector, DEFAULT_FUSION_WIDTH};
+use hisvsim_statevec::{
+    measure, CancelToken, FusionStrategy, KernelDispatch, StateVector, DEFAULT_FUSION_WIDTH,
+};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
@@ -224,6 +226,9 @@ pub struct ProcessRequest<'a> {
     pub strategy: FusionStrategy,
     /// Interconnect model for per-transfer accounting on the workers.
     pub network: NetworkModel,
+    /// Kernel dispatch every worker rank applies to its local sweeps —
+    /// shipped so a forced-scalar job stays forced-scalar across processes.
+    pub dispatch: KernelDispatch,
     /// The partition to ship (exactly the plan-cache snapshot wire shape).
     pub plan: Option<PersistedPlan>,
 }
@@ -355,6 +360,7 @@ impl JobRunner {
         }
         let fusion = job.fusion.unwrap_or(DEFAULT_FUSION_WIDTH).max(1);
         let strategy = job.fusion_strategy;
+        let dispatch = job.kernel_dispatch;
 
         // Each phase is recorded twice on the shared obs clock: into the
         // global span recorder (when enabled) for whole-process traces, and
@@ -421,6 +427,7 @@ impl JobRunner {
                     fusion,
                     strategy,
                     network: self.config.selector.network,
+                    dispatch,
                     plan: plan.as_ref().map(CachedPlan::to_persisted),
                 };
                 let outcome = backend
@@ -441,6 +448,7 @@ impl JobRunner {
                     &decision,
                     fusion,
                     strategy,
+                    dispatch,
                     plan.as_ref(),
                     &exec,
                 )
@@ -494,6 +502,7 @@ impl JobRunner {
             wall_time_s: start.elapsed().as_secs_f64(),
             plan_time_s,
             plan_cache_hit: source.is_hit(),
+            kernel_dispatch: dispatch,
             timeline,
         })
     }
@@ -582,12 +591,14 @@ impl JobRunner {
 
     /// Run the chosen engine against the precomputed fused plan, under the
     /// given execution control.
+    #[allow(clippy::too_many_arguments)]
     fn simulate(
         &self,
         circuit: &Circuit,
         decision: &EngineDecision,
         fusion: usize,
         strategy: FusionStrategy,
+        dispatch: KernelDispatch,
         plan: Option<&CachedPlan>,
         exec: &ExecControl,
     ) -> Result<(StateVector, RunReport), hisvsim_statevec::Cancelled> {
@@ -597,14 +608,17 @@ impl JobRunner {
                 BaselineConfig::new(decision.ranks)
                     .with_network(network)
                     .with_fusion(fusion)
-                    .with_fusion_strategy(strategy),
+                    .with_fusion_strategy(strategy)
+                    .with_kernel_dispatch(dispatch),
             )
             .run_controlled(circuit, exec)
             .map(|run| (run.state, run.report)),
             EngineKind::Hier => {
                 let plan = plan.expect("hier engine needs a plan").expect_single();
                 let sim = HierarchicalSimulator::new(
-                    HierConfig::new(decision.limit).with_strategy(Strategy::DagP),
+                    HierConfig::new(decision.limit)
+                        .with_strategy(Strategy::DagP)
+                        .with_kernel_dispatch(dispatch),
                 );
                 sim.run_with_fused_plan_controlled(circuit, plan, exec)
                     .map(|run| (run.state, run.report))
@@ -614,7 +628,8 @@ impl JobRunner {
                 let sim = DistributedSimulator::new(
                     DistConfig::new(decision.ranks)
                         .with_limit(decision.limit)
-                        .with_network(network),
+                        .with_network(network)
+                        .with_kernel_dispatch(dispatch),
                 );
                 sim.run_with_fused_plan_controlled(circuit, plan, exec)
                     .map(|run| (run.state, run.report))
@@ -623,7 +638,8 @@ impl JobRunner {
                 let plan = plan.expect("multilevel engine needs a plan").expect_two();
                 let sim = MultilevelSimulator::new(
                     MultilevelConfig::new(decision.ranks, decision.second_limit)
-                        .with_network(network),
+                        .with_network(network)
+                        .with_kernel_dispatch(dispatch),
                 );
                 sim.run_with_fused_plan_controlled(circuit, plan, exec)
                     .map(|run| (run.state, run.report))

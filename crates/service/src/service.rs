@@ -456,6 +456,12 @@ impl SimService {
             "Plan lookups that waited out another worker's in-flight planning of the same key.",
             c.inflight_dedups,
         );
+        counter(
+            "hisvsim_fusion_fallback_total",
+            "Fusion groups whose modelled fused sweep cost exceeded their unfused cost and \
+             were emitted in their cheaper solo form instead (process-wide).",
+            hisvsim_statevec::fusion::fusion_fallback_count(),
+        );
         let gauge = |name: &str, help: &str, value: f64| {
             reg.gauge(name, help).set(value);
         };

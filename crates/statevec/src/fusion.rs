@@ -20,14 +20,16 @@
 //!   reordering, no specialisation).
 
 use crate::kernels::{
-    apply_k_qubit, apply_k_qubit_prepared, apply_single, apply_two_qubit_dense, ApplyOptions,
-    SparseRows, MAX_STACK_KERNEL_QUBITS,
+    apply_gate_with_matrix_amps, apply_k_qubit, apply_k_qubit_prepared,
+    apply_k_qubit_prepared_amps, apply_single, apply_single_amps, apply_two_qubit_dense,
+    apply_two_qubit_dense_amps, ApplyOptions, SparseRows, MAX_STACK_KERNEL_QUBITS,
 };
 use crate::state::StateVector;
 use hisvsim_circuit::{Circuit, Complex64, Gate, Qubit, UnitaryMatrix};
 use hisvsim_dag::{antichain_fusion_groups, CircuitDag, GateClass};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// The default fusion width engines use when the caller does not pick one.
 ///
@@ -498,17 +500,36 @@ fn run_prepared_diagonal(
     prepared: &PreparedDiagonal,
     opts: &ApplyOptions,
 ) {
-    let len = state.len();
+    run_prepared_diagonal_amps(state.amplitudes_mut(), 0, prepared, opts);
+}
+
+/// Slice form of [`run_prepared_diagonal`], shared with the cache-blocked
+/// tile executor. `amps.len()` must be a multiple of [`DIAG_BLOCK`] and
+/// `offset` (the slice's absolute start index in the full state — tiles pass
+/// their [`TILE`]-aligned base, whole-state callers pass 0) must be
+/// block-aligned, so every block's phase classification sees the same
+/// absolute base as the untiled sweep and results stay bit-identical.
+fn run_prepared_diagonal_amps(
+    amps: &mut [Complex64],
+    offset: usize,
+    prepared: &PreparedDiagonal,
+    opts: &ApplyOptions,
+) {
+    let len = amps.len();
     debug_assert!(len >= DIAG_BLOCK);
+    debug_assert_eq!(offset % DIAG_BLOCK, 0);
     let constant = &prepared.constant;
     let varying = &prepared.varying;
 
     let blocks = len >> DIAG_BLOCK_BITS;
-    let amps_ptr = SharedAmpsSlice::new(state.amplitudes_mut());
+    let amps_ptr = SharedAmpsSlice::new(amps);
+    #[cfg(target_arch = "x86_64")]
+    let use_simd = opts.use_simd();
     let run_chunk = |first: usize, last: usize| {
         let mut hi_subs = vec![0usize; varying.len()];
         for block in first..last {
-            let base = block << DIAG_BLOCK_BITS;
+            let rel = block << DIAG_BLOCK_BITS;
+            let base = offset + rel;
             let mut block_phase = Complex64::ONE;
             for factor in constant {
                 block_phase *= factor.diag[hi_sub(&factor.hi_bits, base)];
@@ -517,7 +538,13 @@ fn run_prepared_diagonal(
                 *slot = hi_sub(&factor.hi_bits, base);
             }
             // SAFETY: blocks are disjoint contiguous ranges.
-            let amps = unsafe { amps_ptr.slice_mut(base, DIAG_BLOCK) };
+            let amps = unsafe { amps_ptr.slice_mut(rel, DIAG_BLOCK) };
+            #[cfg(target_arch = "x86_64")]
+            if use_simd {
+                // SAFETY: dispatch resolution verified AVX2+FMA support.
+                unsafe { run_diag_block_avx2(amps, block_phase, varying, &hi_subs) };
+                continue;
+            }
             if varying.is_empty() {
                 for amp in amps {
                     *amp *= block_phase;
@@ -541,6 +568,41 @@ fn run_prepared_diagonal(
         });
     } else {
         run_chunk(0, blocks);
+    }
+}
+
+/// AVX2 twin of the per-block diagonal body: two amplitudes per iteration,
+/// phases chained through [`crate::simd::cmul`] in the exact multiply order
+/// of the scalar loop (`phase = phase * factor[...]`, then
+/// `amp = amp * phase`), so results are bit-identical. [`DIAG_BLOCK`] is
+/// even, so there is never a tail.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn run_diag_block_avx2(
+    amps: &mut [Complex64],
+    block_phase: Complex64,
+    varying: &[VarFactor],
+    hi_subs: &[usize],
+) {
+    use crate::simd::{broadcast1, cmul, load2};
+    use std::arch::x86_64::*;
+    let vbase = broadcast1(&block_phase);
+    let ptr = amps.as_mut_ptr();
+    let n = amps.len();
+    let mut j = 0usize;
+    while j < n {
+        let mut vphase = vbase;
+        for (factor, &hi) in varying.iter().zip(hi_subs.iter()) {
+            let d = factor.diag.as_ptr();
+            let vd = load2(
+                d.add(hi | factor.lo_map[j] as usize),
+                d.add(hi | factor.lo_map[j + 1] as usize),
+            );
+            vphase = cmul(vphase, vd);
+        }
+        let vamp = _mm256_loadu_pd(ptr.add(j) as *const f64);
+        _mm256_storeu_pd(ptr.add(j) as *mut f64, cmul(vamp, vphase));
+        j += 2;
     }
 }
 
@@ -823,17 +885,132 @@ impl FusedCircuit {
     /// keep the tracing overhead off the hot path.
     fn apply_with_map(&self, state: &mut StateVector, map: Option<&[Qubit]>, opts: &ApplyOptions) {
         let tracing = hisvsim_obs::enabled();
+        if state.len() > TILE {
+            self.apply_tiled(state, map, opts, tracing);
+            return;
+        }
         for (op, prep) in self.ops.iter().zip(&self.prepared) {
-            if tracing && sample_sweep(state.len()) {
-                let _g = hisvsim_obs::span("kernel", op.span_name()).detail(format!(
-                    "{} gates, {} amps",
-                    op.fused_count(),
-                    state.len()
-                ));
-                op.apply_inner(state, prep, map, opts);
-            } else {
-                op.apply_inner(state, prep, map, opts);
+            self.apply_one(state, op, prep, map, opts, tracing);
+        }
+    }
+
+    /// One whole-state sweep with the sampled trace span.
+    fn apply_one(
+        &self,
+        state: &mut StateVector,
+        op: &FusedOp,
+        prep: &PreparedOp,
+        map: Option<&[Qubit]>,
+        opts: &ApplyOptions,
+        tracing: bool,
+    ) {
+        if tracing && sample_sweep(state.len()) {
+            let _g = hisvsim_obs::span("kernel", op.span_name()).detail(format!(
+                "{} gates, {} amps",
+                op.fused_count(),
+                state.len()
+            ));
+            op.apply_inner(state, prep, map, opts);
+        } else {
+            op.apply_inner(state, prep, map, opts);
+        }
+    }
+
+    /// Cache-blocked sweep order for states larger than one [`TILE`]: maximal
+    /// runs of ≥ 2 consecutive tileable ops (see [`op_tileable`] — dense ops
+    /// whose (translated) qubits all sit below [`TILE_BITS`], plus diagonal
+    /// runs at *any* qubits) are executed tile-by-tile — each 1 MiB tile of
+    /// amplitudes streams through the whole run while L2-resident, instead of
+    /// the run streaming the whole state from memory once per op. Dense ops
+    /// touching higher qubits (or lone tileable ops, which gain nothing) fall
+    /// through to the ordinary whole-state sweep. Tile bases are
+    /// [`TILE`]-aligned, so relative bit indexing inside a tile coincides
+    /// with absolute indexing for every qubit below [`TILE_BITS`], and
+    /// diagonal runs receive the tile's absolute base so high-qubit factors
+    /// classify exactly as in the untiled order — the per-amplitude
+    /// arithmetic is bit-identical either way.
+    fn apply_tiled(
+        &self,
+        state: &mut StateVector,
+        map: Option<&[Qubit]>,
+        opts: &ApplyOptions,
+        tracing: bool,
+    ) {
+        let mut i = 0usize;
+        while i < self.ops.len() {
+            let mut j = i;
+            while j < self.ops.len() && op_tileable(&self.ops[j], map) {
+                j += 1;
             }
+            if j - i >= 2 {
+                self.apply_tiled_run(state, i, j, map, opts, tracing);
+                i = j;
+            } else {
+                // A non-tileable op (j == i) or a lone tileable one: run it
+                // as a whole-state sweep.
+                let end = j.max(i + 1);
+                for idx in i..end {
+                    self.apply_one(
+                        state,
+                        &self.ops[idx],
+                        &self.prepared[idx],
+                        map,
+                        opts,
+                        tracing,
+                    );
+                }
+                i = end;
+            }
+        }
+    }
+
+    /// Execute ops `first..last` (all tileable) tile-by-tile. Per-run
+    /// translation and specialisation happen once up front; the per-tile loop
+    /// allocates nothing.
+    fn apply_tiled_run(
+        &self,
+        state: &mut StateVector,
+        first: usize,
+        last: usize,
+        map: Option<&[Qubit]>,
+        opts: &ApplyOptions,
+        tracing: bool,
+    ) {
+        let items: Vec<TileOp<'_>> = (first..last)
+            .map(|idx| tile_op(&self.ops[idx], &self.prepared[idx], map))
+            .collect();
+        let len = state.len();
+        let _g = (tracing && sample_sweep(len)).then(|| {
+            let gates: usize = self.ops[first..last].iter().map(FusedOp::fused_count).sum();
+            hisvsim_obs::span("kernel", "sweep:tiled").detail(format!(
+                "{} ops, {} gates, {} amps",
+                last - first,
+                gates,
+                len
+            ))
+        });
+        // Within a tile the run is sequential; parallelism comes from the
+        // disjoint tiles (nesting both would oversubscribe the pool).
+        let tile_opts = ApplyOptions {
+            parallel: false,
+            parallel_threshold: usize::MAX,
+            dispatch: opts.dispatch,
+        };
+        let amps = state.amplitudes_mut();
+        let tiles = amps.len() / TILE;
+        let amps_ptr = SharedAmpsSlice::new(amps);
+        let work = |t: usize| {
+            let base = t * TILE;
+            // SAFETY: tiles are disjoint contiguous ranges.
+            let tile = unsafe { amps_ptr.slice_mut(base, TILE) };
+            for item in &items {
+                item.apply(tile, base, &tile_opts);
+            }
+        };
+        if opts.parallel && len >= opts.parallel_threshold {
+            (0..tiles).into_par_iter().for_each(work);
+        } else {
+            (0..tiles).for_each(work);
         }
     }
 
@@ -864,9 +1041,154 @@ fn sample_sweep(amps: usize) -> bool {
     })
 }
 
+/// Tile size of the cache-blocked sweep order: 2^16 amplitudes = 1 MiB of
+/// `Complex64`, sized so a run's working set stays L2-resident (2 MiB L2 on
+/// the reference Xeon) while keeping two more qubits below the tile
+/// boundary than a 256 KiB tile would — every extra tileable qubit lets
+/// more dense ops join tiled runs instead of forcing whole-state sweeps.
+const TILE_BITS: usize = 16;
+/// One tile of the cache-blocked sweep, in amplitudes.
+const TILE: usize = 1 << TILE_BITS;
+
+/// Whether an op can execute inside one tile. Dense ops qualify when every
+/// (translated) qubit sits below [`TILE_BITS`], so they never pair amplitudes
+/// across a tile boundary. Diagonal runs qualify at *any* qubit positions:
+/// each amplitude is only scaled in place, and the block kernel classifies
+/// factors from the block's absolute base index — factors on qubits at or
+/// above [`TILE_BITS`] are constant within a tile and fold into the per-block
+/// phase exactly as in the whole-state sweep.
+fn op_tileable(op: &FusedOp, map: Option<&[Qubit]>) -> bool {
+    let fits = |&q: &Qubit| map.map_or(q, |m| m[q]) < TILE_BITS;
+    match op {
+        FusedOp::Dense(g) => g.qubits.iter().all(fits),
+        FusedOp::Solo(gate, _) => gate.qubits.iter().all(fits),
+        FusedOp::Diagonal { .. } => true,
+    }
+}
+
+/// One op of a tiled run, pre-translated and pre-specialised so the per-tile
+/// loop does no allocation or qubit translation.
+enum TileOp<'a> {
+    Single {
+        q: Qubit,
+        m: [Complex64; 4],
+    },
+    TwoDense {
+        a: Qubit,
+        b: Qubit,
+        matrix: &'a UnitaryMatrix,
+    },
+    KDense {
+        qubits: Vec<Qubit>,
+        matrix: &'a UnitaryMatrix,
+        sparse: Option<&'a SparseRows>,
+    },
+    Solo {
+        gate: Gate,
+        matrix: Option<&'a UnitaryMatrix>,
+    },
+    Diag(std::borrow::Cow<'a, PreparedDiagonal>),
+}
+
+/// Specialise one fused op for tile-relative execution, mirroring the
+/// dispatch of [`FusedOp::apply_inner`] exactly (same kernels, same qubit
+/// translation) so tiled and untiled orders agree bitwise.
+fn tile_op<'a>(op: &'a FusedOp, prep: &'a PreparedOp, map: Option<&[Qubit]>) -> TileOp<'a> {
+    let translate = |qs: &[Qubit]| -> Vec<Qubit> {
+        match map {
+            Some(map) => qs.iter().map(|&q| map[q]).collect(),
+            None => qs.to_vec(),
+        }
+    };
+    match (op, prep) {
+        (FusedOp::Dense(g), PreparedOp::Dense(sparse)) => {
+            let qubits = translate(&g.qubits);
+            if qubits.len() == 1 {
+                let m = &g.matrix;
+                TileOp::Single {
+                    q: qubits[0],
+                    m: [m.get(0, 0), m.get(0, 1), m.get(1, 0), m.get(1, 1)],
+                }
+            } else if qubits.len() == 2 {
+                TileOp::TwoDense {
+                    a: qubits[0],
+                    b: qubits[1],
+                    matrix: &g.matrix,
+                }
+            } else {
+                TileOp::KDense {
+                    qubits,
+                    matrix: &g.matrix,
+                    sparse: sparse.as_ref(),
+                }
+            }
+        }
+        (FusedOp::Solo(gate, matrix), _) => TileOp::Solo {
+            gate: match map {
+                None => gate.clone(),
+                Some(_) => Gate {
+                    kind: gate.kind,
+                    qubits: translate(&gate.qubits),
+                },
+            },
+            matrix: matrix.as_ref(),
+        },
+        (FusedOp::Diagonal { factors, .. }, prep) => match (map, prep) {
+            (None, PreparedOp::Diagonal(prepared)) => {
+                TileOp::Diag(std::borrow::Cow::Borrowed(prepared))
+            }
+            // The block classification depends on translated positions;
+            // re-derived once per run, shared by every tile.
+            _ => TileOp::Diag(std::borrow::Cow::Owned(prepare_diagonal(factors, map))),
+        },
+        (FusedOp::Dense(_), _) => {
+            unreachable!("FusedCircuit keeps prepared data index-aligned with ops")
+        }
+    }
+}
+
+impl TileOp<'_> {
+    /// Apply this op to one tile starting at absolute amplitude index `base`.
+    /// The tile base is [`TILE`]-aligned and every dense qubit is below
+    /// [`TILE_BITS`], so tile-relative indexing matches absolute indexing
+    /// bit-for-bit; diagonal runs additionally receive `base` so factors on
+    /// high qubits classify against the same absolute block bases as the
+    /// whole-state sweep.
+    fn apply(&self, amps: &mut [Complex64], base: usize, opts: &ApplyOptions) {
+        match self {
+            TileOp::Single { q, m } => apply_single_amps(amps, *q, m, opts),
+            TileOp::TwoDense { a, b, matrix } => {
+                apply_two_qubit_dense_amps(amps, *a, *b, matrix, opts)
+            }
+            TileOp::KDense {
+                qubits,
+                matrix,
+                sparse,
+            } => apply_k_qubit_prepared_amps(amps, qubits, matrix, *sparse, opts),
+            TileOp::Solo { gate, matrix } => apply_gate_with_matrix_amps(amps, gate, *matrix, opts),
+            TileOp::Diag(prepared) => run_prepared_diagonal_amps(amps, base, prepared, opts),
+        }
+    }
+}
+
 /// Estimated cost of streaming the state through the cache hierarchy
 /// once, relative to one complex multiply-add per amplitude.
 const PASS: f64 = 2.0;
+
+/// Process-wide count of fused groups demoted back to their member gates
+/// because the modelled fused sweep cost exceeded the sum of the members'
+/// solo costs (see [`emit_dense_group`]). Monotonic; the service layer syncs
+/// it into the metrics registry at scrape time.
+static FUSION_FALLBACKS: AtomicU64 = AtomicU64::new(0);
+
+/// How many fused groups have been demoted to their solo form process-wide
+/// because fusing them modelled *slower* than not fusing them. A steadily
+/// growing value is expected on interleaved circuits (the group builders can
+/// pair cheap fast-path gates whose dense form costs more than two sweeps);
+/// it is exported as `hisvsim_fusion_fallback_total`.
+pub fn fusion_fallback_count() -> u64 {
+    FUSION_FALLBACKS.load(Ordering::Relaxed)
+}
 
 /// Per-amplitude cost (in complex multiply-add units) of applying a gate
 /// through its standalone specialised kernel, including an estimated sweep
@@ -919,6 +1241,13 @@ fn absorb_diagonal_gate(factors: &mut Vec<DiagonalFactor>, gate: &Gate) {
 /// Emit a dense group as a fused op: a lone gate keeps its specialised
 /// fast path ([`FusedOp::Solo`]), multi-gate groups multiply into one
 /// matrix. Shared by both fusion strategies.
+///
+/// Cost guard: a group the model says is *slower* fused than unfused (e.g.
+/// two fast-path CX gates whose dense 4×4 form costs `PASS + 4` against two
+/// half-sweeps) is demoted back to its member gates, in the same product
+/// order the group matrix would have applied them — the demotion is
+/// operator-identical, it only changes how many sweeps carry it. Demotions
+/// are counted in [`fusion_fallback_count`].
 fn emit_dense_group(
     circuit: &Circuit,
     indices: Vec<usize>,
@@ -931,6 +1260,20 @@ fn emit_dense_group(
         let gate = &circuit.gates()[indices[0]];
         let matrix = crate::kernels::uses_dense_matrix(gate).then(|| gate.matrix());
         ops.push(FusedOp::Solo(gate.clone(), matrix));
+        return;
+    }
+    let fused_cost = PASS + (1u64 << qubits.len()) as f64;
+    let unfused_cost: f64 = indices
+        .iter()
+        .map(|&i| solo_cost(&circuit.gates()[i]))
+        .sum();
+    if fused_cost > unfused_cost {
+        FUSION_FALLBACKS.fetch_add(1, Ordering::Relaxed);
+        for &i in &indices {
+            let gate = &circuit.gates()[i];
+            let matrix = crate::kernels::uses_dense_matrix(gate).then(|| gate.matrix());
+            ops.push(FusedOp::Solo(gate.clone(), matrix));
+        }
         return;
     }
     let matrix = build_group_matrix(circuit, &indices, &qubits);
@@ -1415,5 +1758,64 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn tiled_execution_matches_untiled_bitwise() {
+        use crate::simd::KernelDispatch;
+        // 15 qubits = 32768 amplitudes > TILE, so apply_with_map takes the
+        // cache-blocked path; the per-op reference below never tiles.
+        for circuit in [
+            generators::random_circuit(15, 150, 0xA11CE),
+            generators::by_name("qft", 15),
+        ] {
+            for strategy in [FusionStrategy::Window, FusionStrategy::Dag] {
+                let fused = FusedCircuit::with_strategy(&circuit, 3, strategy);
+                let opts = ApplyOptions::default();
+                let tiled = fused.run(&opts);
+                let mut untiled = StateVector::zero_state(15);
+                for op in fused.ops() {
+                    op.apply(&mut untiled, &opts);
+                }
+                for (t, u) in tiled.amplitudes().iter().zip(untiled.amplitudes()) {
+                    assert_eq!(t.re.to_bits(), u.re.to_bits());
+                    assert_eq!(t.im.to_bits(), u.im.to_bits());
+                }
+                let scalar = fused.run(&opts.with_dispatch(KernelDispatch::Scalar));
+                for (t, s) in tiled.amplitudes().iter().zip(scalar.amplitudes()) {
+                    assert_eq!(t.re.to_bits(), s.re.to_bits());
+                    assert_eq!(t.im.to_bits(), s.im.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn modelled_worse_groups_fall_back_to_their_solo_form() {
+        // Two CXs over the same pair: the dense 4×4 form models PASS + 4
+        // against two half-sweep fast paths (2 × (0.5·PASS + 0.5)), so the
+        // group must demote to its members — and stay correct.
+        let mut circuit = Circuit::new(3);
+        circuit.cx(0, 1).cx(0, 1).cx(1, 2);
+        let before = fusion_fallback_count();
+        let fused = FusedCircuit::new(&circuit, 2);
+        assert!(
+            fused.ops().iter().all(|op| matches!(op, FusedOp::Solo(..))),
+            "cheap fast-path gates must not stay in a dense group"
+        );
+        assert!(fusion_fallback_count() > before);
+        let total: usize = fused.ops().iter().map(FusedOp::fused_count).sum();
+        assert_eq!(total, circuit.num_gates());
+        let expected = run_circuit(&circuit);
+        assert!(fused
+            .run(&ApplyOptions::sequential())
+            .approx_eq(&expected, 1e-12));
+
+        // A pair of dense single-qubit gates models cheaper fused
+        // (PASS + 2 < 2 × (PASS + 2)) and must keep the dense form.
+        let mut dense = Circuit::new(1);
+        dense.h(0).h(0);
+        let fused = FusedCircuit::new(&dense, 2);
+        assert!(fused.ops().iter().any(|op| matches!(op, FusedOp::Dense(_))));
     }
 }

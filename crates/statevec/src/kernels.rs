@@ -15,7 +15,16 @@
 //!
 //! All parallel paths partition the amplitude indices into disjoint groups, so
 //! they are data-race free by construction.
+//!
+//! Every kernel exists in two layers: a public `StateVector` entry point and
+//! a `pub(crate)` `*_amps` core over a raw amplitude slice. The slice cores
+//! are what the fused executor's cache-blocked sweep calls per tile (gate
+//! qubits reinterpreted relative to the tile), and they are also where the
+//! SIMD dispatch lives: when [`ApplyOptions::dispatch`] resolves to AVX2 the
+//! hot loops run the vector twins in [`crate::simd`], which replay the
+//! scalar op sequence bit-for-bit.
 
+use crate::simd::KernelDispatch;
 use crate::state::StateVector;
 use hisvsim_circuit::{Complex64, Gate, GateKind, Qubit, UnitaryMatrix};
 use rayon::prelude::*;
@@ -28,6 +37,9 @@ pub struct ApplyOptions {
     /// Minimum number of amplitudes before the parallel path is taken;
     /// below this the sequential loop is faster than the fork/join overhead.
     pub parallel_threshold: usize,
+    /// Which kernel implementation to run (SIMD when available vs forced
+    /// scalar). Both produce bit-identical amplitudes.
+    pub dispatch: KernelDispatch,
 }
 
 impl Default for ApplyOptions {
@@ -35,6 +47,7 @@ impl Default for ApplyOptions {
         Self {
             parallel: true,
             parallel_threshold: 1 << 14,
+            dispatch: KernelDispatch::Auto,
         }
     }
 }
@@ -46,12 +59,26 @@ impl ApplyOptions {
         Self {
             parallel: false,
             parallel_threshold: usize::MAX,
+            dispatch: KernelDispatch::Auto,
         }
+    }
+
+    /// Same options with an explicit kernel dispatch.
+    pub fn with_dispatch(mut self, dispatch: KernelDispatch) -> Self {
+        self.dispatch = dispatch;
+        self
     }
 
     #[inline]
     fn go_parallel(&self, len: usize) -> bool {
         self.parallel && len >= self.parallel_threshold
+    }
+
+    /// Whether this application runs the AVX2 kernels.
+    #[cfg_attr(not(target_arch = "x86_64"), allow(dead_code))]
+    #[inline]
+    pub(crate) fn use_simd(&self) -> bool {
+        self.dispatch.use_simd()
     }
 }
 
@@ -95,6 +122,20 @@ pub fn apply_gate_with_matrix(
     for &q in &gate.qubits {
         assert!(q < n, "gate touches qubit {q} but the state has {n} qubits");
     }
+    apply_gate_with_matrix_amps(state.amplitudes_mut(), gate, matrix, opts);
+}
+
+/// [`apply_gate_with_matrix`] over a raw amplitude slice — a whole state or
+/// an aligned power-of-two tile of one, with gate qubit indices interpreted
+/// relative to the slice. The fused executor's cache-blocked sweep relies on
+/// this to run whole op-runs tile-by-tile.
+pub(crate) fn apply_gate_with_matrix_amps(
+    amps: &mut [Complex64],
+    gate: &Gate,
+    matrix: Option<&UnitaryMatrix>,
+    opts: &ApplyOptions,
+) {
+    debug_assert!(gate.qubits.iter().all(|&q| 1usize << (q + 1) <= amps.len()));
     // Resolve the dense matrix once up front when this gate's dispatch arm
     // consumes one; matrix-free fast paths skip the computation entirely.
     let computed;
@@ -112,38 +153,39 @@ pub fn apply_gate_with_matrix(
     match (&gate.kind, gate.qubits.as_slice()) {
         (GateKind::I, _) => {}
         // Dedicated fast paths for the most common structures.
-        (GateKind::X, &[q]) => apply_x(state, q, opts),
-        (GateKind::Cx, &[c, t]) => apply_cx(state, c, t, opts),
-        (GateKind::Cz, &[c, t]) => apply_cz(state, c, t, opts),
-        (GateKind::Swap, &[a, b]) => apply_swap(state, a, b, opts),
+        (GateKind::X, &[q]) => apply_x_amps(amps, q, opts),
+        (GateKind::Cx, &[c, t]) => apply_cx_amps(amps, c, t, opts),
+        (GateKind::Cz, &[c, t]) => apply_cz_amps(amps, c, t, opts),
+        (GateKind::Swap, &[a, b]) => apply_swap_amps(amps, a, b, opts),
         (kind, &[q]) if kind.is_diagonal() => {
             let m = m.expect("diagonal gate uses a matrix");
-            apply_diagonal_single(state, q, m.get(0, 0), m.get(1, 1), opts);
+            apply_diagonal_single_amps(amps, q, m.get(0, 0), m.get(1, 1), opts);
         }
         (_, &[q]) => {
             let m = m.expect("dense single-qubit gate uses a matrix");
             let mat = [m.get(0, 0), m.get(0, 1), m.get(1, 0), m.get(1, 1)];
-            apply_single(state, q, &mat, opts);
+            apply_single_amps(amps, q, &mat, opts);
         }
         (kind, &[c, t]) if kind.num_controls() == 1 => {
             // Controlled single-qubit gate: apply the 2x2 block on the target
             // restricted to the control=1 half.
             let m = m.expect("controlled gate uses a matrix");
             let mat = [m.get(1, 1), m.get(1, 3), m.get(3, 1), m.get(3, 3)];
-            apply_controlled_single(state, c, t, &mat, opts);
+            apply_controlled_single_amps(amps, c, t, &mat, opts);
         }
         (kind, &[a, b]) if kind.is_diagonal() => {
             let m = m.expect("diagonal two-qubit gate uses a matrix");
             let diag = [m.get(0, 0), m.get(1, 1), m.get(2, 2), m.get(3, 3)];
-            apply_diagonal_two(state, a, b, &diag, opts);
+            apply_diagonal_two_amps(amps, a, b, &diag, opts);
         }
         (_, &[a, b]) => {
             let m = m.expect("dense two-qubit gate uses a matrix");
-            apply_two_qubit_dense(state, a, b, m, opts);
+            apply_two_qubit_dense_amps(amps, a, b, m, opts);
         }
         _ => {
             let m = m.expect("generic k-qubit gate uses a matrix");
-            apply_k_qubit(state, &gate.qubits, m, opts);
+            let sparse = SparseRows::build(m);
+            apply_k_qubit_prepared_amps(amps, &gate.qubits, m, sparse.as_ref(), opts);
         }
     }
 }
@@ -191,7 +233,21 @@ pub fn run_circuit_with(circuit: &hisvsim_circuit::Circuit, opts: &ApplyOptions)
 
 /// Apply a dense 2×2 matrix `[m00, m01, m10, m11]` on qubit `q`.
 pub fn apply_single(state: &mut StateVector, q: Qubit, m: &[Complex64; 4], opts: &ApplyOptions) {
-    let len = state.len();
+    apply_single_amps(state.amplitudes_mut(), q, m, opts);
+}
+
+pub(crate) fn apply_single_amps(
+    amps: &mut [Complex64],
+    q: Qubit,
+    m: &[Complex64; 4],
+    opts: &ApplyOptions,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if opts.use_simd() {
+        apply_single_avx2(amps, q, m, opts);
+        return;
+    }
+    let len = amps.len();
     let half = 1usize << q;
     let block = half << 1;
     let m = *m;
@@ -204,7 +260,6 @@ pub fn apply_single(state: &mut StateVector, q: Qubit, m: &[Complex64; 4], opts:
             hi[j] = Complex64::ZERO.mul_add(m[2], a).mul_add(m[3], b);
         }
     };
-    let amps = state.amplitudes_mut();
     if opts.go_parallel(len) && len / block >= 2 {
         amps.par_chunks_mut(block).for_each(work);
     } else if opts.go_parallel(len) {
@@ -222,6 +277,56 @@ pub fn apply_single(state: &mut StateVector, q: Qubit, m: &[Complex64; 4], opts:
     }
 }
 
+/// AVX2 path of [`apply_single_amps`]: the same block decomposition, with the
+/// inner pair loop vectorised (two amplitude pairs per iteration).
+#[cfg(target_arch = "x86_64")]
+fn apply_single_avx2(amps: &mut [Complex64], q: Qubit, m: &[Complex64; 4], opts: &ApplyOptions) {
+    let len = amps.len();
+    let half = 1usize << q;
+    let block = half << 1;
+    // Sub-chunk size for splitting a single large block across threads; any
+    // even divisor works, bit-identity is per amplitude pair.
+    const SUB: usize = 1 << 12;
+    if q == 0 {
+        // SAFETY (all arms): dispatch verified AVX2+FMA; power-of-two slice
+        // lengths keep every chunk even.
+        if opts.go_parallel(len) && len > SUB {
+            amps.par_chunks_mut(SUB)
+                .for_each(|c| unsafe { crate::simd::apply_single_q0(c, m) });
+        } else {
+            unsafe { crate::simd::apply_single_q0(amps, m) };
+        }
+        return;
+    }
+    if opts.go_parallel(len) && len / block >= 2 {
+        amps.par_chunks_mut(block).for_each(|chunk| {
+            let (lo, hi) = chunk.split_at_mut(half);
+            unsafe { crate::simd::apply_single_pairs(lo, hi, m) };
+        });
+    } else if opts.go_parallel(len) {
+        let (lo, hi) = amps.split_at_mut(half);
+        let lo_ptr = SharedAmps::new(lo);
+        let hi_ptr = SharedAmps::new(hi);
+        let nsub = half.div_ceil(SUB);
+        (0..nsub).into_par_iter().for_each(|s| {
+            let start = s * SUB;
+            let n = SUB.min(half - start);
+            // SAFETY: sub-ranges are disjoint per index; dispatch verified
+            // AVX2+FMA; power-of-two half keeps every sub-range even.
+            unsafe {
+                let l = std::slice::from_raw_parts_mut(lo_ptr.as_ptr().add(start), n);
+                let h = std::slice::from_raw_parts_mut(hi_ptr.as_ptr().add(start), n);
+                crate::simd::apply_single_pairs(l, h, m);
+            }
+        });
+    } else {
+        for chunk in amps.chunks_mut(block) {
+            let (lo, hi) = chunk.split_at_mut(half);
+            unsafe { crate::simd::apply_single_pairs(lo, hi, m) };
+        }
+    }
+}
+
 /// Apply a diagonal single-qubit gate `diag(d0, d1)` on qubit `q`.
 pub fn apply_diagonal_single(
     state: &mut StateVector,
@@ -230,9 +335,18 @@ pub fn apply_diagonal_single(
     d1: Complex64,
     opts: &ApplyOptions,
 ) {
-    let len = state.len();
+    apply_diagonal_single_amps(state.amplitudes_mut(), q, d0, d1, opts);
+}
+
+pub(crate) fn apply_diagonal_single_amps(
+    amps: &mut [Complex64],
+    q: Qubit,
+    d0: Complex64,
+    d1: Complex64,
+    opts: &ApplyOptions,
+) {
+    let len = amps.len();
     let mask = 1usize << q;
-    let amps = state.amplitudes_mut();
     let update = move |(i, a): (usize, &mut Complex64)| {
         *a *= if i & mask == 0 { d0 } else { d1 };
     };
@@ -245,14 +359,17 @@ pub fn apply_diagonal_single(
 
 /// Apply a Pauli-X on qubit `q` (pure swap of the two halves of every block).
 pub fn apply_x(state: &mut StateVector, q: Qubit, opts: &ApplyOptions) {
-    let len = state.len();
+    apply_x_amps(state.amplitudes_mut(), q, opts);
+}
+
+pub(crate) fn apply_x_amps(amps: &mut [Complex64], q: Qubit, opts: &ApplyOptions) {
+    let len = amps.len();
     let half = 1usize << q;
     let block = half << 1;
     let work = move |chunk: &mut [Complex64]| {
         let (lo, hi) = chunk.split_at_mut(half);
         lo.swap_with_slice(hi);
     };
-    let amps = state.amplitudes_mut();
     if opts.go_parallel(len) && len / block >= 2 {
         amps.par_chunks_mut(block).for_each(work);
     } else {
@@ -272,11 +389,21 @@ pub fn apply_controlled_single(
     m: &[Complex64; 4],
     opts: &ApplyOptions,
 ) {
-    let len = state.len();
+    apply_controlled_single_amps(state.amplitudes_mut(), control, target, m, opts);
+}
+
+pub(crate) fn apply_controlled_single_amps(
+    amps: &mut [Complex64],
+    control: Qubit,
+    target: Qubit,
+    m: &[Complex64; 4],
+    opts: &ApplyOptions,
+) {
+    let len = amps.len();
     let cmask = 1usize << control;
     let tmask = 1usize << target;
     let m = *m;
-    let amps_ptr = SharedAmps::new(state.amplitudes_mut());
+    let amps_ptr = SharedAmps::new(amps);
     let groups = len >> 2;
     let (qa, qb) = (control.min(target), control.max(target));
     let apply_group = move |k: usize| {
@@ -302,16 +429,28 @@ pub fn apply_controlled_single(
 
 /// Apply a CNOT (control, target).
 pub fn apply_cx(state: &mut StateVector, control: Qubit, target: Qubit, opts: &ApplyOptions) {
+    apply_cx_amps(state.amplitudes_mut(), control, target, opts);
+}
+
+pub(crate) fn apply_cx_amps(
+    amps: &mut [Complex64],
+    control: Qubit,
+    target: Qubit,
+    opts: &ApplyOptions,
+) {
     let x = GateKind::X.matrix();
     let m = [x.get(0, 0), x.get(0, 1), x.get(1, 0), x.get(1, 1)];
-    apply_controlled_single(state, control, target, &m, opts);
+    apply_controlled_single_amps(amps, control, target, &m, opts);
 }
 
 /// Apply a CZ (symmetric): flip the sign of amplitudes where both bits are 1.
 pub fn apply_cz(state: &mut StateVector, a: Qubit, b: Qubit, opts: &ApplyOptions) {
-    let len = state.len();
+    apply_cz_amps(state.amplitudes_mut(), a, b, opts);
+}
+
+pub(crate) fn apply_cz_amps(amps: &mut [Complex64], a: Qubit, b: Qubit, opts: &ApplyOptions) {
+    let len = amps.len();
     let mask = (1usize << a) | (1usize << b);
-    let amps = state.amplitudes_mut();
     let update = move |(i, amp): (usize, &mut Complex64)| {
         if i & mask == mask {
             *amp = -*amp;
@@ -326,10 +465,14 @@ pub fn apply_cz(state: &mut StateVector, a: Qubit, b: Qubit, opts: &ApplyOptions
 
 /// Apply a SWAP between qubits `a` and `b`.
 pub fn apply_swap(state: &mut StateVector, a: Qubit, b: Qubit, opts: &ApplyOptions) {
-    let len = state.len();
+    apply_swap_amps(state.amplitudes_mut(), a, b, opts);
+}
+
+pub(crate) fn apply_swap_amps(amps: &mut [Complex64], a: Qubit, b: Qubit, opts: &ApplyOptions) {
+    let len = amps.len();
     let amask = 1usize << a;
     let bmask = 1usize << b;
-    let amps_ptr = SharedAmps::new(state.amplitudes_mut());
+    let amps_ptr = SharedAmps::new(amps);
     let groups = len >> 2;
     let (qa, qb) = (a.min(b), a.max(b));
     let apply_group = move |k: usize| {
@@ -363,16 +506,42 @@ pub fn apply_two_qubit_dense(
     matrix: &UnitaryMatrix,
     opts: &ApplyOptions,
 ) {
+    apply_two_qubit_dense_amps(state.amplitudes_mut(), a, b, matrix, opts);
+}
+
+pub(crate) fn apply_two_qubit_dense_amps(
+    amps: &mut [Complex64],
+    a: Qubit,
+    b: Qubit,
+    matrix: &UnitaryMatrix,
+    opts: &ApplyOptions,
+) {
     assert_eq!(matrix.dim(), 4, "two-qubit kernel needs a 4x4 matrix");
     assert_ne!(a, b, "two-qubit gate operands must be distinct");
-    let len = state.len();
+    let len = amps.len();
     let amask = 1usize << a;
     let bmask = 1usize << b;
-    let mut m = [Complex64::ZERO; 16];
-    m.copy_from_slice(matrix.as_slice());
-    let amps_ptr = SharedAmps::new(state.amplitudes_mut());
+    let amps_ptr = SharedAmps::new(amps);
     let groups = len >> 2;
     let (qa, qb) = (a.min(b), a.max(b));
+    #[cfg(target_arch = "x86_64")]
+    if opts.use_simd() {
+        // SAFETY: dispatch verified AVX2+FMA; group index sets are disjoint.
+        let tm = unsafe { crate::simd::TwoQubitMat::new(matrix) };
+        let apply_group = move |k: usize| {
+            let base = spread2(k, qa, qb);
+            let idx = [base, base | amask, base | bmask, base | amask | bmask];
+            unsafe { tm.apply_group(amps_ptr.as_ptr(), &idx) };
+        };
+        if opts.go_parallel(len) {
+            (0..groups).into_par_iter().for_each(apply_group);
+        } else {
+            (0..groups).for_each(apply_group);
+        }
+        return;
+    }
+    let mut m = [Complex64::ZERO; 16];
+    m.copy_from_slice(matrix.as_slice());
     let apply_group = move |k: usize| {
         let base = spread2(k, qa, qb);
         // Sub-index `sub` has bit 0 = qubit `a`, bit 1 = qubit `b`.
@@ -411,11 +580,20 @@ pub fn apply_diagonal_two(
     diag: &[Complex64; 4],
     opts: &ApplyOptions,
 ) {
-    let len = state.len();
+    apply_diagonal_two_amps(state.amplitudes_mut(), a, b, diag, opts);
+}
+
+pub(crate) fn apply_diagonal_two_amps(
+    amps: &mut [Complex64],
+    a: Qubit,
+    b: Qubit,
+    diag: &[Complex64; 4],
+    opts: &ApplyOptions,
+) {
+    let len = amps.len();
     let amask = 1usize << a;
     let bmask = 1usize << b;
     let diag = *diag;
-    let amps = state.amplitudes_mut();
     let update = move |(i, amp): (usize, &mut Complex64)| {
         let idx = ((i & amask != 0) as usize) | (((i & bmask != 0) as usize) << 1);
         *amp *= diag[idx];
@@ -435,7 +613,7 @@ pub fn apply_diagonal_two(
 /// groups are kept at or below this width, so the fused execution pipeline
 /// never allocates inside the sweep.
 pub const MAX_STACK_KERNEL_QUBITS: usize = 5;
-const STACK_DIM: usize = 1 << MAX_STACK_KERNEL_QUBITS;
+pub(crate) const STACK_DIM: usize = 1 << MAX_STACK_KERNEL_QUBITS;
 
 /// Groups per work item in the heap-fallback parallel path, so scratch
 /// buffers are reused across many groups instead of reallocated per group.
@@ -498,14 +676,24 @@ pub(crate) fn apply_k_qubit_prepared(
     sparse: Option<&SparseRows>,
     opts: &ApplyOptions,
 ) {
+    apply_k_qubit_prepared_amps(state.amplitudes_mut(), qubits, matrix, sparse, opts);
+}
+
+pub(crate) fn apply_k_qubit_prepared_amps(
+    amps: &mut [Complex64],
+    qubits: &[Qubit],
+    matrix: &UnitaryMatrix,
+    sparse: Option<&SparseRows>,
+    opts: &ApplyOptions,
+) {
     let k = qubits.len();
     assert_eq!(matrix.dim(), 1 << k, "matrix dimension mismatch");
-    let len = state.len();
+    let len = amps.len();
     assert!(len >= 1 << k, "state too small for a {k}-qubit gate");
     if k <= MAX_STACK_KERNEL_QUBITS {
-        apply_k_qubit_stack(state, qubits, matrix, sparse, opts);
+        apply_k_qubit_stack(amps, qubits, matrix, sparse, opts);
     } else {
-        apply_k_qubit_heap(state, qubits, matrix, sparse, opts);
+        apply_k_qubit_heap(amps, qubits, matrix, sparse, opts);
     }
 }
 
@@ -545,16 +733,17 @@ impl SparseRows {
     }
 
     #[inline(always)]
-    fn row(&self, row: usize) -> &[(u32, Complex64)] {
+    pub(crate) fn row(&self, row: usize) -> &[(u32, Complex64)] {
         &self.entries[self.row_ptr[row] as usize..self.row_ptr[row + 1] as usize]
     }
 }
 
 /// The allocation-free `k ≤ 5` kernel: stack scratch, hoisted offset table,
 /// sparse-row iteration when the matrix has enough zeros, contiguous dense
-/// rows otherwise.
+/// rows otherwise. The AVX2 path processes two amplitude groups per work
+/// item (group `2p` in lane pair 0, group `2p+1` in lane pair 1).
 fn apply_k_qubit_stack(
-    state: &mut StateVector,
+    amps: &mut [Complex64],
     qubits: &[Qubit],
     matrix: &UnitaryMatrix,
     sparse: Option<&SparseRows>,
@@ -562,7 +751,7 @@ fn apply_k_qubit_stack(
 ) {
     let k = qubits.len();
     let dim = 1usize << k;
-    let len = state.len();
+    let len = amps.len();
     let groups = len >> k;
 
     let mut sorted: [Qubit; MAX_STACK_KERNEL_QUBITS] = [0; MAX_STACK_KERNEL_QUBITS];
@@ -572,8 +761,37 @@ fn apply_k_qubit_stack(
     let mut offsets = [0usize; STACK_DIM];
     sub_offset_table(qubits, &mut offsets[..dim]);
 
-    let amps_ptr = SharedAmps::new(state.amplitudes_mut());
+    let amps_ptr = SharedAmps::new(amps);
     let rows = matrix.as_slice();
+    // `groups` is a power of two, so `groups >= 2` guarantees the pair loop
+    // covers every group with no tail.
+    #[cfg(target_arch = "x86_64")]
+    if opts.use_simd() && groups >= 2 {
+        let pairs = groups / 2;
+        let apply_pair = move |p: usize| {
+            let g = p * 2;
+            let base_a = spread_sorted(g, &sorted[..k]);
+            let base_b = spread_sorted(g + 1, &sorted[..k]);
+            // SAFETY: dispatch verified AVX2+FMA; the two groups of a pair
+            // are disjoint from each other and from every other pair.
+            unsafe {
+                crate::simd::apply_k_group_pair(
+                    amps_ptr.as_ptr(),
+                    base_a,
+                    base_b,
+                    &offsets[..dim],
+                    rows,
+                    sparse,
+                );
+            }
+        };
+        if opts.go_parallel(len) {
+            (0..pairs).into_par_iter().for_each(apply_pair);
+        } else {
+            (0..pairs).for_each(apply_pair);
+        }
+        return;
+    }
     let apply_group = |g: usize| {
         let base = spread_sorted(g, &sorted[..k]);
         let mut local = [Complex64::ZERO; STACK_DIM];
@@ -613,7 +831,7 @@ fn apply_k_qubit_stack(
 /// Heap fallback for `k > 5`: one scratch buffer per chunk of groups (and per
 /// gate application in the sequential path), never one per group.
 fn apply_k_qubit_heap(
-    state: &mut StateVector,
+    amps: &mut [Complex64],
     qubits: &[Qubit],
     matrix: &UnitaryMatrix,
     sparse: Option<&SparseRows>,
@@ -621,7 +839,7 @@ fn apply_k_qubit_heap(
 ) {
     let k = qubits.len();
     let dim = 1usize << k;
-    let len = state.len();
+    let len = amps.len();
     let groups = len >> k;
 
     let mut sorted: Vec<Qubit> = qubits.to_vec();
@@ -631,7 +849,7 @@ fn apply_k_qubit_heap(
     let sorted = &sorted;
     let offsets = &offsets;
 
-    let amps_ptr = SharedAmps::new(state.amplitudes_mut());
+    let amps_ptr = SharedAmps::new(amps);
     let rows = matrix.as_slice();
     let run_chunk = |first: usize, last: usize| {
         let mut local = vec![Complex64::ZERO; dim];
@@ -708,6 +926,14 @@ impl SharedAmps {
         }
     }
 
+    /// Raw base pointer. Going through a method (rather than the field) keeps
+    /// closures capturing the whole `Sync` wrapper, not the bare pointer.
+    #[cfg_attr(not(target_arch = "x86_64"), allow(dead_code))]
+    #[inline(always)]
+    fn as_ptr(&self) -> *mut Complex64 {
+        self.ptr
+    }
+
     /// # Safety
     /// Caller must guarantee `idx < len` and that no other thread accesses
     /// `idx` concurrently.
@@ -735,10 +961,12 @@ mod tests {
     const SEQ: ApplyOptions = ApplyOptions {
         parallel: false,
         parallel_threshold: usize::MAX,
+        dispatch: KernelDispatch::Auto,
     };
     const PAR: ApplyOptions = ApplyOptions {
         parallel: true,
         parallel_threshold: 1,
+        dispatch: KernelDispatch::Auto,
     };
 
     /// Reference: apply a gate through the dense embedded-unitary definition.
@@ -802,6 +1030,23 @@ mod tests {
                 gate.qubits,
                 opts.parallel
             );
+            // Forced-scalar dispatch must agree with Auto bit-for-bit: the
+            // SIMD kernels replay the scalar IEEE op sequence exactly.
+            let mut scalar = init.clone();
+            apply_gate_with(
+                &mut scalar,
+                &gate,
+                &opts.with_dispatch(KernelDispatch::Scalar),
+            );
+            for i in 0..scalar.len() {
+                let (s, g) = (scalar.amp(i), got.amp(i));
+                assert!(
+                    s.re.to_bits() == g.re.to_bits() && s.im.to_bits() == g.im.to_bits(),
+                    "dispatch divergence for {} on {:?} at amp {i}: scalar {s:?} vs auto {g:?}",
+                    gate.kind.name(),
+                    gate.qubits
+                );
+            }
         }
     }
 
@@ -879,6 +1124,25 @@ mod tests {
         // Gate on the highest qubit exercises the single-block branch.
         let gate = Gate::new(GateKind::H, vec![7]);
         check_gate_against_reference(gate, 8);
+    }
+
+    #[test]
+    fn scalar_and_auto_dispatch_agree_bitwise_on_whole_circuits() {
+        for name in ["qft", "grover", "adder", "qaoa"] {
+            let c = generators::by_name(name, 9);
+            let auto = run_circuit_with(&c, &SEQ);
+            let scalar = run_circuit_with(&c, &SEQ.with_dispatch(KernelDispatch::Scalar));
+            assert_eq!(
+                auto, scalar,
+                "{name}: auto and forced-scalar dispatch diverged"
+            );
+            let auto_par = run_circuit_with(&c, &PAR);
+            let scalar_par = run_circuit_with(&c, &PAR.with_dispatch(KernelDispatch::Scalar));
+            assert_eq!(
+                auto_par, scalar_par,
+                "{name}: parallel auto and forced-scalar dispatch diverged"
+            );
+        }
     }
 
     #[test]

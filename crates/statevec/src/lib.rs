@@ -14,7 +14,9 @@
 //!   kernel-level optimisation the paper calls orthogonal to its partitioning),
 //! * [`measure`] — probabilities, sampling and expectation values,
 //! * [`interrupt`] — the cooperative [`CancelToken`] the engines poll so a
-//!   long sweep can be abandoned between checkpoints.
+//!   long sweep can be abandoned between checkpoints,
+//! * [`simd`] — runtime-dispatched AVX2+FMA kernels with a bit-identical
+//!   scalar fallback, selected per sweep via [`KernelDispatch`].
 //!
 //! The hierarchical, distributed and multi-level engines live in
 //! `hisvsim-core` and are built entirely from these primitives.
@@ -39,12 +41,14 @@ pub mod gather;
 pub mod interrupt;
 pub mod kernels;
 pub mod measure;
+pub mod simd;
 pub mod state;
 
 pub use fusion::{FusedCircuit, FusedOp, FusionStrategy, DEFAULT_FUSION_WIDTH};
 pub use gather::GatherMap;
 pub use interrupt::{CancelToken, Cancelled};
 pub use kernels::{apply_circuit, apply_gate, run_circuit, ApplyOptions};
+pub use simd::{simd_available, KernelDispatch};
 pub use state::{amplitudes_from_le_bytes, amplitudes_to_le_bytes, StateVector};
 
 /// Commonly used items, re-exported for convenience.
@@ -56,5 +60,6 @@ pub mod prelude {
         run_circuit, run_circuit_with, ApplyOptions,
     };
     pub use crate::measure;
+    pub use crate::simd::{simd_available, KernelDispatch};
     pub use crate::state::StateVector;
 }

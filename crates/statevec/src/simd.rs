@@ -1,0 +1,386 @@
+//! Explicit-width SIMD kernels (x86_64 AVX2+FMA) with runtime dispatch and a
+//! bit-identical scalar contract.
+//!
+//! The fused execution pipeline made the scalar complex multiply-accumulate
+//! loops the wall (see `BENCH_fusion.json`); this module claims the hardware
+//! headroom without giving up reproducibility. Every vector routine here
+//! replays the *exact* IEEE-754 operation sequence of its scalar twin in
+//! `kernels.rs`/`fusion.rs` — one multiply, one add/sub per component, in the
+//! same order — so forced-`Scalar` and `Auto` dispatch produce bit-identical
+//! amplitudes. That is why the complex MAC below is built from
+//! `mul`/`add`/`addsub` rather than a true fused `vfmaddsub` (an FMA skips
+//! the intermediate rounding and would diverge from the scalar fallback in
+//! the last ulp). FMA presence is still part of the detection gate so the
+//! dispatch decision matches the CPU generation the kernels were tuned on.
+//!
+//! Dispatch is decided once per process ([`simd_available`]): the
+//! `HISVSIM_KERNEL=scalar` environment override (how CI pins the fallback
+//! path) wins over CPU detection, and non-x86_64 targets always resolve to
+//! scalar. Per-call forcing goes through
+//! [`ApplyOptions::dispatch`](crate::kernels::ApplyOptions).
+
+use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
+
+/// Which kernel implementation a sweep runs.
+///
+/// Threaded through [`ApplyOptions`](crate::kernels::ApplyOptions), every
+/// engine config, `SimJob`, and shipped cluster jobs, so a whole run — local
+/// or multi-process — resolves its kernels the same way. The differential
+/// harness runs every engine under both variants and asserts bit-identical
+/// amplitudes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum KernelDispatch {
+    /// Use the SIMD kernels when the CPU supports them (AVX2+FMA on x86_64)
+    /// and no `HISVSIM_KERNEL=scalar` override is set; scalar otherwise.
+    #[default]
+    Auto,
+    /// Always run the scalar kernels (the reference path).
+    Scalar,
+}
+
+impl KernelDispatch {
+    /// Stable lowercase name (reports, JSON).
+    pub fn name(&self) -> &'static str {
+        match self {
+            KernelDispatch::Auto => "auto",
+            KernelDispatch::Scalar => "scalar",
+        }
+    }
+
+    /// Whether this dispatch resolves to the SIMD kernels on this process.
+    #[inline]
+    pub fn use_simd(&self) -> bool {
+        match self {
+            KernelDispatch::Scalar => false,
+            KernelDispatch::Auto => simd_available(),
+        }
+    }
+
+    /// The kernel implementation this dispatch resolves to on this process
+    /// (`"avx2"` or `"scalar"`).
+    pub fn resolved_name(&self) -> &'static str {
+        if self.use_simd() {
+            "avx2"
+        } else {
+            "scalar"
+        }
+    }
+}
+
+impl std::fmt::Display for KernelDispatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Whether `Auto` dispatch resolves to the SIMD kernels: decided once per
+/// process from the `HISVSIM_KERNEL` environment override (`scalar` forces
+/// the fallback everywhere — the CI forced-scalar job sets it) and runtime
+/// CPU feature detection (AVX2+FMA on x86_64; always false elsewhere).
+pub fn simd_available() -> bool {
+    static AVAILABLE: OnceLock<bool> = OnceLock::new();
+    *AVAILABLE.get_or_init(|| {
+        if let Ok(kind) = std::env::var("HISVSIM_KERNEL") {
+            if kind.eq_ignore_ascii_case("scalar") {
+                return false;
+            }
+        }
+        #[cfg(target_arch = "x86_64")]
+        {
+            is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma")
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            false
+        }
+    })
+}
+
+#[cfg(target_arch = "x86_64")]
+pub(crate) use avx2::*;
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use crate::kernels::{SparseRows, STACK_DIM};
+    use hisvsim_circuit::{Complex64, UnitaryMatrix};
+    use std::arch::x86_64::*;
+
+    // -- bit-exact primitives ------------------------------------------------
+    //
+    // A 256-bit vector holds two interleaved complex amplitudes:
+    // `[z0.re, z0.im, z1.re, z1.im]`. The scalar reference operations are
+    //
+    //   mul_add:  acc + m·z  =  ((acc.re + m.re·z.re) - m.im·z.im,
+    //                            (acc.im + m.re·z.im) + m.im·z.re)
+    //   mul:            a·b  =  (a.re·b.re - a.im·b.im,
+    //                            a.re·b.im + a.im·b.re)
+    //
+    // (parenthesisation is the scalar evaluation order in
+    // `hisvsim_circuit::Complex64`). Each component below is computed with
+    // exactly one multiply feeding one add/sub per scalar op — `addsub`
+    // subtracts in even (re) lanes and adds in odd (im) lanes, which is
+    // precisely the sign pattern of both formulas — so every lane rounds
+    // identically to the scalar code. The helpers are `inline(always)` so
+    // they compile inside their `#[target_feature]` callers.
+
+    /// `acc + m·z` per lane pair, with `m` pre-splatted into `m_re`/`m_im`.
+    #[inline(always)]
+    unsafe fn macc(acc: __m256d, m_re: __m256d, m_im: __m256d, vz: __m256d) -> __m256d {
+        let t1 = _mm256_add_pd(acc, _mm256_mul_pd(m_re, vz));
+        let t2 = _mm256_mul_pd(m_im, _mm256_permute_pd(vz, 0b0101));
+        _mm256_addsub_pd(t1, t2)
+    }
+
+    /// `a·b` per lane pair (both operands interleaved complex).
+    #[inline(always)]
+    pub(crate) unsafe fn cmul(va: __m256d, vb: __m256d) -> __m256d {
+        let t1 = _mm256_mul_pd(_mm256_movedup_pd(va), vb);
+        let t2 = _mm256_mul_pd(_mm256_permute_pd(va, 0b1111), _mm256_permute_pd(vb, 0b0101));
+        _mm256_addsub_pd(t1, t2)
+    }
+
+    /// Load two (possibly non-adjacent) amplitudes into one vector:
+    /// lane pair 0 = `*lo`, lane pair 1 = `*hi`.
+    #[inline(always)]
+    pub(crate) unsafe fn load2(lo: *const Complex64, hi: *const Complex64) -> __m256d {
+        let l = _mm_loadu_pd(lo as *const f64);
+        let h = _mm_loadu_pd(hi as *const f64);
+        _mm256_insertf128_pd(_mm256_castpd128_pd256(l), h, 1)
+    }
+
+    /// Broadcast one amplitude into both lane pairs (unaligned-safe —
+    /// `Complex64` is only 8-byte aligned, so never form `&__m128d` to it).
+    #[inline(always)]
+    pub(crate) unsafe fn broadcast1(z: *const Complex64) -> __m256d {
+        let v = _mm_loadu_pd(z as *const f64);
+        _mm256_set_m128d(v, v)
+    }
+
+    /// Store the two lane pairs of `v` to two (possibly non-adjacent) slots.
+    #[inline(always)]
+    unsafe fn store2(lo: *mut Complex64, hi: *mut Complex64, v: __m256d) {
+        _mm_storeu_pd(lo as *mut f64, _mm256_castpd256_pd128(v));
+        _mm_storeu_pd(hi as *mut f64, _mm256_extractf128_pd(v, 1));
+    }
+
+    #[inline(always)]
+    unsafe fn splat_re_im(v: Complex64) -> (__m256d, __m256d) {
+        (_mm256_set1_pd(v.re), _mm256_set1_pd(v.im))
+    }
+
+    // -- single-qubit dense kernel ------------------------------------------
+
+    /// AVX2 twin of the scalar `apply_single` pair loop: `new_lo[j] =
+    /// m0·lo[j] + m1·hi[j]`, `new_hi[j] = m2·lo[j] + m3·hi[j]`, two `j` per
+    /// iteration.
+    ///
+    /// # Safety
+    /// Caller must have verified AVX2+FMA support; `lo` and `hi` must have
+    /// equal, even lengths.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(crate) unsafe fn apply_single_pairs(
+        lo: &mut [Complex64],
+        hi: &mut [Complex64],
+        m: &[Complex64; 4],
+    ) {
+        debug_assert_eq!(lo.len(), hi.len());
+        debug_assert_eq!(lo.len() % 2, 0);
+        let (m0re, m0im) = splat_re_im(m[0]);
+        let (m1re, m1im) = splat_re_im(m[1]);
+        let (m2re, m2im) = splat_re_im(m[2]);
+        let (m3re, m3im) = splat_re_im(m[3]);
+        let zero = _mm256_setzero_pd();
+        let n = lo.len();
+        let lo_ptr = lo.as_mut_ptr();
+        let hi_ptr = hi.as_mut_ptr();
+        let mut j = 0usize;
+        while j < n {
+            let va = _mm256_loadu_pd(lo_ptr.add(j) as *const f64);
+            let vb = _mm256_loadu_pd(hi_ptr.add(j) as *const f64);
+            let na = macc(macc(zero, m0re, m0im, va), m1re, m1im, vb);
+            let nb = macc(macc(zero, m2re, m2im, va), m3re, m3im, vb);
+            _mm256_storeu_pd(lo_ptr.add(j) as *mut f64, na);
+            _mm256_storeu_pd(hi_ptr.add(j) as *mut f64, nb);
+            j += 2;
+        }
+    }
+
+    /// Qubit-0 case: the (a, b) pairs are adjacent in memory, so process two
+    /// pairs per iteration by deinterleaving across 128-bit lanes. A trailing
+    /// lone pair (slice length 2) is finished scalar — the vector path
+    /// replays the scalar op sequence, so the seam is invisible.
+    ///
+    /// # Safety
+    /// Caller must have verified AVX2+FMA support; `amps.len()` must be even.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(crate) unsafe fn apply_single_q0(amps: &mut [Complex64], m: &[Complex64; 4]) {
+        debug_assert_eq!(amps.len() % 2, 0);
+        let len = amps.len();
+        let (m0re, m0im) = splat_re_im(m[0]);
+        let (m1re, m1im) = splat_re_im(m[1]);
+        let (m2re, m2im) = splat_re_im(m[2]);
+        let (m3re, m3im) = splat_re_im(m[3]);
+        let zero = _mm256_setzero_pd();
+        let ptr = amps.as_mut_ptr();
+        let mut i = 0usize;
+        while i + 4 <= len {
+            let v0 = _mm256_loadu_pd(ptr.add(i) as *const f64); // [a0, b0]
+            let v1 = _mm256_loadu_pd(ptr.add(i + 2) as *const f64); // [a1, b1]
+            let va = _mm256_permute2f128_pd(v0, v1, 0x20); // [a0, a1]
+            let vb = _mm256_permute2f128_pd(v0, v1, 0x31); // [b0, b1]
+            let na = macc(macc(zero, m0re, m0im, va), m1re, m1im, vb);
+            let nb = macc(macc(zero, m2re, m2im, va), m3re, m3im, vb);
+            _mm256_storeu_pd(ptr.add(i) as *mut f64, _mm256_permute2f128_pd(na, nb, 0x20));
+            _mm256_storeu_pd(
+                ptr.add(i + 2) as *mut f64,
+                _mm256_permute2f128_pd(na, nb, 0x31),
+            );
+            i += 4;
+        }
+        while i + 2 <= len {
+            let a = *ptr.add(i);
+            let b = *ptr.add(i + 1);
+            *ptr.add(i) = Complex64::ZERO.mul_add(m[0], a).mul_add(m[1], b);
+            *ptr.add(i + 1) = Complex64::ZERO.mul_add(m[2], a).mul_add(m[3], b);
+            i += 2;
+        }
+    }
+
+    // -- two-qubit dense kernel ---------------------------------------------
+
+    /// The 4×4 matrix pre-splatted for row-pair accumulation, built once per
+    /// gate application: lane pair 0 carries row `r`, lane pair 1 row `r+1`,
+    /// one `(re, im)` splat vector pair per column.
+    #[derive(Clone, Copy)]
+    pub(crate) struct TwoQubitMat {
+        re01: [__m256d; 4],
+        im01: [__m256d; 4],
+        re23: [__m256d; 4],
+        im23: [__m256d; 4],
+    }
+
+    impl TwoQubitMat {
+        /// # Safety
+        /// Caller must have verified AVX2+FMA support; `matrix` must be 4×4.
+        #[target_feature(enable = "avx2", enable = "fma")]
+        pub(crate) unsafe fn new(matrix: &UnitaryMatrix) -> Self {
+            let m = matrix.as_slice();
+            let mut re01 = [_mm256_setzero_pd(); 4];
+            let mut im01 = [_mm256_setzero_pd(); 4];
+            let mut re23 = [_mm256_setzero_pd(); 4];
+            let mut im23 = [_mm256_setzero_pd(); 4];
+            for c in 0..4 {
+                re01[c] = _mm256_setr_pd(m[c].re, m[c].re, m[4 + c].re, m[4 + c].re);
+                im01[c] = _mm256_setr_pd(m[c].im, m[c].im, m[4 + c].im, m[4 + c].im);
+                re23[c] = _mm256_setr_pd(m[8 + c].re, m[8 + c].re, m[12 + c].re, m[12 + c].re);
+                im23[c] = _mm256_setr_pd(m[8 + c].im, m[8 + c].im, m[12 + c].im, m[12 + c].im);
+            }
+            Self {
+                re01,
+                im01,
+                re23,
+                im23,
+            }
+        }
+
+        /// Apply the matrix to one 4-amplitude group at `ptr + idx[sub]`,
+        /// columns accumulated in ascending order (the scalar order).
+        ///
+        /// # Safety
+        /// Caller guarantees AVX2+FMA, in-bounds indices, and exclusive
+        /// access to the group (the group partition is disjoint by
+        /// construction).
+        #[target_feature(enable = "avx2", enable = "fma")]
+        pub(crate) unsafe fn apply_group(&self, ptr: *mut Complex64, idx: &[usize; 4]) {
+            let mut acc01 = _mm256_setzero_pd();
+            let mut acc23 = _mm256_setzero_pd();
+            for (col, &i) in idx.iter().enumerate() {
+                let vz = broadcast1(ptr.add(i));
+                acc01 = macc(acc01, self.re01[col], self.im01[col], vz);
+                acc23 = macc(acc23, self.re23[col], self.im23[col], vz);
+            }
+            store2(ptr.add(idx[0]), ptr.add(idx[1]), acc01);
+            store2(ptr.add(idx[2]), ptr.add(idx[3]), acc23);
+        }
+    }
+
+    // -- k-qubit prepared kernel --------------------------------------------
+
+    /// Apply a prepared `k ≤ 5` unitary to a *pair* of amplitude groups at
+    /// once: lane pair 0 is group `base_a`, lane pair 1 group `base_b`. The
+    /// matrix traversal (sparse rows or contiguous dense rows) is identical
+    /// to the scalar kernel's, so the accumulation order matches exactly.
+    ///
+    /// # Safety
+    /// Caller guarantees AVX2+FMA, in-bounds indices for both groups,
+    /// exclusive access to both groups, and `offsets.len()` equal to the
+    /// matrix dimension (≤ `2^MAX_STACK_KERNEL_QUBITS`).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(crate) unsafe fn apply_k_group_pair(
+        ptr: *mut Complex64,
+        base_a: usize,
+        base_b: usize,
+        offsets: &[usize],
+        rows: &[Complex64],
+        sparse: Option<&SparseRows>,
+    ) {
+        let dim = offsets.len();
+        debug_assert!(dim <= STACK_DIM);
+        let mut local = [_mm256_setzero_pd(); STACK_DIM];
+        for (slot, &off) in local[..dim].iter_mut().zip(offsets.iter()) {
+            *slot = load2(ptr.add(base_a | off), ptr.add(base_b | off));
+        }
+        match sparse {
+            Some(sparse) => {
+                for (row, &off) in offsets.iter().enumerate() {
+                    let mut acc = _mm256_setzero_pd();
+                    for &(col, v) in sparse.row(row) {
+                        acc = macc(
+                            acc,
+                            _mm256_set1_pd(v.re),
+                            _mm256_set1_pd(v.im),
+                            local[col as usize],
+                        );
+                    }
+                    store2(ptr.add(base_a | off), ptr.add(base_b | off), acc);
+                }
+            }
+            None => {
+                for (row, &off) in offsets.iter().enumerate() {
+                    let mut acc = _mm256_setzero_pd();
+                    for (col, &lv) in local[..dim].iter().enumerate() {
+                        let v = rows[row * dim + col];
+                        acc = macc(acc, _mm256_set1_pd(v.re), _mm256_set1_pd(v.im), lv);
+                    }
+                    store2(ptr.add(base_a | off), ptr.add(base_b | off), acc);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_names_are_stable() {
+        assert_eq!(KernelDispatch::Auto.name(), "auto");
+        assert_eq!(KernelDispatch::Scalar.name(), "scalar");
+        assert!(!KernelDispatch::Scalar.use_simd());
+        assert_eq!(KernelDispatch::Scalar.resolved_name(), "scalar");
+        // Auto's resolution is machine-dependent, but must be consistent.
+        assert_eq!(KernelDispatch::Auto.use_simd(), simd_available());
+        assert_eq!(simd_available(), simd_available());
+    }
+
+    #[test]
+    fn dispatch_round_trips_through_serde() {
+        for d in [KernelDispatch::Auto, KernelDispatch::Scalar] {
+            let json = serde_json::to_string(&d).unwrap();
+            let back: KernelDispatch = serde_json::from_str(&json).unwrap();
+            assert_eq!(d, back);
+        }
+    }
+}

@@ -8,7 +8,7 @@ use hisvsim_core::{
     BaselineConfig, DistConfig, DistributedSimulator, HierConfig, HierarchicalSimulator,
     IqsBaseline, MultilevelConfig, MultilevelSimulator,
 };
-use hisvsim_statevec::{run_circuit, FusionStrategy, StateVector};
+use hisvsim_statevec::{run_circuit, FusionStrategy, KernelDispatch, StateVector};
 use proptest::prelude::*;
 
 /// Tolerance used when comparing engine outputs against the flat reference.
@@ -51,7 +51,12 @@ pub fn small_suite(width: usize) -> Vec<Circuit> {
 ///    twice produces *bit-identical* amplitudes. This is the property the
 ///    plan cache, the SPMD rank bodies, and the process workers (which
 ///    re-fuse the shipped partition independently) all build on: fusion is
-///    a pure function, so a DAG-fused job is exactly reproducible anywhere.
+///    a pure function, so a DAG-fused job is exactly reproducible anywhere;
+/// 3. **dispatch bit-identity** — forced-scalar and auto kernel dispatch
+///    produce *bit-identical* amplitudes. The SIMD kernels replay the exact
+///    scalar operation sequence (no true FMA contraction), so on AVX2
+///    machines this pins the vector paths against the portable fallback,
+///    and elsewhere it degenerates to the determinism check.
 ///
 /// Engines run at a limit derived from the circuit (at least the largest
 /// gate arity), with 4 virtual ranks for dist and 2 for multilevel —
@@ -75,13 +80,14 @@ pub fn assert_all_engines_bit_identical(
                     circuit.name,
                     strategy.name()
                 );
-                let run = |pass: usize| -> StateVector {
+                let run = |dispatch: KernelDispatch, pass: usize| -> StateVector {
                     match engine {
                         "baseline" => {
                             IqsBaseline::new(
                                 BaselineConfig::new(2)
                                     .with_fusion(width)
-                                    .with_fusion_strategy(strategy),
+                                    .with_fusion_strategy(strategy)
+                                    .with_kernel_dispatch(dispatch),
                             )
                             .run(circuit)
                             .state
@@ -90,7 +96,8 @@ pub fn assert_all_engines_bit_identical(
                             HierarchicalSimulator::new(
                                 HierConfig::new(limit)
                                     .with_fusion(width)
-                                    .with_fusion_strategy(strategy),
+                                    .with_fusion_strategy(strategy)
+                                    .with_kernel_dispatch(dispatch),
                             )
                             .run(circuit)
                             .unwrap_or_else(|e| panic!("{label} (pass {pass}): {e}"))
@@ -100,7 +107,8 @@ pub fn assert_all_engines_bit_identical(
                             DistributedSimulator::new(
                                 DistConfig::new(4)
                                     .with_fusion(width)
-                                    .with_fusion_strategy(strategy),
+                                    .with_fusion_strategy(strategy)
+                                    .with_kernel_dispatch(dispatch),
                             )
                             .run(circuit)
                             .unwrap_or_else(|e| panic!("{label} (pass {pass}): {e}"))
@@ -110,7 +118,8 @@ pub fn assert_all_engines_bit_identical(
                             MultilevelSimulator::new(
                                 MultilevelConfig::new(2, limit)
                                     .with_fusion(width)
-                                    .with_fusion_strategy(strategy),
+                                    .with_fusion_strategy(strategy)
+                                    .with_kernel_dispatch(dispatch),
                             )
                             .run(circuit)
                             .unwrap_or_else(|e| panic!("{label} (pass {pass}): {e}"))
@@ -119,12 +128,17 @@ pub fn assert_all_engines_bit_identical(
                         _ => unreachable!(),
                     }
                 };
-                let first = run(1);
-                assert_states_match(&label, &first, &expected);
-                let second = run(2);
+                let scalar = run(KernelDispatch::Scalar, 1);
+                assert_states_match(&label, &scalar, &expected);
+                let second = run(KernelDispatch::Scalar, 2);
                 assert_eq!(
-                    first, second,
+                    scalar, second,
                     "{label}: two runs of the identical configuration must be bit-identical"
+                );
+                let auto = run(KernelDispatch::Auto, 1);
+                assert_eq!(
+                    scalar, auto,
+                    "{label}: forced-scalar and auto kernel dispatch must be bit-identical"
                 );
             }
         }

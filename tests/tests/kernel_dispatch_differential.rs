@@ -1,0 +1,126 @@
+//! Forced-scalar vs auto kernel-dispatch differential suite.
+//!
+//! The SIMD kernels claim *bit-identity* with the portable scalar fallback:
+//! they replay the exact scalar IEEE-754 operation sequence (no true FMA
+//! contraction), so `KernelDispatch::Scalar` and `KernelDispatch::Auto`
+//! must produce the same `f64` bits amplitude for amplitude — on random
+//! initial states, not just `|0…0⟩`. This suite pins that claim for every
+//! kernel the sweeps dispatch to: the specialised per-gate paths (flat
+//! execution across all benchmark families), and the fused paths (two-qubit
+//! dense, prepared k-qubit, diagonal runs, cache-blocked tiling) under both
+//! fusion strategies.
+//!
+//! On machines without AVX2+FMA both dispatches resolve to scalar and the
+//! suite degenerates to a determinism check — still meaningful, never wrong.
+
+use hisvsim_circuit::{generators, Circuit, Complex64};
+use hisvsim_integration_tests::{prop_layered_interleaved, prop_random_interleaved};
+use hisvsim_statevec::{
+    kernels, ApplyOptions, FusedCircuit, FusionStrategy, KernelDispatch, StateVector,
+};
+use proptest::prelude::*;
+
+/// A deterministic pseudo-random normalized state (splitmix64 amplitudes).
+fn random_state(num_qubits: usize, seed: u64) -> StateVector {
+    let mut s = seed;
+    let mut next = move || -> u64 {
+        s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = s;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let mut uniform = move || (next() >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+    let amps = (0..1usize << num_qubits)
+        .map(|_| Complex64::new(uniform(), uniform()))
+        .collect();
+    let mut state = StateVector::from_amplitudes(amps);
+    state.normalize();
+    state
+}
+
+fn scalar_opts() -> ApplyOptions {
+    ApplyOptions::sequential().with_dispatch(KernelDispatch::Scalar)
+}
+
+fn auto_opts() -> ApplyOptions {
+    ApplyOptions::sequential().with_dispatch(KernelDispatch::Auto)
+}
+
+/// Flat per-gate execution and fused execution (both strategies) of
+/// `circuit` on a random initial state: forced-scalar and auto dispatch
+/// must agree bit for bit.
+fn assert_dispatch_bit_identical(circuit: &Circuit, seed: u64) {
+    let base = random_state(circuit.num_qubits(), seed);
+
+    // Flat path: every gate dispatches to its specialised kernel.
+    let mut scalar = base.clone();
+    kernels::apply_circuit_with(&mut scalar, circuit, &scalar_opts());
+    let mut auto = base.clone();
+    kernels::apply_circuit_with(&mut auto, circuit, &auto_opts());
+    assert_eq!(
+        scalar, auto,
+        "{}: flat sweep diverges between Scalar and Auto dispatch",
+        circuit.name
+    );
+
+    // Fused paths: two-qubit dense, prepared k-qubit, diagonal-run and
+    // (for large enough states) cache-blocked tiled sweeps.
+    for strategy in [FusionStrategy::Window, FusionStrategy::Dag] {
+        let fused = FusedCircuit::with_strategy(circuit, 3, strategy);
+        let mut scalar = base.clone();
+        fused.apply(&mut scalar, &scalar_opts());
+        let mut auto = base.clone();
+        fused.apply(&mut auto, &auto_opts());
+        assert_eq!(
+            scalar,
+            auto,
+            "{}: fused ({}) sweep diverges between Scalar and Auto dispatch",
+            circuit.name,
+            strategy.name()
+        );
+    }
+}
+
+/// Every benchmark family — QFT's controlled phases and Hadamards, QAOA's
+/// diagonal runs, Ising/Grover entanglers — on random initial states.
+#[test]
+fn all_gate_families_scalar_and_auto_dispatch_bit_identical() {
+    for (i, name) in generators::FAMILY_NAMES.iter().enumerate() {
+        let circuit = generators::by_name(name, 9);
+        assert_dispatch_bit_identical(&circuit, 0xD15_BA7C4 ^ (i as u64) << 32);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    // Deep random circuits mixing every gate family in adversarial orders.
+    #[test]
+    fn random_interleaved_scalar_and_auto_dispatch_bit_identical(
+        circuit in prop_random_interleaved(),
+        seed in any::<u64>(),
+    ) {
+        assert_dispatch_bit_identical(&circuit, seed);
+    }
+
+    // Long-dependency-chain circuits: diagonal runs and dense groups
+    // separated by full register sweeps.
+    #[test]
+    fn layered_interleaved_scalar_and_auto_dispatch_bit_identical(
+        circuit in prop_layered_interleaved(),
+        seed in any::<u64>(),
+    ) {
+        assert_dispatch_bit_identical(&circuit, seed);
+    }
+}
+
+/// A state big enough to cross the tiled-sweep threshold (> 2^14
+/// amplitudes): the cache-blocked path must stay bit-identical across
+/// dispatches and against the untiled reference semantics already pinned by
+/// the statevec unit tests.
+#[test]
+fn tiled_sweep_scalar_and_auto_dispatch_bit_identical() {
+    let circuit = generators::random_circuit(16, 160, 0x0007_117E);
+    assert_dispatch_bit_identical(&circuit, 0x0007_117E);
+}
