@@ -5,12 +5,18 @@
 //! in `BENCH_kernels.json`.
 //!
 //! ```text
-//! cargo run --release -p hisvsim-bench --bin kernel_microbench [reps]
+//! cargo run --release -p hisvsim-bench --bin kernel_microbench [reps] [--profile-out <path>]
 //! ```
 //!
 //! Default: best-of-3. Each kernel is benchmarked through the public sweep
 //! API (`apply_gate_with` / `FusedCircuit::apply`) so the numbers measure
 //! exactly what the engines execute, dispatch resolution included.
+//!
+//! `--profile-out <path>` additionally emits the measurements as a
+//! [`CostProfile`] in the runtime's warm-start format — drop the file at a
+//! service's `<persist_path>.profile.json` sibling path (or merge it with
+//! `ProfileStore::load_from`) to seed calibrated engine selection from a
+//! controlled benchmark instead of live traffic.
 
 use hisvsim_circuit::{Circuit, Complex64};
 use hisvsim_statevec::{
@@ -121,11 +127,31 @@ fn bench_case(
     case
 }
 
+/// The profile kernel-table name each microbench case measures: the
+/// single-qubit cases exercise the solo sweep, the fused dense cases the
+/// dense group kernel, the diagonal run the streaming diagonal pass —
+/// mirroring the span names the executor's recorder emits.
+fn profile_kernel_name(case: &str) -> &'static str {
+    match case {
+        "single_mid" | "single_q0" => "sweep:solo",
+        "two_qubit_dense" | "k_qubit_prepared" => "sweep:dense",
+        "diagonal_run" => "sweep:diagonal",
+        other => panic!("unmapped microbench case '{other}'"),
+    }
+}
+
 fn main() {
-    let reps: usize = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(3);
+    let mut reps: usize = 3;
+    let mut profile_out: Option<std::path::PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--profile-out" {
+            let path = args.next().expect("--profile-out needs a path");
+            profile_out = Some(path.into());
+        } else {
+            reps = arg.parse().expect("reps must be a positive integer");
+        }
+    }
     println!(
         "kernel microbenchmark: best of {reps}, auto dispatch resolves to {}\n",
         KernelDispatch::Auto.resolved_name()
@@ -210,4 +236,21 @@ fn main() {
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
     std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
     println!("\nwrote BENCH_kernels.json");
+
+    if let Some(path) = profile_out {
+        // One sweep per measured best time, attributed to both dispatches so
+        // a calibrated selector can compare them; band = qubit count, bytes
+        // = one read+write pass over the state.
+        let mut profile = hisvsim_obs::CostProfile::new();
+        let auto_name = KernelDispatch::Auto.resolved_name();
+        for case in &report.kernels {
+            let kernel = profile_kernel_name(&case.kernel);
+            let band = case.qubits as u32;
+            let bytes = 32u64 << case.qubits;
+            profile.absorb_kernel(kernel, "scalar", band, 1, case.scalar_s, bytes);
+            profile.absorb_kernel(kernel, auto_name, band, 1, case.auto_s, bytes);
+        }
+        profile.save(&path).expect("write cost profile");
+        println!("wrote cost profile to {}", path.display());
+    }
 }

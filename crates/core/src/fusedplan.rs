@@ -98,6 +98,13 @@ impl FusedSinglePlan {
             strategy,
         }
     }
+
+    /// Total fused sweeps across every part — the sweep count a full
+    /// execution of this plan performs over its (part-local) states. Feeds
+    /// the predicted-cost side of the runtime's decision verdicts.
+    pub fn total_fused_ops(&self) -> usize {
+        self.parts.iter().map(|p| p.inner.num_ops()).sum()
+    }
 }
 
 /// Fuse one part's gates in working-set-relative space.
@@ -225,6 +232,15 @@ impl FusedTwoLevelPlan {
             fusion_width,
             strategy,
         }
+    }
+
+    /// Total fused sweeps across every second-level part (see
+    /// [`FusedSinglePlan::total_fused_ops`]).
+    pub fn total_fused_ops(&self) -> usize {
+        self.parts
+            .iter()
+            .map(|p| p.second.iter().map(|s| s.inner.num_ops()).sum::<usize>())
+            .sum()
     }
 }
 

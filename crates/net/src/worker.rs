@@ -128,10 +128,24 @@ pub fn run_worker(control_addr: &str, rank: usize) -> Result<(), NetError> {
     let mut comm =
         TcpComm::<Complex64>::connect_mesh(rank, spec.size, spec.network, listener, &spec.peers)?;
     let outcome = execute_shipped_rank(&spec.job, &mut comm)?;
-    let spans = if spec.job.trace {
-        hisvsim_obs::drain()
+    // Aggregate this rank's measured-cost delta from its own spans before
+    // shipping both back: the spans feed the launcher's merged timeline,
+    // the delta feeds its profile store (cell-wise additive merge). The
+    // worker never sees the launcher's profile — calibration happens on
+    // the launcher side only, so shipped jobs stay deterministic.
+    let (spans, profile) = if spec.job.trace {
+        let spans = hisvsim_obs::drain();
+        let mut profile = hisvsim_obs::CostProfile::new();
+        profile.absorb_spans(&spans, spec.job.dispatch.resolved_name());
+        profile.absorb_phase(
+            spec.job.engine.name(),
+            "execute",
+            outcome.compute_time_s,
+            outcome.local.len() as u64 * 32,
+        );
+        (spans, profile)
     } else {
-        Vec::new()
+        (Vec::new(), hisvsim_obs::CostProfile::new())
     };
     send_json(
         &mut control,
@@ -142,6 +156,7 @@ pub fn run_worker(control_addr: &str, rank: usize) -> Result<(), NetError> {
             exchanges: outcome.exchanges,
             amp_count: outcome.local.len(),
             spans,
+            profile,
         },
     )?;
     write_frame(

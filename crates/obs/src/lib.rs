@@ -1,6 +1,6 @@
 //! hisvsim-obs: unified observability for the HiSVSIM workspace.
 //!
-//! Two halves:
+//! Three parts:
 //!
 //! - [`trace`]: a low-overhead span/event recorder. Instrumented code calls
 //!   [`span`]/[`instant`]; recording is off by default (a single relaxed
@@ -14,11 +14,21 @@
 //!   log-scale histograms with Prometheus text exposition
 //!   ([`Registry::render`]) and a strict format checker
 //!   ([`validate_prometheus`]) used by the test suite and CI.
+//!
+//! - [`profile`]: measured-cost aggregation. A [`CostProfile`] folds
+//!   drained spans and job phase timings into per-kernel/per-collective
+//!   bandwidth tables that the runtime's engine selector and fusion
+//!   strategy resolver consult in place of their static models —
+//!   observability closing the loop into placement decisions.
 
 pub mod metrics;
+pub mod profile;
 pub mod trace;
 
 pub use metrics::{validate_prometheus, Counter, Gauge, Histogram, Registry, BUCKET_BOUNDS};
+pub use profile::{
+    CollectiveCost, CostProfile, KernelCost, PhaseCost, ProfileMode, ProfileStore, PROFILE_VERSION,
+};
 pub use trace::{
     chrome_trace_json, drain, dropped, enabled, instant, now_us, record, set_enabled, span,
     SpanGuard, SpanRecord,

@@ -1,12 +1,13 @@
 //! The batch job model: what a caller submits ([`SimJob`]) and what the
 //! scheduler returns ([`JobResult`]).
 
-use crate::selector::EngineKind;
+use crate::selector::{EngineDecision, EngineKind};
 use hisvsim_circuit::{Circuit, Qubit};
 use hisvsim_cluster::CommStats;
 use hisvsim_core::RunReport;
 use hisvsim_obs::SpanRecord;
 use hisvsim_statevec::{FusionStrategy, KernelDispatch, StateVector};
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::time::Duration;
 
@@ -153,6 +154,34 @@ impl SimJob {
     }
 }
 
+/// Predicted-vs-measured audit record for one job's execute phase: what
+/// the cost model (static or calibrated) expected the execution to cost
+/// against what the wall clock measured. The ratio is exported as the
+/// `hisvsim_selector_misprediction_ratio` histogram so model drift is
+/// visible on `/metrics`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DecisionVerdict {
+    /// Modelled execute-phase seconds: swept amplitude bytes over the
+    /// profiled (or nominal) sweep bandwidth, plus the decision's
+    /// per-exchange estimate times the exchanges the run performed.
+    /// Deliberately coarse — its job is trend visibility, not accuracy.
+    pub predicted_execute_s: f64,
+    /// Wall-clock seconds of the execute phase.
+    pub measured_execute_s: f64,
+}
+
+impl DecisionVerdict {
+    /// Measured over predicted: 1.0 is a perfect model, > 1 means the
+    /// model was optimistic. 0 when the prediction degenerated to zero.
+    pub fn ratio(&self) -> f64 {
+        if self.predicted_execute_s > 0.0 {
+            self.measured_execute_s / self.predicted_execute_s
+        } else {
+            0.0
+        }
+    }
+}
+
 /// The outcome of one job.
 #[derive(Debug, Clone)]
 pub struct JobResult {
@@ -163,6 +192,13 @@ pub struct JobResult {
     pub circuit_name: String,
     /// Engine that executed the job.
     pub engine: EngineKind,
+    /// The full selector verdict behind the engine choice — limit, rank
+    /// count, exchange estimate, whether measured signals calibrated it,
+    /// and the human-readable `reason` — so reports can show *why* a job
+    /// landed where it did, not just where.
+    pub decision: EngineDecision,
+    /// Predicted-vs-measured cost audit for the execute phase.
+    pub verdict: DecisionVerdict,
     /// The final state vector (`None` when the scheduler was configured to
     /// release states after post-processing).
     pub state: Option<StateVector>,

@@ -55,7 +55,7 @@ pub mod scheduler;
 pub mod selector;
 
 pub use cache::{CacheStats, CachedPlan, PersistedPlan, PlanCache, PlanKey, PlanSource};
-pub use job::{Backend, JobResult, SimJob};
+pub use job::{Backend, DecisionVerdict, JobResult, SimJob};
 pub use planner::{PlanEffort, Planner};
 pub use pool::{JobControl, JobError, JobRunner, ProcessBackend, ProcessRequest, Semaphore};
 pub use scheduler::{BatchReport, BatchStats, Scheduler, SchedulerConfig};

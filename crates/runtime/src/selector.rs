@@ -84,9 +84,14 @@ pub struct EngineDecision {
     /// Second-level limit (only meaningful for [`EngineKind::Multilevel`]).
     pub second_limit: usize,
     /// Modelled seconds for one full-state redistribution at this size —
-    /// the `netmodel` signal backing the dist/multilevel choice.
+    /// the `netmodel` signal backing the dist/multilevel choice. Replaced
+    /// by the measured collective bandwidth when a warm profile is used.
     pub est_exchange_s: f64,
+    /// Whether any measured-cost signal replaced a modelled one in this
+    /// decision (see [`EngineSelector::decide_with_profile`]).
+    pub calibrated: bool,
     /// Human-readable justification, surfaced by the batch report.
+    /// Calibrated decisions are prefixed with the measured signals used.
     pub reason: String,
 }
 
@@ -206,8 +211,43 @@ impl EngineSelector {
             ranks,
             second_limit,
             est_exchange_s,
+            calibrated: false,
             reason,
         }
+    }
+
+    /// [`EngineSelector::decide`], but with the static model signals
+    /// replaced by profile-derived ones wherever the profile has enough
+    /// data: the measured cache-residency cliff stands in for
+    /// `cache_qubits`, and the measured collective bandwidth stands in
+    /// for the `netmodel` exchange estimate. Signals the profile cannot
+    /// support fall back to the models, so a cold profile reproduces
+    /// [`EngineSelector::decide`] exactly (including `calibrated: false`).
+    pub fn decide_with_profile(
+        &self,
+        circuit: &Circuit,
+        forced: Option<EngineKind>,
+        profile: &hisvsim_obs::CostProfile,
+    ) -> EngineDecision {
+        let mut signals: Vec<&'static str> = Vec::new();
+        let mut effective = self.clone();
+        if let Some(measured) = profile.cache_qubits() {
+            // The cache budget can never exceed the node budget.
+            effective.cache_qubits = (measured as usize).min(effective.node_qubits);
+            signals.push("cache=measured");
+        }
+        let mut decision = effective.decide(circuit, forced);
+        let slice_bytes =
+            ((16u128 << circuit.num_qubits()) / decision.ranks.max(1) as u128) as usize;
+        if let Some(seconds) = profile.exchange_seconds(slice_bytes) {
+            decision.est_exchange_s = seconds;
+            signals.push("exchange=measured");
+        }
+        if !signals.is_empty() {
+            decision.calibrated = true;
+            decision.reason = format!("calibrated[{}]: {}", signals.join(","), decision.reason);
+        }
+        decision
     }
 
     fn auto_engine(&self, n: usize) -> EngineKind {
@@ -329,6 +369,55 @@ mod tests {
                 d.ranks
             );
         }
+    }
+
+    #[test]
+    fn calibrated_decide_uses_measured_signals_and_cold_falls_back() {
+        use hisvsim_obs::CostProfile;
+
+        let s = EngineSelector::scaled(18, 26);
+        let circuit = generators::qft(20);
+
+        // Cold profile: identical to the uncalibrated decision.
+        let cold = s.decide_with_profile(&circuit, None, &CostProfile::new());
+        let plain = s.decide(&circuit, None);
+        assert!(!cold.calibrated);
+        assert_eq!(cold.engine, plain.engine);
+        assert_eq!(cold.reason, plain.reason);
+
+        // Warm profile: near-peak bandwidth through band 21, cliff at 22
+        // → measured cache budget 21 qubits, so the 20-qubit job now fits
+        // the cache and lands on the baseline engine.
+        let mut profile = CostProfile::new();
+        for (band, gbps) in [(19u32, 100.0), (20, 95.0), (21, 90.0), (22, 40.0)] {
+            let bytes = 64u64 << band;
+            profile.absorb_kernel(
+                "sweep:dense",
+                "avx2",
+                band,
+                1,
+                bytes as f64 / (gbps * 1e9),
+                bytes,
+            );
+        }
+        let warm = s.decide_with_profile(&circuit, None, &profile);
+        assert_eq!(plain.engine, EngineKind::Hier);
+        assert_eq!(warm.engine, EngineKind::Baseline);
+        assert!(warm.calibrated);
+        assert!(
+            warm.reason.starts_with("calibrated[cache=measured]"),
+            "reason: {}",
+            warm.reason
+        );
+
+        // Measured collective bandwidth replaces the netmodel estimate.
+        profile.absorb_collective("alltoallv", 4, 0.1, 1 << 28);
+        let dist = s.decide_with_profile(&circuit, Some(EngineKind::Dist), &profile);
+        assert!(dist.calibrated);
+        assert!(dist.reason.contains("exchange=measured"), "{}", dist.reason);
+        let slice_bytes = ((16u128 << 20) / dist.ranks as u128) as f64;
+        let expected = slice_bytes * 0.1 / (1u64 << 28) as f64;
+        assert!((dist.est_exchange_s - expected).abs() < 1e-12);
     }
 
     #[test]

@@ -182,6 +182,8 @@ struct ServiceMetrics {
     registry: Registry,
     job_wall_seconds: Arc<Histogram>,
     job_plan_seconds: Arc<Histogram>,
+    selector_misprediction_ratio: Arc<Histogram>,
+    selector_calibrated_total: Arc<Counter>,
     comm_bytes_total: Arc<Counter>,
     comm_messages_total: Arc<Counter>,
     comm_wall_seconds_total: Arc<Counter>,
@@ -198,6 +200,16 @@ impl ServiceMetrics {
             job_plan_seconds: registry.histogram(
                 "hisvsim_job_plan_seconds",
                 "Seconds spent obtaining the plan per completed job (~0 on a cache hit).",
+            ),
+            selector_misprediction_ratio: registry.histogram(
+                "hisvsim_selector_misprediction_ratio",
+                "Measured-over-predicted execute seconds per completed job (1.0 = perfect \
+                 cost model; drift here says the profile or the static model is stale).",
+            ),
+            selector_calibrated_total: registry.counter(
+                "hisvsim_selector_calibrated_decisions_total",
+                "Completed jobs whose engine or fusion-strategy decision used \
+                 measured-profile signals instead of the static model.",
             ),
             comm_bytes_total: registry.counter(
                 "hisvsim_comm_bytes_sent_total",
@@ -223,6 +235,13 @@ impl ServiceMetrics {
     fn observe_job(&self, result: &hisvsim_runtime::JobResult) {
         self.job_wall_seconds.observe(result.wall_time_s);
         self.job_plan_seconds.observe(result.plan_time_s);
+        if result.verdict.predicted_execute_s > 0.0 {
+            self.selector_misprediction_ratio
+                .observe(result.verdict.ratio());
+        }
+        if result.decision.calibrated {
+            self.selector_calibrated_total.add(1.0);
+        }
         let comm = result.comm_stats();
         self.comm_bytes_total.add(comm.bytes_sent as f64);
         self.comm_messages_total.add(comm.messages_sent as f64);
@@ -280,6 +299,14 @@ impl SimService {
             if path.exists() {
                 // A corrupt snapshot degrades to a cold start.
                 let _ = runner.cache().load_snapshot(path);
+            }
+            // The measured-cost profile lives next to the plan snapshot and
+            // warms the same way: a restarted service resumes calibrated
+            // decisions immediately (a corrupt or missing profile degrades
+            // to the static cost model, never to an error).
+            let profile_path = profile_path_for(path);
+            if profile_path.exists() {
+                let _ = runner.config().profile.load_from(&profile_path);
             }
         }
         let inner = Arc::new(Inner {
@@ -462,6 +489,12 @@ impl SimService {
              were emitted in their cheaper solo form instead (process-wide).",
             hisvsim_statevec::fusion::fusion_fallback_count(),
         );
+        counter(
+            "hisvsim_obs_spans_dropped_total",
+            "Trace spans discarded because a thread's ring buffer was full (process-wide; \
+             nonzero means timelines and profile deltas are incomplete).",
+            hisvsim_obs::dropped(),
+        );
         let gauge = |name: &str, help: &str, value: f64| {
             reg.gauge(name, help).set(value);
         };
@@ -480,7 +513,38 @@ impl SimService {
             "Hits (memory + warm) over total lookups.",
             c.hit_rate(),
         );
+        gauge(
+            "hisvsim_profile_warm",
+            "1 when the measured-cost profile has cells (calibrated decisions possible).",
+            if self.inner.runner.config().profile.warm() {
+                1.0
+            } else {
+                0.0
+            },
+        );
         reg.render()
+    }
+
+    /// The measured-cost profile store the worker-pool core calibrates
+    /// from. Shared (`Arc`): hand it to a `ClusterLauncher` profile sink,
+    /// freeze it for reproducible decisions, or inspect its snapshot.
+    pub fn profile_store(&self) -> Arc<hisvsim_obs::ProfileStore> {
+        Arc::clone(&self.inner.runner.config().profile)
+    }
+
+    /// Drain the global span recorder into the profile store and return how
+    /// many spans were absorbed. **Consumes the trace buffer** — callers
+    /// that also export timelines should export first, then absorb. Spans
+    /// are attributed to the machine's resolved auto kernel dispatch;
+    /// forced-scalar experiments should keep tracing off or freeze the
+    /// profile so their sweeps do not dilute the auto-dispatch cells.
+    pub fn absorb_trace(&self) -> usize {
+        let spans = hisvsim_obs::drain();
+        self.inner.runner.config().profile.absorb_spans(
+            &spans,
+            hisvsim_statevec::KernelDispatch::Auto.resolved_name(),
+        );
+        spans.len()
     }
 
     /// Timer threads the deadline machinery has ever spawned: `0` before
@@ -491,13 +555,21 @@ impl SimService {
         self.inner.deadlines.threads_spawned.load(Ordering::SeqCst)
     }
 
-    /// Write the plan-cache snapshot now (requires persistence to be
-    /// configured). Returns the number of persisted plans.
+    /// Write the plan-cache snapshot and the measured-cost profile now
+    /// (requires persistence to be configured). Returns the number of
+    /// persisted plans; the profile lands at the sibling
+    /// `<persist_path>.profile.json` path.
     pub fn persist_plans(&self) -> std::io::Result<usize> {
         let path = self.persist_path.as_ref().ok_or_else(|| {
             std::io::Error::new(std::io::ErrorKind::NotFound, "no persist_path configured")
         })?;
-        self.inner.runner.cache().save_snapshot(path)
+        let count = self.inner.runner.cache().save_snapshot(path)?;
+        self.inner
+            .runner
+            .config()
+            .profile
+            .save_to(&profile_path_for(path))?;
+        Ok(count)
     }
 
     /// Drain the queue, join the workers and persist the plan cache (when
@@ -542,8 +614,21 @@ impl SimService {
         }
         if let Some(path) = &self.persist_path {
             let _ = self.inner.runner.cache().save_snapshot(path);
+            let _ = self
+                .inner
+                .runner
+                .config()
+                .profile
+                .save_to(&profile_path_for(path));
         }
     }
+}
+
+/// The measured-cost profile's on-disk home: a sibling of the plan-cache
+/// snapshot (`plans.json` → `plans.profile.json`), so the two warm-start
+/// artifacts travel together.
+fn profile_path_for(persist_path: &std::path::Path) -> PathBuf {
+    persist_path.with_extension("profile.json")
 }
 
 impl Drop for SimService {

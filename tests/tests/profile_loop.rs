@@ -1,0 +1,105 @@
+//! End-to-end calibrate-then-rerun smoke for the measured-cost loop: a
+//! first service run traces real 16-qubit jobs, absorbs the spans into its
+//! profile store, and persists the profile next to the plan snapshot; a
+//! second service at the same persistence path warms from disk and makes a
+//! *calibrated* decision (measured pass cost adjudicating `Auto` fusion),
+//! visible both on the `JobResult` audit trail and the `/metrics`
+//! exposition.
+//!
+//! 16-qubit circuits are deliberate: full-state sweeps at 2^16 amplitudes
+//! are always recorded (below that the tracer samples 1-in-64), so the
+//! calibration pass is deterministic.
+
+use hisvsim_circuit::generators;
+use hisvsim_runtime::{FusionStrategy, SchedulerConfig, SimJob};
+use hisvsim_service::prelude::*;
+
+#[test]
+fn persisted_profile_warms_a_restart_and_calibrates_decisions() {
+    let dir = std::env::temp_dir().join(format!("hisvsim-profile-loop-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let persist = dir.join("plans.json");
+    let profile_path = dir.join("plans.profile.json");
+    let _ = std::fs::remove_file(&persist);
+    let _ = std::fs::remove_file(&profile_path);
+
+    hisvsim_obs::set_enabled(true);
+
+    // --- Run 1: cold service measures its own traffic. ---
+    let service = SimService::start(
+        ServiceConfig::new()
+            .with_scheduler(SchedulerConfig::default().with_workers(2))
+            .with_persistence(&persist),
+    );
+    assert!(
+        !service.profile_store().warm(),
+        "a fresh service with no persisted profile must start cold"
+    );
+    // QFT exercises dense sweeps, QAOA's cost layers collapse to diagonal
+    // runs — together they populate both kernel cells the measured
+    // pass-cost signal needs.
+    for job in [
+        SimJob::new(generators::qft(16)),
+        SimJob::new(generators::by_name("qaoa", 16)),
+    ] {
+        service.submit(job).wait().expect("calibration job failed");
+    }
+    let absorbed = service.absorb_trace();
+    assert!(absorbed > 0, "16-qubit sweeps must record spans");
+    let snapshot = service.profile_store().snapshot();
+    assert!(
+        snapshot.pass_cost().is_some(),
+        "dense + diagonal cells must yield a measured pass cost"
+    );
+    assert!(service.profile_store().warm());
+    service
+        .shutdown()
+        .expect("shutdown persists plans + profile");
+    assert!(
+        profile_path.exists(),
+        "profile must persist beside the plan snapshot"
+    );
+
+    // --- Run 2: a restarted service warms from disk and calibrates. ---
+    let service = SimService::start(
+        ServiceConfig::new()
+            .with_scheduler(SchedulerConfig::default().with_workers(2))
+            .with_persistence(&persist),
+    );
+    assert!(
+        service.profile_store().warm(),
+        "restart must reload the persisted profile"
+    );
+    let result = service
+        .submit(SimJob::new(generators::qft(16)).with_fusion_strategy(FusionStrategy::Auto))
+        .wait()
+        .expect("warm job failed");
+    assert!(
+        result.decision.calibrated,
+        "warm profile must calibrate the decision: {}",
+        result.decision.reason
+    );
+    assert!(
+        result.decision.reason.contains("auto fusion ->"),
+        "Auto must resolve against the measured pass cost: {}",
+        result.decision.reason
+    );
+    assert!(
+        result.verdict.measured_execute_s > 0.0 && result.verdict.predicted_execute_s > 0.0,
+        "audit trail must carry a predicted-vs-measured verdict"
+    );
+
+    let metrics = service.metrics_text();
+    assert!(
+        metrics.contains("hisvsim_profile_warm 1"),
+        "warm gauge missing:\n{metrics}"
+    );
+    assert!(
+        metrics.contains("hisvsim_selector_calibrated_decisions_total 1"),
+        "calibrated counter missing:\n{metrics}"
+    );
+    service.shutdown().unwrap();
+
+    hisvsim_obs::set_enabled(false);
+    let _ = std::fs::remove_dir_all(&dir);
+}
