@@ -12,15 +12,23 @@
 //! `--trace <path>` the launcher records its own spans, collects every
 //! worker's span buffer over the control channel, and writes one merged
 //! Chrome trace JSON (open in `chrome://tracing` or Perfetto).
+//!
+//! Failure diagnostics go through the structured logger
+//! ([`hisvsim_obs::log`]): JSON lines on stderr, filtered by
+//! `HISVSIM_LOG` (launcher/worker lifecycle events surface at
+//! `HISVSIM_LOG=debug`). Success output stays on stdout.
 
 use hisvsim_circuit::generators;
 use hisvsim_cluster::NetworkModel;
 use hisvsim_dag::CircuitDag;
 use hisvsim_net::{execute_local_reference, ClusterLauncher, RankSummary, ShippedJob};
+use hisvsim_obs::log;
 use hisvsim_partition::Strategy;
 use hisvsim_runtime::{EngineKind, PersistedPlan};
 use hisvsim_statevec::{FusionStrategy, DEFAULT_FUSION_WIDTH};
 use std::process::ExitCode;
+
+const LOG_TARGET: &str = "hisvsim-net";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
@@ -33,14 +41,22 @@ fn main() -> ExitCode {
             let rank: usize = match rank.parse() {
                 Ok(rank) => rank,
                 Err(_) => {
-                    eprintln!("rank must be an integer, got '{rank}'");
+                    log::error(
+                        LOG_TARGET,
+                        "rank must be an integer",
+                        &[("rank", rank.as_str())],
+                    );
                     return ExitCode::FAILURE;
                 }
             };
             match hisvsim_net::run_worker(control_addr, rank) {
                 Ok(()) => ExitCode::SUCCESS,
                 Err(e) => {
-                    eprintln!("worker rank {rank}: {e}");
+                    log::error(
+                        LOG_TARGET,
+                        "worker failed",
+                        &[("rank", &rank.to_string()), ("error", &e.to_string())],
+                    );
                     ExitCode::FAILURE
                 }
             }
@@ -127,22 +143,37 @@ fn smoke(qubits: usize, workers: usize, trace_path: Option<&str>) -> ExitCode {
         let (state, report, ranks) = match launcher.execute_detailed(&job, network) {
             Ok(result) => result,
             Err(e) => {
-                eprintln!("smoke: {engine} process run failed: {e}");
+                log::error(
+                    LOG_TARGET,
+                    "smoke process run failed",
+                    &[("engine", engine.name()), ("error", &e.to_string())],
+                );
                 return ExitCode::FAILURE;
             }
         };
         let (reference, _) = match execute_local_reference(&job, workers, network) {
             Ok(result) => result,
             Err(e) => {
-                eprintln!("smoke: {engine} reference run failed: {e}");
+                log::error(
+                    LOG_TARGET,
+                    "smoke reference run failed",
+                    &[("engine", engine.name()), ("error", &e.to_string())],
+                );
                 return ExitCode::FAILURE;
             }
         };
         if state != reference {
-            eprintln!(
-                "smoke: {engine}/{strategy} process run DIVERGED from the in-process run \
-                 (max |diff| = {:.3e})",
-                state.max_abs_diff(&reference)
+            log::error(
+                LOG_TARGET,
+                "smoke process run diverged from the in-process run",
+                &[
+                    ("engine", engine.name()),
+                    ("strategy", strategy.name()),
+                    (
+                        "max_abs_diff",
+                        &format!("{:.3e}", state.max_abs_diff(&reference)),
+                    ),
+                ],
             );
             return ExitCode::FAILURE;
         }
@@ -159,12 +190,20 @@ fn smoke(qubits: usize, workers: usize, trace_path: Option<&str>) -> ExitCode {
     if let Some(path) = trace_path {
         let spans = hisvsim_obs::drain();
         if let Err(msg) = validate_cluster_spans(&spans, workers) {
-            eprintln!("smoke: trace validation failed: {msg}");
+            log::error(
+                LOG_TARGET,
+                "smoke trace validation failed",
+                &[("detail", &msg)],
+            );
             return ExitCode::FAILURE;
         }
         let json = hisvsim_obs::chrome_trace_json(&spans);
         if let Err(e) = std::fs::write(path, &json) {
-            eprintln!("smoke: cannot write trace to {path}: {e}");
+            log::error(
+                LOG_TARGET,
+                "smoke cannot write trace",
+                &[("path", path), ("error", &e.to_string())],
+            );
             return ExitCode::FAILURE;
         }
         println!(

@@ -9,6 +9,7 @@ use crate::worker::execute_shipped_rank;
 use hisvsim_circuit::Complex64;
 use hisvsim_cluster::{run_spmd, NetworkModel};
 use hisvsim_core::{aggregate_outcomes, RankOutcome, RunReport};
+use hisvsim_obs::log;
 use hisvsim_runtime::{ProcessBackend, ProcessRequest};
 use hisvsim_statevec::{amplitudes_from_le_bytes, StateVector};
 use std::io;
@@ -16,6 +17,8 @@ use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
+
+const LOG_TARGET: &str = "hisvsim-net::launcher";
 
 /// Errors of the launcher/worker pipeline.
 #[derive(Debug)]
@@ -213,6 +216,16 @@ impl ClusterLauncher {
         let start = Instant::now();
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let control_addr = listener.local_addr()?.to_string();
+        log::info(
+            LOG_TARGET,
+            "launching worker world",
+            &[
+                ("workers", &self.workers.to_string()),
+                ("engine", job.engine.name()),
+                ("circuit", &job.circuit.name),
+                ("control", &control_addr),
+            ],
+        );
 
         let mut guard = ChildGuard::new();
         {
@@ -252,6 +265,17 @@ impl ClusterLauncher {
             .collect();
         let peers: Vec<String> = controls.iter().map(|(_, addr)| addr.clone()).collect();
         drop(rendezvous);
+        log::debug(
+            LOG_TARGET,
+            "rendezvous complete",
+            &[
+                ("workers", &self.workers.to_string()),
+                (
+                    "elapsed_s",
+                    &format!("{:.3}", start.elapsed().as_secs_f64()),
+                ),
+            ],
+        );
 
         // Ship the job (plan partitions + circuit; workers re-fuse locally).
         {
@@ -311,6 +335,16 @@ impl ClusterLauncher {
             if let Some(store) = &self.profile {
                 store.merge(&report.profile);
             }
+            log::debug(
+                LOG_TARGET,
+                "rank gathered",
+                &[
+                    ("rank", &rank.to_string()),
+                    ("amps", &report.amp_count.to_string()),
+                    ("exchanges", &report.exchanges.to_string()),
+                    ("compute_s", &format!("{:.3}", report.compute_time_s)),
+                ],
+            );
             summaries.push(RankSummary {
                 rank,
                 compute_time_s: report.compute_time_s,
@@ -325,10 +359,26 @@ impl ClusterLauncher {
                 local,
             });
         }
-        guard.wait_all()?;
+        if let Err(failure) = guard.wait_all() {
+            log::error(
+                LOG_TARGET,
+                "worker world failed",
+                &[("error", &failure.to_string())],
+            );
+            return Err(failure);
+        }
         drop(gather);
 
         let wall = start.elapsed().as_secs_f64();
+        log::info(
+            LOG_TARGET,
+            "cluster run complete",
+            &[
+                ("workers", &self.workers.to_string()),
+                ("circuit", &job.circuit.name),
+                ("wall_s", &format!("{wall:.3}")),
+            ],
+        );
         let (state, report) = aggregate_outcomes(
             job.engine.name(),
             "process",
@@ -377,6 +427,11 @@ fn await_readable(stream: &TcpStream, guard: &mut ChildGuard) -> Result<(), NetE
                 ) =>
             {
                 if let Some(failure) = guard.any_failed() {
+                    log::error(
+                        LOG_TARGET,
+                        "worker died during gather",
+                        &[("error", &failure)],
+                    );
                     break Err(NetError::Worker(failure));
                 }
             }
@@ -400,9 +455,15 @@ fn accept_with_deadline(
             Ok((stream, _)) => break Ok(stream),
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 if let Some(failure) = guard.any_failed() {
+                    log::error(
+                        LOG_TARGET,
+                        "worker died during rendezvous",
+                        &[("error", &failure)],
+                    );
                     break Err(NetError::Worker(failure));
                 }
                 if Instant::now() > deadline {
+                    log::error(LOG_TARGET, "rendezvous timed out", &[]);
                     break Err(NetError::Protocol(
                         "timed out waiting for workers to check in".to_string(),
                     ));

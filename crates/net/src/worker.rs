@@ -16,9 +16,12 @@ use hisvsim_core::{
     FusedTwoLevelPlan, RankOutcome,
 };
 use hisvsim_dag::CircuitDag;
+use hisvsim_obs::log;
 use hisvsim_runtime::{EngineKind, PersistedPlan};
 use hisvsim_statevec::amplitudes_to_le_bytes;
 use std::net::{TcpListener, TcpStream};
+
+const LOG_TARGET: &str = "hisvsim-net::worker";
 
 /// Execute one rank of a shipped job on any [`RankComm`] world. This is the
 /// single dispatch point shared by worker processes (over
@@ -125,9 +128,28 @@ pub fn run_worker(control_addr: &str, rank: usize) -> Result<(), NetError> {
     if spec.job.trace {
         hisvsim_obs::set_enabled(true);
     }
+    log::debug(
+        LOG_TARGET,
+        "launch spec received",
+        &[
+            ("rank", &rank.to_string()),
+            ("size", &spec.size.to_string()),
+            ("engine", spec.job.engine.name()),
+            ("circuit", &spec.job.circuit.name),
+        ],
+    );
     let mut comm =
         TcpComm::<Complex64>::connect_mesh(rank, spec.size, spec.network, listener, &spec.peers)?;
     let outcome = execute_shipped_rank(&spec.job, &mut comm)?;
+    log::debug(
+        LOG_TARGET,
+        "rank body complete",
+        &[
+            ("rank", &rank.to_string()),
+            ("compute_s", &format!("{:.3}", outcome.compute_time_s)),
+            ("exchanges", &outcome.exchanges.to_string()),
+        ],
+    );
     // Aggregate this rank's measured-cost delta from its own spans before
     // shipping both back: the spans feed the launcher's merged timeline,
     // the delta feeds its profile store (cell-wise additive merge). The

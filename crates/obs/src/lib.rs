@@ -1,6 +1,6 @@
 //! hisvsim-obs: unified observability for the HiSVSIM workspace.
 //!
-//! Three parts:
+//! Four parts:
 //!
 //! - [`trace`]: a low-overhead span/event recorder. Instrumented code calls
 //!   [`span`]/[`instant`]; recording is off by default (a single relaxed
@@ -15,16 +15,22 @@
 //!   ([`Registry::render`]) and a strict format checker
 //!   ([`validate_prometheus`]) used by the test suite and CI.
 //!
+//! - [`log`]: leveled structured JSON logging on the same clock as the
+//!   span recorder, filtered by `HISVSIM_LOG` and mirrored into the trace
+//!   timeline as instant events when recording is on.
+//!
 //! - [`profile`]: measured-cost aggregation. A [`CostProfile`] folds
 //!   drained spans and job phase timings into per-kernel/per-collective
 //!   bandwidth tables that the runtime's engine selector and fusion
 //!   strategy resolver consult in place of their static models —
 //!   observability closing the loop into placement decisions.
 
+pub mod log;
 pub mod metrics;
 pub mod profile;
 pub mod trace;
 
+pub use log::{log_enabled, set_max_level, Level};
 pub use metrics::{validate_prometheus, Counter, Gauge, Histogram, Registry, BUCKET_BOUNDS};
 pub use profile::{
     CollectiveCost, CostProfile, KernelCost, PhaseCost, ProfileMode, ProfileStore, PROFILE_VERSION,

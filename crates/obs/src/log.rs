@@ -1,0 +1,219 @@
+//! Leveled structured logging on the obs clock.
+//!
+//! Events are one JSON object per line on stderr — machine-splittable the
+//! way the rest of the observability surface already is — and carry the
+//! same microsecond timestamps as the span recorder ([`crate::now_us`]),
+//! so a log line can be correlated with the trace timeline it interleaves.
+//! When the span recorder is enabled, every emitted event is also mirrored
+//! as a trace instant event under the `"log"` category, which makes log
+//! context visible inside Perfetto next to the spans it annotates.
+//!
+//! Filtering is by a single maximum level, read once from the
+//! `HISVSIM_LOG` environment variable (`off`, `error`, `warn`, `info`,
+//! `debug`, `trace`; default `warn`) and overridable at runtime with
+//! [`set_max_level`] (tests, embedding binaries).
+
+use std::io::Write;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Log severity, ordered from most to least severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Unrecoverable or user-visible failures.
+    Error = 0,
+    /// Suspicious conditions the process survives.
+    Warn = 1,
+    /// Lifecycle milestones (listen addresses, rendezvous, shutdown).
+    Info = 2,
+    /// Per-job / per-connection diagnostics.
+    Debug = 3,
+    /// High-volume internals.
+    Trace = 4,
+}
+
+impl Level {
+    /// Lower-case name as emitted in the JSON `level` field.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Option<Level>> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "off" | "none" => Some(None),
+            "error" => Some(Some(Level::Error)),
+            "warn" | "warning" => Some(Some(Level::Warn)),
+            "info" => Some(Some(Level::Info)),
+            "debug" => Some(Some(Level::Debug)),
+            "trace" => Some(Some(Level::Trace)),
+            _ => None,
+        }
+    }
+}
+
+/// Threshold encoding: number of enabled levels (0 = off, 1 = error only,
+/// …, 5 = everything). `u8::MAX` in `OVERRIDE` means "defer to the env".
+const DEFAULT_THRESHOLD: u8 = Level::Warn as u8 + 1;
+static OVERRIDE: AtomicU8 = AtomicU8::new(u8::MAX);
+
+fn env_threshold() -> u8 {
+    static ENV: OnceLock<u8> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        match std::env::var("HISVSIM_LOG")
+            .ok()
+            .and_then(|v| Level::parse(&v))
+        {
+            Some(None) => 0,
+            Some(Some(level)) => level as u8 + 1,
+            None => DEFAULT_THRESHOLD,
+        }
+    })
+}
+
+fn threshold() -> u8 {
+    let over = OVERRIDE.load(Ordering::Relaxed);
+    if over == u8::MAX {
+        env_threshold()
+    } else {
+        over
+    }
+}
+
+/// Override the env-derived filter at runtime; `None` silences everything.
+pub fn set_max_level(level: Option<Level>) {
+    OVERRIDE.store(level.map_or(0, |l| l as u8 + 1), Ordering::Relaxed);
+}
+
+/// Whether an event at `level` would currently be emitted.
+#[inline]
+pub fn log_enabled(level: Level) -> bool {
+    (level as u8) < threshold()
+}
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn format_line(level: Level, target: &str, msg: &str, fields: &[(&str, &str)]) -> String {
+    let mut out = String::with_capacity(64 + msg.len());
+    out.push_str("{\"ts_us\":");
+    out.push_str(&crate::trace::now_us().to_string());
+    out.push_str(",\"level\":\"");
+    out.push_str(level.as_str());
+    out.push_str("\",\"target\":");
+    push_json_str(&mut out, target);
+    out.push_str(",\"msg\":");
+    push_json_str(&mut out, msg);
+    for (key, value) in fields {
+        out.push(',');
+        push_json_str(&mut out, key);
+        out.push(':');
+        push_json_str(&mut out, value);
+    }
+    out.push('}');
+    out
+}
+
+/// Emit a structured event. `target` names the subsystem (crate or module),
+/// `fields` are extra key/value pairs appended to the JSON object. Below
+/// the active filter this is a single relaxed atomic load.
+pub fn log(level: Level, target: &str, msg: &str, fields: &[(&str, &str)]) {
+    if !log_enabled(level) {
+        return;
+    }
+    let line = format_line(level, target, msg, fields);
+    {
+        let stderr = std::io::stderr();
+        let mut handle = stderr.lock();
+        let _ = writeln!(handle, "{line}");
+    }
+    // Mirror into the trace timeline so log context shows up in Perfetto.
+    if crate::trace::enabled() {
+        let mut detail = format!("{target}: {msg}");
+        for (key, value) in fields {
+            detail.push_str(&format!(" {key}={value}"));
+        }
+        crate::trace::instant("log", level.as_str(), detail);
+    }
+}
+
+/// [`log`] at [`Level::Error`].
+pub fn error(target: &str, msg: &str, fields: &[(&str, &str)]) {
+    log(Level::Error, target, msg, fields);
+}
+
+/// [`log`] at [`Level::Warn`].
+pub fn warn(target: &str, msg: &str, fields: &[(&str, &str)]) {
+    log(Level::Warn, target, msg, fields);
+}
+
+/// [`log`] at [`Level::Info`].
+pub fn info(target: &str, msg: &str, fields: &[(&str, &str)]) {
+    log(Level::Info, target, msg, fields);
+}
+
+/// [`log`] at [`Level::Debug`].
+pub fn debug(target: &str, msg: &str, fields: &[(&str, &str)]) {
+    log(Level::Debug, target, msg, fields);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order_and_parse() {
+        assert!(Level::Error < Level::Trace);
+        assert_eq!(Level::parse("INFO"), Some(Some(Level::Info)));
+        assert_eq!(Level::parse("off"), Some(None));
+        assert_eq!(Level::parse("bogus"), None);
+    }
+
+    #[test]
+    fn override_controls_enablement() {
+        set_max_level(Some(Level::Debug));
+        assert!(log_enabled(Level::Error));
+        assert!(log_enabled(Level::Debug));
+        assert!(!log_enabled(Level::Trace));
+        set_max_level(None);
+        assert!(!log_enabled(Level::Error));
+        // Restore the env-derived default for sibling tests.
+        OVERRIDE.store(u8::MAX, Ordering::Relaxed);
+    }
+
+    #[test]
+    fn formatted_lines_are_valid_json_with_escapes() {
+        let line = format_line(
+            Level::Warn,
+            "hisvsim-net",
+            "worker \"3\" died\n",
+            &[("rank", "3"), ("path", "C:\\tmp")],
+        );
+        let v = serde_json::value_from_str(&line).expect("log line parses as JSON");
+        assert_eq!(v.get_field("level").and_then(|x| x.as_str()), Some("warn"));
+        assert_eq!(v.get_field("rank").and_then(|x| x.as_str()), Some("3"));
+        assert_eq!(
+            v.get_field("msg").and_then(|x| x.as_str()),
+            Some("worker \"3\" died\n")
+        );
+        assert!(v.get_field("ts_us").is_some());
+    }
+}

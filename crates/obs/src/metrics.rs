@@ -137,6 +137,28 @@ enum Metric {
     Counter(Arc<Counter>),
     Gauge(Arc<Gauge>),
     Histogram(Arc<Histogram>),
+    /// One counter per label set, keyed by the rendered label block
+    /// (`{code="200",endpoint="/metrics"}`) so each set is a distinct series.
+    CounterFamily(BTreeMap<String, Arc<Counter>>),
+}
+
+/// Render a label set as a Prometheus label block with keys sorted for a
+/// stable series identity regardless of caller order.
+fn label_block(labels: &[(&str, &str)]) -> String {
+    let mut pairs: Vec<(&str, &str)> = labels.to_vec();
+    pairs.sort_by_key(|(k, _)| *k);
+    let body = pairs
+        .iter()
+        .map(|(k, v)| {
+            let escaped = v
+                .replace('\\', "\\\\")
+                .replace('"', "\\\"")
+                .replace('\n', "\\n");
+            format!("{k}=\"{escaped}\"")
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    format!("{{{body}}}")
 }
 
 struct Entry {
@@ -166,6 +188,27 @@ impl Registry {
         });
         match &entry.metric {
             Metric::Counter(c) => Arc::clone(c),
+            _ => panic!("metric `{name}` already registered with a different type"),
+        }
+    }
+
+    /// Get or create the counter for one label set of the labeled family
+    /// `name`. All label sets of a family share one HELP/TYPE declaration
+    /// and render as separate series. Panics if `name` is already
+    /// registered as a non-family metric.
+    pub fn labeled_counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let block = label_block(labels);
+        let mut map = self.inner.lock().unwrap();
+        let entry = map.entry(name.to_string()).or_insert_with(|| Entry {
+            help: help.to_string(),
+            metric: Metric::CounterFamily(BTreeMap::new()),
+        });
+        match &mut entry.metric {
+            Metric::CounterFamily(family) => Arc::clone(
+                family
+                    .entry(block)
+                    .or_insert_with(|| Arc::new(Counter::default())),
+            ),
             _ => panic!("metric `{name}` already registered with a different type"),
         }
     }
@@ -203,7 +246,7 @@ impl Registry {
         let mut out = String::new();
         for (name, entry) in map.iter() {
             let kind = match &entry.metric {
-                Metric::Counter(_) => "counter",
+                Metric::Counter(_) | Metric::CounterFamily(_) => "counter",
                 Metric::Gauge(_) => "gauge",
                 Metric::Histogram(_) => "histogram",
             };
@@ -212,6 +255,11 @@ impl Registry {
             match &entry.metric {
                 Metric::Counter(c) => {
                     out.push_str(&format!("{name} {}\n", fmt_value(c.get())));
+                }
+                Metric::CounterFamily(family) => {
+                    for (block, c) in family.iter() {
+                        out.push_str(&format!("{name}{block} {}\n", fmt_value(c.get())));
+                    }
                 }
                 Metric::Gauge(g) => {
                     out.push_str(&format!("{name} {}\n", fmt_value(g.get())));
@@ -446,6 +494,39 @@ mod tests {
         assert_eq!(c.get(), 5.0);
         assert_eq!(h.count(), 3);
         assert!((h.sum() - 5000.0100005).abs() < 1e-6);
+    }
+
+    #[test]
+    fn labeled_counter_families_render_per_series_and_validate() {
+        let reg = Registry::new();
+        let ok = reg.labeled_counter(
+            "test_requests_total",
+            "requests",
+            &[("endpoint", "/metrics"), ("code", "200")],
+        );
+        ok.inc();
+        ok.inc();
+        // Same label set in a different order must resolve to the same series.
+        let same = reg.labeled_counter(
+            "test_requests_total",
+            "requests",
+            &[("code", "200"), ("endpoint", "/metrics")],
+        );
+        same.inc();
+        let not_found = reg.labeled_counter(
+            "test_requests_total",
+            "requests",
+            &[("code", "404"), ("endpoint", "other")],
+        );
+        not_found.inc();
+        let text = reg.render();
+        validate_prometheus(&text).expect("valid exposition");
+        assert!(text.contains("test_requests_total{code=\"200\",endpoint=\"/metrics\"} 3\n"));
+        assert!(text.contains("test_requests_total{code=\"404\",endpoint=\"other\"} 1\n"));
+        assert_eq!(
+            text.matches("# TYPE test_requests_total counter").count(),
+            1
+        );
     }
 
     #[test]

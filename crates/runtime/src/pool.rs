@@ -406,7 +406,9 @@ impl JobRunner {
         // Each phase is recorded twice on the shared obs clock: into the
         // global span recorder (when enabled) for whole-process traces, and
         // explicitly into the job's own timeline, which is always populated
-        // so `JobResult::timeline()` works without the recorder.
+        // so `JobResult::timeline()` works without the recorder. Recorder
+        // spans carry the job index in their detail (`#<n> ...`) so
+        // interleaved jobs stay attributable in a merged trace.
         let mut timeline: Vec<hisvsim_obs::SpanRecord> = Vec::with_capacity(3);
         let mut phase = |name: &'static str, start_us: u64, elapsed: &Instant, detail: String| {
             timeline.push(hisvsim_obs::SpanRecord {
@@ -425,7 +427,8 @@ impl JobRunner {
         let plan_ts = hisvsim_obs::now_us();
         let plan_start = Instant::now();
         let (plan, source) = {
-            let _span = hisvsim_obs::span("job", "plan").detail(job.circuit.name.clone());
+            let _span = hisvsim_obs::span("job", "plan")
+                .detail(format!("#{job_index} {}", job.circuit.name));
             self.obtain_plan(&job.circuit, &decision, fusion, strategy)
                 .map_err(|error| JobError::PlanFailed {
                     circuit: job.circuit.name.clone(),
@@ -455,7 +458,7 @@ impl JobRunner {
         let exec_ts = hisvsim_obs::now_us();
         let exec_start = Instant::now();
         let exec_span = hisvsim_obs::span("job", "execute").detail(format!(
-            "{} on {} ({} ranks)",
+            "#{job_index} {} on {} ({} ranks)",
             job.circuit.name,
             decision.engine.name(),
             decision.ranks
@@ -531,7 +534,7 @@ impl JobRunner {
         // regardless of worker/thread count.
         let post_ts = hisvsim_obs::now_us();
         let post_start = Instant::now();
-        let post_span = hisvsim_obs::span("job", "postprocess");
+        let post_span = hisvsim_obs::span("job", "postprocess").detail(format!("#{job_index}"));
         let counts = if job.shots > 0 {
             let mut counts = std::collections::BTreeMap::new();
             for outcome in measure::sample_shots(&state, job.shots, job.seed) {

@@ -19,6 +19,13 @@
 //!   assignments / part switches), releasing its resident-state-vector
 //!   slot; cancelling a queued job removes it without running, and
 //!   cancelling a finished job is a no-op.
+//! * **Retained job artifacts** — every terminal job folds its decision
+//!   audit, per-phase timeline, optionally-drained recorder spans and
+//!   measured [`CostProfile`](hisvsim_obs::CostProfile) delta into a
+//!   bounded LRU, servable after completion via
+//!   [`SimService::job_status`], [`SimService::job_trace_json`] and
+//!   [`SimService::job_profile_json`] (the `hisvsim-http` front door's
+//!   `/jobs/<id>` endpoints).
 //! * **Disk-backed warm start** — with
 //!   [`ServiceConfig::with_persistence`], cached partitions are snapshotted
 //!   at shutdown (keyed by
@@ -63,14 +70,17 @@
 
 #![warn(missing_docs)]
 
+pub mod artifacts;
 pub mod handle;
 pub mod service;
 
+pub use artifacts::{JobArtifacts, JobStatusReport, DEFAULT_ARTIFACT_CAPACITY};
 pub use handle::{JobEvent, JobFailure, JobHandle, JobPriority, JobStatus};
 pub use service::{ServiceConfig, ServiceStats, SimService, DEADLINE_EXCEEDED};
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
+    pub use crate::artifacts::{JobArtifacts, JobStatusReport};
     pub use crate::handle::{JobEvent, JobFailure, JobHandle, JobPriority, JobStatus};
     pub use crate::service::{ServiceConfig, ServiceStats, SimService};
 }

@@ -1,20 +1,24 @@
 //! The long-lived job service: a priority queue in front of the runtime's
 //! worker-pool core.
 
+use crate::artifacts::{ArtifactStore, JobArtifacts, JobStatusReport, DEFAULT_ARTIFACT_CAPACITY};
 use crate::handle::{JobEvent, JobFailure, JobHandle, JobPriority, JobShared, JobStatus};
-use hisvsim_obs::{Counter, Histogram, Registry};
+use hisvsim_obs::log;
+use hisvsim_obs::{CostProfile, Counter, Histogram, Registry, SpanRecord};
 use hisvsim_runtime::pool::{JobControl, JobError, JobRunner, Semaphore};
 use hisvsim_runtime::{CacheStats, PlanCache, SchedulerConfig, SimJob};
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Reason prefix carried by the `Failed` event/outcome of a job whose
 /// deadline timer fired (distinguishes it from an explicit `cancel()`).
 pub const DEADLINE_EXCEEDED: &str = "DeadlineExceeded";
+
+const LOG_TARGET: &str = "hisvsim-service";
 
 fn deadline_message(deadline: Duration) -> String {
     format!(
@@ -24,8 +28,8 @@ fn deadline_message(deadline: Duration) -> String {
 }
 
 /// Service configuration: the scheduler configuration the worker-pool core
-/// runs with, plus the service-level persistence knobs.
-#[derive(Debug, Clone, Default)]
+/// runs with, plus the service-level persistence and retention knobs.
+#[derive(Debug, Clone)]
 pub struct ServiceConfig {
     /// Worker count, residency bound, plan-cache capacity, planning effort,
     /// engine selector — identical semantics to batch mode.
@@ -34,6 +38,26 @@ pub struct ServiceConfig {
     /// startup (missing file = cold start, not an error) and written at
     /// shutdown, so a restarted service replans nothing it already planned.
     pub persist_path: Option<PathBuf>,
+    /// Bound of the completed-job artifact LRU (status, timeline, spans,
+    /// profile delta retained per terminal job for later download).
+    pub artifact_capacity: usize,
+    /// When true, each completed job drains the global span recorder into
+    /// its own artifact (and absorbs the spans into the profile store on
+    /// the caller's behalf). Off by default because the drain is
+    /// process-wide: callers that drain the recorder themselves
+    /// ([`SimService::absorb_trace`], timeline exporters) would race it.
+    pub trace_artifacts: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            scheduler: SchedulerConfig::default(),
+            persist_path: None,
+            artifact_capacity: DEFAULT_ARTIFACT_CAPACITY,
+            trace_artifacts: false,
+        }
+    }
 }
 
 impl ServiceConfig {
@@ -52,6 +76,22 @@ impl ServiceConfig {
     /// saved at shutdown and via [`SimService::persist_plans`]).
     pub fn with_persistence(mut self, path: impl Into<PathBuf>) -> Self {
         self.persist_path = Some(path.into());
+        self
+    }
+
+    /// Builder: retain artifacts for up to `capacity` completed jobs
+    /// (default [`DEFAULT_ARTIFACT_CAPACITY`]).
+    pub fn with_artifact_capacity(mut self, capacity: usize) -> Self {
+        self.artifact_capacity = capacity;
+        self
+    }
+
+    /// Builder: drain the span recorder into each completing job's
+    /// artifact, making `/jobs/<id>/trace` downloads carry kernel and
+    /// collective spans. See [`ServiceConfig::trace_artifacts`] for why
+    /// this is opt-in.
+    pub fn with_trace_artifacts(mut self, on: bool) -> Self {
+        self.trace_artifacts = on;
         self
     }
 }
@@ -250,10 +290,32 @@ impl ServiceMetrics {
     }
 }
 
+/// What the service knows about a job that has not yet reached its
+/// artifact: enough to answer a status query while it is queued or
+/// running. The `shared` reference is weak so the registry never extends a
+/// job's lifetime; entries are removed when the job's terminal artifact is
+/// stored.
+struct LiveJob {
+    circuit: String,
+    gates_total: u64,
+    shared: Weak<JobShared>,
+}
+
 struct Inner {
     runner: JobRunner,
     metrics: ServiceMetrics,
     residency: Semaphore,
+    /// Worker threads the pool was started with (for readiness probes).
+    worker_count: usize,
+    /// Resident-state-vector slot capacity backing `residency`.
+    resident_capacity: usize,
+    /// Completed-job artifacts, bounded LRU.
+    artifacts: ArtifactStore,
+    /// Per-job drain of the span recorder into artifacts (see
+    /// [`ServiceConfig::trace_artifacts`]).
+    trace_artifacts: bool,
+    /// Jobs submitted but not yet folded into an artifact, keyed by id.
+    live: Mutex<HashMap<u64, LiveJob>>,
     queue: Mutex<BinaryHeap<QueuedJob>>,
     queue_ready: Condvar,
     shutdown: AtomicBool,
@@ -309,10 +371,17 @@ impl SimService {
                 let _ = runner.config().profile.load_from(&profile_path);
             }
         }
+        let worker_count = config.scheduler.workers.max(1);
+        let resident_capacity = config.scheduler.max_resident.max(1);
         let inner = Arc::new(Inner {
-            residency: Semaphore::new(config.scheduler.max_resident.max(1)),
+            residency: Semaphore::new(resident_capacity),
             runner,
             metrics: ServiceMetrics::new(Registry::new()),
+            worker_count,
+            resident_capacity,
+            artifacts: ArtifactStore::new(config.artifact_capacity),
+            trace_artifacts: config.trace_artifacts,
+            live: Mutex::new(HashMap::new()),
             queue: Mutex::new(BinaryHeap::new()),
             queue_ready: Condvar::new(),
             shutdown: AtomicBool::new(false),
@@ -326,12 +395,21 @@ impl SimService {
             deadlines: DeadlineQueue::default(),
             timer: Mutex::new(None),
         });
-        let workers = (0..config.scheduler.workers.max(1))
+        let workers = (0..worker_count)
             .map(|_| {
                 let inner = Arc::clone(&inner);
                 std::thread::spawn(move || worker_loop(&inner))
             })
             .collect();
+        log::info(
+            LOG_TARGET,
+            "service started",
+            &[
+                ("workers", &worker_count.to_string()),
+                ("resident_slots", &resident_capacity.to_string()),
+                ("artifact_capacity", &config.artifact_capacity.to_string()),
+            ],
+        );
         Self {
             inner,
             persist_path: config.persist_path,
@@ -364,6 +442,14 @@ impl SimService {
             shared: Arc::clone(&shared),
             events: receiver,
         };
+        self.inner.live.lock().expect("live map poisoned").insert(
+            seq,
+            LiveJob {
+                circuit: job.circuit.name.clone(),
+                gates_total: job.circuit.num_gates() as u64,
+                shared: Arc::downgrade(&shared),
+            },
+        );
         if let Some(deadline) = job.deadline {
             arm_deadline(&self.inner, Arc::clone(&shared), deadline);
         }
@@ -514,6 +600,41 @@ impl SimService {
             c.hit_rate(),
         );
         gauge(
+            "hisvsim_service_workers",
+            "Worker threads draining the priority queue.",
+            self.inner.worker_count as f64,
+        );
+        let in_flight = s
+            .submitted
+            .saturating_sub(s.completed + s.cancelled + s.failed)
+            .saturating_sub(s.queue_depth as u64);
+        gauge(
+            "hisvsim_service_jobs_in_flight",
+            "Jobs claimed by a worker and not yet terminal.",
+            in_flight as f64,
+        );
+        let (slots_in_use, slots_capacity) = self.resident_slots();
+        gauge(
+            "hisvsim_service_resident_slots",
+            "Resident-state-vector slot capacity (scheduler max_resident).",
+            slots_capacity as f64,
+        );
+        gauge(
+            "hisvsim_service_resident_slots_in_use",
+            "Resident-state-vector slots currently held by executing jobs.",
+            slots_in_use as f64,
+        );
+        gauge(
+            "hisvsim_service_job_artifacts_retained",
+            "Completed-job artifacts currently held in the bounded LRU.",
+            self.inner.artifacts.len() as f64,
+        );
+        counter(
+            "hisvsim_service_job_artifacts_evicted_total",
+            "Completed-job artifacts dropped by the LRU bound.",
+            self.inner.artifacts.evicted(),
+        );
+        gauge(
             "hisvsim_profile_warm",
             "1 when the measured-cost profile has cells (calibrated decisions possible).",
             if self.inner.runner.config().profile.warm() {
@@ -523,6 +644,80 @@ impl SimService {
             },
         );
         reg.render()
+    }
+
+    /// Worker threads the service was started with.
+    pub fn worker_count(&self) -> usize {
+        self.inner.worker_count
+    }
+
+    /// Resident-state-vector slot occupancy as `(in_use, capacity)`.
+    pub fn resident_slots(&self) -> (usize, usize) {
+        let capacity = self.inner.resident_capacity;
+        (
+            capacity.saturating_sub(self.inner.residency.available()),
+            capacity,
+        )
+    }
+
+    /// A point-in-time status report for job `id`: live jobs are
+    /// snapshotted from their shared state, terminal jobs are reconstructed
+    /// from their retained artifacts. `None` when the id was never
+    /// submitted or its artifact has been evicted.
+    pub fn job_status(&self, id: u64) -> Option<JobStatusReport> {
+        if let Some(artifacts) = self.inner.artifacts.get(id) {
+            return Some(JobStatusReport::from_artifacts(&artifacts));
+        }
+        let live = self.inner.live.lock().expect("live map poisoned");
+        let entry = live.get(&id)?;
+        let shared = entry.shared.upgrade()?;
+        let status = shared.state.lock().expect("job state poisoned").status;
+        let (phase, gates_done, gates_total) = match status {
+            JobStatus::Queued => ("queued", 0, entry.gates_total),
+            JobStatus::Planning => ("planning", 0, entry.gates_total),
+            JobStatus::PlanReady => ("plan_ready", 0, entry.gates_total),
+            JobStatus::Executing {
+                gates_done,
+                gates_total,
+            } => ("executing", gates_done, gates_total),
+            JobStatus::Done => ("done", entry.gates_total, entry.gates_total),
+            JobStatus::Cancelled => ("cancelled", 0, entry.gates_total),
+            JobStatus::Failed => ("failed", 0, entry.gates_total),
+        };
+        Some(JobStatusReport {
+            id,
+            circuit: entry.circuit.clone(),
+            phase: phase.to_string(),
+            gates_done,
+            gates_total,
+            decision: None,
+            verdict: None,
+            wall_time_s: None,
+            plan_time_s: None,
+            plan_cache_hit: None,
+            failure: None,
+            retained_spans: 0,
+        })
+    }
+
+    /// The retained artifacts of a terminal job (timeline, drained spans,
+    /// decision audit, profile delta). `None` while the job is still live,
+    /// or once the LRU evicted it.
+    pub fn job_artifacts(&self, id: u64) -> Option<JobArtifacts> {
+        self.inner.artifacts.get(id)
+    }
+
+    /// A terminal job's merged timeline + recorder spans as Chrome
+    /// trace-event JSON (see [`JobArtifacts::trace_json`]).
+    pub fn job_trace_json(&self, id: u64) -> Option<String> {
+        self.inner.artifacts.get(id).map(|a| a.trace_json())
+    }
+
+    /// A terminal job's measured [`CostProfile`] delta as JSON. `None`
+    /// when the job is not terminal/retained *or* completed without a
+    /// profile delta (cancelled or failed before executing).
+    pub fn job_profile_json(&self, id: u64) -> Option<String> {
+        self.inner.artifacts.get(id).and_then(|a| a.profile_json())
     }
 
     /// The measured-cost profile store the worker-pool core calibrates
@@ -777,6 +972,9 @@ fn run_one(inner: &Inner, queued: QueuedJob) {
     let QueuedJob {
         seq, job, shared, ..
     } = queued;
+    let circuit_name = job.circuit.name.clone();
+    let gates_total = job.circuit.num_gates() as u64;
+    let state_bytes = (32u128 << job.circuit.num_qubits()).min(u64::MAX as u128) as u64;
     // Claim: a job finalized while queued (handle cancel, or the deadline
     // timer) is skipped entirely. A handle-cancelled job is counted here
     // (its `cancel()` fast path does not touch the service counters); a
@@ -792,6 +990,30 @@ fn run_one(inner: &Inner, queued: QueuedJob) {
             if matches!(outcome, Err(JobFailure::Cancelled)) {
                 inner.cancelled.fetch_add(1, Ordering::Relaxed);
             }
+            let (outcome_name, failure) = match outcome {
+                Ok(_) => ("done", None),
+                Err(JobFailure::Cancelled) => ("cancelled", None),
+                Err(JobFailure::Failed(message)) => ("failed", Some(message.clone())),
+            };
+            drop(state);
+            store_artifacts(
+                inner,
+                JobArtifacts {
+                    id: seq,
+                    circuit: circuit_name,
+                    gates_total,
+                    outcome: outcome_name.to_string(),
+                    failure,
+                    decision: None,
+                    verdict: None,
+                    wall_time_s: None,
+                    plan_time_s: None,
+                    plan_cache_hit: None,
+                    timeline: Vec::new(),
+                    spans: Vec::new(),
+                    profile_delta: None,
+                },
+            );
             return;
         }
         state.status = JobStatus::Planning;
@@ -870,6 +1092,38 @@ fn run_one(inner: &Inner, queued: QueuedJob) {
     if is_deadline_failure {
         inner.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
     }
+    match &outcome {
+        Ok(result) => log::info(
+            LOG_TARGET,
+            "job done",
+            &[
+                ("job", &seq.to_string()),
+                ("circuit", &circuit_name),
+                ("engine", result.engine.name()),
+                ("wall_s", &format!("{:.3}", result.wall_time_s)),
+            ],
+        ),
+        Err(JobFailure::Cancelled) => log::info(
+            LOG_TARGET,
+            "job cancelled",
+            &[("job", &seq.to_string()), ("circuit", &circuit_name)],
+        ),
+        Err(JobFailure::Failed(message)) => log::warn(
+            LOG_TARGET,
+            "job failed",
+            &[
+                ("job", &seq.to_string()),
+                ("circuit", &circuit_name),
+                ("error", message),
+            ],
+        ),
+    }
+    // Fold the run into the artifact store before waking waiters, so a
+    // `wait()` returning means the job's trace/status are downloadable.
+    store_artifacts(
+        inner,
+        build_artifacts(inner, seq, circuit_name, gates_total, state_bytes, &outcome),
+    );
     if !shared.finalize(outcome) {
         // Unreachable under the claim protocol: once this worker marked
         // the job claimed, the only external finalizers (handle cancel,
@@ -882,4 +1136,93 @@ fn run_one(inner: &Inner, queued: QueuedJob) {
         }
         debug_assert!(false, "a claimed job was finalized by someone else");
     }
+}
+
+/// Assemble the artifact record for a job that ran (or died) on a worker.
+/// With [`ServiceConfig::trace_artifacts`] on and the recorder enabled,
+/// the global span buffer is drained here: the spans land in the artifact
+/// *and* are absorbed into the profile store (exactly what a manual
+/// [`SimService::absorb_trace`] would have done — the calibration loop
+/// keeps learning, per job instead of per scrape).
+fn build_artifacts(
+    inner: &Inner,
+    id: u64,
+    circuit: String,
+    gates_total: u64,
+    state_bytes: u64,
+    outcome: &Result<hisvsim_runtime::JobResult, JobFailure>,
+) -> JobArtifacts {
+    let spans: Vec<SpanRecord> = if inner.trace_artifacts && hisvsim_obs::enabled() {
+        hisvsim_obs::drain()
+    } else {
+        Vec::new()
+    };
+    match outcome {
+        Ok(result) => {
+            let dispatch = result.kernel_dispatch.resolved_name();
+            if !spans.is_empty() {
+                inner.runner.config().profile.absorb_spans(&spans, dispatch);
+            }
+            // The job's own measured-cost contribution, mirroring what the
+            // runner fed the shared store: phase timings from the worker
+            // timeline, kernel/collective cells from the drained spans.
+            let mut delta = CostProfile::new();
+            let engine = result.engine.name();
+            for span in &result.timeline {
+                let seconds = span.dur_us as f64 / 1e6;
+                match span.name.as_str() {
+                    "plan" => delta.absorb_phase(engine, "plan", seconds, 0),
+                    "execute" => delta.absorb_phase(engine, "execute", seconds, state_bytes),
+                    "postprocess" => delta.absorb_phase(engine, "postprocess", seconds, 0),
+                    _ => {}
+                }
+            }
+            if !spans.is_empty() {
+                delta.absorb_spans(&spans, dispatch);
+            }
+            JobArtifacts {
+                id,
+                circuit,
+                gates_total,
+                outcome: "done".to_string(),
+                failure: None,
+                decision: Some(result.decision.clone()),
+                verdict: Some(result.verdict.clone()),
+                wall_time_s: Some(result.wall_time_s),
+                plan_time_s: Some(result.plan_time_s),
+                plan_cache_hit: Some(result.plan_cache_hit),
+                timeline: result.timeline.clone(),
+                spans,
+                profile_delta: Some(delta),
+            }
+        }
+        Err(failure) => {
+            let (outcome_name, message) = match failure {
+                JobFailure::Cancelled => ("cancelled", None),
+                JobFailure::Failed(message) => ("failed", Some(message.clone())),
+            };
+            JobArtifacts {
+                id,
+                circuit,
+                gates_total,
+                outcome: outcome_name.to_string(),
+                failure: message,
+                decision: None,
+                verdict: None,
+                wall_time_s: None,
+                plan_time_s: None,
+                plan_cache_hit: None,
+                timeline: Vec::new(),
+                spans,
+                profile_delta: None,
+            }
+        }
+    }
+}
+
+/// Fold a terminal job into the artifact store and drop its live entry.
+fn store_artifacts(inner: &Inner, artifacts: JobArtifacts) {
+    let id = artifacts.id;
+    inner.artifacts.insert(artifacts);
+    inner.live.lock().expect("live map poisoned").remove(&id);
 }

@@ -39,6 +39,15 @@ fn metrics_text_is_valid_prometheus_exposition() {
         "hisvsim_service_jobs_submitted_total 3",
         "hisvsim_service_jobs_completed_total 3",
         "hisvsim_service_queue_depth",
+        // Occupancy gauges: pool size, in-flight jobs (0 — every wait()
+        // above returned), resident-slot capacity/usage, and the artifact
+        // LRU's retention counters.
+        "hisvsim_service_workers 2",
+        "hisvsim_service_jobs_in_flight 0",
+        "hisvsim_service_resident_slots",
+        "hisvsim_service_resident_slots_in_use 0",
+        "hisvsim_service_job_artifacts_retained 3",
+        "hisvsim_service_job_artifacts_evicted_total 0",
         "hisvsim_plan_cache_hits_total",
         "hisvsim_plan_cache_warm_hits_total",
         "hisvsim_plan_cache_misses_total",
@@ -91,6 +100,29 @@ fn job_result_timeline_covers_every_phase() {
     // The timeline is exportable as-is.
     let json = hisvsim_obs::chrome_trace_json(result.timeline());
     assert!(json.contains("\"traceEvents\""));
+}
+
+#[test]
+fn http_front_door_series_join_the_unified_exposition() {
+    use hisvsim_http::{client, HttpServer};
+    use std::sync::Arc;
+
+    let service = Arc::new(service(1));
+    let server = HttpServer::start(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+    let health = client::http_get(server.local_addr(), "/healthz").expect("GET /healthz");
+    assert_eq!(health.status, 200);
+    // The request is observed after its response is written, so poll the
+    // in-process exposition until the probe's series lands.
+    let mut text = String::new();
+    let landed = (0..100).any(|_| {
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        text = service.metrics_text();
+        text.contains("hisvsim_http_requests_total{code=\"200\",endpoint=\"/healthz\"} 1")
+    });
+    assert!(landed, "healthz probe never reached the registry:\n{text}");
+    assert!(text.contains("hisvsim_http_request_seconds_count"));
+    validate_prometheus(&text).expect("exposition with http series must be valid");
+    server.shutdown();
 }
 
 #[test]
