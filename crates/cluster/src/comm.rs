@@ -50,6 +50,17 @@ impl CommStats {
     }
 }
 
+/// Reserved tag namespace for [`RankComm::vote_any`] rounds: the tag is
+/// `VOTE_NS | (epoch << 1) | flag`, with the epoch masked to
+/// [`VOTE_EPOCH_MASK`] so the round counter can never escape the
+/// namespace. Engines must keep their payload tags out of this range
+/// (they do — engine tags are small constants).
+pub const VOTE_NS: u64 = 0xCA4C_0000_0000_0000;
+
+/// Largest vote epoch before the counter wraps (47 bits: the low bit of
+/// the tag carries the flag, the top 16 bits are the namespace).
+pub const VOTE_EPOCH_MASK: u64 = (1 << 47) - 1;
+
 /// The rank-communication trait every distributed engine is written against.
 ///
 /// Implementations: [`LocalComm`] (threads + channels, this crate) and
@@ -62,10 +73,11 @@ impl CommStats {
 ///   same peer are stashed until a matching `recv`.
 /// * Sending to self is allowed, delivered through a local queue, and
 ///   charged zero network time.
-/// * Collectives (`barrier`, `alltoallv`, `allgather`) are called by every
-///   rank with matching arguments; their entire blocking span is charged to
-///   [`CommStats::wall_time_s`] — not just the inner receive waits — so
-///   `comm_ratio()` stays honest for collective-heavy schedules.
+/// * Collectives (`barrier`, `alltoallv`, `allgather`, `vote_any`) are
+///   called by every rank with matching arguments; their entire blocking
+///   span is charged to [`CommStats::wall_time_s`] — not just the inner
+///   receive waits — so `comm_ratio()` stays honest for collective-heavy
+///   schedules.
 pub trait RankComm<T: Send + 'static> {
     /// This rank's id (0-based).
     fn rank(&self) -> usize;
@@ -90,6 +102,22 @@ pub trait RankComm<T: Send + 'static> {
 
     /// Synchronise all ranks.
     fn barrier(&mut self);
+
+    /// Collective boolean OR: every rank contributes `flag` and every rank
+    /// receives the OR of all contributions. This is the agreement
+    /// primitive cooperative cancellation is built on — a rank may only
+    /// stop an SPMD schedule when *all* ranks agree to stop at the same
+    /// step, otherwise the survivors deadlock in the next collective
+    /// waiting on the rank that left. Implemented as a gather–release
+    /// through rank 0 on the reserved [`VOTE_NS`] tag namespace, with the
+    /// flag carried in the tag's low bit (no payload travels, so it works
+    /// for any `T`).
+    ///
+    /// Like `barrier`, a vote is control traffic, not payload traffic:
+    /// only its blocking wall time is charged to [`CommStats`], so the
+    /// accounting of a cancellable schedule stays identical to the plain
+    /// one.
+    fn vote_any(&mut self, flag: bool) -> bool;
 
     /// All-to-all-v: `send_bufs[i]` goes to rank `i`; returns `recv[i]` =
     /// the buffer rank `i` sent to this rank. The self slot is moved, not
@@ -139,6 +167,9 @@ pub struct LocalComm<T: Send + 'static> {
     /// Out-of-order messages waiting for a matching recv.
     stash: Vec<Envelope<T>>,
     barrier: Arc<Barrier>,
+    /// Vote round counter (all ranks agree by construction: votes are
+    /// collective).
+    vote_epoch: u64,
     /// Shared across ranks: total modelled time units (nanoseconds) spent by
     /// the slowest rank is derived by the caller from per-rank stats; this
     /// counter just feeds global sanity checks in tests.
@@ -172,6 +203,7 @@ pub fn world<T: Send + 'static>(size: usize, net: NetworkModel) -> Vec<LocalComm
             receiver,
             stash: Vec::new(),
             barrier: Arc::clone(&barrier),
+            vote_epoch: 0,
             global_bytes: Arc::clone(&global_bytes),
             stats: CommStats::default(),
         })
@@ -225,6 +257,28 @@ impl<T: Send + 'static> LocalComm<T> {
             self.stash.push(env);
         }
     }
+
+    /// Receive one vote frame from `from`: any tag whose epoch bits match
+    /// `base` (the low bit carries the sender's flag).
+    fn recv_vote_inner(&mut self, from: usize, base: u64) -> bool {
+        if let Some(pos) = self
+            .stash
+            .iter()
+            .position(|e| e.from == from && e.tag & !1 == base)
+        {
+            return self.stash.swap_remove(pos).tag & 1 == 1;
+        }
+        loop {
+            let env = self
+                .receiver
+                .recv()
+                .expect("all senders of the communicator were dropped");
+            if env.from == from && env.tag & !1 == base {
+                return env.tag & 1 == 1;
+            }
+            self.stash.push(env);
+        }
+    }
 }
 
 impl<T: Send + 'static> RankComm<T> for LocalComm<T> {
@@ -272,6 +326,38 @@ impl<T: Send + 'static> RankComm<T> for LocalComm<T> {
         let start = Instant::now();
         self.barrier.wait();
         self.stats.wall_time_s += start.elapsed().as_secs_f64();
+    }
+
+    /// Gather–release OR through rank 0 on the [`VOTE_NS`] namespace. The
+    /// control frames are not payload traffic: stats are restored to their
+    /// pre-vote values and only the blocking wall time is charged, exactly
+    /// like `barrier`, so cancellable and plain schedules account
+    /// identically.
+    fn vote_any(&mut self, flag: bool) -> bool {
+        if self.size == 1 {
+            return flag;
+        }
+        let _span = hisvsim_obs::span("comm", "vote");
+        let start = Instant::now();
+        let payload_stats = self.stats;
+        let base = VOTE_NS | (self.vote_epoch << 1);
+        self.vote_epoch = (self.vote_epoch + 1) & VOTE_EPOCH_MASK;
+        let agreed = if self.rank == 0 {
+            let mut agreed = flag;
+            for from in 1..self.size {
+                agreed |= self.recv_vote_inner(from, base);
+            }
+            for to in 1..self.size {
+                self.send_inner(to, base | agreed as u64, Vec::new());
+            }
+            agreed
+        } else {
+            self.send_inner(0, base | flag as u64, Vec::new());
+            self.recv_vote_inner(0, base)
+        };
+        self.stats = payload_stats;
+        self.stats.wall_time_s += start.elapsed().as_secs_f64();
+        agreed
     }
 
     /// All-to-all-v over the channel world.

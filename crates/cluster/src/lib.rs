@@ -37,6 +37,8 @@ pub mod comm;
 pub mod netmodel;
 pub mod spmd;
 
-pub use comm::{world, CommStats, LocalComm, RankComm, ResultBoard, ScalarComm};
+pub use comm::{
+    world, CommStats, LocalComm, RankComm, ResultBoard, ScalarComm, VOTE_EPOCH_MASK, VOTE_NS,
+};
 pub use netmodel::NetworkModel;
 pub use spmd::run_spmd;

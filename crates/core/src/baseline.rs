@@ -20,7 +20,8 @@ use crate::metrics::RunReport;
 use hisvsim_circuit::{Circuit, Complex64, Gate, GateKind};
 use hisvsim_cluster::{run_spmd, NetworkModel, RankComm};
 use hisvsim_statevec::{
-    Cancelled, FusedCircuit, FusionStrategy, KernelDispatch, StateVector, DEFAULT_FUSION_WIDTH,
+    CancelToken, Cancelled, FusedCircuit, FusionStrategy, KernelDispatch, StateVector,
+    DEFAULT_FUSION_WIDTH,
 };
 use std::time::Instant;
 
@@ -251,6 +252,42 @@ pub fn run_baseline_rank<C: RankComm<Complex64>>(
         }
     }
     state.finish_rank()
+}
+
+/// [`run_baseline_rank`] with cooperative cancellation: the ranks run a
+/// cancel vote before every step (the same checkpoint placement the
+/// in-process engine's `StepGate` uses), so a fired [`CancelToken`] stops
+/// all ranks at the same step boundary without stranding any rank inside
+/// a collective. `recycled` optionally reuses a previous run's local-slice
+/// allocation.
+pub fn run_baseline_rank_cancellable<C: RankComm<Complex64>>(
+    comm: &mut C,
+    circuit: &Circuit,
+    fusion: usize,
+    strategy: FusionStrategy,
+    dispatch: KernelDispatch,
+    cancel: &CancelToken,
+    recycled: Option<Vec<Complex64>>,
+) -> Result<RankOutcome, Cancelled> {
+    assert!(
+        comm.size().is_power_of_two(),
+        "rank count must be a power of two"
+    );
+    let p = comm.size().trailing_zeros() as usize;
+    let local_qubits = circuit.num_qubits().saturating_sub(p);
+    let steps = plan_baseline_steps(circuit, local_qubits, fusion, strategy);
+    let mut state = DistState::new_reusing(comm, circuit.num_qubits(), recycled);
+    state.set_kernel_dispatch(dispatch);
+    for step in &steps {
+        if state.vote_cancelled(cancel) {
+            return Err(Cancelled);
+        }
+        match step {
+            BaselineStep::LocalFused(fused) => state.apply_fused_local(fused),
+            BaselineStep::Distributed(gate) => apply_prepared_gate_distributed(&mut state, gate),
+        }
+    }
+    Ok(state.finish_rank())
 }
 
 /// Apply one gate to the distributed state, using the communication-avoiding

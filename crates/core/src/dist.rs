@@ -22,7 +22,8 @@ use hisvsim_partition::{PartitionBuildError, Strategy};
 use hisvsim_statevec::kernels::{apply_gate_with_matrix, uses_dense_matrix};
 use hisvsim_statevec::FusedCircuit;
 use hisvsim_statevec::{
-    ApplyOptions, Cancelled, FusionStrategy, KernelDispatch, StateVector, DEFAULT_FUSION_WIDTH,
+    ApplyOptions, CancelToken, Cancelled, FusionStrategy, KernelDispatch, StateVector,
+    DEFAULT_FUSION_WIDTH,
 };
 use std::time::Instant;
 
@@ -89,6 +90,20 @@ impl<'a, C: RankComm<Complex64>> DistState<'a, C> {
     /// Initialise the distributed `|0…0⟩` state over the communicator's
     /// ranks. The rank count must be a power of two not exceeding `2^n`.
     pub fn new(comm: &'a mut C, num_qubits: usize) -> Self {
+        Self::new_reusing(comm, num_qubits, None)
+    }
+
+    /// [`DistState::new`], optionally recycling a previous run's local
+    /// slice allocation (e.g. the slice a persistent worker kept resident
+    /// after shipping its amplitudes). A buffer of the wrong length is
+    /// silently dropped and a fresh slice allocated; a reused buffer is
+    /// zero-filled first, so the initial state is identical either way —
+    /// only the allocation (and its page faults) is saved.
+    pub fn new_reusing(
+        comm: &'a mut C,
+        num_qubits: usize,
+        recycled: Option<Vec<Complex64>>,
+    ) -> Self {
         let ranks = comm.size();
         assert!(ranks.is_power_of_two());
         let p = ranks.trailing_zeros() as usize;
@@ -97,7 +112,13 @@ impl<'a, C: RankComm<Complex64>> DistState<'a, C> {
             "more rank bits ({p}) than qubits ({num_qubits})"
         );
         let l = num_qubits - p;
-        let mut local = StateVector::uninitialized(l);
+        let mut local = match recycled {
+            Some(mut amps) if amps.len() == 1usize << l => {
+                amps.fill(Complex64::ZERO);
+                StateVector::from_amplitudes(amps)
+            }
+            _ => StateVector::uninitialized(l),
+        };
         if comm.rank() == 0 {
             local.amplitudes_mut()[0] = Complex64::ONE;
         }
@@ -124,6 +145,15 @@ impl<'a, C: RankComm<Complex64>> DistState<'a, C> {
     /// The kernel dispatch local sweeps run under.
     pub fn kernel_dispatch(&self) -> KernelDispatch {
         self.dispatch
+    }
+
+    /// Collective cancel agreement (see [`RankComm::vote_any`]): every rank
+    /// contributes its local cancel flag and all ranks receive the OR, so
+    /// an SPMD schedule stops either on every rank at the same step or on
+    /// none — the only way to cancel mid-schedule without stranding a rank
+    /// inside a collective.
+    pub fn vote_cancelled(&mut self, cancel: &CancelToken) -> bool {
+        self.comm.vote_any(cancel.is_cancelled())
     }
 
     /// Apply options for rank-local sweeps (sequential: parallelism lives at
@@ -484,6 +514,35 @@ pub fn run_fused_plan_rank<C: RankComm<Complex64>>(
         state.apply_fused_part(part);
     }
     state.finish_rank()
+}
+
+/// [`run_fused_plan_rank`] with cooperative cancellation: before every
+/// part the ranks run a cancel vote ([`DistState::vote_cancelled`]), so a
+/// [`CancelToken`] fired on any rank stops *all* ranks at the same part
+/// boundary — cancel latency is bounded by one part's duration, and no
+/// rank is ever stranded inside a collective. `recycled` optionally reuses
+/// a previous run's local-slice allocation (see
+/// [`DistState::new_reusing`]). The vote is charged like a barrier (wall
+/// time only), so an uncancelled run reports the same [`CommStats`] as
+/// the plain body.
+pub fn run_fused_plan_rank_cancellable<C: RankComm<Complex64>>(
+    comm: &mut C,
+    num_qubits: usize,
+    plan: &FusedSinglePlan,
+    dispatch: KernelDispatch,
+    cancel: &CancelToken,
+    recycled: Option<Vec<Complex64>>,
+) -> Result<RankOutcome, Cancelled> {
+    let mut state = DistState::new_reusing(comm, num_qubits, recycled);
+    state.set_kernel_dispatch(dispatch);
+    for part in &plan.parts {
+        if state.vote_cancelled(cancel) {
+            return Err(Cancelled);
+        }
+        state.ensure_local(&part.working_set);
+        state.apply_fused_part(part);
+    }
+    Ok(state.finish_rank())
 }
 
 /// Configuration of the distributed HiSVSIM engine.

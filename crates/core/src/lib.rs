@@ -55,10 +55,12 @@ pub mod metrics;
 pub mod multilevel;
 pub mod profile;
 
-pub use baseline::{run_baseline_rank, BaselineConfig, BaselineRun, IqsBaseline};
+pub use baseline::{
+    run_baseline_rank, run_baseline_rank_cancellable, BaselineConfig, BaselineRun, IqsBaseline,
+};
 pub use dist::{
-    aggregate_outcomes, prepare_gates, run_fused_plan_rank, DistConfig, DistRun, DistState,
-    DistributedSimulator, PreparedGate, RankOutcome,
+    aggregate_outcomes, prepare_gates, run_fused_plan_rank, run_fused_plan_rank_cancellable,
+    DistConfig, DistRun, DistState, DistributedSimulator, PreparedGate, RankOutcome,
 };
 pub use exec::{ExecControl, StepGate};
 pub use fusedplan::{FusedMlPart, FusedPart, FusedSecondPart, FusedSinglePlan, FusedTwoLevelPlan};
@@ -67,5 +69,6 @@ pub use hier::{HierConfig, HierRun, HierarchicalSimulator, SweepControl};
 pub use hisvsim_statevec::{CancelToken, Cancelled};
 pub use metrics::RunReport;
 pub use multilevel::{
-    run_two_level_plan_rank, MultilevelConfig, MultilevelRun, MultilevelSimulator,
+    run_two_level_plan_rank, run_two_level_plan_rank_cancellable, MultilevelConfig, MultilevelRun,
+    MultilevelSimulator,
 };

@@ -18,7 +18,7 @@ use hisvsim_cluster::{run_spmd, NetworkModel, RankComm};
 use hisvsim_dag::CircuitDag;
 use hisvsim_partition::{MultilevelPartition, MultilevelPartitioner, PartitionBuildError};
 use hisvsim_statevec::{
-    ApplyOptions, Cancelled, FusionStrategy, GatherMap, KernelDispatch, StateVector,
+    ApplyOptions, CancelToken, Cancelled, FusionStrategy, GatherMap, KernelDispatch, StateVector,
     DEFAULT_FUSION_WIDTH,
 };
 use std::time::Instant;
@@ -305,6 +305,37 @@ pub fn run_two_level_plan_rank<C: RankComm<Complex64>>(
         execute_second_level_fused(&mut state, &part.second);
     }
     state.finish_rank()
+}
+
+/// [`run_two_level_plan_rank`] with cooperative cancellation: the ranks
+/// vote before every first-level part switch and before every second-level
+/// part — the same checkpoint numbering the in-process engine's `StepGate`
+/// walks — so a fired [`CancelToken`] stops all ranks at the same step
+/// without stranding any rank inside a collective. `recycled` optionally
+/// reuses a previous run's local-slice allocation.
+pub fn run_two_level_plan_rank_cancellable<C: RankComm<Complex64>>(
+    comm: &mut C,
+    num_qubits: usize,
+    plan: &FusedTwoLevelPlan,
+    dispatch: KernelDispatch,
+    cancel: &CancelToken,
+    recycled: Option<Vec<Complex64>>,
+) -> Result<RankOutcome, Cancelled> {
+    let mut state = DistState::new_reusing(comm, num_qubits, recycled);
+    state.set_kernel_dispatch(dispatch);
+    for part in &plan.parts {
+        if state.vote_cancelled(cancel) {
+            return Err(Cancelled);
+        }
+        state.ensure_local(&part.working_set);
+        for second in &part.second {
+            if state.vote_cancelled(cancel) {
+                return Err(Cancelled);
+            }
+            execute_second_level_fused(&mut state, std::slice::from_ref(second));
+        }
+    }
+    Ok(state.finish_rank())
 }
 
 /// Execute prefused second-level parts against the rank's local slice: for

@@ -1,26 +1,25 @@
-//! [`ClusterLauncher`]: spawn worker processes, ship each its plan, gather
-//! per-rank slices and stats back — the multi-process `mpirun` of this
-//! reproduction, and the [`ProcessBackend`] the runtime's scheduler drives
-//! for [`Backend::Process`](hisvsim_runtime::Backend::Process) jobs.
+//! Shared launch infrastructure: error type, worker-binary discovery,
+//! child-process lifetime guard, liveness-aware socket helpers, and the
+//! in-process reference executor. The launch–run–gather driver itself
+//! lives in [`crate::pool`] — [`WorkerPool`](crate::WorkerPool) spawns the
+//! worker world once and keeps it resident across jobs.
 
-use crate::proto::{LaunchSpec, RankReport, ShippedJob, WorkerHello, AMPS_TAG};
-use crate::wire::{read_frame, recv_json, send_json};
+use crate::proto::ShippedJob;
 use crate::worker::execute_shipped_rank;
 use hisvsim_circuit::Complex64;
 use hisvsim_cluster::{run_spmd, NetworkModel};
 use hisvsim_core::{aggregate_outcomes, RankOutcome, RunReport};
 use hisvsim_obs::log;
-use hisvsim_runtime::{ProcessBackend, ProcessRequest};
-use hisvsim_statevec::{amplitudes_from_le_bytes, StateVector};
+use hisvsim_statevec::StateVector;
 use std::io;
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::process::{Child, Command, Stdio};
+use std::process::Child;
 use std::time::{Duration, Instant};
 
 const LOG_TARGET: &str = "hisvsim-net::launcher";
 
-/// Errors of the launcher/worker pipeline.
+/// Errors of the pool/worker pipeline.
 #[derive(Debug)]
 pub enum NetError {
     /// Socket or process I/O failed.
@@ -30,6 +29,9 @@ pub enum NetError {
     Protocol(String),
     /// A worker process exited abnormally.
     Worker(String),
+    /// Every rank agreed to stop at a cancel-vote checkpoint; the job
+    /// produced no result but the worker world is still healthy.
+    Cancelled,
 }
 
 impl From<io::Error> for NetError {
@@ -44,6 +46,7 @@ impl std::fmt::Display for NetError {
             NetError::Io(e) => write!(f, "i/o error: {e}"),
             NetError::Protocol(msg) => write!(f, "protocol error: {msg}"),
             NetError::Worker(msg) => write!(f, "worker failed: {msg}"),
+            NetError::Cancelled => write!(f, "job cancelled"),
         }
     }
 }
@@ -75,21 +78,21 @@ pub fn find_worker_binary() -> Option<PathBuf> {
     None
 }
 
-/// Kills any still-running children on drop, so a failed launch never
-/// leaves orphan workers behind.
-struct ChildGuard {
-    children: Vec<(usize, Child)>,
+/// Kills any still-running children on drop, so a failed launch (or a
+/// dropped pool) never leaves orphan workers behind.
+pub(crate) struct ChildGuard {
+    pub(crate) children: Vec<(usize, Child)>,
 }
 
 impl ChildGuard {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Self {
             children: Vec::new(),
         }
     }
 
     /// A worker that already exited with failure, if any (non-blocking).
-    fn any_failed(&mut self) -> Option<String> {
+    pub(crate) fn any_failed(&mut self) -> Option<String> {
         for (rank, child) in &mut self.children {
             if let Ok(Some(status)) = child.try_wait() {
                 if !status.success() {
@@ -100,17 +103,28 @@ impl ChildGuard {
         None
     }
 
-    /// Wait for every worker to exit cleanly.
-    fn wait_all(&mut self) -> Result<(), NetError> {
-        for (rank, mut child) in self.children.drain(..) {
-            let status = child.wait()?;
-            if !status.success() {
-                return Err(NetError::Worker(format!(
-                    "worker rank {rank} exited with {status}"
-                )));
+    /// The operating-system process ids of the live children (for tests
+    /// that kill a worker mid-job).
+    pub(crate) fn pids(&self) -> Vec<u32> {
+        self.children.iter().map(|(_, child)| child.id()).collect()
+    }
+
+    /// Poll until every child has exited (any status) or the deadline
+    /// passes; returns whether all exited. Leftovers are killed by drop.
+    pub(crate) fn wait_all_with_deadline(&mut self, deadline: Instant) -> bool {
+        loop {
+            let all_done = self
+                .children
+                .iter_mut()
+                .all(|(_, child)| matches!(child.try_wait(), Ok(Some(_))));
+            if all_done {
+                return true;
             }
+            if Instant::now() > deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(20));
         }
-        Ok(())
     }
 }
 
@@ -123,276 +137,9 @@ impl Drop for ChildGuard {
     }
 }
 
-/// Spawns `workers` processes of the `hisvsim-net` binary in worker mode,
-/// ships each one the job over a localhost control channel, and gathers the
-/// per-rank results. Stateless across calls: every [`ClusterLauncher::execute`]
-/// is one complete launch–run–gather cycle, and plan reuse across calls is
-/// the plan cache's job (the launcher ships whatever partition it is
-/// handed, so a warm cache means zero replans on a repeat workload).
-pub struct ClusterLauncher {
-    workers: usize,
-    network: NetworkModel,
-    worker_bin: PathBuf,
-    handshake_timeout: Duration,
-    profile: Option<std::sync::Arc<hisvsim_obs::ProfileStore>>,
-}
-
-impl ClusterLauncher {
-    /// A launcher for `workers` processes (a power of two), discovering the
-    /// worker binary automatically (see [`find_worker_binary`]).
-    pub fn new(workers: usize) -> Result<Self, NetError> {
-        let worker_bin = find_worker_binary().ok_or_else(|| {
-            NetError::Protocol(
-                "cannot locate the hisvsim-net worker binary; build it (cargo build -p \
-                 hisvsim-net) or set HISVSIM_NET_WORKER"
-                    .to_string(),
-            )
-        })?;
-        Ok(Self::with_worker_binary(workers, worker_bin))
-    }
-
-    /// A launcher using an explicit worker binary path.
-    pub fn with_worker_binary(workers: usize, worker_bin: PathBuf) -> Self {
-        assert!(
-            workers.is_power_of_two(),
-            "worker count must be a power of two, got {workers}"
-        );
-        Self {
-            workers,
-            network: NetworkModel::hdr100(),
-            worker_bin,
-            handshake_timeout: Duration::from_secs(60),
-            profile: None,
-        }
-    }
-
-    /// Use a different network model for the workers' accounting.
-    pub fn with_network(mut self, network: NetworkModel) -> Self {
-        self.network = network;
-        self
-    }
-
-    /// Fold every rank's measured-cost delta ([`RankReport::profile`]) into
-    /// this store at gather time — typically the same store the scheduler's
-    /// [`SchedulerConfig`](hisvsim_runtime::SchedulerConfig) calibrates
-    /// from, closing the loop across process boundaries. Deltas only flow
-    /// when tracing is on (the workers aggregate from their own spans).
-    pub fn with_profile_store(mut self, store: std::sync::Arc<hisvsim_obs::ProfileStore>) -> Self {
-        self.profile = Some(store);
-        self
-    }
-
-    /// The worker-process world size.
-    pub fn workers(&self) -> usize {
-        self.workers
-    }
-
-    /// Launch the worker world, execute `job`, and assemble the full state
-    /// plus the aggregated run report (per-rank comm stats merged exactly
-    /// like the in-process engines').
-    pub fn execute(&self, job: &ShippedJob) -> Result<(StateVector, RunReport), NetError> {
-        self.execute_with_network(job, self.network)
-    }
-
-    /// [`ClusterLauncher::execute`] with an explicit network model.
-    pub fn execute_with_network(
-        &self,
-        job: &ShippedJob,
-        network: NetworkModel,
-    ) -> Result<(StateVector, RunReport), NetError> {
-        self.execute_detailed(job, network)
-            .map(|(state, report, _)| (state, report))
-    }
-
-    /// [`ClusterLauncher::execute_with_network`], additionally returning
-    /// the per-rank stats that [`aggregate_outcomes`] would otherwise fold
-    /// away (for the smoke command's per-rank table and any caller that
-    /// wants rank-resolved comm accounting).
-    pub fn execute_detailed(
-        &self,
-        job: &ShippedJob,
-        network: NetworkModel,
-    ) -> Result<(StateVector, RunReport, Vec<RankSummary>), NetError> {
-        let start = Instant::now();
-        let listener = TcpListener::bind("127.0.0.1:0")?;
-        let control_addr = listener.local_addr()?.to_string();
-        log::info(
-            LOG_TARGET,
-            "launching worker world",
-            &[
-                ("workers", &self.workers.to_string()),
-                ("engine", job.engine.name()),
-                ("circuit", &job.circuit.name),
-                ("control", &control_addr),
-            ],
-        );
-
-        let mut guard = ChildGuard::new();
-        {
-            let _launch =
-                hisvsim_obs::span("cluster", "launch").detail(format!("{} workers", self.workers));
-            for rank in 0..self.workers {
-                let child = Command::new(&self.worker_bin)
-                    .arg("worker")
-                    .arg(&control_addr)
-                    .arg(rank.to_string())
-                    .stdin(Stdio::null())
-                    .spawn()?;
-                guard.children.push((rank, child));
-            }
-        }
-
-        // Rendezvous: collect every worker's hello (rank + data address).
-        let rendezvous = hisvsim_obs::span("cluster", "rendezvous");
-        let deadline = Instant::now() + self.handshake_timeout;
-        let mut controls: Vec<Option<(TcpStream, String)>> =
-            (0..self.workers).map(|_| None).collect();
-        for _ in 0..self.workers {
-            let mut stream = accept_with_deadline(&listener, deadline, &mut guard)?;
-            stream.set_nodelay(true)?;
-            let hello: WorkerHello = recv_json(&mut stream)?;
-            if hello.rank >= self.workers || controls[hello.rank].is_some() {
-                return Err(NetError::Protocol(format!(
-                    "unexpected hello from rank {}",
-                    hello.rank
-                )));
-            }
-            controls[hello.rank] = Some((stream, hello.data_addr));
-        }
-        let mut controls: Vec<(TcpStream, String)> = controls
-            .into_iter()
-            .map(|c| c.expect("all checked in"))
-            .collect();
-        let peers: Vec<String> = controls.iter().map(|(_, addr)| addr.clone()).collect();
-        drop(rendezvous);
-        log::debug(
-            LOG_TARGET,
-            "rendezvous complete",
-            &[
-                ("workers", &self.workers.to_string()),
-                (
-                    "elapsed_s",
-                    &format!("{:.3}", start.elapsed().as_secs_f64()),
-                ),
-            ],
-        );
-
-        // Ship the job (plan partitions + circuit; workers re-fuse locally).
-        {
-            let _ship = hisvsim_obs::span("cluster", "ship");
-            for (rank, (stream, _)) in controls.iter_mut().enumerate() {
-                send_json(
-                    stream,
-                    &LaunchSpec {
-                        rank,
-                        size: self.workers,
-                        peers: peers.clone(),
-                        network,
-                        job: job.clone(),
-                    },
-                )?;
-            }
-        }
-
-        // Gather per-rank reports and identity-layout slices. Before each
-        // blocking read, wait for readability while polling worker
-        // liveness — a crashed worker fails the gather promptly instead of
-        // wedging the launcher on a stream that will never produce bytes.
-        let gather = hisvsim_obs::span("cluster", "gather");
-        let mut outcomes = Vec::with_capacity(self.workers);
-        let mut summaries = Vec::with_capacity(self.workers);
-        for (rank, (stream, _)) in controls.iter_mut().enumerate() {
-            await_readable(stream, &mut guard)?;
-            let report: RankReport = recv_json(stream)?;
-            if report.rank != rank {
-                return Err(NetError::Protocol(format!(
-                    "rank {rank}'s control channel reported rank {}",
-                    report.rank
-                )));
-            }
-            let (tag, bytes) = read_frame(stream)?;
-            if tag != AMPS_TAG {
-                return Err(NetError::Protocol(format!(
-                    "expected the amplitude frame, got tag {tag:#x}"
-                )));
-            }
-            let local = amplitudes_from_le_bytes(&bytes);
-            if local.len() != report.amp_count {
-                return Err(NetError::Protocol(format!(
-                    "rank {rank} announced {} amplitudes but sent {}",
-                    report.amp_count,
-                    local.len()
-                )));
-            }
-            // Splice the worker's spans into the launcher's timeline, one
-            // process lane per rank (`pid = rank + 1`; the launcher is 0).
-            for mut span in report.spans {
-                span.pid = rank as u32 + 1;
-                hisvsim_obs::record(span);
-            }
-            // Fold the rank's measured-cost delta into the profile sink
-            // (a no-op when the store is frozen or no sink is wired).
-            if let Some(store) = &self.profile {
-                store.merge(&report.profile);
-            }
-            log::debug(
-                LOG_TARGET,
-                "rank gathered",
-                &[
-                    ("rank", &rank.to_string()),
-                    ("amps", &report.amp_count.to_string()),
-                    ("exchanges", &report.exchanges.to_string()),
-                    ("compute_s", &format!("{:.3}", report.compute_time_s)),
-                ],
-            );
-            summaries.push(RankSummary {
-                rank,
-                compute_time_s: report.compute_time_s,
-                comm: report.comm,
-                exchanges: report.exchanges,
-            });
-            outcomes.push(RankOutcome {
-                rank,
-                compute_time_s: report.compute_time_s,
-                comm: report.comm,
-                exchanges: report.exchanges,
-                local,
-            });
-        }
-        if let Err(failure) = guard.wait_all() {
-            log::error(
-                LOG_TARGET,
-                "worker world failed",
-                &[("error", &failure.to_string())],
-            );
-            return Err(failure);
-        }
-        drop(gather);
-
-        let wall = start.elapsed().as_secs_f64();
-        log::info(
-            LOG_TARGET,
-            "cluster run complete",
-            &[
-                ("workers", &self.workers.to_string()),
-                ("circuit", &job.circuit.name),
-                ("wall_s", &format!("{wall:.3}")),
-            ],
-        );
-        let (state, report) = aggregate_outcomes(
-            job.engine.name(),
-            "process",
-            &job.circuit,
-            job.num_parts(),
-            outcomes,
-            wall,
-        );
-        Ok((state, report, summaries))
-    }
-}
-
-/// Per-rank stats extracted from a worker's [`RankReport`], before
-/// [`aggregate_outcomes`] folds them into one [`RunReport`].
+/// Per-rank stats extracted from a worker's
+/// [`RankReport`](crate::RankReport), before [`aggregate_outcomes`] folds
+/// them into one [`RunReport`].
 #[derive(Debug, Clone)]
 pub struct RankSummary {
     /// The reporting rank.
@@ -412,7 +159,7 @@ pub struct RankSummary {
 /// A worker that is alive but wedged still blocks — the launch-level
 /// `timeout` guard in CI (and the transport's deadlock-free collectives)
 /// are the lines of defence there.
-fn await_readable(stream: &TcpStream, guard: &mut ChildGuard) -> Result<(), NetError> {
+pub(crate) fn await_readable(stream: &TcpStream, guard: &mut ChildGuard) -> Result<(), NetError> {
     stream.set_read_timeout(Some(Duration::from_millis(500)))?;
     let mut probe = [0u8; 1];
     let result = loop {
@@ -444,7 +191,7 @@ fn await_readable(stream: &TcpStream, guard: &mut ChildGuard) -> Result<(), NetE
 
 /// Accept one connection, polling so a crashed worker fails the launch
 /// promptly instead of hanging the accept loop forever.
-fn accept_with_deadline(
+pub(crate) fn accept_with_deadline(
     listener: &TcpListener,
     deadline: Instant,
     guard: &mut ChildGuard,
@@ -505,28 +252,4 @@ pub fn execute_local_reference(
         outcomes,
         wall,
     ))
-}
-
-impl ProcessBackend for ClusterLauncher {
-    fn ranks(&self) -> usize {
-        self.workers
-    }
-
-    fn execute(&self, request: ProcessRequest<'_>) -> Result<(StateVector, RunReport), String> {
-        let job = ShippedJob {
-            engine: request.engine,
-            circuit: request.circuit.clone(),
-            fusion: request.fusion,
-            strategy: request.strategy,
-            dispatch: request.dispatch,
-            plan: request.plan,
-            trace: hisvsim_obs::enabled(),
-        };
-        self.execute_with_network(&job, request.network)
-            .map(|(state, mut report)| {
-                report.engine = request.engine.name().to_string();
-                (state, report)
-            })
-            .map_err(|e| e.to_string())
-    }
 }

@@ -11,17 +11,24 @@
 //! * [`tcp`] — [`TcpComm`]: the full-mesh TCP implementation of `RankComm`
 //!   (rendezvous handshake, per-peer tag stash, gather–release barrier,
 //!   the same [`CommStats`](hisvsim_cluster::CommStats) accounting),
-//! * [`proto`] — the launcher↔worker control protocol: [`ShippedJob`]
+//! * [`proto`] — the pool↔worker control protocol: an epoch-tagged
+//!   [`WorkerCommand`] stream over a persistent channel; [`ShippedJob`]
 //!   carries the circuit plus the partition in its
 //!   [`PersistedPlan`](hisvsim_runtime::PersistedPlan) wire shape — fused
 //!   matrices never travel, workers re-fuse locally,
-//! * [`worker`] — the `hisvsim-net worker` process body, running the exact
-//!   engine rank bodies the in-process world runs,
-//! * [`launcher`] — [`ClusterLauncher`]: spawn N workers, ship plans,
-//!   gather slices and stats; implements the runtime's
+//! * [`worker`] — the `hisvsim-net worker` process body: a resident
+//!   command loop running the exact engine rank bodies the in-process
+//!   world runs, with a warm plan cache and recycled amplitude slices,
+//! * [`pool`] — [`WorkerPool`] (alias [`ClusterLauncher`]): spawn N
+//!   workers **once**, then ship `Run` frames and gather slices and stats
+//!   per job, with mid-sweep cooperative cancellation (`Cancel { epoch }`
+//!   → a cancel *vote* across the ranks); implements the runtime's
 //!   [`ProcessBackend`](hisvsim_runtime::ProcessBackend) so a
 //!   [`SimJob`](hisvsim_runtime::SimJob) can request
-//!   [`Backend::Process`](hisvsim_runtime::Backend::Process).
+//!   [`Backend::Process`](hisvsim_runtime::Backend::Process),
+//! * [`launcher`] — shared launch plumbing (worker-binary discovery,
+//!   child-process guard, liveness-aware socket helpers) and the
+//!   in-process reference executor.
 //!
 //! Because every transport implements one trait and the rank bodies are
 //! shared, a process-backed run is **bit-identical** to the in-process run
@@ -30,15 +37,17 @@
 #![warn(missing_docs)]
 
 pub mod launcher;
+pub mod pool;
 pub mod proto;
 pub mod tcp;
 pub mod wire;
 pub mod worker;
 
-pub use launcher::{
-    execute_local_reference, find_worker_binary, ClusterLauncher, NetError, RankSummary,
-};
-pub use proto::{LaunchSpec, RankReport, ShippedJob, WorkerHello};
-pub use tcp::{tcp_world, TcpComm};
+pub use launcher::{execute_local_reference, find_worker_binary, NetError, RankSummary};
+pub use pool::{ClusterLauncher, WorkerPool};
+pub use proto::{LaunchSpec, RankReport, RankStatus, ShippedJob, WorkerCommand, WorkerHello};
+pub use tcp::{tcp_world, PeerLost, TcpComm};
 pub use wire::WireItem;
-pub use worker::{execute_shipped_rank, run_worker};
+pub use worker::{
+    execute_shipped_rank, execute_shipped_rank_controlled, run_worker, WorkerPlanCache,
+};

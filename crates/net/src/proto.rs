@@ -1,11 +1,19 @@
-//! Control-channel protocol between the launcher and its workers.
+//! Control-channel protocol between the worker pool and its workers.
 //!
 //! Everything on the control channel is a JSON frame (see
-//! [`crate::wire`]), except the final amplitude slice, which follows the
+//! [`crate::wire`]), except each job's amplitude slice, which follows the
 //! worker's [`RankReport`] as one raw little-endian frame tagged
 //! [`AMPS_TAG`]. The shipped plan is exactly the plan-cache snapshot shape
 //! ([`PersistedPlan`]): partitions travel, fused matrices never do —
 //! workers re-fuse locally, keeping the fused form process-local by design.
+//!
+//! The channel is *persistent*: after the one-time rendezvous
+//! ([`WorkerHello`] up, [`LaunchSpec`] down), the pool streams
+//! [`WorkerCommand`] frames — `Run { epoch, job }` per job,
+//! `Cancel { epoch }` to cooperatively stop a running job mid-sweep, and
+//! an explicit `Shutdown` for a clean exit. Every job is tagged with a
+//! monotonically increasing epoch so a late cancel can never kill the
+//! wrong job, and every [`RankReport`] echoes its epoch back.
 
 use hisvsim_circuit::Circuit;
 use hisvsim_cluster::{CommStats, NetworkModel};
@@ -71,8 +79,9 @@ pub struct WorkerHello {
     pub data_addr: String,
 }
 
-/// The launcher's reply once every worker has checked in: the world layout
-/// plus the job itself.
+/// The pool's reply once every worker has checked in: the world layout.
+/// Sent exactly once per worker world — jobs follow as
+/// [`WorkerCommand::Run`] frames on the same (persistent) connection.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct LaunchSpec {
     /// The receiving worker's rank (echoed for sanity checking).
@@ -83,16 +92,53 @@ pub struct LaunchSpec {
     pub peers: Vec<String>,
     /// Interconnect model for per-transfer accounting.
     pub network: NetworkModel,
-    /// The work.
-    pub job: ShippedJob,
+    /// The job epoch the first `Run` on this world will carry. Epochs are
+    /// pool-global and monotonically increasing, so a world respawned
+    /// after a failure never reuses an epoch a stale frame could match.
+    pub epoch: u64,
 }
 
-/// A worker's result header; the amplitude slice follows as a raw
-/// [`AMPS_TAG`] frame of `amp_count × 16` bytes.
+/// One control frame from the pool to a resident worker. (Tuple variants:
+/// the vendored serde stub derive has no struct-variant support.)
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum WorkerCommand {
+    /// `Run(epoch, job)`: execute the job under the given epoch; the
+    /// worker answers with a [`RankReport`] echoing it (plus the amplitude
+    /// frame on success).
+    Run(u64, ShippedJob),
+    /// `Cancel(epoch)`: cooperatively cancel the job with this epoch
+    /// (ignored if that job already finished — a late cancel can never
+    /// kill a later job). The worker's rank body observes it at its next
+    /// cancel-vote checkpoint.
+    Cancel(u64),
+    /// Exit cleanly after the current job (if any) reports.
+    Shutdown,
+}
+
+/// How one rank's execution of one job ended.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RankStatus {
+    /// The rank finished; its amplitude frame follows the report.
+    Ok,
+    /// All ranks agreed to cancel at a vote checkpoint; the mesh is clean
+    /// and the worker stays resident. No amplitude frame follows.
+    Cancelled,
+    /// The rank body failed (peer loss, protocol violation, panic); the
+    /// mesh state is undefined, the worker exits after reporting, and the
+    /// pool respawns the world. No amplitude frame follows.
+    Failed(String),
+}
+
+/// A worker's per-job result header; on [`RankStatus::Ok`] the amplitude
+/// slice follows as a raw [`AMPS_TAG`] frame of `amp_count × 16` bytes.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RankReport {
     /// The reporting rank.
     pub rank: usize,
+    /// Epoch of the job this report answers (echoed for sanity checking).
+    pub epoch: u64,
+    /// How this rank's execution ended.
+    pub status: RankStatus,
     /// Wall-clock seconds this rank spent applying gates.
     pub compute_time_s: f64,
     /// The rank's communication statistics over the TCP world.

@@ -16,7 +16,7 @@
 //! rank 0 on a reserved tag namespace.
 
 use crate::wire::{decode_items, encode_items, read_frame, write_frame, WireItem};
-use hisvsim_cluster::{CommStats, NetworkModel, RankComm};
+use hisvsim_cluster::{CommStats, NetworkModel, RankComm, VOTE_EPOCH_MASK, VOTE_NS};
 use std::collections::VecDeque;
 use std::io;
 use std::net::{TcpListener, TcpStream};
@@ -27,6 +27,44 @@ const HELLO_TAG: u64 = 0x0048_454C_4C4F_0000;
 
 /// Reserved namespace for barrier rounds: `BARRIER_NS | epoch`.
 const BARRIER_NS: u64 = 0xB55F_0000_0000_0000;
+
+/// Largest barrier epoch before the round counter wraps back to 0. The
+/// counter must never escape the low 48 bits, or `BARRIER_NS | epoch`
+/// would collide with another namespace — reachable once workers stay
+/// resident across thousands of jobs, so the counter wraps (a collision
+/// across the wrap needs 2^48 barriers in flight inside one job, which
+/// cannot happen) and [`TcpComm::begin_job`] resets it between jobs.
+const BARRIER_EPOCH_MASK: u64 = (1 << 48) - 1;
+
+/// Typed panic payload for a lost peer connection inside a collective.
+///
+/// A dead peer mid-collective leaves this rank's mesh state undefined (a
+/// frame may be half-read), so the transport cannot return an error and
+/// keep going — but the *worker job loop* can catch this payload at the
+/// job boundary (`catch_unwind`), report the job as failed over the
+/// control channel, and let the pool respawn the world, instead of the
+/// whole worker process dying with an opaque panic message.
+#[derive(Debug, Clone)]
+pub struct PeerLost {
+    /// The rank whose connection died.
+    pub peer: usize,
+    /// What the transport was doing when the connection died.
+    pub detail: String,
+}
+
+impl std::fmt::Display for PeerLost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "connection to rank {} lost: {}", self.peer, self.detail)
+    }
+}
+
+/// Abort the collective with a catchable [`PeerLost`] payload.
+fn peer_lost(peer: usize, during: &str, error: io::Error) -> ! {
+    std::panic::panic_any(PeerLost {
+        peer,
+        detail: format!("{during}: {error}"),
+    })
+}
 
 /// Upper bound on the bytes a pairwise exchange puts in flight per
 /// direction per step (see [`TcpComm::alltoallv`]): far below any kernel's
@@ -45,8 +83,11 @@ pub struct TcpComm<T: WireItem> {
     /// Self-sends, delivered locally in FIFO order per tag.
     self_queue: VecDeque<(u64, Vec<T>)>,
     /// Barrier round counter (both sides must agree; they do, because
-    /// barriers are collective).
+    /// barriers are collective). Wraps at [`BARRIER_EPOCH_MASK`].
     barrier_epoch: u64,
+    /// Vote round counter (see [`RankComm::vote_any`]); wraps at
+    /// [`VOTE_EPOCH_MASK`].
+    vote_epoch: u64,
     stats: CommStats,
 }
 
@@ -116,8 +157,28 @@ impl<T: WireItem> TcpComm<T> {
             stash: (0..size).map(|_| Vec::new()).collect(),
             self_queue: VecDeque::new(),
             barrier_epoch: 0,
+            vote_epoch: 0,
             stats: CommStats::default(),
         })
+    }
+
+    /// Reset per-job transport state on a persistent mesh: collective
+    /// round counters restart at 0 (every rank calls this at the same job
+    /// boundary, so the counters stay agreed), and the stashes must be
+    /// empty — a leftover message would mean the previous job's schedule
+    /// did not consume everything it sent, which would corrupt the next
+    /// job's matching.
+    pub fn begin_job(&mut self) {
+        debug_assert!(
+            self.stash.iter().all(Vec::is_empty),
+            "stashed messages left over from the previous job"
+        );
+        debug_assert!(
+            self.self_queue.is_empty(),
+            "self-sends left over from the previous job"
+        );
+        self.barrier_epoch = 0;
+        self.vote_epoch = 0;
     }
 
     /// Send without wall-time accounting (collectives own their window).
@@ -133,7 +194,9 @@ impl<T: WireItem> TcpComm<T> {
         self.stats.modeled_time_s += self.net.message_time(bytes);
         let encoded = encode_items(&payload);
         let stream = self.streams[to].as_mut().expect("no stream to peer");
-        write_frame(stream, tag, &encoded).expect("peer connection lost while sending");
+        if let Err(e) = write_frame(stream, tag, &encoded) {
+            peer_lost(to, "sending a message", e);
+        }
     }
 
     /// Symmetric bounded-buffer exchange with one peer: both sides send a
@@ -157,8 +220,9 @@ impl<T: WireItem> TcpComm<T> {
         let items_per_chunk = (CHUNK_BYTES / T::WIRE_SIZE).max(1);
         {
             let stream = self.streams[peer].as_mut().expect("no stream to peer");
-            write_frame(stream, tag, &(payload.len() as u64).to_le_bytes())
-                .expect("peer connection lost while sending");
+            if let Err(e) = write_frame(stream, tag, &(payload.len() as u64).to_le_bytes()) {
+                peer_lost(peer, "sending an exchange header", e);
+            }
         }
         // The peer's header may be preceded by stashable backlog (earlier
         // point-to-point sends we have not recv'd yet) — drain through the
@@ -176,12 +240,16 @@ impl<T: WireItem> TcpComm<T> {
                 let last = (first + items_per_chunk).min(payload.len());
                 let encoded = encode_items(&payload[first..last]);
                 let stream = self.streams[peer].as_mut().expect("no stream to peer");
-                write_frame(stream, tag, &encoded).expect("peer connection lost while sending");
+                if let Err(e) = write_frame(stream, tag, &encoded) {
+                    peer_lost(peer, "sending an exchange chunk", e);
+                }
             }
             if step < their_chunks {
                 let stream = self.streams[peer].as_mut().expect("no stream to peer");
-                let (got_tag, chunk) =
-                    read_frame(stream).expect("peer connection lost while receiving");
+                let (got_tag, chunk) = match read_frame(stream) {
+                    Ok(frame) => frame,
+                    Err(e) => peer_lost(peer, "receiving an exchange chunk", e),
+                };
                 assert_eq!(got_tag, tag, "stray frame inside a pairwise exchange");
                 incoming.extend(decode_items::<T>(&chunk).expect("malformed chunk from peer"));
             }
@@ -200,10 +268,33 @@ impl<T: WireItem> TcpComm<T> {
         );
         loop {
             let stream = self.streams[from].as_mut().expect("no stream to peer");
-            let (got_tag, payload) =
-                read_frame(stream).expect("peer connection lost while receiving");
+            let (got_tag, payload) = match read_frame(stream) {
+                Ok(frame) => frame,
+                Err(e) => peer_lost(from, "receiving a message", e),
+            };
             if got_tag == tag {
                 return payload;
+            }
+            let items = decode_items(&payload).expect("malformed payload from peer");
+            self.stash[from].push((got_tag, items));
+        }
+    }
+
+    /// Receive one vote frame from `from`: any tag whose epoch bits match
+    /// `base` (the low bit carries the sender's flag), stashing decoded
+    /// mismatching frames like [`TcpComm::read_matching_raw`].
+    fn recv_vote(&mut self, from: usize, base: u64) -> bool {
+        if let Some(pos) = self.stash[from].iter().position(|(t, _)| *t & !1 == base) {
+            return self.stash[from].swap_remove(pos).0 & 1 == 1;
+        }
+        loop {
+            let stream = self.streams[from].as_mut().expect("no stream to peer");
+            let (got_tag, payload) = match read_frame(stream) {
+                Ok(frame) => frame,
+                Err(e) => peer_lost(from, "receiving a vote", e),
+            };
+            if got_tag & !1 == base {
+                return got_tag & 1 == 1;
             }
             let items = decode_items(&payload).expect("malformed payload from peer");
             self.stash[from].push((got_tag, items));
@@ -277,8 +368,12 @@ impl<T: WireItem> RankComm<T> for TcpComm<T> {
         let _span = hisvsim_obs::span("comm", "barrier");
         let start = Instant::now();
         let payload_stats = self.stats;
+        debug_assert!(
+            self.barrier_epoch <= BARRIER_EPOCH_MASK,
+            "barrier epoch escaped its tag namespace"
+        );
         let tag = BARRIER_NS | self.barrier_epoch;
-        self.barrier_epoch += 1;
+        self.barrier_epoch = (self.barrier_epoch + 1) & BARRIER_EPOCH_MASK;
         if self.rank == 0 {
             for from in 1..self.size {
                 let _ = self.recv_inner(from, tag);
@@ -297,6 +392,36 @@ impl<T: WireItem> RankComm<T> for TcpComm<T> {
         // wall time is charged.
         self.stats = payload_stats;
         self.stats.wall_time_s += start.elapsed().as_secs_f64();
+    }
+
+    /// Gather–release OR through rank 0 on the [`VOTE_NS`] namespace, with
+    /// the flag in the tag's low bit — no payload travels. Charged exactly
+    /// like the barrier: stats restored, only blocking wall time counted.
+    fn vote_any(&mut self, flag: bool) -> bool {
+        if self.size == 1 {
+            return flag;
+        }
+        let _span = hisvsim_obs::span("comm", "vote");
+        let start = Instant::now();
+        let payload_stats = self.stats;
+        let base = VOTE_NS | (self.vote_epoch << 1);
+        self.vote_epoch = (self.vote_epoch + 1) & VOTE_EPOCH_MASK;
+        let agreed = if self.rank == 0 {
+            let mut agreed = flag;
+            for from in 1..self.size {
+                agreed |= self.recv_vote(from, base);
+            }
+            for to in 1..self.size {
+                self.send_inner(to, base | agreed as u64, Vec::new());
+            }
+            agreed
+        } else {
+            self.send_inner(0, base | flag as u64, Vec::new());
+            self.recv_vote(0, base)
+        };
+        self.stats = payload_stats;
+        self.stats.wall_time_s += start.elapsed().as_secs_f64();
+        agreed
     }
 
     /// Pairwise chunk-interleaved all-to-all-v.

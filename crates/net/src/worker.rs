@@ -1,53 +1,153 @@
 //! Worker-process mode (`hisvsim-net worker <control_addr> <rank>`).
 //!
 //! A worker is one rank of the process cluster: it checks in with the
-//! launcher, joins the TCP mesh, re-fuses the shipped partition locally,
-//! runs the *same* engine rank body the in-process world runs, and streams
-//! its identity-layout slice back.
+//! pool, joins the TCP mesh **once**, then serves jobs from a persistent
+//! command loop — re-fusing each shipped partition locally (with a warm
+//! plan cache, so a repeated fingerprint re-fuses nothing), running the
+//! *same* engine rank bodies the in-process world runs, and streaming its
+//! identity-layout slice back per job. A reader thread drains
+//! [`WorkerCommand`] frames concurrently, so a `Cancel { epoch }` reaches
+//! the running job's [`CancelToken`] mid-sweep; the rank bodies observe it
+//! at their collective cancel-vote checkpoints.
 
 use crate::launcher::NetError;
-use crate::proto::{LaunchSpec, RankReport, ShippedJob, WorkerHello, AMPS_TAG};
-use crate::tcp::TcpComm;
+use crate::proto::{
+    LaunchSpec, RankReport, RankStatus, ShippedJob, WorkerCommand, WorkerHello, AMPS_TAG,
+};
+use crate::tcp::{PeerLost, TcpComm};
 use crate::wire::{recv_json, send_json, write_frame};
 use hisvsim_circuit::Complex64;
 use hisvsim_cluster::RankComm;
 use hisvsim_core::{
-    run_baseline_rank, run_fused_plan_rank, run_two_level_plan_rank, FusedSinglePlan,
+    run_baseline_rank_cancellable, run_fused_plan_rank_cancellable,
+    run_two_level_plan_rank_cancellable, CancelToken, Cancelled, FusedSinglePlan,
     FusedTwoLevelPlan, RankOutcome,
 };
 use hisvsim_dag::CircuitDag;
 use hisvsim_obs::log;
 use hisvsim_runtime::{EngineKind, PersistedPlan};
 use hisvsim_statevec::amplitudes_to_le_bytes;
+use std::collections::{HashMap, VecDeque};
+use std::hash::{Hash, Hasher};
 use std::net::{TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
 
 const LOG_TARGET: &str = "hisvsim-net::worker";
+
+/// A resident worker's warm plan cache: fused plans keyed by everything
+/// that determines them (circuit fingerprint, engine, fusion width,
+/// strategy, and the shipped partition itself), so a repeated fingerprint
+/// re-fuses nothing. Fusion is deterministic, which makes a cache hit
+/// bit-identical to a rebuild — reuse changes *when* work happens, never
+/// what it produces. Bounded FIFO, sized for parameter-sweep batches.
+pub struct WorkerPlanCache {
+    plans: HashMap<u64, BuiltPlan>,
+    order: VecDeque<u64>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+#[derive(Clone)]
+enum BuiltPlan {
+    Single(Arc<FusedSinglePlan>),
+    Two(Arc<FusedTwoLevelPlan>),
+}
+
+impl WorkerPlanCache {
+    /// A cache holding at most `capacity` fused plans.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            plans: HashMap::new(),
+            order: VecDeque::new(),
+            capacity: capacity.max(1),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// `(hits, misses)` so far — a repeated fingerprint must hit.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    fn get_or_build(&mut self, key: u64, build: impl FnOnce() -> BuiltPlan) -> BuiltPlan {
+        if let Some(plan) = self.plans.get(&key) {
+            self.hits += 1;
+            return plan.clone();
+        }
+        self.misses += 1;
+        let plan = build();
+        if self.plans.len() >= self.capacity {
+            if let Some(evicted) = self.order.pop_front() {
+                self.plans.remove(&evicted);
+            }
+        }
+        self.plans.insert(key, plan.clone());
+        self.order.push_back(key);
+        plan
+    }
+}
+
+/// Everything that determines the fused schedule, folded into one key.
+fn plan_key(job: &ShippedJob) -> u64 {
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    job.circuit.fingerprint().hash(&mut hasher);
+    job.engine.name().hash(&mut hasher);
+    job.fusion.hash(&mut hasher);
+    job.strategy.name().hash(&mut hasher);
+    // The shipped partition travels in its (deterministic) wire shape;
+    // hashing it covers plans that differ only in their working-set limit.
+    serde_json::to_string(&job.plan)
+        .unwrap_or_default()
+        .hash(&mut hasher);
+    hasher.finish()
+}
 
 /// Execute one rank of a shipped job on any [`RankComm`] world. This is the
 /// single dispatch point shared by worker processes (over
 /// [`TcpComm`]) and the in-process reference executor (over
 /// [`LocalComm`](hisvsim_cluster::LocalComm)) — which is what makes the two
-/// runs bit-identical by construction.
-///
-/// Workers re-fuse the shipped partition locally ([`FusedSinglePlan`] /
-/// [`FusedTwoLevelPlan`] are rebuilt from the [`PersistedPlan`] wire
-/// shape); the fusion scan is deterministic, so every rank derives the
-/// identical fused schedule independently.
+/// runs bit-identical by construction. Runs the cancellable rank bodies
+/// with an inert token, so its schedule (cancel votes included) matches
+/// [`execute_shipped_rank_controlled`] exactly.
 pub fn execute_shipped_rank<C: RankComm<Complex64>>(
     job: &ShippedJob,
     comm: &mut C,
 ) -> Result<RankOutcome, NetError> {
+    let mut plans = WorkerPlanCache::new(1);
+    execute_shipped_rank_controlled(job, comm, &CancelToken::new(), &mut plans, None)
+}
+
+/// [`execute_shipped_rank`] with the resident-worker machinery threaded
+/// through: a [`CancelToken`] the rank bodies vote on at their cooperative
+/// checkpoints (all ranks stop together or not at all), a warm
+/// [`WorkerPlanCache`] so a repeated fingerprint re-fuses nothing, and an
+/// optional recycled local-slice allocation from the previous job.
+pub fn execute_shipped_rank_controlled<C: RankComm<Complex64>>(
+    job: &ShippedJob,
+    comm: &mut C,
+    cancel: &CancelToken,
+    plans: &mut WorkerPlanCache,
+    recycled: Option<Vec<Complex64>>,
+) -> Result<RankOutcome, NetError> {
     let fusion = job.fusion.max(1);
     let strategy = job.strategy;
     let dispatch = job.dispatch;
+    let cancelled = |_: Cancelled| NetError::Cancelled;
     match job.engine {
-        EngineKind::Baseline => Ok(run_baseline_rank(
+        EngineKind::Baseline => run_baseline_rank_cancellable(
             comm,
             &job.circuit,
             fusion,
             strategy,
             dispatch,
-        )),
+            cancel,
+            recycled,
+        )
+        .map_err(cancelled),
         EngineKind::Hier | EngineKind::Dist => {
             let Some(PersistedPlan::Single(partition)) = &job.plan else {
                 return Err(NetError::Protocol(format!(
@@ -56,24 +156,30 @@ pub fn execute_shipped_rank<C: RankComm<Complex64>>(
                     job.plan.as_ref().map(plan_shape)
                 )));
             };
-            let plan = {
+            let plan = plans.get_or_build(plan_key(job), || {
                 let _fuse = hisvsim_obs::span("job", "fuse")
                     .detail(format!("{} gates, width {fusion}", job.circuit.num_gates()));
                 let dag = CircuitDag::from_circuit(&job.circuit);
-                FusedSinglePlan::build_with_strategy(
+                BuiltPlan::Single(Arc::new(FusedSinglePlan::build_with_strategy(
                     &job.circuit,
                     &dag,
                     partition.clone(),
                     fusion,
                     strategy,
-                )
+                )))
+            });
+            let BuiltPlan::Single(plan) = plan else {
+                return Err(NetError::Protocol("plan cache shape mismatch".to_string()));
             };
-            Ok(run_fused_plan_rank(
+            run_fused_plan_rank_cancellable(
                 comm,
                 job.circuit.num_qubits(),
                 &plan,
                 dispatch,
-            ))
+                cancel,
+                recycled,
+            )
+            .map_err(cancelled)
         }
         EngineKind::Multilevel => {
             let Some(PersistedPlan::Two(ml)) = &job.plan else {
@@ -82,24 +188,30 @@ pub fn execute_shipped_rank<C: RankComm<Complex64>>(
                     job.plan.as_ref().map(plan_shape)
                 )));
             };
-            let plan = {
+            let plan = plans.get_or_build(plan_key(job), || {
                 let _fuse = hisvsim_obs::span("job", "fuse")
                     .detail(format!("{} gates, width {fusion}", job.circuit.num_gates()));
                 let dag = CircuitDag::from_circuit(&job.circuit);
-                FusedTwoLevelPlan::build_with_strategy(
+                BuiltPlan::Two(Arc::new(FusedTwoLevelPlan::build_with_strategy(
                     &job.circuit,
                     &dag,
                     ml.clone(),
                     fusion,
                     strategy,
-                )
+                )))
+            });
+            let BuiltPlan::Two(plan) = plan else {
+                return Err(NetError::Protocol("plan cache shape mismatch".to_string()));
             };
-            Ok(run_two_level_plan_rank(
+            run_two_level_plan_rank_cancellable(
                 comm,
                 job.circuit.num_qubits(),
                 &plan,
                 dispatch,
-            ))
+                cancel,
+                recycled,
+            )
+            .map_err(cancelled)
         }
     }
 }
@@ -111,7 +223,27 @@ fn plan_shape(plan: &PersistedPlan) -> &'static str {
     }
 }
 
-/// The worker-process body: rendezvous, mesh, execute, report.
+/// Render a caught rank-body panic as a failure message: a typed
+/// [`PeerLost`] payload gets its own message, anything else the panic's
+/// string payload (or a placeholder).
+fn describe_panic(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(lost) = payload.downcast_ref::<PeerLost>() {
+        return lost.to_string();
+    }
+    if let Some(msg) = payload.downcast_ref::<&str>() {
+        return (*msg).to_string();
+    }
+    if let Some(msg) = payload.downcast_ref::<String>() {
+        return msg.clone();
+    }
+    "rank body panicked".to_string()
+}
+
+/// The worker-process body: rendezvous and mesh **once**, then serve jobs
+/// from the persistent command loop until `Shutdown` (or the pool's side
+/// of the control connection closes). A reader thread drains commands so a
+/// `Cancel { epoch }` lands on the running job's token mid-sweep; epochs
+/// that already finished are ignored.
 pub fn run_worker(control_addr: &str, rank: usize) -> Result<(), NetError> {
     let listener = TcpListener::bind("127.0.0.1:0")?;
     let data_addr = listener.local_addr()?.to_string();
@@ -125,66 +257,205 @@ pub fn run_worker(control_addr: &str, rank: usize) -> Result<(), NetError> {
             spec.rank
         )));
     }
-    if spec.job.trace {
-        hisvsim_obs::set_enabled(true);
-    }
     log::debug(
         LOG_TARGET,
         "launch spec received",
         &[
             ("rank", &rank.to_string()),
             ("size", &spec.size.to_string()),
-            ("engine", spec.job.engine.name()),
-            ("circuit", &spec.job.circuit.name),
+            ("base_epoch", &spec.epoch.to_string()),
         ],
     );
     let mut comm =
         TcpComm::<Complex64>::connect_mesh(rank, spec.size, spec.network, listener, &spec.peers)?;
-    let outcome = execute_shipped_rank(&spec.job, &mut comm)?;
-    log::debug(
-        LOG_TARGET,
-        "rank body complete",
-        &[
-            ("rank", &rank.to_string()),
-            ("compute_s", &format!("{:.3}", outcome.compute_time_s)),
-            ("exchanges", &outcome.exchanges.to_string()),
-        ],
-    );
-    // Aggregate this rank's measured-cost delta from its own spans before
-    // shipping both back: the spans feed the launcher's merged timeline,
-    // the delta feeds its profile store (cell-wise additive merge). The
-    // worker never sees the launcher's profile — calibration happens on
-    // the launcher side only, so shipped jobs stay deterministic.
-    let (spans, profile) = if spec.job.trace {
-        let spans = hisvsim_obs::drain();
-        let mut profile = hisvsim_obs::CostProfile::new();
-        profile.absorb_spans(&spans, spec.job.dispatch.resolved_name());
-        profile.absorb_phase(
-            spec.job.engine.name(),
-            "execute",
-            outcome.compute_time_s,
-            outcome.local.len() as u64 * 32,
-        );
-        (spans, profile)
-    } else {
-        (Vec::new(), hisvsim_obs::CostProfile::new())
-    };
+
+    // Command reader: Run/Shutdown are queued for the job loop; Cancel
+    // fires the matching in-flight token directly (stale epochs miss the
+    // map and are dropped). EOF on the control stream — the pool died —
+    // reads as Shutdown.
+    let (command_tx, command_rx) = mpsc::channel::<Option<(u64, ShippedJob, CancelToken)>>();
+    let cancels: Arc<Mutex<HashMap<u64, CancelToken>>> = Arc::new(Mutex::new(HashMap::new()));
+    let reader_cancels = Arc::clone(&cancels);
+    let mut reader = control.try_clone()?;
+    std::thread::spawn(move || loop {
+        match recv_json::<WorkerCommand>(&mut reader) {
+            Ok(WorkerCommand::Run(epoch, job)) => {
+                let token = CancelToken::new();
+                reader_cancels
+                    .lock()
+                    .expect("cancel map poisoned")
+                    .insert(epoch, token.clone());
+                if command_tx.send(Some((epoch, job, token))).is_err() {
+                    return;
+                }
+            }
+            Ok(WorkerCommand::Cancel(epoch)) => {
+                if let Some(token) = reader_cancels
+                    .lock()
+                    .expect("cancel map poisoned")
+                    .get(&epoch)
+                {
+                    token.cancel();
+                }
+            }
+            Ok(WorkerCommand::Shutdown) | Err(_) => {
+                let _ = command_tx.send(None);
+                return;
+            }
+        }
+    });
+
+    let mut plans = WorkerPlanCache::new(16);
+    let mut resident: Option<Vec<Complex64>> = None;
+    while let Ok(Some((epoch, job, token))) = command_rx.recv() {
+        // Per-job recorder hygiene on a resident worker: drop any stale
+        // spans a previous job left in the ring, and track this job's
+        // trace flag — an untraced job after a traced one must not keep
+        // recording (and must not ship the traced job's leftovers).
+        let _ = hisvsim_obs::drain();
+        hisvsim_obs::set_enabled(job.trace);
+        comm.reset_stats();
+        comm.begin_job();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            execute_shipped_rank_controlled(&job, &mut comm, &token, &mut plans, resident.take())
+        }));
+        cancels.lock().expect("cancel map poisoned").remove(&epoch);
+        let (cache_hits, cache_misses) = plans.stats();
+        match result {
+            Ok(Ok(outcome)) => {
+                log::debug(
+                    LOG_TARGET,
+                    "rank body complete",
+                    &[
+                        ("rank", &rank.to_string()),
+                        ("epoch", &epoch.to_string()),
+                        ("compute_s", &format!("{:.3}", outcome.compute_time_s)),
+                        ("exchanges", &outcome.exchanges.to_string()),
+                        ("plan_cache_hits", &cache_hits.to_string()),
+                        ("plan_cache_misses", &cache_misses.to_string()),
+                    ],
+                );
+                // Aggregate this rank's measured-cost delta from its own
+                // spans before shipping both back: the spans feed the
+                // pool's merged timeline, the delta feeds its profile
+                // store (cell-wise additive merge). The worker never sees
+                // the pool's profile — calibration happens on the pool
+                // side only, so shipped jobs stay deterministic.
+                let (spans, profile) = if job.trace {
+                    let spans = hisvsim_obs::drain();
+                    let mut profile = hisvsim_obs::CostProfile::new();
+                    profile.absorb_spans(&spans, job.dispatch.resolved_name());
+                    profile.absorb_phase(
+                        job.engine.name(),
+                        "execute",
+                        outcome.compute_time_s,
+                        outcome.local.len() as u64 * 32,
+                    );
+                    (spans, profile)
+                } else {
+                    (Vec::new(), hisvsim_obs::CostProfile::new())
+                };
+                send_json(
+                    &mut control,
+                    &RankReport {
+                        rank,
+                        epoch,
+                        status: RankStatus::Ok,
+                        compute_time_s: outcome.compute_time_s,
+                        comm: outcome.comm,
+                        exchanges: outcome.exchanges,
+                        amp_count: outcome.local.len(),
+                        spans,
+                        profile,
+                    },
+                )?;
+                write_frame(
+                    &mut control,
+                    AMPS_TAG,
+                    &amplitudes_to_le_bytes(&outcome.local),
+                )?;
+                // Keep the slice allocation resident for the next job of
+                // the batch (zero-filled on reuse, so results never
+                // depend on it).
+                resident = Some(outcome.local);
+            }
+            Ok(Err(NetError::Cancelled)) => {
+                log::debug(
+                    LOG_TARGET,
+                    "job cancelled at a vote checkpoint",
+                    &[("rank", &rank.to_string()), ("epoch", &epoch.to_string())],
+                );
+                // All ranks agreed before entering a part, so the mesh is
+                // clean — report and stay resident for the next job.
+                let _ = hisvsim_obs::drain();
+                send_json(
+                    &mut control,
+                    &RankReport {
+                        rank,
+                        epoch,
+                        status: RankStatus::Cancelled,
+                        compute_time_s: 0.0,
+                        comm: comm.stats(),
+                        exchanges: 0,
+                        amp_count: 0,
+                        spans: Vec::new(),
+                        profile: hisvsim_obs::CostProfile::new(),
+                    },
+                )?;
+            }
+            Ok(Err(e)) => {
+                // A protocol-level failure (bad plan shape): the job
+                // cannot run, and whether the mesh was touched is
+                // unknowable from here — report and exit, letting the
+                // pool respawn the world.
+                let message = e.to_string();
+                let _ = report_failure(&mut control, rank, epoch, &comm, &message);
+                return Err(NetError::Worker(message));
+            }
+            Err(payload) => {
+                // Peer loss or a rank-body panic mid-collective: the mesh
+                // state is undefined. Report the failure so the pool can
+                // fail this job promptly, then exit — the pool respawns
+                // the world for the next job.
+                let message = describe_panic(payload);
+                log::error(
+                    LOG_TARGET,
+                    "rank body failed",
+                    &[
+                        ("rank", &rank.to_string()),
+                        ("epoch", &epoch.to_string()),
+                        ("error", &message),
+                    ],
+                );
+                let _ = report_failure(&mut control, rank, epoch, &comm, &message);
+                return Err(NetError::Worker(message));
+            }
+        }
+        hisvsim_obs::set_enabled(false);
+    }
+    Ok(())
+}
+
+fn report_failure<C: RankComm<Complex64>>(
+    control: &mut TcpStream,
+    rank: usize,
+    epoch: u64,
+    comm: &C,
+    message: &str,
+) -> Result<(), NetError> {
     send_json(
-        &mut control,
+        control,
         &RankReport {
             rank,
-            compute_time_s: outcome.compute_time_s,
-            comm: outcome.comm,
-            exchanges: outcome.exchanges,
-            amp_count: outcome.local.len(),
-            spans,
-            profile,
+            epoch,
+            status: RankStatus::Failed(message.to_string()),
+            compute_time_s: 0.0,
+            comm: comm.stats(),
+            exchanges: 0,
+            amp_count: 0,
+            spans: Vec::new(),
+            profile: hisvsim_obs::CostProfile::new(),
         },
-    )?;
-    write_frame(
-        &mut control,
-        AMPS_TAG,
-        &amplitudes_to_le_bytes(&outcome.local),
     )?;
     Ok(())
 }

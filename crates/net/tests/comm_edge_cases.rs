@@ -189,3 +189,43 @@ fn collective_wall_time_is_charged_local() {
 fn collective_wall_time_is_charged_tcp() {
     collective_wall_time_is_charged_on(tcp_world::<u64>(2, NetworkModel::ideal()).unwrap());
 }
+
+fn vote_any_agrees_on<C: RankComm<u64> + Send + 'static>(worlds: Vec<C>) {
+    drive(worlds, |comm| {
+        // Unanimous no.
+        assert!(!comm.vote_any(false));
+        // One dissenting rank flips everyone.
+        assert!(comm.vote_any(comm.rank() == comm.size() - 1));
+        // Unanimous yes.
+        assert!(comm.vote_any(true));
+        // Back to no: the epoch counter keeps rounds apart, so a fresh
+        // round is not contaminated by earlier vote frames.
+        assert!(!comm.vote_any(false));
+        // Like barriers, votes are control traffic, not payload traffic —
+        // otherwise comm stats of the cancellable and plain rank bodies
+        // would stop being comparable for the same schedule.
+        let stats = comm.stats();
+        assert_eq!(stats.messages_sent, 0, "votes are not payload traffic");
+        assert_eq!(stats.bytes_sent, 0);
+        assert_eq!(stats.modeled_time_s, 0.0);
+    });
+}
+
+#[test]
+fn vote_any_agrees_local() {
+    vote_any_agrees_on(world::<u64>(4, NetworkModel::hdr100()));
+}
+
+#[test]
+fn vote_any_agrees_tcp() {
+    vote_any_agrees_on(tcp_world::<u64>(4, NetworkModel::hdr100()).unwrap());
+}
+
+#[test]
+fn vote_any_single_rank_is_its_own_majority() {
+    drive(world::<u64>(1, NetworkModel::hdr100()), |comm| {
+        assert!(comm.vote_any(true));
+        assert!(!comm.vote_any(false));
+        assert_eq!(comm.stats().messages_sent, 0);
+    });
+}

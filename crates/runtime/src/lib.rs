@@ -57,7 +57,10 @@ pub mod selector;
 pub use cache::{CacheStats, CachedPlan, PersistedPlan, PlanCache, PlanKey, PlanSource};
 pub use job::{Backend, DecisionVerdict, JobResult, SimJob};
 pub use planner::{PlanEffort, Planner};
-pub use pool::{JobControl, JobError, JobRunner, ProcessBackend, ProcessRequest, Semaphore};
+pub use pool::{
+    JobControl, JobError, JobRunner, ProcessBackend, ProcessError, ProcessPoolStats,
+    ProcessRequest, Semaphore,
+};
 pub use scheduler::{BatchReport, BatchStats, Scheduler, SchedulerConfig};
 pub use selector::{EngineDecision, EngineKind, EngineSelector};
 

@@ -239,21 +239,81 @@ pub struct ProcessRequest<'a> {
     pub plan: Option<PersistedPlan>,
 }
 
+/// How a process backend's execution of one request ended without a
+/// result.
+#[derive(Debug)]
+pub enum ProcessError {
+    /// The backend observed the job's [`CancelToken`] at a cooperative
+    /// checkpoint and stopped every rank; the worker world is still
+    /// healthy. Maps to [`JobError::Cancelled`].
+    Cancelled,
+    /// The launcher/worker pipeline failed. Maps to [`JobError::Backend`].
+    Failed(String),
+}
+
+impl std::fmt::Display for ProcessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProcessError::Cancelled => f.write_str("job cancelled"),
+            ProcessError::Failed(message) => f.write_str(message),
+        }
+    }
+}
+
+impl std::error::Error for ProcessError {}
+
+/// A snapshot of a pooled process backend's lifetime counters, surfaced so
+/// the service's metrics endpoint can export world-reuse and cancellation
+/// behaviour without a transport dependency.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ProcessPoolStats {
+    /// Worker worlds spawned (1 after warm-up unless a world was dropped).
+    pub worlds_spawned: u64,
+    /// Jobs submitted to the backend.
+    pub jobs_run: u64,
+    /// Jobs that reused an already-resident worker world.
+    pub jobs_reused_world: u64,
+    /// Jobs stopped at a cooperative cancel checkpoint.
+    pub jobs_cancelled: u64,
+    /// Jobs that failed (each drops the world; the next job respawns it).
+    pub jobs_failed: u64,
+    /// Total seconds spent spawning worlds and running the rendezvous —
+    /// kept out of per-job wall time by design.
+    pub launch_seconds_total: f64,
+}
+
 /// A multi-process execution backend (implemented by
-/// `hisvsim_net::ClusterLauncher`): takes a [`ProcessRequest`], runs it on
+/// `hisvsim_net::WorkerPool`): takes a [`ProcessRequest`], runs it on
 /// real worker processes, and returns the assembled state plus the report
 /// aggregated from per-rank comm stats.
 ///
 /// Defined here (not in `hisvsim-net`) so the runtime can stay free of any
-/// transport dependency; the launcher is injected via
+/// transport dependency; the pool is injected via
 /// [`SchedulerConfig::with_process_backend`](crate::scheduler::SchedulerConfig::with_process_backend).
 pub trait ProcessBackend: Send + Sync {
     /// The worker-process world size (a power of two); the runner clamps
     /// plan limits so every shipped working set fits a worker's local slice.
     fn ranks(&self) -> usize;
 
-    /// Execute the request on the worker cluster.
-    fn execute(&self, request: ProcessRequest<'_>) -> Result<(StateVector, RunReport), String>;
+    /// Execute the request on the worker cluster. The backend is expected
+    /// to poll `cancel` and propagate it to the remote ranks, stopping
+    /// them at a cooperative checkpoint *mid-job* — not merely at the next
+    /// job boundary.
+    fn execute(
+        &self,
+        request: ProcessRequest<'_>,
+        cancel: &CancelToken,
+    ) -> Result<(StateVector, RunReport), ProcessError>;
+
+    /// Tear down any resident worker state (processes, sockets). Called by
+    /// long-lived owners (the service) on shutdown; stateless backends
+    /// need not implement it.
+    fn shutdown(&self) {}
+
+    /// Lifetime counters for pooled backends (`None` for stateless ones).
+    fn pool_stats(&self) -> Option<ProcessPoolStats> {
+        None
+    }
 }
 
 /// The plan-through-postprocess job executor: everything
@@ -475,10 +535,14 @@ impl JobRunner {
                     plan: plan.as_ref().map(CachedPlan::to_persisted),
                 };
                 let outcome = backend
-                    .execute(request)
-                    .map_err(|message| JobError::Backend { message })?;
-                // A launcher run has no cooperative checkpoints; honour a
-                // cancellation that raced it by discarding the result here.
+                    .execute(request, &control.cancel)
+                    .map_err(|e| match e {
+                        ProcessError::Cancelled => JobError::Cancelled,
+                        ProcessError::Failed(message) => JobError::Backend { message },
+                    })?;
+                // The backend polls the token itself (remote ranks stop at
+                // their cancel-vote checkpoints); this check only honours a
+                // cancellation that raced the final gather.
                 control.cancel.check().map_err(|_| JobError::Cancelled)?;
                 control.notify_executing(
                     job.circuit.num_gates() as u64,

@@ -643,6 +643,47 @@ impl SimService {
                 0.0
             },
         );
+        if let Some(pool) = self
+            .inner
+            .runner
+            .config()
+            .process_backend
+            .as_ref()
+            .and_then(|backend| backend.pool_stats())
+        {
+            counter(
+                "hisvsim_pool_worlds_spawned_total",
+                "Worker worlds spawned by the process backend (1 after warm-up unless a \
+                 world was dropped by a failure).",
+                pool.worlds_spawned,
+            );
+            counter(
+                "hisvsim_pool_jobs_total",
+                "Jobs submitted to the process backend's worker pool.",
+                pool.jobs_run,
+            );
+            counter(
+                "hisvsim_pool_jobs_reused_world_total",
+                "Pool jobs that ran on an already-resident worker world.",
+                pool.jobs_reused_world,
+            );
+            counter(
+                "hisvsim_pool_jobs_cancelled_total",
+                "Pool jobs stopped at a cooperative cancel checkpoint (world kept warm).",
+                pool.jobs_cancelled,
+            );
+            counter(
+                "hisvsim_pool_jobs_failed_total",
+                "Pool jobs that failed and dropped their worker world.",
+                pool.jobs_failed,
+            );
+            gauge(
+                "hisvsim_pool_launch_seconds_total",
+                "Total seconds spent spawning worker worlds and running the rendezvous \
+                 (kept out of per-job wall time).",
+                pool.launch_seconds_total,
+            );
+        }
         reg.render()
     }
 
@@ -815,6 +856,12 @@ impl SimService {
                 .config()
                 .profile
                 .save_to(&profile_path_for(path));
+        }
+        // Workers and timer are gone, so no job can reach the backend any
+        // more: tear its resident worker world down cleanly (a no-op for
+        // stateless backends).
+        if let Some(backend) = &self.inner.runner.config().process_backend {
+            backend.shutdown();
         }
     }
 }
